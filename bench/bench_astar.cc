@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Reproduces Sec. 6.2.5: the (in)feasibility of A*-search.
+ *
+ * The paper's Java A* (plain f(v) = b(v) + e(v), 2 GB heap) solved a
+ * 6-function/50-call instance after exploring 96 of ~4 billion paths
+ * and ran out of memory beyond 6 unique functions.  Our
+ * implementation strengthens the heuristic with the committed wait
+ * of the earliest not-yet-compiled call (still admissible), which
+ * also solves a 6-function instance in double digits of expansions
+ * and pushes the wall to ~9 functions — beyond which the open list
+ * exhausts the memory budget exactly as the paper describes.
+ * Clever search postpones the exponential blow-up; it cannot remove
+ * it (Theorem 2).
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "core/astar.hh"
+#include "core/brute_force.hh"
+#include "support/strutil.hh"
+#include "support/table.hh"
+#include "trace/synthetic.hh"
+
+using namespace jitsched;
+
+namespace {
+
+/**
+ * An upper bound on the number of complete compilation sequences for
+ * n functions at 2 levels: permutations of the 2n compile events
+ * (what the paper's "12! paths" figure counts for n = 6).
+ */
+double
+pathSpace(std::size_t n)
+{
+    double total = 1.0;
+    for (std::size_t i = 1; i <= 2 * n; ++i)
+        total *= static_cast<double>(i);
+    return total;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::cout << "== Sec. 6.2.5: A*-search feasibility ==\n";
+    std::cout << "(random 2-level instances, ~50-80 calls; memory "
+                 "budget 512 MiB, expansion cap 2M as a time "
+                 "guard)\n";
+
+    AsciiTable t({"#functions", "status", "nodes expanded",
+                  "path space (2n)!", "fraction explored",
+                  "peak memory", "optimal == brute force"});
+
+    for (std::size_t funcs = 3; funcs <= 11; ++funcs) {
+        SyntheticConfig cfg;
+        cfg.numFunctions = funcs;
+        cfg.numCalls = 50 + funcs * 2;
+        cfg.numLevels = 2;
+        cfg.seed = 40 + funcs;
+        const Workload w = generateSynthetic(cfg);
+
+        AStarConfig acfg;
+        acfg.memoryBudget = 512ull << 20;
+        acfg.maxExpansions = 2'000'000;
+        const AStarResult res = aStarOptimal(w, acfg);
+
+        const char *status =
+            res.status == AStarStatus::Optimal ? "optimal"
+            : res.status == AStarStatus::OutOfMemory
+                ? "OUT OF MEMORY"
+                : "expansion cap";
+
+        std::string matches = "-";
+        if (res.status == AStarStatus::Optimal && funcs <= 5) {
+            const BruteForceResult bf = bruteForceOptimal(w);
+            matches = bf.complete && bf.makespan == res.makespan
+                          ? "yes"
+                          : "NO";
+        }
+
+        const double space = pathSpace(funcs);
+        t.addRow({std::to_string(funcs), status,
+                  formatCount(res.nodesExpanded),
+                  strprintf("%.2e", space),
+                  strprintf("%.2e",
+                            static_cast<double>(res.nodesExpanded) /
+                                space),
+                  strprintf("%.1f MiB",
+                            static_cast<double>(res.peakMemory) /
+                                (1 << 20)),
+                  matches});
+    }
+    t.print(std::cout);
+    std::cout << "Paper reference: optimal after a tiny explored "
+                 "fraction on a 6-function instance (96 paths of "
+                 "~12!); out of memory (2 GB Java heap) beyond 6 "
+                 "functions.  The strengthened-but-admissible "
+                 "heuristic here shifts the wall a few functions "
+                 "outward; the exponential blow-up remains, as the "
+                 "strong NP-completeness predicts.\n";
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Reproduces Fig. 7: speedups from concurrent JIT compilation when
+ * the IAR schedule is used, with 1/2/4/8/16 compilation cores.
+ *
+ * Paper shape to match: the gains are minor — average speedups no
+ * greater than ~7%, largest single case ~13% — because a good
+ * schedule already hides most compilation time.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "core/iar.hh"
+#include "harness.hh"
+#include "sim/makespan.hh"
+#include "support/stats.hh"
+#include "support/strutil.hh"
+#include "support/table.hh"
+#include "trace/dacapo.hh"
+#include "vm/cost_benefit.hh"
+
+using namespace jitsched;
+
+int
+main()
+{
+    const std::size_t scale = benchScaleFromEnv(16);
+    const std::vector<std::size_t> core_counts{1, 2, 4, 8, 16};
+
+    std::cout << "== Figure 7: concurrent JIT under IAR schedules =="
+              << "\n(speedup of make-span vs 1 compile core)\n";
+
+    AsciiTable t({"benchmark", "2 cores", "4 cores", "8 cores",
+                  "16 cores"});
+    std::vector<std::vector<double>> speedups(core_counts.size());
+    double max_speedup = 1.0;
+
+    for (const DacapoSpec &spec : dacapoSpecs()) {
+        const Workload w = makeDacapoWorkload(spec.name, scale);
+        CostBenefitConfig mcfg;
+        const auto cands = modelCandidateLevels(w, mcfg);
+        const Schedule s = iarSchedule(w, cands).schedule;
+
+        std::vector<double> spans;
+        for (const std::size_t cores : core_counts)
+            spans.push_back(static_cast<double>(
+                simulate(w, s, {.compileCores = cores}).makespan));
+
+        std::vector<std::string> row{spec.name};
+        for (std::size_t i = 1; i < core_counts.size(); ++i) {
+            const double sp = spans[0] / spans[i];
+            speedups[i].push_back(sp);
+            max_speedup = std::max(max_speedup, sp);
+            row.push_back(formatFixed(sp, 3) + "x");
+        }
+        t.addRow(row);
+    }
+
+    std::vector<std::string> avg_row{"average"};
+    for (std::size_t i = 1; i < core_counts.size(); ++i)
+        avg_row.push_back(formatFixed(mean(speedups[i]), 3) + "x");
+    t.addSeparator();
+    t.addRow(avg_row);
+    t.print(std::cout);
+
+    std::cout << "Max single speedup: " << formatFixed(max_speedup, 3)
+              << "x  |  avg at 16 cores: "
+              << formatFixed(mean(speedups.back()), 3) << "x\n";
+    std::cout << "Paper reference: average speedups <= ~7%, largest "
+                 "~13% — concurrent JIT adds little once the "
+                 "schedule is good.\n";
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Evaluates the paper's Sec. 7 actionable insight — "the first-time
+ * compilation of a method should generally get a higher priority
+ * than recompilations of other methods" — as a drop-in queue change
+ * to the adaptive runtime, and situates the full family of deployed
+ * scheduling schemes (Jikes adaptive, HotSpot-style tiered counters,
+ * both with FIFO and first-compile-first queues) against IAR.
+ */
+
+#include <iostream>
+
+#include "core/iar.hh"
+#include "core/lower_bound.hh"
+#include "sim/makespan.hh"
+#include "support/stats.hh"
+#include "support/strutil.hh"
+#include "support/table.hh"
+#include "trace/dacapo.hh"
+#include "vm/adaptive_runtime.hh"
+#include "vm/cost_benefit.hh"
+#include "vm/tiered_policy.hh"
+
+using namespace jitsched;
+
+int
+main()
+{
+    const std::size_t scale = benchScaleFromEnv(16);
+    std::cout << "== Sec. 7 insight: first-compiles before "
+                 "recompiles ==\n(normalized make-span; FCF = "
+                 "FirstCompileFirst queue)\n";
+
+    AsciiTable t({"benchmark", "jikes fifo", "jikes FCF",
+                  "tiered fifo", "tiered FCF", "IAR"});
+    std::vector<double> jf, jp, tf, tp, ia;
+    for (const DacapoSpec &spec : dacapoSpecs()) {
+        const Workload w = makeDacapoWorkload(spec.name, scale);
+        CostBenefitConfig mcfg;
+        const TimeEstimates est = buildEstimates(w, mcfg);
+        const auto cands = modelCandidateLevels(w, mcfg);
+        const double lb = static_cast<double>(
+            lowerBoundCandidates(w, cands));
+
+        AdaptiveConfig a;
+        a.samplePeriod = defaultSamplePeriod(w);
+        AdaptiveConfig ap = a;
+        ap.discipline = QueueDiscipline::FirstCompileFirst;
+
+        TieredConfig tc;
+        TieredConfig tcp;
+        tcp.discipline = QueueDiscipline::FirstCompileFirst;
+
+        const double v_jf =
+            static_cast<double>(runAdaptive(w, est, a).sim.makespan);
+        const double v_jp = static_cast<double>(
+            runAdaptive(w, est, ap).sim.makespan);
+        const double v_tf =
+            static_cast<double>(runTiered(w, tc).sim.makespan);
+        const double v_tp =
+            static_cast<double>(runTiered(w, tcp).sim.makespan);
+        const double v_ia = static_cast<double>(
+            simulate(w, iarSchedule(w, cands).schedule).makespan);
+
+        t.addRow({spec.name, formatFixed(v_jf / lb, 2),
+                  formatFixed(v_jp / lb, 2), formatFixed(v_tf / lb, 2),
+                  formatFixed(v_tp / lb, 2),
+                  formatFixed(v_ia / lb, 2)});
+        jf.push_back(v_jf / lb);
+        jp.push_back(v_jp / lb);
+        tf.push_back(v_tf / lb);
+        tp.push_back(v_tp / lb);
+        ia.push_back(v_ia / lb);
+    }
+    t.addSeparator();
+    t.addRow({"average", formatFixed(mean(jf), 2),
+              formatFixed(mean(jp), 2), formatFixed(mean(tf), 2),
+              formatFixed(mean(tp), 2), formatFixed(mean(ia), 2)});
+    t.print(std::cout);
+
+    std::cout << "Queue-change speedup: jikes "
+              << formatFixed(mean(jf) / mean(jp), 3)
+              << "x, tiered " << formatFixed(mean(tf) / mean(tp), 3)
+              << "x\n";
+    std::cout << "Reading: the insight pays when recompilations "
+                 "collide with class-loading bursts (counter-driven "
+                 "tiered promotion, most on lusearch); the "
+                 "sampling-driven Jikes scheme spreads recompiles "
+                 "thinly enough that collisions are rare here.  "
+                 "Either way, a queue tweak recovers only a slice of "
+                 "the gap — the rest needs the schedule-level "
+                 "planning IAR does.\n";
+    return 0;
+}

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Developer calibration harness (not one of the paper's figures):
+ * prints the Fig. 5 scheme set on every Table-1 workload so the
+ * synthetic generator's knobs can be tuned against the paper's
+ * reported shape.
+ */
+
+#include <iostream>
+
+#include "harness.hh"
+#include "trace/dacapo.hh"
+
+using namespace jitsched;
+
+int
+main()
+{
+    const std::size_t scale = benchScaleFromEnv(16);
+    std::vector<FigureRow> rows;
+    for (const DacapoSpec &spec : dacapoSpecs()) {
+        const Workload w = makeDacapoWorkload(spec.name, scale);
+        rows.push_back(runFigureRow(w, ModelKind::Default));
+        std::cerr << spec.name << " done\n";
+    }
+    printFigure("calibration (default cost-benefit model)", rows);
+    return 0;
+}

@@ -1,0 +1,79 @@
+#include "harness.hh"
+
+#include <iostream>
+
+#include "core/iar.hh"
+#include "core/lower_bound.hh"
+#include "core/single_level.hh"
+#include "sim/makespan.hh"
+#include "support/stats.hh"
+#include "support/strutil.hh"
+#include "support/table.hh"
+#include "vm/adaptive_runtime.hh"
+
+namespace jitsched {
+
+FigureRow
+runFigureRow(const Workload &w, ModelKind model)
+{
+    FigureRow row;
+    row.benchmark = w.name();
+
+    CostBenefitConfig mcfg;
+    mcfg.kind = model;
+    const TimeEstimates est = buildEstimates(w, mcfg);
+    const std::vector<CandidatePair> cands =
+        modelCandidateLevels(w, mcfg);
+
+    row.lowerBound = lowerBoundCandidates(w, cands);
+
+    const IarResult iar = iarSchedule(w, cands);
+    row.iar = simulate(w, iar.schedule).makespan;
+
+    AdaptiveConfig acfg;
+    acfg.samplePeriod = defaultSamplePeriod(w);
+    row.defaultScheme = runAdaptive(w, est, acfg).sim.makespan;
+
+    row.baseOnly =
+        simulate(w, baseLevelSchedule(w, cands)).makespan;
+    row.optOnly =
+        simulate(w, optimizingLevelSchedule(w, cands)).makespan;
+    return row;
+}
+
+void
+printFigure(const std::string &title,
+            const std::vector<FigureRow> &rows)
+{
+    std::cout << "== " << title << " ==\n";
+    std::cout << "(normalized make-span; baseline = lower bound; "
+                 "lower is better)\n";
+    AsciiTable table({"benchmark", "lower-bound", "IAR", "default",
+                      "base-only", "opt-only"});
+    std::vector<double> iar, def, base, opt;
+    for (const FigureRow &r : rows) {
+        table.addRow({r.benchmark, "1.00",
+                      formatFixed(r.norm(r.iar), 2),
+                      formatFixed(r.norm(r.defaultScheme), 2),
+                      formatFixed(r.norm(r.baseOnly), 2),
+                      formatFixed(r.norm(r.optOnly), 2)});
+        iar.push_back(r.norm(r.iar));
+        def.push_back(r.norm(r.defaultScheme));
+        base.push_back(r.norm(r.baseOnly));
+        opt.push_back(r.norm(r.optOnly));
+    }
+    table.addSeparator();
+    table.addRow({"average", "1.00", formatFixed(mean(iar), 2),
+                  formatFixed(mean(def), 2),
+                  formatFixed(mean(base), 2),
+                  formatFixed(mean(opt), 2)});
+    table.print(std::cout);
+    std::cout << "IAR gap from lower bound: "
+              << formatFixed((mean(iar) - 1.0) * 100.0, 1)
+              << "%  |  default gap: "
+              << formatFixed((mean(def) - 1.0) * 100.0, 1)
+              << "%  |  default/IAR speedup potential: "
+              << formatFixed(mean(def) / mean(iar), 2) << "x\n\n";
+}
+
+} // namespace jitsched

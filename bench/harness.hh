@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared machinery for the per-figure benchmark binaries: run every
+ * scheme of the paper's Figs. 5/6/8 on one workload and collect the
+ * normalized make-spans.
+ */
+
+#ifndef JITSCHED_BENCH_HARNESS_HH
+#define JITSCHED_BENCH_HARNESS_HH
+
+#include <string>
+#include <vector>
+
+#include "core/candidate_levels.hh"
+#include "support/types.hh"
+#include "trace/workload.hh"
+#include "vm/cost_benefit.hh"
+
+namespace jitsched {
+
+/** Make-spans of every scheme on one benchmark, plus the bound. */
+struct FigureRow
+{
+    std::string benchmark;
+    Tick lowerBound = 0;
+    Tick iar = 0;         ///< IAR schedule (static)
+    Tick defaultScheme = 0; ///< Jikes adaptive runtime
+    Tick baseOnly = 0;    ///< base-level-only schedule
+    Tick optOnly = 0;     ///< optimizing-level-only schedule
+
+    double norm(Tick t) const
+    {
+        return static_cast<double>(t) /
+               static_cast<double>(lowerBound);
+    }
+};
+
+/**
+ * Run the Fig. 5 / Fig. 6 scheme set on a workload.
+ *
+ * @param w the workload
+ * @param model cost-benefit model (Default for Fig. 5, Oracle for
+ *              Fig. 6) used for candidate levels and the adaptive
+ *              runtime's recompilation test
+ */
+FigureRow runFigureRow(const Workload &w, ModelKind model);
+
+/** Print a collection of rows as the figure's table, plus averages. */
+void printFigure(const std::string &title,
+                 const std::vector<FigureRow> &rows);
+
+} // namespace jitsched
+
+#endif // JITSCHED_BENCH_HARNESS_HH

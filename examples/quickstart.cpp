@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Quickstart: build a small OCSP instance by hand, evaluate a few
+ * compilation schedules, and let IAR find a near-optimal one.
+ *
+ * This walks exactly the objects a user needs: FunctionProfile /
+ * Workload to describe the program, Schedule + simulate() to score a
+ * compilation order, and iarSchedule() to generate a good one.
+ */
+
+#include <iostream>
+
+#include "core/brute_force.hh"
+#include "core/candidate_levels.hh"
+#include "core/iar.hh"
+#include "core/lower_bound.hh"
+#include "sim/makespan.hh"
+#include "support/strutil.hh"
+#include "trace/workload.hh"
+
+using namespace jitsched;
+
+int
+main()
+{
+    // --- Describe the program: three functions, two JIT levels.
+    // Times are in ticks (nanoseconds); level 1 compiles slower but
+    // produces faster code, per the paper's cost model.
+    std::vector<FunctionProfile> funcs;
+    funcs.emplace_back("parse", 120,
+                       std::vector<LevelCosts>{{200, 900},
+                                               {2000, 250}});
+    funcs.emplace_back("eval", 80,
+                       std::vector<LevelCosts>{{150, 400},
+                                               {1500, 120}});
+    funcs.emplace_back("print", 40,
+                       std::vector<LevelCosts>{{100, 300},
+                                               {900, 200}});
+
+    // --- The dynamic call sequence: parse once, then an eval-heavy
+    // loop with occasional printing.
+    std::vector<FuncId> calls{0};
+    for (int i = 0; i < 40; ++i) {
+        calls.push_back(1);
+        if (i % 8 == 0)
+            calls.push_back(2);
+    }
+    const Workload w("quickstart", std::move(funcs), calls);
+
+    std::cout << "Workload: " << w.numCalls() << " calls over "
+              << w.numFunctions() << " functions\n\n";
+
+    // --- Score two hand-written schedules.
+    const Schedule naive({{0, 0}, {1, 0}, {2, 0}});
+    const Schedule eager({{0, 1}, {1, 1}, {2, 1}});
+    std::cout << "all-baseline schedule      "
+              << naive.toString(w) << "\n  make-span "
+              << formatTicks(simulate(w, naive).makespan) << "\n";
+    std::cout << "all-optimized schedule     "
+              << eager.toString(w) << "\n  make-span "
+              << formatTicks(simulate(w, eager).makespan) << "\n";
+
+    // --- Let IAR schedule it.
+    const auto cands = oracleCandidateLevels(w);
+    const IarResult iar = iarSchedule(w, cands);
+    const SimResult best = simulate(w, iar.schedule);
+    std::cout << "IAR schedule               "
+              << iar.schedule.toString(w) << "\n  make-span "
+              << formatTicks(best.makespan) << " ("
+              << best.bubbleCount << " bubbles, "
+              << formatTicks(best.totalBubble) << " waiting)\n";
+
+    // --- Compare against the bound and the true optimum (tiny
+    // instance, so exhaustive search is feasible).
+    std::cout << "\nlower bound                "
+              << formatTicks(lowerBoundCandidates(w, cands)) << "\n";
+    const BruteForceResult opt = bruteForceOptimal(w);
+    std::cout << "optimal (exhaustive)       "
+              << formatTicks(opt.makespan) << "   schedule: "
+              << opt.schedule.toString(w) << "\n";
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Trace tooling: generate synthetic workloads, save them in the text
+ * trace format, reload them, and print summary statistics — the
+ * round trip a user needs to plug their own collected traces into
+ * the schedulers.
+ *
+ * Usage:
+ *   trace_tools gen <benchmark|name> <out.wl|out.jsw> [scale]
+ *   trace_tools info <in.wl|in.jsw>
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "core/candidate_levels.hh"
+#include "core/lower_bound.hh"
+#include "support/strutil.hh"
+#include "support/table.hh"
+#include "trace/dacapo.hh"
+#include "trace/binary_io.hh"
+#include "trace/trace_io.hh"
+
+using namespace jitsched;
+
+namespace {
+
+int
+generate(const std::string &name, const std::string &path,
+         std::size_t scale)
+{
+    Workload w = [&] {
+        for (const DacapoSpec &spec : dacapoSpecs()) {
+            if (spec.name == name)
+                return makeDacapoWorkload(name, scale);
+        }
+        SyntheticConfig cfg;
+        cfg.name = name;
+        cfg.numFunctions = 500;
+        cfg.numCalls = 250'000 / scale;
+        cfg.targetLevel0ExecTime =
+            static_cast<Tick>(500 * ticksPerMs / scale);
+        cfg.compileTimeScale = 1.0 / static_cast<double>(scale);
+        return generateSynthetic(cfg);
+    }();
+    if (path.size() > 4 &&
+        path.compare(path.size() - 4, 4, ".jsw") == 0)
+        writeWorkloadBinaryFile(path, w);
+    else
+        writeWorkloadFile(path, w);
+    std::cout << "wrote '" << path << "': "
+              << formatCount(w.numCalls()) << " calls, "
+              << w.numFunctions() << " functions\n";
+    return 0;
+}
+
+int
+info(const std::string &path)
+{
+    const Workload w = loadWorkloadAuto(path);
+    std::cout << "workload '" << w.name() << "'\n";
+
+    AsciiTable t({"property", "value"});
+    t.addRow({"functions", std::to_string(w.numFunctions())});
+    t.addRow({"called functions",
+              std::to_string(w.numCalledFunctions())});
+    t.addRow({"calls", formatCount(w.numCalls())});
+    t.addRow({"JIT levels", std::to_string(w.maxLevels())});
+    for (std::size_t j = 0; j < w.maxLevels(); ++j)
+        t.addRow({"exec time if all at level " + std::to_string(j),
+                  formatTicks(w.totalExecAtLevel(
+                      static_cast<Level>(j)))});
+    const auto cands = oracleCandidateLevels(w);
+    t.addRow({"lower bound (cost-effective levels)",
+              formatTicks(lowerBoundCandidates(w, cands))});
+
+    // Hotness profile: share of calls by the top functions.
+    std::vector<std::uint64_t> counts;
+    for (std::size_t f = 0; f < w.numFunctions(); ++f)
+        counts.push_back(w.callCount(static_cast<FuncId>(f)));
+    std::sort(counts.rbegin(), counts.rend());
+    std::uint64_t top10 = 0, top100 = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (i < 10)
+            top10 += counts[i];
+        if (i < 100)
+            top100 += counts[i];
+    }
+    t.addRow({"calls in hottest 10 functions",
+              formatFixed(100.0 * static_cast<double>(top10) /
+                              static_cast<double>(w.numCalls()),
+                          1) +
+                  " %"});
+    t.addRow({"calls in hottest 100 functions",
+              formatFixed(100.0 * static_cast<double>(top100) /
+                              static_cast<double>(w.numCalls()),
+                          1) +
+                  " %"});
+    t.print(std::cout);
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string cmd = argc > 1 ? argv[1] : "";
+    if (cmd == "gen" && argc >= 4) {
+        std::size_t scale = 16;
+        if (argc >= 5) {
+            if (const auto v = parseInt(argv[4]))
+                scale = static_cast<std::size_t>(*v);
+        }
+        return generate(argv[2], argv[3], scale);
+    }
+    if (cmd == "info" && argc >= 3)
+        return info(argv[2]);
+
+    std::cout << "usage:\n"
+              << "  trace_tools gen <benchmark|name> <out.wl> "
+                 "[scale]\n"
+              << "  trace_tools info <in.wl>\n";
+    return cmd.empty() ? 0 : 1;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Warmup-run study: the paper's Fig. 5 experiment as a command-line
+ * tool.  Point it at a Table-1 benchmark (or a workload trace file)
+ * and it reports how every scheduling scheme does against the lower
+ * bound, with the compile-level mix and bubble accounting that
+ * explain *why*.
+ *
+ * Usage:
+ *   warmup_study [benchmark|path.wl] [scale] [--oracle]
+ *
+ *   benchmark  one of the Table-1 names (default: antlr); an
+ *              argument containing '/' or '.' is read as a trace
+ *              file instead
+ *   scale      divide the call-sequence length by this (default 16)
+ *   --oracle   use the oracle cost-benefit model (Fig. 6 variant)
+ */
+
+#include <iostream>
+#include <string>
+
+#include "core/iar.hh"
+#include "core/lower_bound.hh"
+#include "core/single_level.hh"
+#include "sim/makespan.hh"
+#include "support/strutil.hh"
+#include "support/table.hh"
+#include "trace/dacapo.hh"
+#include "trace/binary_io.hh"
+#include "vm/adaptive_runtime.hh"
+#include "vm/cost_benefit.hh"
+
+using namespace jitsched;
+
+namespace {
+
+void
+report(const std::string &name, const Workload &w,
+       const SimResult &r, Tick lb, AsciiTable &table)
+{
+    std::string mix;
+    for (std::size_t j = 0; j < r.callsAtLevel.size(); ++j) {
+        if (j != 0)
+            mix += '/';
+        mix += formatFixed(100.0 *
+                               static_cast<double>(
+                                   r.callsAtLevel[j]) /
+                               static_cast<double>(w.numCalls()),
+                           0);
+    }
+    table.addRow({name,
+                  formatFixed(static_cast<double>(r.makespan) /
+                                  static_cast<double>(lb),
+                              3),
+                  formatTicks(r.makespan), formatTicks(r.totalBubble),
+                  mix + " %"});
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string which = argc > 1 ? argv[1] : "antlr";
+    std::size_t scale = 16;
+    bool oracle = false;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--oracle")
+            oracle = true;
+        else if (const auto v = parseInt(arg))
+            scale = static_cast<std::size_t>(*v);
+    }
+
+    const bool from_file = which.find('/') != std::string::npos ||
+                           which.find('.') != std::string::npos;
+    const Workload w = from_file
+                           ? loadWorkloadAuto(which)
+                           : makeDacapoWorkload(which, scale);
+
+    std::cout << "workload '" << w.name() << "': "
+              << formatCount(w.numCalls()) << " calls, "
+              << w.numFunctions() << " functions, "
+              << w.maxLevels() << " JIT levels\n";
+    std::cout << "cost-benefit model: "
+              << (oracle ? "oracle" : "default (estimates)")
+              << "\n\n";
+
+    CostBenefitConfig mcfg;
+    mcfg.kind = oracle ? ModelKind::Oracle : ModelKind::Default;
+    const TimeEstimates est = buildEstimates(w, mcfg);
+    const auto cands = modelCandidateLevels(w, mcfg);
+    const Tick lb = lowerBoundCandidates(w, cands);
+
+    AsciiTable table({"scheme", "norm. make-span", "make-span",
+                      "waiting (bubbles)", "calls per level"});
+
+    const IarResult iar = iarSchedule(w, cands);
+    report("IAR", w, simulate(w, iar.schedule), lb, table);
+
+    AdaptiveConfig acfg;
+    acfg.samplePeriod = defaultSamplePeriod(w);
+    report("default (Jikes scheme)", w,
+           runAdaptive(w, est, acfg).sim, lb, table);
+
+    report("base-level only", w,
+           simulate(w, baseLevelSchedule(w, cands)), lb, table);
+    report("optimizing-level only", w,
+           simulate(w, optimizingLevelSchedule(w, cands)), lb,
+           table);
+
+    table.print(std::cout);
+    std::cout << "\nlower bound (all calls at their cost-effective "
+                 "level): "
+              << formatTicks(lb) << "\n";
+    std::cout << "IAR decisions: " << iar.numReplace
+              << " compiled high up front, " << iar.numAppend
+              << " recompiled after startup, " << iar.numOther
+              << " left at the base level; " << iar.slackUpgrades
+              << " slack upgrades, " << iar.gapAppends
+              << " ending-gap appends.\n";
+    return 0;
+}

@@ -1,0 +1,169 @@
+#include "core/astar.hh"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "core/search_util.hh"
+#include "support/logging.hh"
+
+namespace jitsched {
+
+namespace {
+
+/** Arena-allocated search-tree node; paths share prefixes. */
+struct Node
+{
+    std::int64_t parent = -1; ///< arena index of the parent
+    CompileEvent event;       ///< event appended by this node
+    Tick f = 0;               ///< b(v) + e(v), or final cost on leaf
+    bool closed = false;      ///< true for "stop here" leaf nodes
+};
+
+/** Priority-queue entry (small, by design: the queue is the hot set). */
+struct OpenEntry
+{
+    Tick f;
+    std::int64_t index;
+
+    bool
+    operator>(const OpenEntry &other) const
+    {
+        if (f != other.f)
+            return f > other.f;
+        // Depth-first among equal-f nodes: newer (deeper) nodes pop
+        // first, so complete schedules surface as soon as their
+        // total cost matches the current bound.  Optimality is
+        // unaffected — only the order among equally-promising nodes.
+        return index < other.index;
+    }
+};
+
+/** Estimated bytes per stored node, for the memory account. */
+constexpr std::uint64_t bytesPerNode =
+    sizeof(Node) + sizeof(OpenEntry) + 16; // container overhead
+
+} // anonymous namespace
+
+AStarResult
+aStarOptimal(const Workload &w, const AStarConfig &cfg)
+{
+    if (w.numCalls() == 0)
+        JITSCHED_FATAL("aStarOptimal: empty call sequence");
+
+    const std::vector<Tick> best_exec = bestExecTimes(w);
+    Tick lb = 0;
+    for (const FuncId f : w.calls())
+        lb += best_exec[f];
+
+    AStarResult res;
+
+    std::vector<Node> arena;
+    std::priority_queue<OpenEntry, std::vector<OpenEntry>,
+                        std::greater<OpenEntry>>
+        open;
+
+    // Reconstruct the event prefix of a node by walking parents.
+    auto prefix_of = [&](std::int64_t idx) {
+        std::vector<CompileEvent> events;
+        for (std::int64_t i = idx; i >= 0; i = arena[i].parent) {
+            if (!arena[i].closed)
+                events.push_back(arena[i].event);
+        }
+        std::reverse(events.begin(), events.end());
+        return events;
+    };
+
+    auto account = [&]() {
+        const std::uint64_t mem = arena.size() * bytesPerNode;
+        res.peakMemory = std::max(res.peakMemory, mem);
+        return mem <= cfg.memoryBudget;
+    };
+
+    // Root: empty prefix, f = 0.
+    arena.push_back(Node{-1, CompileEvent{}, 0, true});
+    // The root is "closed" in the struct sense only to mark it as not
+    // carrying an event; it is never a goal because no function is
+    // compiled yet (unless there are no called functions at all).
+    open.push({0, 0});
+    ++res.nodesGenerated;
+
+    while (!open.empty()) {
+        const OpenEntry top = open.top();
+        open.pop();
+        const std::int64_t idx = top.index;
+
+        const std::vector<CompileEvent> events = prefix_of(idx);
+
+        // Is this a goal? A popped node marked closed with full
+        // coverage is a complete schedule with minimal cost.
+        if (arena[idx].closed && idx != 0) {
+            res.status = AStarStatus::Optimal;
+            res.schedule = Schedule(events);
+            res.makespan = lb + arena[idx].f;
+            return res;
+        }
+
+        ++res.nodesExpanded;
+        if (cfg.maxExpansions != 0 &&
+            res.nodesExpanded > cfg.maxExpansions) {
+            res.status = AStarStatus::ExpansionCap;
+            return res;
+        }
+
+        // Last compiled level per function along this path.
+        std::vector<int> last_level(w.numFunctions(), -1);
+        std::size_t uncompiled = w.numCalledFunctions();
+        for (const CompileEvent &ev : events) {
+            if (last_level[ev.func] < 0)
+                --uncompiled;
+            last_level[ev.func] = std::max(
+                last_level[ev.func], static_cast<int>(ev.level));
+        }
+
+        // Child 1: close the schedule here (only if complete).
+        if (uncompiled == 0) {
+            const Tick total = evalComplete(w, events, best_exec);
+            arena.push_back(Node{idx, CompileEvent{}, total, true});
+            open.push({total, static_cast<std::int64_t>(
+                                  arena.size() - 1)});
+            ++res.nodesGenerated;
+            if (!account()) {
+                res.status = AStarStatus::OutOfMemory;
+                return res;
+            }
+        }
+
+        // Children: append any (function, level) with level strictly
+        // above the function's last compiled level.
+        std::vector<CompileEvent> child_events = events;
+        child_events.push_back({});
+        for (std::size_t i = 0; i < w.numFunctions(); ++i) {
+            const auto f = static_cast<FuncId>(i);
+            if (w.callCount(f) == 0)
+                continue;
+            const auto &prof = w.function(f);
+            for (int l = last_level[i] + 1;
+                 l < static_cast<int>(prof.numLevels()); ++l) {
+                child_events.back() = {f, static_cast<Level>(l)};
+                const PrefixCost pc =
+                    evalPrefix(w, child_events, best_exec);
+                arena.push_back(
+                    Node{idx, child_events.back(), pc.f(), false});
+                open.push({pc.f(), static_cast<std::int64_t>(
+                                       arena.size() - 1)});
+                ++res.nodesGenerated;
+                if (!account()) {
+                    res.status = AStarStatus::OutOfMemory;
+                    return res;
+                }
+            }
+        }
+    }
+
+    // Exhausted the space without a goal: cannot happen for workloads
+    // with called functions, but keep the invariant visible.
+    JITSCHED_PANIC("A* open list exhausted without a goal");
+}
+
+} // namespace jitsched

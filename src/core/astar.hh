@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A*-search for optimal compilation schedules (Sec. 5.3).
+ *
+ * The schedule space is modeled as the tree of Fig. 4: each node
+ * appends one compile event, and per function the levels along a path
+ * strictly increase.  The guiding function is the paper's
+ * f(v) = b(v) + e(v): bubbles plus extra execution time committed
+ * within the compile window of the prefix.  f never overestimates the
+ * final cost, so the first closed (complete) node popped from the
+ * priority list is optimal.
+ *
+ * As the paper observes (Sec. 6.2.5), the open list grows
+ * exponentially with the number of unique functions; the search keeps
+ * an explicit memory account and aborts with OutOfMemory when it
+ * exceeds its budget (their Java implementation died at 2 GB once
+ * instances had more than 6 unique methods).
+ */
+
+#ifndef JITSCHED_CORE_ASTAR_HH
+#define JITSCHED_CORE_ASTAR_HH
+
+#include <cstdint>
+
+#include "core/schedule.hh"
+#include "support/types.hh"
+#include "trace/workload.hh"
+
+namespace jitsched {
+
+/** Knobs of the A* search. */
+struct AStarConfig
+{
+    /**
+     * Memory budget for node storage, in bytes.  Mirrors the paper's
+     * 2 GB Java heap.
+     */
+    std::uint64_t memoryBudget = 2ull << 30;
+
+    /** Safety cap on node expansions (0 = unlimited). */
+    std::uint64_t maxExpansions = 0;
+};
+
+/** Why the search stopped. */
+enum class AStarStatus
+{
+    Optimal,     ///< a provably optimal schedule was found
+    OutOfMemory, ///< the node store exceeded the memory budget
+    ExpansionCap ///< maxExpansions was hit
+};
+
+/** Outcome of the search. */
+struct AStarResult
+{
+    AStarStatus status = AStarStatus::OutOfMemory;
+
+    /** Optimal schedule (valid only when status == Optimal). */
+    Schedule schedule;
+
+    /** Its make-span (valid only when status == Optimal). */
+    Tick makespan = 0;
+
+    /** Nodes expanded (popped and branched). */
+    std::uint64_t nodesExpanded = 0;
+
+    /** Nodes generated (stored). */
+    std::uint64_t nodesGenerated = 0;
+
+    /** Peak accounted memory in bytes. */
+    std::uint64_t peakMemory = 0;
+};
+
+/**
+ * Search for an optimal schedule (1 execution + 1 compilation core).
+ */
+AStarResult aStarOptimal(const Workload &w,
+                         const AStarConfig &cfg = {});
+
+} // namespace jitsched
+
+#endif // JITSCHED_CORE_ASTAR_HH

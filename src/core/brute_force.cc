@@ -1,0 +1,127 @@
+#include "core/brute_force.hh"
+
+#include <algorithm>
+
+#include "core/search_util.hh"
+#include "sim/makespan.hh"
+#include "support/logging.hh"
+
+namespace jitsched {
+
+namespace {
+
+class Searcher
+{
+  public:
+    Searcher(const Workload &w, const BruteForceConfig &cfg)
+        : w_(w), cfg_(cfg), best_exec_(bestExecTimes(w))
+    {
+        lb_ = 0;
+        for (const FuncId f : w.calls())
+            lb_ += best_exec_[f];
+    }
+
+    BruteForceResult
+    run()
+    {
+        // Seed the incumbent with a trivial valid schedule so pruning
+        // has a bound from the start: everything at the highest
+        // level, first-call order.
+        std::vector<CompileEvent> seed;
+        for (const FuncId f : w_.firstAppearanceOrder())
+            seed.push_back({f, w_.function(f).highestLevel()});
+        best_cost_ = evalComplete(w_, seed, best_exec_);
+        best_ = seed;
+
+        last_level_.assign(w_.numFunctions(), -1);
+        prefix_.clear();
+        uncompiled_ = w_.numCalledFunctions();
+        truncated_ = false;
+        dfs();
+
+        BruteForceResult res;
+        res.complete = !truncated_;
+        res.schedule = Schedule(best_);
+        res.makespan = lb_ + best_cost_;
+        res.nodesVisited = nodes_;
+        return res;
+    }
+
+  private:
+    void
+    dfs()
+    {
+        ++nodes_;
+        if (cfg_.maxNodes != 0 && nodes_ > cfg_.maxNodes) {
+            truncated_ = true;
+            return;
+        }
+
+        // Committed cost of this prefix bounds every completion.
+        const PrefixCost pc = evalPrefix(w_, prefix_, best_exec_);
+        if (pc.f() >= best_cost_)
+            return;
+
+        // This node doubles as a leaf when every called function has
+        // been compiled: evaluate the complete schedule.
+        if (uncompiled_ == 0) {
+            const Tick total = evalComplete(w_, prefix_, best_exec_);
+            if (total < best_cost_) {
+                best_cost_ = total;
+                best_ = prefix_;
+            }
+        }
+
+        // Expand: any function at any level above its last compile.
+        for (std::size_t i = 0; i < w_.numFunctions(); ++i) {
+            const auto f = static_cast<FuncId>(i);
+            if (w_.callCount(f) == 0)
+                continue;
+            const auto &prof = w_.function(f);
+            const int from = last_level_[i] + 1;
+            for (int l = from;
+                 l < static_cast<int>(prof.numLevels()); ++l) {
+                const int saved = last_level_[i];
+                last_level_[i] = l;
+                if (saved < 0)
+                    --uncompiled_;
+                prefix_.push_back({f, static_cast<Level>(l)});
+
+                dfs();
+
+                prefix_.pop_back();
+                last_level_[i] = saved;
+                if (saved < 0)
+                    ++uncompiled_;
+                if (truncated_)
+                    return;
+            }
+        }
+    }
+
+    const Workload &w_;
+    const BruteForceConfig &cfg_;
+    std::vector<Tick> best_exec_;
+    Tick lb_ = 0;
+
+    std::vector<CompileEvent> prefix_;
+    std::vector<int> last_level_;
+    std::size_t uncompiled_ = 0;
+
+    std::vector<CompileEvent> best_;
+    Tick best_cost_ = 0;
+    std::uint64_t nodes_ = 0;
+    bool truncated_ = false;
+};
+
+} // anonymous namespace
+
+BruteForceResult
+bruteForceOptimal(const Workload &w, const BruteForceConfig &cfg)
+{
+    if (w.numCalls() == 0)
+        JITSCHED_FATAL("bruteForceOptimal: empty call sequence");
+    return Searcher(w, cfg).run();
+}
+
+} // namespace jitsched

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Exact OCSP solver by exhaustive branch-and-bound search.
+ *
+ * Ground truth for tiny instances: it explores the same schedule tree
+ * as the A* search (Fig. 4) depth-first, pruning branches whose
+ * committed cost already exceeds the best complete schedule found.
+ * Exponential — usable only for a handful of functions — but exact,
+ * which is what the NP-completeness results predict is the best one
+ * can do.
+ */
+
+#ifndef JITSCHED_CORE_BRUTE_FORCE_HH
+#define JITSCHED_CORE_BRUTE_FORCE_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "core/schedule.hh"
+#include "support/types.hh"
+#include "trace/workload.hh"
+
+namespace jitsched {
+
+/** Knobs of the exhaustive search. */
+struct BruteForceConfig
+{
+    /**
+     * Abort after visiting this many tree nodes (0 = unlimited).
+     * Protects tests from accidentally huge instances.
+     */
+    std::uint64_t maxNodes = 50'000'000;
+};
+
+/** Outcome of the exhaustive search. */
+struct BruteForceResult
+{
+    /** True when the search ran to completion (result is optimal). */
+    bool complete = false;
+
+    /** Best schedule found (optimal iff complete). */
+    Schedule schedule;
+
+    /** Its make-span under the two-core model. */
+    Tick makespan = 0;
+
+    /** Tree nodes visited. */
+    std::uint64_t nodesVisited = 0;
+};
+
+/**
+ * Find a minimum-make-span schedule by exhaustive search
+ * (1 execution core + 1 compilation core).
+ */
+BruteForceResult bruteForceOptimal(const Workload &w,
+                                   const BruteForceConfig &cfg = {});
+
+} // namespace jitsched
+
+#endif // JITSCHED_CORE_BRUTE_FORCE_HH

@@ -1,0 +1,119 @@
+#include "core/candidate_levels.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace jitsched {
+
+TimeEstimates
+oracleEstimates(const Workload &w)
+{
+    TimeEstimates est;
+    est.perFunc.resize(w.numFunctions());
+    for (std::size_t f = 0; f < w.numFunctions(); ++f) {
+        const auto &prof = w.function(static_cast<FuncId>(f));
+        est.perFunc[f].resize(prof.numLevels());
+        for (std::size_t j = 0; j < prof.numLevels(); ++j)
+            est.perFunc[f][j] = prof.level(static_cast<Level>(j));
+    }
+    return est;
+}
+
+std::vector<CandidatePair>
+chooseCandidateLevels(const Workload &w, const TimeEstimates &est)
+{
+    if (est.perFunc.size() != w.numFunctions())
+        JITSCHED_PANIC("chooseCandidateLevels: estimate table has ",
+                       est.perFunc.size(), " functions, workload has ",
+                       w.numFunctions());
+
+    std::vector<CandidatePair> out(w.numFunctions());
+    for (std::size_t f = 0; f < w.numFunctions(); ++f) {
+        const auto &levels = est.perFunc[f];
+        if (levels.empty())
+            JITSCHED_PANIC("chooseCandidateLevels: function ", f,
+                           " has no estimated levels");
+        const std::uint64_t n =
+            w.callCount(static_cast<FuncId>(f));
+
+        // Most responsive: minimum estimated compile time, lowest
+        // level on ties (level 0 in any monotone profile).
+        Level low = 0;
+        for (std::size_t j = 1; j < levels.size(); ++j) {
+            if (levels[j].compile < levels[low].compile)
+                low = static_cast<Level>(j);
+        }
+
+        // Most cost-effective: minimize c + n * e under the model.
+        Level high = 0;
+        __int128 best = static_cast<__int128>(levels[0].compile) +
+                        static_cast<__int128>(n) * levels[0].exec;
+        for (std::size_t j = 1; j < levels.size(); ++j) {
+            const __int128 cost =
+                static_cast<__int128>(levels[j].compile) +
+                static_cast<__int128>(n) * levels[j].exec;
+            if (cost < best) {
+                best = cost;
+                high = static_cast<Level>(j);
+            }
+        }
+
+        // The schedule-side convention is low <= high; if the model
+        // claims a lower level is the cost-effective one, collapse.
+        if (high < low)
+            low = high;
+        out[f] = {low, high};
+    }
+    return out;
+}
+
+std::vector<CandidatePair>
+chooseCandidateLevels(const TimeEstimates &est,
+                      const std::vector<double> &expected_counts)
+{
+    if (est.perFunc.size() != expected_counts.size())
+        JITSCHED_PANIC("chooseCandidateLevels: estimate table has ",
+                       est.perFunc.size(), " functions, counts have ",
+                       expected_counts.size());
+
+    std::vector<CandidatePair> out(est.perFunc.size());
+    for (std::size_t f = 0; f < est.perFunc.size(); ++f) {
+        const auto &levels = est.perFunc[f];
+        if (levels.empty())
+            JITSCHED_PANIC("chooseCandidateLevels: function ", f,
+                           " has no estimated levels");
+        const double n = std::max(0.0, expected_counts[f]);
+
+        Level low = 0;
+        for (std::size_t j = 1; j < levels.size(); ++j) {
+            if (levels[j].compile < levels[low].compile)
+                low = static_cast<Level>(j);
+        }
+
+        Level high = 0;
+        double best = static_cast<double>(levels[0].compile) +
+                      n * static_cast<double>(levels[0].exec);
+        for (std::size_t j = 1; j < levels.size(); ++j) {
+            const double cost =
+                static_cast<double>(levels[j].compile) +
+                n * static_cast<double>(levels[j].exec);
+            if (cost < best) {
+                best = cost;
+                high = static_cast<Level>(j);
+            }
+        }
+        if (high < low)
+            low = high;
+        out[f] = {low, high};
+    }
+    return out;
+}
+
+std::vector<CandidatePair>
+oracleCandidateLevels(const Workload &w)
+{
+    return chooseCandidateLevels(w, oracleEstimates(w));
+}
+
+} // namespace jitsched

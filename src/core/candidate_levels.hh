@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Candidate-level selection (end of Sec. 5.1).
+ *
+ * The IAR algorithm works on two levels per function:
+ *  - the *most responsive* level: cheapest to compile (lowest level);
+ *  - the *most cost-effective* level: the level l minimizing
+ *    c(l) + n * e(l) over all levels, where n is the function's call
+ *    count.  In the paper this level comes from the JIT's cost-benefit
+ *    model, which estimates the times; an oracle model uses measured
+ *    times (Sec. 6.2.2).
+ *
+ * The model's (possibly wrong) view of the times is passed in as a
+ * TimeEstimates table, so this module stays independent of any
+ * particular cost-benefit model implementation.
+ */
+
+#ifndef JITSCHED_CORE_CANDIDATE_LEVELS_HH
+#define JITSCHED_CORE_CANDIDATE_LEVELS_HH
+
+#include <vector>
+
+#include "support/types.hh"
+#include "trace/workload.hh"
+
+namespace jitsched {
+
+/**
+ * A model's view of per-function, per-level compile/execute times.
+ * Indexed [function][level]; same shape as the workload's true table.
+ */
+struct TimeEstimates
+{
+    std::vector<std::vector<LevelCosts>> perFunc;
+
+    const LevelCosts &
+    at(FuncId f, Level l) const
+    {
+        return perFunc[f][l];
+    }
+};
+
+/** The two levels the IAR algorithm considers for one function. */
+struct CandidatePair
+{
+    Level low = 0;  ///< most responsive level
+    Level high = 0; ///< most cost-effective level (may equal low)
+
+    bool operator==(const CandidatePair &) const = default;
+};
+
+/** Estimates that simply mirror the true profile times (oracle). */
+TimeEstimates oracleEstimates(const Workload &w);
+
+/**
+ * Pick candidate levels for every function.
+ *
+ * The cost-effective level is chosen with the *estimated* times but
+ * the function's true call count from the trace (the paper uses the
+ * profiled hotness).  Ties break toward the lower level.
+ */
+std::vector<CandidatePair>
+chooseCandidateLevels(const Workload &w, const TimeEstimates &est);
+
+/**
+ * Candidate selection from estimates and *expected* call counts
+ * alone (no workload needed) — the online-scheduler variant, where
+ * hotness comes from cross-run profiles rather than the actual trace.
+ */
+std::vector<CandidatePair>
+chooseCandidateLevels(const TimeEstimates &est,
+                      const std::vector<double> &expected_counts);
+
+/** Convenience: candidates under the oracle model. */
+std::vector<CandidatePair> oracleCandidateLevels(const Workload &w);
+
+} // namespace jitsched
+
+#endif // JITSCHED_CORE_CANDIDATE_LEVELS_HH

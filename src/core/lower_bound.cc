@@ -1,0 +1,36 @@
+#include "core/lower_bound.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace jitsched {
+
+Tick
+lowerBoundAllLevels(const Workload &w)
+{
+    Tick total = 0;
+    for (const FuncId f : w.calls())
+        total += w.function(f).execTime(w.function(f).highestLevel());
+    return total;
+}
+
+Tick
+lowerBoundCandidates(const Workload &w,
+                     const std::vector<CandidatePair> &cands)
+{
+    if (cands.size() != w.numFunctions())
+        JITSCHED_PANIC("lowerBoundCandidates: candidate table has ",
+                       cands.size(), " functions, workload has ",
+                       w.numFunctions());
+    Tick total = 0;
+    for (const FuncId f : w.calls()) {
+        const auto &prof = w.function(f);
+        const Tick e_low = prof.execTime(cands[f].low);
+        const Tick e_high = prof.execTime(cands[f].high);
+        total += std::min(e_low, e_high);
+    }
+    return total;
+}
+
+} // namespace jitsched

@@ -1,0 +1,67 @@
+#include "core/schedule.hh"
+
+#include <sstream>
+
+namespace jitsched {
+
+bool
+Schedule::validate(const Workload &w, std::string *error) const
+{
+    auto fail = [&](const std::string &msg) {
+        if (error != nullptr)
+            *error = msg;
+        return false;
+    };
+
+    std::vector<int> last_level(w.numFunctions(), -1);
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        const CompileEvent &ev = events_[i];
+        if (ev.func >= w.numFunctions())
+            return fail("event #" + std::to_string(i) +
+                        " names unknown function " +
+                        std::to_string(ev.func));
+        const auto &prof = w.function(ev.func);
+        if (ev.level >= prof.numLevels())
+            return fail("event #" + std::to_string(i) + " compiles " +
+                        prof.name() + " at invalid level " +
+                        std::to_string(ev.level));
+        if (static_cast<int>(ev.level) <= last_level[ev.func])
+            return fail("event #" + std::to_string(i) + " compiles " +
+                        prof.name() + " at level " +
+                        std::to_string(ev.level) +
+                        " not above its previous level " +
+                        std::to_string(last_level[ev.func]));
+        last_level[ev.func] = ev.level;
+    }
+
+    for (const FuncId f : w.firstAppearanceOrder()) {
+        if (last_level[f] < 0)
+            return fail("called function " + w.function(f).name() +
+                        " is never compiled");
+    }
+    return true;
+}
+
+Tick
+Schedule::totalCompileTime(const Workload &w) const
+{
+    Tick total = 0;
+    for (const CompileEvent &ev : events_)
+        total += w.function(ev.func).compileTime(ev.level);
+    return total;
+}
+
+std::string
+Schedule::toString(const Workload &w) const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        if (i != 0)
+            os << ' ';
+        os << 'C' << static_cast<int>(events_[i].level) << '('
+           << w.function(events_[i].func).name() << ')';
+    }
+    return os.str();
+}
+
+} // namespace jitsched

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Compilation schedules: the object the whole study is about.
+ *
+ * A Schedule is an ordered list of compilation events (function,
+ * level).  The compilation thread(s) process the events in this order;
+ * the order thus determines when each compiled version of each
+ * function becomes available to the execution thread (Sec. 3).
+ */
+
+#ifndef JITSCHED_CORE_SCHEDULE_HH
+#define JITSCHED_CORE_SCHEDULE_HH
+
+#include <string>
+#include <vector>
+
+#include "support/types.hh"
+#include "trace/workload.hh"
+
+namespace jitsched {
+
+/** One compilation event: compile function `func` at level `level`. */
+struct CompileEvent
+{
+    FuncId func = invalidFuncId;
+    Level level = 0;
+
+    bool operator==(const CompileEvent &) const = default;
+};
+
+/**
+ * An ordered compilation schedule.
+ *
+ * Thin wrapper over a vector of CompileEvents with the helpers every
+ * scheduler needs.  A schedule is *valid* for a workload when
+ *  - every event names an existing function and level,
+ *  - every called function is compiled at least once, and
+ *  - per function, levels appear in strictly increasing order (a
+ *    lower-level compile after a higher-level one can never be part
+ *    of an optimal schedule under the paper's assumptions, and the
+ *    paper's search tree forbids it; we treat it as malformed).
+ */
+class Schedule
+{
+  public:
+    Schedule() = default;
+    explicit Schedule(std::vector<CompileEvent> events)
+        : events_(std::move(events))
+    {
+    }
+
+    const std::vector<CompileEvent> &events() const { return events_; }
+    std::vector<CompileEvent> &events() { return events_; }
+
+    std::size_t size() const { return events_.size(); }
+    bool empty() const { return events_.empty(); }
+
+    const CompileEvent &operator[](std::size_t i) const
+    {
+        return events_[i];
+    }
+
+    void append(FuncId f, Level l) { events_.push_back({f, l}); }
+
+    /**
+     * Validate against a workload.
+     * @param error if non-null, receives a description of the first
+     *              problem found.
+     * @return true when the schedule is valid.
+     */
+    bool validate(const Workload &w, std::string *error = nullptr) const;
+
+    /** Sum of all compilation times (single-core compile makespan). */
+    Tick totalCompileTime(const Workload &w) const;
+
+    /** Render as e.g. "C1(f0) C0(f2) ..." for diagnostics. */
+    std::string toString(const Workload &w) const;
+
+    bool operator==(const Schedule &) const = default;
+
+  private:
+    std::vector<CompileEvent> events_;
+};
+
+} // namespace jitsched
+
+#endif // JITSCHED_CORE_SCHEDULE_HH

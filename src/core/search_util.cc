@@ -1,0 +1,109 @@
+#include "core/search_util.hh"
+
+#include <algorithm>
+
+namespace jitsched {
+
+namespace {
+
+struct Version
+{
+    Tick completion;
+    Level level;
+};
+
+/**
+ * Walk the execution under the prefix's versions.
+ *
+ * @param stop_at only count calls starting strictly before this time
+ *        (pass maxTick to evaluate the complete run)
+ */
+PrefixCost
+walk(const Workload &w, const std::vector<CompileEvent> &events,
+     const std::vector<Tick> &best_exec, Tick stop_at)
+{
+    PrefixCost out;
+
+    std::vector<std::vector<Version>> versions(w.numFunctions());
+    Tick compile_clock = 0;
+    for (const CompileEvent &ev : events) {
+        compile_clock += w.function(ev.func).compileTime(ev.level);
+        versions[ev.func].push_back({compile_clock, ev.level});
+    }
+    out.compileEnd = compile_clock;
+
+    std::vector<std::uint32_t> cur(w.numFunctions(), 0);
+    Tick now = 0;
+    for (const FuncId f : w.calls()) {
+        const auto &vers = versions[f];
+        if (vers.empty()) {
+            // The prefix never compiles this function, yet the call
+            // must eventually run: any extension compiles f no
+            // earlier than the prefix's compile end plus f's
+            // cheapest compile time, so at least that much bubble is
+            // already committed.  (This strengthens the paper's
+            // plain b(v) + e(v), which charges nothing to prefixes
+            // that postpone a needed compilation, while staying
+            // admissible and consistent.)
+            const Tick earliest =
+                out.compileEnd + w.function(f).compileTime(0);
+            out.bubbles += std::max<Tick>(0, earliest - now);
+            break;
+        }
+        const Tick first_ready = vers.front().completion;
+        const Tick start = std::max(now, first_ready);
+        if (start >= stop_at) {
+            // The call starts outside the committed window, but its
+            // start time is already determined by the prefix (later
+            // compiles cannot make the first version available
+            // sooner), so its wait is committed as well.
+            out.bubbles += start - now;
+            break;
+        }
+        out.bubbles += start - now;
+
+        std::uint32_t v = cur[f];
+        while (v + 1 < vers.size() && vers[v + 1].completion <= start)
+            ++v;
+        cur[f] = v;
+
+        const Tick dur = w.function(f).execTime(vers[v].level);
+        out.extraExec += dur - best_exec[f];
+        now = start + dur;
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+PrefixCost
+evalPrefix(const Workload &w, const std::vector<CompileEvent> &events,
+           const std::vector<Tick> &best_exec)
+{
+    PrefixCost cost = walk(w, events, best_exec, 0);
+    // The window is the prefix's own compile end.
+    return walk(w, events, best_exec,
+                cost.compileEnd == 0 ? 0 : cost.compileEnd);
+}
+
+Tick
+evalComplete(const Workload &w,
+             const std::vector<CompileEvent> &events,
+             const std::vector<Tick> &best_exec)
+{
+    const PrefixCost cost = walk(w, events, best_exec, maxTick);
+    return cost.f();
+}
+
+std::vector<Tick>
+bestExecTimes(const Workload &w)
+{
+    std::vector<Tick> out(w.numFunctions());
+    for (std::size_t f = 0; f < w.numFunctions(); ++f) {
+        const auto &prof = w.function(static_cast<FuncId>(f));
+        out[f] = prof.execTime(prof.highestLevel());
+    }
+    return out;
+}
+
+} // namespace jitsched

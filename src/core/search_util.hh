@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared cost machinery for the exact solvers (A* and brute force).
+ *
+ * Both searches work on the paper's tree model (Fig. 4): a path is a
+ * prefix of a compilation sequence, and the guiding function is
+ * f(v) = b(v) + e(v), where b(v) is the bubble time incurred and e(v)
+ * the extra execution time (relative to each function's fastest
+ * level) incurred by calls that start within the compile window t(v)
+ * of the prefix.  Those costs are *committed*: any extension of the
+ * prefix compiles strictly after t(v) and cannot reduce them, so
+ * f(v) never overestimates the final cost and grows monotonically
+ * along a path.  The make-span of a complete schedule equals
+ * lowerBoundAllLevels(w) + (total bubbles + total extra execution).
+ */
+
+#ifndef JITSCHED_CORE_SEARCH_UTIL_HH
+#define JITSCHED_CORE_SEARCH_UTIL_HH
+
+#include <vector>
+
+#include "core/schedule.hh"
+#include "support/types.hh"
+#include "trace/workload.hh"
+
+namespace jitsched {
+
+/** Committed cost of a compile-sequence prefix. */
+struct PrefixCost
+{
+    /** End of the prefix's compilations (single compile core). */
+    Tick compileEnd = 0;
+
+    /** Bubble time committed by calls starting before compileEnd. */
+    Tick bubbles = 0;
+
+    /** Extra execution time committed by those calls. */
+    Tick extraExec = 0;
+
+    /** b(v) + e(v): the A* guiding value. */
+    Tick f() const { return bubbles + extraExec; }
+};
+
+/**
+ * Evaluate the committed cost of a prefix.
+ *
+ * @param w workload
+ * @param events the compile events of the prefix, in order; per
+ *        function levels must be strictly increasing (not checked —
+ *        the searches construct them that way)
+ * @param best_exec per-function execution time at the fastest level
+ *        the search may use (usually the highest level)
+ */
+PrefixCost evalPrefix(const Workload &w,
+                      const std::vector<CompileEvent> &events,
+                      const std::vector<Tick> &best_exec);
+
+/**
+ * Total cost (bubbles + extra execution over the whole run) of a
+ * complete schedule; make-span = sum(best_exec over calls) + result.
+ */
+Tick evalComplete(const Workload &w,
+                  const std::vector<CompileEvent> &events,
+                  const std::vector<Tick> &best_exec);
+
+/** Per-function execution times at the highest level. */
+std::vector<Tick> bestExecTimes(const Workload &w);
+
+} // namespace jitsched
+
+#endif // JITSCHED_CORE_SEARCH_UTIL_HH

@@ -1,0 +1,46 @@
+#include "core/single_core.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace jitsched {
+
+Schedule
+singleCoreOptimalSchedule(const Workload &w)
+{
+    Schedule s;
+    for (const FuncId f : w.firstAppearanceOrder()) {
+        const auto &prof = w.function(f);
+        s.append(f, prof.mostCostEffectiveLevel(w.callCount(f)));
+    }
+    return s;
+}
+
+Tick
+singleCoreMakespan(const Workload &w, const Schedule &s)
+{
+    std::string err;
+    if (!s.validate(w, &err))
+        JITSCHED_PANIC("singleCoreMakespan: invalid schedule: ", err);
+
+    // Evaluate the schedule under its most favorable single-core
+    // interleaving: every compile event charged once, every call
+    // running the deepest version the schedule provides for its
+    // function.  This lower-bounds any actual single-core run of the
+    // same schedule, which makes Theorem-1 optimality checks
+    // conservative.
+    Tick total = 0;
+    std::vector<int> best_level(w.numFunctions(), -1);
+    for (const CompileEvent &ev : s.events()) {
+        total += w.function(ev.func).compileTime(ev.level);
+        best_level[ev.func] =
+            std::max(best_level[ev.func], static_cast<int>(ev.level));
+    }
+    for (const FuncId f : w.calls())
+        total += w.function(f).execTime(
+            static_cast<Level>(best_level[f]));
+    return total;
+}
+
+} // namespace jitsched

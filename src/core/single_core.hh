@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Optimal scheduling for the single-core case (Sec. 4.1, Theorem 1).
+ *
+ * With one core, compilation and execution serialize, so the
+ * make-span is simply total compile time plus total execution time.
+ * Any schedule that compiles every called function exactly once at
+ * its most cost-effective level minimizes that sum; order is
+ * irrelevant.  This module builds such a schedule and evaluates the
+ * single-core make-span of arbitrary schedules so the theorem can be
+ * checked empirically.
+ */
+
+#ifndef JITSCHED_CORE_SINGLE_CORE_HH
+#define JITSCHED_CORE_SINGLE_CORE_HH
+
+#include "core/schedule.hh"
+#include "support/types.hh"
+#include "trace/workload.hh"
+
+namespace jitsched {
+
+/**
+ * Theorem-1 schedule: every called function once, at its most
+ * cost-effective level (true times), in first-appearance order (any
+ * order would do; first-appearance matches on-demand compilation).
+ */
+Schedule singleCoreOptimalSchedule(const Workload &w);
+
+/**
+ * Make-span of a schedule when compilation and execution share one
+ * core: the machine is always busy, so the make-span is the sum of
+ * all compile times plus the execution time of every call under the
+ * "latest compilation wins" rule, with compilations inserted
+ * on-demand: a compile event runs immediately before the first call
+ * that could use it.
+ *
+ * For the purposes of Theorem 1 the placement detail does not matter
+ * — any valid interleaving has the same sum — so this evaluates the
+ * sum directly, using for each call the best version the schedule
+ * prefix up to that call's position provides.  With single-compile
+ * schedules this is exactly c(l_f) summed once per function plus
+ * e(l_f) per call.
+ */
+Tick singleCoreMakespan(const Workload &w, const Schedule &s);
+
+} // namespace jitsched
+
+#endif // JITSCHED_CORE_SINGLE_CORE_HH

@@ -1,0 +1,53 @@
+#include "core/single_level.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace jitsched {
+
+namespace {
+
+Schedule
+firstCallOrderSchedule(const Workload &w,
+                       const std::vector<CandidatePair> &cands,
+                       bool use_high)
+{
+    if (cands.size() != w.numFunctions())
+        JITSCHED_PANIC("single-level schedule: candidate table has ",
+                       cands.size(), " functions, workload has ",
+                       w.numFunctions());
+    Schedule s;
+    for (const FuncId f : w.firstAppearanceOrder())
+        s.append(f, use_high ? cands[f].high : cands[f].low);
+    return s;
+}
+
+} // anonymous namespace
+
+Schedule
+baseLevelSchedule(const Workload &w,
+                  const std::vector<CandidatePair> &cands)
+{
+    return firstCallOrderSchedule(w, cands, false);
+}
+
+Schedule
+optimizingLevelSchedule(const Workload &w,
+                        const std::vector<CandidatePair> &cands)
+{
+    return firstCallOrderSchedule(w, cands, true);
+}
+
+Schedule
+uniformLevelSchedule(const Workload &w, Level level)
+{
+    Schedule s;
+    for (const FuncId f : w.firstAppearanceOrder()) {
+        const auto &prof = w.function(f);
+        s.append(f, std::min<Level>(level, prof.highestLevel()));
+    }
+    return s;
+}
+
+} // namespace jitsched

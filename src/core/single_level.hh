@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Single-level approximations (Sec. 5.1, "Single-Level
+ * Approximation").
+ *
+ * When every function is compiled exactly once and no recompilation
+ * happens, the best schedule orders the compilations by first
+ * appearance in the call sequence.  Two variants are studied:
+ *  - base level only ("base-level" in Fig. 5): everything at its most
+ *    responsive level;
+ *  - optimizing level only ("optimizing-level" in Fig. 5): everything
+ *    at its cost-effective candidate level.
+ */
+
+#ifndef JITSCHED_CORE_SINGLE_LEVEL_HH
+#define JITSCHED_CORE_SINGLE_LEVEL_HH
+
+#include <vector>
+
+#include "core/candidate_levels.hh"
+#include "core/schedule.hh"
+#include "trace/workload.hh"
+
+namespace jitsched {
+
+/** Every called function once at candidate `low`, first-call order. */
+Schedule baseLevelSchedule(const Workload &w,
+                           const std::vector<CandidatePair> &cands);
+
+/** Every called function once at candidate `high`, first-call order. */
+Schedule optimizingLevelSchedule(const Workload &w,
+                                 const std::vector<CandidatePair> &cands);
+
+/**
+ * Every called function once at a fixed level (clamped to the
+ * function's highest), first-call order.
+ */
+Schedule uniformLevelSchedule(const Workload &w, Level level);
+
+} // namespace jitsched
+
+#endif // JITSCHED_CORE_SINGLE_LEVEL_HH

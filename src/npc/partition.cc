@@ -1,0 +1,80 @@
+#include "npc/partition.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace jitsched {
+
+std::uint64_t
+PartitionInstance::total() const
+{
+    std::uint64_t s = 0;
+    for (const std::uint64_t v : values)
+        s += v;
+    return s;
+}
+
+std::optional<std::vector<std::size_t>>
+solvePartition(const PartitionInstance &inst)
+{
+    const std::uint64_t total = inst.total();
+    if (total % 2 != 0)
+        return std::nullopt;
+    const std::uint64_t target = total / 2;
+
+    // reachable[s] = index of the last value used to first reach sum
+    // s (or -1 for "unreached", -2 for the empty sum).
+    std::vector<std::int64_t> reach(target + 1, -1);
+    reach[0] = -2;
+    for (std::size_t i = 0; i < inst.values.size(); ++i) {
+        const std::uint64_t v = inst.values[i];
+        if (v > target)
+            continue;
+        // Descend so each value is used at most once.
+        for (std::uint64_t s = target; s >= v; --s) {
+            if (reach[s] == -1 && reach[s - v] != -1 &&
+                // Disallow reusing item i on the same pass: the
+                // predecessor must have been set before this item.
+                reach[s - v] != static_cast<std::int64_t>(i)) {
+                reach[s] = static_cast<std::int64_t>(i);
+            }
+            if (s == 0)
+                break;
+        }
+    }
+    if (reach[target] == -1)
+        return std::nullopt;
+
+    // Reconstruct by walking predecessors.
+    std::vector<std::size_t> subset;
+    std::uint64_t s = target;
+    while (s != 0) {
+        const std::int64_t i = reach[s];
+        if (i < 0)
+            JITSCHED_PANIC("partition reconstruction lost its way");
+        subset.push_back(static_cast<std::size_t>(i));
+        s -= inst.values[static_cast<std::size_t>(i)];
+    }
+    std::sort(subset.begin(), subset.end());
+    return subset;
+}
+
+bool
+isValidPartition(const PartitionInstance &inst,
+                 const std::vector<std::size_t> &subset)
+{
+    if (inst.total() % 2 != 0)
+        return false;
+    std::vector<bool> used(inst.values.size(), false);
+    std::uint64_t sum = 0;
+    for (const std::size_t i : subset) {
+        if (i >= inst.values.size() || used[i])
+            return false;
+        used[i] = true;
+        sum += inst.values[i];
+    }
+    return sum == inst.target();
+}
+
+} // namespace jitsched

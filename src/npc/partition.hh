@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The PARTITION problem, source of the paper's NP-completeness
+ * reduction (Theorem 2).
+ *
+ * Given non-negative integers S = {s_1..s_n} with even total 2t, find
+ * a subset summing to exactly t.  The pseudo-polynomial DP solver
+ * here provides ground truth for verifying the reduction on concrete
+ * instances.
+ */
+
+#ifndef JITSCHED_NPC_PARTITION_HH
+#define JITSCHED_NPC_PARTITION_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace jitsched {
+
+/** A PARTITION instance. */
+struct PartitionInstance
+{
+    std::vector<std::uint64_t> values;
+
+    /** Sum of all values. */
+    std::uint64_t total() const;
+
+    /** Half the total; the subset target (total must be even). */
+    std::uint64_t target() const { return total() / 2; }
+};
+
+/**
+ * Solve PARTITION by dynamic programming over achievable sums.
+ *
+ * @return indices of a subset summing to target(), or nullopt when no
+ *         perfect partition exists (including odd totals).
+ *
+ * Complexity O(n * total) time, O(total) space — fine for the small
+ * instances used in tests and benches.
+ */
+std::optional<std::vector<std::size_t>>
+solvePartition(const PartitionInstance &inst);
+
+/** Check that the given index subset sums to the target. */
+bool isValidPartition(const PartitionInstance &inst,
+                      const std::vector<std::size_t> &subset);
+
+} // namespace jitsched
+
+#endif // JITSCHED_NPC_PARTITION_HH

@@ -1,0 +1,108 @@
+#include "npc/reduction.hh"
+
+#include <algorithm>
+
+#include "sim/makespan.hh"
+#include "support/logging.hh"
+
+namespace jitsched {
+
+// Time unit note: the reduction uses the paper's abstract units
+// directly (1 unit = 1 tick); only relative times matter here.
+
+ReductionInstance
+buildReduction(const PartitionInstance &inst)
+{
+    const std::uint64_t total = inst.total();
+    if (total % 2 != 0)
+        JITSCHED_FATAL("buildReduction: PARTITION total must be even");
+    const auto t = static_cast<Tick>(total / 2);
+    const auto n = static_cast<Tick>(inst.values.size());
+
+    ReductionInstance red;
+    std::vector<FunctionProfile> funcs;
+    std::vector<FuncId> calls;
+
+    // The "first" function: compile 1, execute t + n (both levels).
+    red.first = static_cast<FuncId>(funcs.size());
+    funcs.emplace_back(
+        "first", 1,
+        std::vector<LevelCosts>{{1, t + n}, {1, t + n}});
+    calls.push_back(red.first);
+
+    // Middle functions, one per value: low level (paper's level 1)
+    // compiles in 1 and runs in s_i + 1; high level (paper's level 2)
+    // compiles in s_i + 1 and runs in 1.
+    for (std::size_t i = 0; i < inst.values.size(); ++i) {
+        const auto s = static_cast<Tick>(inst.values[i]);
+        const auto id = static_cast<FuncId>(funcs.size());
+        red.middle.push_back(id);
+        funcs.emplace_back(
+            "m" + std::to_string(i), 1,
+            std::vector<LevelCosts>{{1, s + 1}, {s + 1, 1}});
+        calls.push_back(id);
+    }
+
+    // The "last" function: compile t + n, execute 1 (both levels).
+    red.last = static_cast<FuncId>(funcs.size());
+    funcs.emplace_back(
+        "last", 1,
+        std::vector<LevelCosts>{{t + n, 1}, {t + n, 1}});
+    calls.push_back(red.last);
+
+    red.bound = 2 * (1 + t + n);
+    red.workload =
+        Workload("partition-reduction", std::move(funcs),
+                 std::move(calls));
+    return red;
+}
+
+Schedule
+scheduleFromPartition(const ReductionInstance &red,
+                      const std::vector<std::size_t> &subset)
+{
+    std::vector<bool> in_x(red.middle.size(), false);
+    for (const std::size_t i : subset) {
+        if (i >= red.middle.size())
+            JITSCHED_PANIC("scheduleFromPartition: bad subset index ",
+                           i);
+        in_x[i] = true;
+    }
+
+    Schedule s;
+    s.append(red.first, 0);
+    // Compile the middles in their execution order; members of X at
+    // the low level (cheap compile, slow run), the rest at the high
+    // level (costly compile, fast run).
+    for (std::size_t i = 0; i < red.middle.size(); ++i)
+        s.append(red.middle[i], in_x[i] ? 0 : 1);
+    s.append(red.last, 0);
+    return s;
+}
+
+std::optional<std::vector<std::size_t>>
+partitionFromSchedule(const PartitionInstance &inst,
+                      const ReductionInstance &red, const Schedule &s)
+{
+    const SimResult res = simulate(red.workload, s);
+    if (res.makespan > red.bound)
+        return std::nullopt;
+
+    // The final compiled level of each middle function decides its
+    // side; X = the functions left at the low level.
+    std::vector<int> final_level(red.workload.numFunctions(), -1);
+    for (const CompileEvent &ev : s.events())
+        final_level[ev.func] =
+            std::max(final_level[ev.func], static_cast<int>(ev.level));
+
+    std::vector<std::size_t> subset;
+    for (std::size_t i = 0; i < red.middle.size(); ++i) {
+        if (final_level[red.middle[i]] == 0)
+            subset.push_back(i);
+    }
+    if (!isValidPartition(inst, subset))
+        return std::nullopt;
+    return subset;
+}
+
+} // namespace jitsched

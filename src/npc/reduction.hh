@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The PARTITION -> OCSP reduction of Theorem 2, built constructively.
+ *
+ * For a PARTITION instance S = {s_1..s_n} with target t, the paper
+ * constructs an OCSP instance with:
+ *  - one "middle" function per s_i, with c_i1 = 1, c_i2 = s_i + 1,
+ *    e_i1 = s_i + 1, e_i2 = 1;
+ *  - a "first" function (compile 1, execute t + n at both levels)
+ *    called before the middles;
+ *  - a "last" function (compile t + n, execute 1 at both levels)
+ *    called after them;
+ * each called exactly once.  A schedule with make-span exactly
+ * 2(1 + t + n) exists if and only if S has a perfect partition: the
+ * functions compiled at level 1 correspond to the subset X.
+ *
+ * This module builds the instance, converts a partition into the
+ * witness schedule, extracts a partition back out of any schedule
+ * achieving the bound, and exposes the bound itself — everything a
+ * test needs to verify both directions of the proof on concrete
+ * instances.
+ */
+
+#ifndef JITSCHED_NPC_REDUCTION_HH
+#define JITSCHED_NPC_REDUCTION_HH
+
+#include <optional>
+#include <vector>
+
+#include "core/schedule.hh"
+#include "npc/partition.hh"
+#include "support/types.hh"
+#include "trace/workload.hh"
+
+namespace jitsched {
+
+/** The OCSP instance produced by the reduction. */
+struct ReductionInstance
+{
+    Workload workload;
+
+    /** FuncId of the middle function for values[i]. */
+    std::vector<FuncId> middle;
+
+    FuncId first = invalidFuncId;
+    FuncId last = invalidFuncId;
+
+    /** The make-span bound 2(1 + t + n) of the theorem. */
+    Tick bound = 0;
+};
+
+/** Build the OCSP instance for a PARTITION instance. */
+ReductionInstance buildReduction(const PartitionInstance &inst);
+
+/**
+ * Turn a perfect partition (indices of X) into the witness schedule:
+ * first function, then middles in call order — level 1 for members
+ * of X, level 2 otherwise — then the last function.
+ */
+Schedule scheduleFromPartition(const ReductionInstance &red,
+                               const std::vector<std::size_t> &subset);
+
+/**
+ * Extract a partition from a schedule that achieves the bound: the
+ * middle functions compiled (finally) at level 1 form X.
+ * @return nullopt if the schedule's make-span exceeds the bound or
+ *         the extracted set does not sum to t.
+ */
+std::optional<std::vector<std::size_t>>
+partitionFromSchedule(const PartitionInstance &inst,
+                      const ReductionInstance &red, const Schedule &s);
+
+} // namespace jitsched
+
+#endif // JITSCHED_NPC_REDUCTION_HH

@@ -1,0 +1,175 @@
+#include "predictor/ngram.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace jitsched {
+
+NGramPredictor::NGramPredictor(std::size_t order) : order_(order)
+{
+    if (order_ == 0)
+        JITSCHED_FATAL("NGramPredictor: order must be >= 1");
+    tables_.resize(order_);
+}
+
+std::uint64_t
+NGramPredictor::hashContext(const FuncId *ctx, std::size_t len)
+{
+    // FNV-1a over the window; collisions only soften predictions.
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= ctx[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+void
+NGramPredictor::train(const std::vector<FuncId> &sequence)
+{
+    for (std::size_t i = 0; i < sequence.size(); ++i) {
+        ++unigram_[sequence[i]];
+        for (std::size_t k = 1; k <= order_; ++k) {
+            if (i < k)
+                break;
+            const std::uint64_t key =
+                hashContext(&sequence[i - k], k);
+            ++tables_[k - 1][key][sequence[i]];
+        }
+    }
+}
+
+namespace {
+
+/** Argmax over a successor-count map; smaller id wins ties. */
+FuncId
+argmax(const std::unordered_map<FuncId, std::uint64_t> &counts)
+{
+    FuncId best = invalidFuncId;
+    std::uint64_t best_count = 0;
+    for (const auto &[f, c] : counts) {
+        if (c > best_count || (c == best_count && f < best)) {
+            best = f;
+            best_count = c;
+        }
+    }
+    return best;
+}
+
+/** Draw a successor proportionally to its count. */
+FuncId
+weightedDraw(const std::unordered_map<FuncId, std::uint64_t> &counts,
+             Rng &rng)
+{
+    std::uint64_t total = 0;
+    for (const auto &[f, c] : counts)
+        total += c;
+    if (total == 0)
+        return invalidFuncId;
+    std::uint64_t pick = rng.nextBelow(total);
+    for (const auto &[f, c] : counts) {
+        if (pick < c)
+            return f;
+        pick -= c;
+    }
+    return invalidFuncId; // unreachable
+}
+
+} // anonymous namespace
+
+FuncId
+NGramPredictor::predictNext(const std::vector<FuncId> &context) const
+{
+    const std::size_t have = std::min(order_, context.size());
+    // Longest-context-first backoff.
+    for (std::size_t k = have; k >= 1; --k) {
+        const std::uint64_t key =
+            hashContext(&context[context.size() - k], k);
+        const auto &table = tables_[k - 1];
+        const auto it = table.find(key);
+        if (it != table.end() && !it->second.empty())
+            return argmax(it->second);
+    }
+    if (!unigram_.empty())
+        return argmax(unigram_);
+    return invalidFuncId;
+}
+
+std::vector<FuncId>
+NGramPredictor::extrapolate(const std::vector<FuncId> &prefix,
+                            std::size_t total_length) const
+{
+    std::vector<FuncId> out = prefix;
+    out.reserve(std::max(total_length, prefix.size()));
+    while (out.size() < total_length) {
+        const FuncId next = predictNext(out);
+        if (next == invalidFuncId)
+            break;
+        out.push_back(next);
+    }
+    return out;
+}
+
+FuncId
+NGramPredictor::sampleNext(const std::vector<FuncId> &context,
+                           Rng &rng) const
+{
+    const std::size_t have = std::min(order_, context.size());
+    for (std::size_t k = have; k >= 1; --k) {
+        const std::uint64_t key =
+            hashContext(&context[context.size() - k], k);
+        const auto &table = tables_[k - 1];
+        const auto it = table.find(key);
+        if (it != table.end() && !it->second.empty())
+            return weightedDraw(it->second, rng);
+    }
+    if (!unigram_.empty())
+        return weightedDraw(unigram_, rng);
+    return invalidFuncId;
+}
+
+std::vector<FuncId>
+NGramPredictor::extrapolateStochastic(
+    const std::vector<FuncId> &prefix, std::size_t total_length,
+    Rng &rng) const
+{
+    std::vector<FuncId> out = prefix;
+    out.reserve(std::max(total_length, prefix.size()));
+    while (out.size() < total_length) {
+        const FuncId next = sampleNext(out, rng);
+        if (next == invalidFuncId)
+            break;
+        out.push_back(next);
+    }
+    return out;
+}
+
+double
+NGramPredictor::accuracy(const std::vector<FuncId> &sequence) const
+{
+    if (sequence.size() <= order_)
+        return 0.0;
+    std::uint64_t hits = 0, total = 0;
+    std::vector<FuncId> context;
+    for (std::size_t i = order_; i < sequence.size(); ++i) {
+        // Only the last `order_` calls matter for prediction.
+        context.assign(sequence.begin() + (i - order_),
+                       sequence.begin() + i);
+        if (predictNext(context) == sequence[i])
+            ++hits;
+        ++total;
+    }
+    return static_cast<double>(hits) / static_cast<double>(total);
+}
+
+std::size_t
+NGramPredictor::contextCount() const
+{
+    std::size_t n = 0;
+    for (const auto &table : tables_)
+        n += table.size();
+    return n;
+}
+
+} // namespace jitsched

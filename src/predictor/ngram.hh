@@ -1,0 +1,102 @@
+/**
+ * @file
+ * N-gram call-sequence predictor.
+ *
+ * Sec. 8 names call-sequence estimation as the first barrier to
+ * deploying a good compilation scheduler, pointing at cross-run
+ * behavior prediction as the remedy.  This module provides that
+ * substrate: an order-k Markov model over function calls, trained on
+ * call sequences from previous runs, able to extrapolate a likely
+ * continuation from a freshly observed prefix.
+ */
+
+#ifndef JITSCHED_PREDICTOR_NGRAM_HH
+#define JITSCHED_PREDICTOR_NGRAM_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "support/rng.hh"
+#include "support/types.hh"
+
+namespace jitsched {
+
+/**
+ * Order-k Markov predictor over FuncId streams with backoff.
+ *
+ * Prediction uses the longest trained context available, backing off
+ * to shorter contexts (down to the unigram distribution) when a
+ * context was never observed.
+ */
+class NGramPredictor
+{
+  public:
+    /** @param order context length k (>= 1). */
+    explicit NGramPredictor(std::size_t order = 3);
+
+    /** Accumulate counts from one training sequence. */
+    void train(const std::vector<FuncId> &sequence);
+
+    /**
+     * Most likely next function after the given context (ties break
+     * toward the smaller id); invalidFuncId when nothing was trained.
+     */
+    FuncId predictNext(const std::vector<FuncId> &context) const;
+
+    /**
+     * Extrapolate a sequence: starting from @p prefix, repeatedly
+     * predict and append until @p total_length entries exist (the
+     * prefix counts toward the total).  Deterministic: each step
+     * appends the most likely successor.  Note that greedy argmax
+     * walks can collapse into short cycles over the hottest
+     * functions; schedulers should prefer extrapolateStochastic.
+     */
+    std::vector<FuncId> extrapolate(const std::vector<FuncId> &prefix,
+                                    std::size_t total_length) const;
+
+    /**
+     * Extrapolate by *sampling* each successor from the trained
+     * distribution (with backoff).  Statistically faithful to the
+     * training sequences — call-count proportions are preserved in
+     * expectation — which is what schedule planning needs.
+     */
+    std::vector<FuncId>
+    extrapolateStochastic(const std::vector<FuncId> &prefix,
+                          std::size_t total_length, Rng &rng) const;
+
+    /**
+     * Sample the next function after the given context;
+     * invalidFuncId when nothing was trained.
+     */
+    FuncId sampleNext(const std::vector<FuncId> &context,
+                      Rng &rng) const;
+
+    /**
+     * Top-1 accuracy of next-call prediction over a test sequence:
+     * fraction of positions (after the first `order`) predicted
+     * exactly.
+     */
+    double accuracy(const std::vector<FuncId> &sequence) const;
+
+    std::size_t order() const { return order_; }
+
+    /** Number of distinct contexts stored across all orders. */
+    std::size_t contextCount() const;
+
+  private:
+    /** Pack a context window into a hashable key. */
+    static std::uint64_t hashContext(const FuncId *ctx,
+                                     std::size_t len);
+
+    using Counts = std::unordered_map<FuncId, std::uint64_t>;
+
+    std::size_t order_;
+    /** tables_[k] maps length-(k+1) contexts to successor counts. */
+    std::vector<std::unordered_map<std::uint64_t, Counts>> tables_;
+    Counts unigram_;
+};
+
+} // namespace jitsched
+
+#endif // JITSCHED_PREDICTOR_NGRAM_HH

@@ -1,0 +1,134 @@
+#include "predictor/online_iar.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace jitsched {
+
+Schedule
+completeScheduleFor(const Workload &w, const Schedule &planned,
+                    std::size_t *missing)
+{
+    // First planned event per function, and the rest (recompiles).
+    std::vector<std::int64_t> first_event(w.numFunctions(), -1);
+    for (std::size_t i = 0; i < planned.size(); ++i) {
+        const FuncId f = planned[i].func;
+        if (f < w.numFunctions() && first_event[f] < 0)
+            first_event[f] = static_cast<std::int64_t>(i);
+    }
+
+    Schedule out;
+    std::size_t n_missing = 0;
+    // Initial segment: every called function's first compile, in the
+    // *actual* first-appearance order; planned level if the plan knew
+    // the function, on-demand level 0 otherwise.
+    for (const FuncId f : w.firstAppearanceOrder()) {
+        if (first_event[f] >= 0) {
+            const CompileEvent &ev =
+                planned[static_cast<std::size_t>(first_event[f])];
+            const Level max_level = w.function(f).highestLevel();
+            out.append(f, std::min(ev.level, max_level));
+        } else {
+            out.append(f, 0);
+            ++n_missing;
+        }
+    }
+    // Recompiles: planned events that are not a function's first,
+    // for functions that actually get called, clamped to real levels
+    // and kept strictly increasing.
+    std::vector<int> emitted(w.numFunctions(), -1);
+    for (const CompileEvent &ev : out.events())
+        emitted[ev.func] = ev.level;
+    for (std::size_t i = 0; i < planned.size(); ++i) {
+        const FuncId f = planned[i].func;
+        if (f >= w.numFunctions() || w.callCount(f) == 0)
+            continue;
+        if (static_cast<std::int64_t>(i) == first_event[f])
+            continue;
+        const Level max_level = w.function(f).highestLevel();
+        const Level level = std::min(planned[i].level, max_level);
+        if (static_cast<int>(level) <= emitted[f])
+            continue;
+        out.append(f, level);
+        emitted[f] = level;
+    }
+
+    if (missing != nullptr)
+        *missing = n_missing;
+    return out;
+}
+
+OnlineIarResult
+onlineIarSchedule(const Workload &actual,
+                  const NGramPredictor &predictor,
+                  const ProfileRepository &repo,
+                  const OnlineIarConfig &cfg)
+{
+    if (!repo.ready())
+        JITSCHED_FATAL("onlineIarSchedule: empty profile repository");
+
+    OnlineIarResult res;
+
+    // --- Observe a prefix of the actual run.
+    const auto &calls = actual.calls();
+    const std::size_t prefix_len =
+        std::min(cfg.observedPrefix, calls.size());
+    const std::vector<FuncId> prefix(calls.begin(),
+                                     calls.begin() + prefix_len);
+
+    // --- Predict the rest of the sequence.
+    std::size_t predicted_len = cfg.predictedLength;
+    if (predicted_len == 0) {
+        double expected_total = 0.0;
+        for (const double c : repo.expectedCallCounts())
+            expected_total += c;
+        predicted_len = static_cast<std::size_t>(
+            std::llround(std::max(expected_total,
+                                  static_cast<double>(prefix_len))));
+    }
+    // Stochastic extrapolation: a greedy argmax walk would collapse
+    // into a cycle over the hottest functions and starve the plan of
+    // everything else.
+    Rng rng(cfg.seed);
+    std::vector<FuncId> predicted =
+        predictor.extrapolateStochastic(prefix, predicted_len, rng);
+    if (predicted.empty())
+        predicted = prefix;
+
+    // --- Build the planning workload: predicted sequence with the
+    // repository's time estimates as its (believed) cost table.
+    const TimeEstimates est = repo.estimates();
+    std::vector<FunctionProfile> believed;
+    believed.reserve(actual.numFunctions());
+    for (std::size_t f = 0; f < actual.numFunctions(); ++f) {
+        believed.emplace_back(actual.function(static_cast<FuncId>(f))
+                                  .name(),
+                              actual.function(static_cast<FuncId>(f))
+                                  .size(),
+                              est.perFunc[f]);
+    }
+    // Drop predicted ids outside the table (defensive; the predictor
+    // was trained on runs of the same program).
+    std::erase_if(predicted, [&](FuncId f) {
+        return f >= believed.size();
+    });
+    const Workload planning("predicted:" + actual.name(),
+                            std::move(believed),
+                            std::move(predicted));
+
+    // --- Plan with IAR on the predicted future.
+    const std::vector<CandidatePair> cands = repo.candidateLevels();
+    const IarResult iar = iarSchedule(planning, cands, cfg.iar);
+    res.plannedSchedule = iar.schedule;
+
+    // --- Patch to a schedule valid for the actual run.
+    res.schedule = completeScheduleFor(actual, res.plannedSchedule,
+                                       &res.unpredictedFunctions);
+    res.predictionAccuracy = predictor.accuracy(calls);
+    return res;
+}
+
+} // namespace jitsched

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Online IAR: a deployable scheduler built from the Sec. 8 pieces.
+ *
+ * The limit study assumes the full call sequence and exact times are
+ * known.  This module assembles the practical counterpart the paper
+ * sketches: predict the call sequence with a cross-run n-gram model,
+ * take the times and hotness from a cross-run profile repository, run
+ * IAR on the *predicted* future, and fall back to on-demand low-level
+ * compilation for anything the prediction missed.
+ */
+
+#ifndef JITSCHED_PREDICTOR_ONLINE_IAR_HH
+#define JITSCHED_PREDICTOR_ONLINE_IAR_HH
+
+#include <cstddef>
+
+#include "core/iar.hh"
+#include "core/schedule.hh"
+#include "predictor/ngram.hh"
+#include "predictor/profile_repository.hh"
+#include "trace/workload.hh"
+
+namespace jitsched {
+
+/** Knobs of the online scheduler. */
+struct OnlineIarConfig
+{
+    /** Calls observed before the schedule is planned. */
+    std::size_t observedPrefix = 1024;
+
+    /** Length of the predicted sequence IAR plans against. */
+    std::size_t predictedLength = 0; ///< 0 = repository average
+
+    /** Seed of the stochastic sequence extrapolation. */
+    std::uint64_t seed = 7;
+
+    /** IAR tunables. */
+    IarConfig iar;
+};
+
+/** What the online scheduler produced. */
+struct OnlineIarResult
+{
+    /** The deployable schedule (covers all actually called funcs). */
+    Schedule schedule;
+
+    /** The schedule IAR produced on the predicted sequence. */
+    Schedule plannedSchedule;
+
+    /** Functions the prediction missed (patched on-demand). */
+    std::size_t unpredictedFunctions = 0;
+
+    /** Top-1 accuracy of the predictor on the actual sequence. */
+    double predictionAccuracy = 0.0;
+};
+
+/**
+ * Plan a schedule for @p actual using only prediction-time knowledge
+ * (the predictor, the repository, and the first observedPrefix calls
+ * of the actual run), then patch it so it is valid for the whole
+ * actual workload: every called-but-unplanned function gets a
+ * low-level compile, merged in actual first-appearance order.
+ */
+OnlineIarResult onlineIarSchedule(const Workload &actual,
+                                  const NGramPredictor &predictor,
+                                  const ProfileRepository &repo,
+                                  const OnlineIarConfig &cfg = {});
+
+/**
+ * Merge helper (exposed for tests): make @p planned valid for @p w by
+ * inserting low-level compiles of missing called functions, keeping
+ * first compiles in first-appearance order and recompiles in planned
+ * order.
+ */
+Schedule completeScheduleFor(const Workload &w,
+                             const Schedule &planned,
+                             std::size_t *missing = nullptr);
+
+} // namespace jitsched
+
+#endif // JITSCHED_PREDICTOR_ONLINE_IAR_HH

@@ -1,0 +1,102 @@
+#include "predictor/profile_repository.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace jitsched {
+
+void
+ProfileRepository::recordRun(const Workload &run,
+                             double observation_noise,
+                             std::uint64_t seed)
+{
+    if (runs_ == 0) {
+        time_sums_.resize(run.numFunctions());
+        for (std::size_t f = 0; f < run.numFunctions(); ++f)
+            time_sums_[f].assign(
+                run.function(static_cast<FuncId>(f)).numLevels(),
+                LevelCosts{});
+        count_sums_.assign(run.numFunctions(), 0);
+    } else if (time_sums_.size() != run.numFunctions()) {
+        JITSCHED_FATAL("ProfileRepository: run has ",
+                       run.numFunctions(), " functions, repository ",
+                       time_sums_.size());
+    }
+
+    Rng rng(seed);
+    for (std::size_t f = 0; f < run.numFunctions(); ++f) {
+        const auto &prof = run.function(static_cast<FuncId>(f));
+        if (prof.numLevels() != time_sums_[f].size())
+            JITSCHED_FATAL("ProfileRepository: function ",
+                           prof.name(), " changed level count");
+        for (std::size_t j = 0; j < prof.numLevels(); ++j) {
+            double c =
+                static_cast<double>(prof.compileTime(
+                    static_cast<Level>(j)));
+            double e = static_cast<double>(
+                prof.execTime(static_cast<Level>(j)));
+            if (observation_noise > 0.0) {
+                c *= rng.nextLogNormal(0.0, observation_noise);
+                e *= rng.nextLogNormal(0.0, observation_noise);
+            }
+            time_sums_[f][j].compile +=
+                static_cast<Tick>(std::llround(c));
+            time_sums_[f][j].exec +=
+                static_cast<Tick>(std::llround(std::max(1.0, e)));
+        }
+        count_sums_[f] += run.callCount(static_cast<FuncId>(f));
+    }
+    ++runs_;
+}
+
+TimeEstimates
+ProfileRepository::estimates() const
+{
+    if (runs_ == 0)
+        JITSCHED_PANIC("ProfileRepository::estimates before any run");
+    TimeEstimates est;
+    est.perFunc.resize(time_sums_.size());
+    const auto n = static_cast<Tick>(runs_);
+    for (std::size_t f = 0; f < time_sums_.size(); ++f) {
+        est.perFunc[f].resize(time_sums_[f].size());
+        for (std::size_t j = 0; j < time_sums_[f].size(); ++j) {
+            est.perFunc[f][j].compile = time_sums_[f][j].compile / n;
+            est.perFunc[f][j].exec =
+                std::max<Tick>(1, time_sums_[f][j].exec / n);
+        }
+        // Averaged noisy observations can wobble; restore the
+        // invariants so downstream code can rely on them.
+        for (std::size_t j = 1; j < est.perFunc[f].size(); ++j) {
+            est.perFunc[f][j].compile =
+                std::max(est.perFunc[f][j].compile,
+                         est.perFunc[f][j - 1].compile);
+            est.perFunc[f][j].exec = std::min(
+                est.perFunc[f][j].exec, est.perFunc[f][j - 1].exec);
+        }
+    }
+    return est;
+}
+
+std::vector<double>
+ProfileRepository::expectedCallCounts() const
+{
+    if (runs_ == 0)
+        JITSCHED_PANIC("ProfileRepository::expectedCallCounts before "
+                       "any run");
+    std::vector<double> out(count_sums_.size());
+    for (std::size_t f = 0; f < count_sums_.size(); ++f)
+        out[f] = static_cast<double>(count_sums_[f]) /
+                 static_cast<double>(runs_);
+    return out;
+}
+
+std::vector<CandidatePair>
+ProfileRepository::candidateLevels() const
+{
+    return chooseCandidateLevels(estimates(), expectedCallCounts());
+}
+
+} // namespace jitsched

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Cross-run profile repository.
+ *
+ * Sec. 8's second barrier to deploying a scheduler is obtaining
+ * accurate per-level times.  Following the cross-run profile
+ * repository idea the paper cites (Arnold et al.), this module
+ * accumulates observations over multiple runs and exposes blended
+ * estimates: times average across runs, call counts average too, and
+ * confidence grows with the number of runs observed.
+ */
+
+#ifndef JITSCHED_PREDICTOR_PROFILE_REPOSITORY_HH
+#define JITSCHED_PREDICTOR_PROFILE_REPOSITORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/candidate_levels.hh"
+#include "trace/workload.hh"
+
+namespace jitsched {
+
+/**
+ * Accumulates per-function observations across program runs.
+ *
+ * All runs must agree on the function table shape (same ids, same
+ * level counts) — they are runs of the same program.
+ */
+class ProfileRepository
+{
+  public:
+    ProfileRepository() = default;
+
+    /**
+     * Record one run: the workload carries the observed per-level
+     * times and the call sequence of that run.
+     *
+     * @param observation_noise multiplicative log-normal sigma
+     *        applied to the recorded times, modeling measurement
+     *        jitter between runs (0 = exact).
+     * @param seed noise seed for this run.
+     */
+    void recordRun(const Workload &run, double observation_noise = 0.0,
+                   std::uint64_t seed = 1);
+
+    /** Number of runs recorded. */
+    std::size_t runCount() const { return runs_; }
+
+    /** True once at least one run is recorded. */
+    bool ready() const { return runs_ > 0; }
+
+    /** Blended per-level time estimates (averages across runs). */
+    TimeEstimates estimates() const;
+
+    /** Average per-function call counts across runs. */
+    std::vector<double> expectedCallCounts() const;
+
+    /**
+     * Candidate levels chosen from the repository's estimates and
+     * expected call counts (what an online scheduler would use).
+     */
+    std::vector<CandidatePair> candidateLevels() const;
+
+  private:
+    std::size_t runs_ = 0;
+    /** Per function, per level: summed observed times. */
+    std::vector<std::vector<LevelCosts>> time_sums_;
+    /** Per function: summed call counts. */
+    std::vector<std::uint64_t> count_sums_;
+};
+
+} // namespace jitsched
+
+#endif // JITSCHED_PREDICTOR_PROFILE_REPOSITORY_HH

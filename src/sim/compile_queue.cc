@@ -1,0 +1,57 @@
+#include "sim/compile_queue.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace jitsched {
+
+CompileQueue::CompileQueue(std::size_t num_cores)
+{
+    if (num_cores == 0)
+        JITSCHED_PANIC("CompileQueue needs at least one core");
+    cores_.assign(num_cores, 0);
+}
+
+Tick
+CompileQueue::submit(Tick arrival, Tick duration)
+{
+    if (arrival < last_arrival_)
+        JITSCHED_PANIC("CompileQueue: arrivals must be non-decreasing "
+                       "(got ", arrival, " after ", last_arrival_, ")");
+    if (duration < 0)
+        JITSCHED_PANIC("CompileQueue: negative duration ", duration);
+    last_arrival_ = arrival;
+
+    // FIFO dispatch: this job goes to the earliest-free core.
+    auto it = std::min_element(cores_.begin(), cores_.end());
+    const Tick start = std::max(*it, arrival);
+    const Tick completion = start + duration;
+    *it = completion;
+
+    busy_ += duration;
+    last_completion_ = completion;
+    ++job_count_;
+    return completion;
+}
+
+Tick
+CompileQueue::allDone() const
+{
+    Tick done = 0;
+    for (const Tick t : cores_)
+        done = std::max(done, t);
+    return done;
+}
+
+void
+CompileQueue::reset()
+{
+    std::fill(cores_.begin(), cores_.end(), 0);
+    last_arrival_ = 0;
+    last_completion_ = 0;
+    busy_ = 0;
+    job_count_ = 0;
+}
+
+} // namespace jitsched

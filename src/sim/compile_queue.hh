@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Multi-core compilation engine.
+ *
+ * Models the JIT's compilation side: a FIFO queue of compilation
+ * requests served by one or more compiler threads, each pinned to its
+ * own core.  Requests are taken strictly in queue order (like the
+ * Jikes RVM compilation queue and the concurrent-JIT extension of
+ * Sec. 6.2.3); a request starts on the earliest-free core, no earlier
+ * than its arrival time.
+ */
+
+#ifndef JITSCHED_SIM_COMPILE_QUEUE_HH
+#define JITSCHED_SIM_COMPILE_QUEUE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace jitsched {
+
+/**
+ * Completion-time engine for an ordered stream of compile jobs.
+ *
+ * Deterministic and incremental: jobs may be submitted one at a time
+ * with non-decreasing arrival times (online policies discover work as
+ * execution progresses), or all at once with arrival 0 (static
+ * schedules).
+ */
+class CompileQueue
+{
+  public:
+    /** @param num_cores number of compiler threads/cores (>= 1). */
+    explicit CompileQueue(std::size_t num_cores = 1);
+
+    /**
+     * Submit the next job in queue order.
+     *
+     * @param arrival time the request was enqueued; must be
+     *        non-decreasing across calls (panics otherwise)
+     * @param duration compile time of the job
+     * @return completion time of the job
+     */
+    Tick submit(Tick arrival, Tick duration);
+
+    /** Completion time of the most recently completed-last job. */
+    Tick lastCompletion() const { return last_completion_; }
+
+    /** Time at which all submitted jobs have finished. */
+    Tick allDone() const;
+
+    /** Number of jobs submitted so far. */
+    std::size_t jobCount() const { return job_count_; }
+
+    /** Total busy time across all cores. */
+    Tick busyTime() const { return busy_; }
+
+    std::size_t numCores() const { return cores_.size(); }
+
+    /** Forget all jobs; keep the core count. */
+    void reset();
+
+  private:
+    std::vector<Tick> cores_; ///< per-core free time (min is next)
+    Tick last_arrival_ = 0;
+    Tick last_completion_ = 0;
+    Tick busy_ = 0;
+    std::size_t job_count_ = 0;
+};
+
+} // namespace jitsched
+
+#endif // JITSCHED_SIM_COMPILE_QUEUE_HH

@@ -1,0 +1,146 @@
+#include "sim/makespan.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/compile_queue.hh"
+#include "support/logging.hh"
+
+namespace jitsched {
+
+namespace {
+
+/** One compiled version of a function, ready at `completion`. */
+struct Version
+{
+    Tick completion;
+    Level level;
+};
+
+/** SplitMix64 finalizer, used to hash per-call jitter draws. */
+std::uint64_t
+mix64(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/**
+ * Deterministic mean-one log-normal factor for one call: hash the
+ * (seed, call index) pair into two uniforms, Box-Muller them into a
+ * Gaussian, and exponentiate with the -sigma^2/2 mean correction.
+ */
+double
+jitterFactor(std::uint64_t seed, std::uint64_t call_index,
+             double sigma)
+{
+    const std::uint64_t x =
+        seed ^ (call_index * 0x9e3779b97f4a7c15ull +
+                0xd1b54a32d192ed03ull);
+    const std::uint64_t a = mix64(x);
+    const std::uint64_t b = mix64(x + 0x9e3779b97f4a7c15ull);
+    const double u1 =
+        (static_cast<double>(a >> 11) + 1.0) * 0x1.0p-53; // (0,1]
+    const double u2 = static_cast<double>(b >> 11) * 0x1.0p-53;
+    const double g =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+    return std::exp(sigma * g - 0.5 * sigma * sigma);
+}
+
+class NullObserver : public SimObserver
+{
+};
+
+SimResult
+run(const Workload &w, const Schedule &s, const SimOptions &opts,
+    SimObserver &observer)
+{
+    std::string err;
+    if (!s.validate(w, &err))
+        JITSCHED_PANIC("simulate: invalid schedule for '", w.name(),
+                       "': ", err);
+
+    SimResult res;
+    res.callsAtLevel.assign(w.maxLevels(), 0);
+
+    // --- Compilation side: schedule events in order on the cores.
+    //
+    // Per function we record the version list sorted by completion
+    // time; levels strictly increase per function, so later versions
+    // are both later-completing and deeper-optimized.
+    CompileQueue queue(opts.compileCores);
+    std::vector<std::vector<Version>> versions(w.numFunctions());
+    const auto &events = s.events();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const CompileEvent &ev = events[i];
+        const Tick dur = w.function(ev.func).compileTime(ev.level);
+        const Tick done = queue.submit(0, dur);
+        versions[ev.func].push_back({done, ev.level});
+        observer.onCompiled(i, ev, done);
+    }
+    res.compileEnd = queue.allDone();
+    res.totalCompile = queue.busyTime();
+
+    // --- Execution side: one thread, calls in order.
+    //
+    // next_version[f] points at the version the previous call of f
+    // used; it only moves forward because call start times are
+    // non-decreasing and per-function completions are sorted.
+    std::vector<std::uint32_t> cur_version(w.numFunctions(), 0);
+    Tick now = 0;
+    const auto &calls = w.calls();
+    for (std::size_t i = 0; i < calls.size(); ++i) {
+        const FuncId f = calls[i];
+        const auto &vers = versions[f];
+        const Tick first_ready = vers.front().completion;
+        const Tick start = std::max(now, first_ready);
+        if (start > now) {
+            res.totalBubble += start - now;
+            ++res.bubbleCount;
+        }
+
+        // Latest compilation completed at or before `start` wins.
+        std::uint32_t v = cur_version[f];
+        while (v + 1 < vers.size() && vers[v + 1].completion <= start)
+            ++v;
+        cur_version[f] = v;
+
+        const Level level = vers[v].level;
+        Tick dur = w.function(f).execTime(level);
+        if (opts.execJitterSigma > 0.0) {
+            const double jittered =
+                static_cast<double>(dur) *
+                jitterFactor(opts.jitterSeed, i,
+                             opts.execJitterSigma);
+            dur = std::max<Tick>(
+                1, static_cast<Tick>(std::llround(jittered)));
+        }
+        observer.onCall(i, f, start, dur, level);
+        now = start + dur;
+        res.totalExec += dur;
+        ++res.callsAtLevel[level];
+    }
+
+    res.execEnd = now;
+    res.makespan = res.execEnd;
+    return res;
+}
+
+} // anonymous namespace
+
+SimResult
+simulate(const Workload &w, const Schedule &s, const SimOptions &opts)
+{
+    NullObserver observer;
+    return run(w, s, opts, observer);
+}
+
+SimResult
+simulate(const Workload &w, const Schedule &s, const SimOptions &opts,
+         SimObserver &observer)
+{
+    return run(w, s, opts, observer);
+}
+
+} // namespace jitsched

@@ -1,0 +1,92 @@
+#include "sim/multithread.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace jitsched {
+
+MtSimResult
+simulateMt(const Workload &w,
+           const std::vector<std::vector<FuncId>> &thread_calls,
+           const Schedule &s, const SimOptions &opts)
+{
+    if (thread_calls.empty())
+        JITSCHED_FATAL("simulateMt: need at least one thread");
+
+    // Validate against the union of the threads' calls.
+    const Workload merged = mergeThreads(w, thread_calls);
+    std::string err;
+    if (!s.validate(merged, &err))
+        JITSCHED_PANIC("simulateMt: invalid schedule: ", err);
+
+    MtSimResult out;
+    for (const auto &calls : thread_calls) {
+        // Each thread sees the same shared code cache (the same
+        // compile timeline); with a static schedule its execution
+        // is independent of the other threads.
+        const Workload view("thread", w.functions(), calls);
+        // Functions this thread never calls need no compile; the
+        // schedule may still include them — validation against the
+        // merged workload above covers the real requirement, and
+        // per-thread validation inside simulate() only needs the
+        // thread's own functions, which are a subset.
+        SimResult r = simulate(view, s, opts);
+        out.makespan = std::max(out.makespan, r.execEnd);
+        out.totalBubble += r.totalBubble;
+        out.totalExec += r.totalExec;
+        out.threads.push_back(std::move(r));
+    }
+    return out;
+}
+
+std::vector<std::vector<FuncId>>
+splitTrace(const std::vector<FuncId> &calls, std::size_t n_threads,
+           Rng &rng)
+{
+    if (n_threads == 0)
+        JITSCHED_FATAL("splitTrace: need at least one thread");
+    std::vector<std::vector<FuncId>> threads(n_threads);
+    std::size_t i = 0;
+    while (i < calls.size()) {
+        // One burst of identical consecutive calls goes to one
+        // thread, keeping the temporal locality the generator built.
+        std::size_t j = i + 1;
+        while (j < calls.size() && calls[j] == calls[i])
+            ++j;
+        const std::size_t t =
+            static_cast<std::size_t>(rng.nextBelow(n_threads));
+        threads[t].insert(threads[t].end(), calls.begin() + i,
+                          calls.begin() + j);
+        i = j;
+    }
+    return threads;
+}
+
+Workload
+mergeThreads(const Workload &w,
+             const std::vector<std::vector<FuncId>> &thread_calls)
+{
+    std::vector<FuncId> merged;
+    std::size_t total = 0;
+    for (const auto &calls : thread_calls)
+        total += calls.size();
+    merged.reserve(total);
+    // Round-robin interleave so first appearances roughly respect
+    // every thread's order, like the paper's profiler output merge.
+    std::vector<std::size_t> cursor(thread_calls.size(), 0);
+    bool progressed = true;
+    while (progressed) {
+        progressed = false;
+        for (std::size_t t = 0; t < thread_calls.size(); ++t) {
+            if (cursor[t] < thread_calls[t].size()) {
+                merged.push_back(thread_calls[t][cursor[t]++]);
+                progressed = true;
+            }
+        }
+    }
+    return Workload(w.name() + "-merged", w.functions(),
+                    std::move(merged));
+}
+
+} // namespace jitsched

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Minimal logging / error-reporting helpers in the gem5 spirit.
+ *
+ * - panic():  an internal invariant was violated (a jitsched bug);
+ *             prints and aborts.
+ * - fatal():  the user asked for something impossible (bad input,
+ *             bad configuration); prints and exits with status 1.
+ * - warn():   something is suspicious but execution can continue.
+ * - inform(): a status message for the user.
+ */
+
+#ifndef JITSCHED_SUPPORT_LOGGING_HH
+#define JITSCHED_SUPPORT_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace jitsched {
+
+namespace detail {
+
+/** Append the string form of every argument to an ostringstream. */
+inline void
+appendArgs(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+appendArgs(std::ostringstream &os, const T &first, const Rest &...rest)
+{
+    os << first;
+    appendArgs(os, rest...);
+}
+
+/** Concatenate arbitrary streamable arguments into one string. */
+template <typename... Args>
+std::string
+concat(const Args &...args)
+{
+    std::ostringstream os;
+    appendArgs(os, args...);
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Abort with an internal-error message. Use for jitsched bugs only. */
+#define JITSCHED_PANIC(...)                                                  \
+    ::jitsched::detail::panicImpl(__FILE__, __LINE__,                        \
+                                  ::jitsched::detail::concat(__VA_ARGS__))
+
+/** Exit(1) with a user-error message (bad input or configuration). */
+#define JITSCHED_FATAL(...)                                                  \
+    ::jitsched::detail::fatalImpl(__FILE__, __LINE__,                        \
+                                  ::jitsched::detail::concat(__VA_ARGS__))
+
+/** Print a warning; execution continues. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    detail::warnImpl(detail::concat(args...));
+}
+
+/** Print an informational status message. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    detail::informImpl(detail::concat(args...));
+}
+
+/**
+ * Control whether warn()/inform() produce output (tests silence them).
+ * @return the previous setting.
+ */
+bool setLoggingEnabled(bool enabled);
+
+} // namespace jitsched
+
+#endif // JITSCHED_SUPPORT_LOGGING_HH

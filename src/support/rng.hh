@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Deterministic random number generation for workload synthesis.
+ *
+ * All randomness in jitsched flows through Rng, a xoshiro256** engine
+ * seeded through SplitMix64.  The same seed always reproduces the same
+ * workload on every platform, which keeps tests and benchmark tables
+ * stable.  ZipfSampler implements the skewed function-hotness
+ * distribution used by the synthetic trace generator.
+ */
+
+#ifndef JITSCHED_SUPPORT_RNG_HH
+#define JITSCHED_SUPPORT_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace jitsched {
+
+/**
+ * xoshiro256** pseudo random generator with convenience draws.
+ *
+ * Not a cryptographic generator; chosen for speed, quality, and a
+ * trivially portable implementation.
+ */
+class Rng
+{
+  public:
+    /** Seed the engine; the raw seed is expanded through SplitMix64. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) using rejection sampling. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform double in [lo, hi). */
+    double nextDouble(double lo, double hi);
+
+    /** Standard normal draw (Box-Muller, no cached spare). */
+    double nextGaussian();
+
+    /** Log-normal draw: exp(mu + sigma * N(0,1)). */
+    double nextLogNormal(double mu, double sigma);
+
+    /** Bernoulli draw with probability p of true. */
+    bool nextBool(double p);
+
+    /** Geometric-ish burst length in [1, max_len]. */
+    std::uint32_t nextBurst(double continue_prob, std::uint32_t max_len);
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = nextBelow(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** Derive an independent child generator (for parallel streams). */
+    Rng split();
+
+  private:
+    std::uint64_t state_[4];
+};
+
+/**
+ * Zipf(s) sampler over ranks {0, 1, ..., n-1}.
+ *
+ * Rank r is drawn with probability proportional to 1 / (r + 1)^s.
+ * Sampling is done by binary search over the precomputed CDF, O(log n)
+ * per draw, which is plenty fast for generating multi-million-call
+ * traces.
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n number of ranks (must be > 0)
+     * @param s skew parameter (s >= 0; 0 degenerates to uniform)
+     */
+    ZipfSampler(std::size_t n, double s);
+
+    /** Draw a rank in [0, n). */
+    std::size_t sample(Rng &rng) const;
+
+    /** Probability mass of a given rank. */
+    double probability(std::size_t rank) const;
+
+    std::size_t size() const { return cdf_.size(); }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace jitsched
+
+#endif // JITSCHED_SUPPORT_RNG_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Small statistics helpers used by the benchmark harness and tests:
+ * arithmetic / geometric means, standard deviation, percentiles, and
+ * an accumulating Summary for streaming samples.
+ */
+
+#ifndef JITSCHED_SUPPORT_STATS_HH
+#define JITSCHED_SUPPORT_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace jitsched {
+
+/** Arithmetic mean; 0 for an empty input. */
+double mean(const std::vector<double> &xs);
+
+/**
+ * Geometric mean; 0 for an empty input.
+ * All inputs must be strictly positive.
+ */
+double geomean(const std::vector<double> &xs);
+
+/** Sample standard deviation (n-1 denominator); 0 for n < 2. */
+double stddev(const std::vector<double> &xs);
+
+/**
+ * Percentile by linear interpolation between closest ranks.
+ * @param p in [0, 100].
+ */
+double percentile(std::vector<double> xs, double p);
+
+/**
+ * Streaming accumulator of min / max / mean / variance (Welford).
+ */
+class Summary
+{
+  public:
+    /** Record one sample. */
+    void add(double x);
+
+    std::size_t count() const { return n_; }
+    double min() const;
+    double max() const;
+    double mean() const;
+    /** Sample variance (n-1 denominator); 0 for n < 2. */
+    double variance() const;
+    double stddev() const;
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t n_ = 0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+};
+
+} // namespace jitsched
+
+#endif // JITSCHED_SUPPORT_STATS_HH

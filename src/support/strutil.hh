@@ -1,0 +1,46 @@
+/**
+ * @file
+ * String / formatting utilities shared by trace I/O and reporting.
+ */
+
+#ifndef JITSCHED_SUPPORT_STRUTIL_HH
+#define JITSCHED_SUPPORT_STRUTIL_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace jitsched {
+
+/** Split on a delimiter; empty fields are preserved. */
+std::vector<std::string> split(std::string_view s, char delim);
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string_view trim(std::string_view s);
+
+/** Parse a signed 64-bit integer; nullopt on any syntax error. */
+std::optional<std::int64_t> parseInt(std::string_view s);
+
+/** Parse a double; nullopt on any syntax error. */
+std::optional<double> parseDouble(std::string_view s);
+
+/** Render ticks as a human unit string, e.g. "1.50 ms". */
+std::string formatTicks(Tick t);
+
+/** Render a double with a fixed number of decimals. */
+std::string formatFixed(double v, int decimals);
+
+/** Render a count with thousands separators, e.g. "2,403,584". */
+std::string formatCount(std::uint64_t n);
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace jitsched
+
+#endif // JITSCHED_SUPPORT_STRUTIL_HH

@@ -1,0 +1,87 @@
+#include "support/table.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace jitsched {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        JITSCHED_PANIC("AsciiTable needs at least one column");
+}
+
+void
+AsciiTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        JITSCHED_PANIC("AsciiTable row arity ", cells.size(),
+                       " != header arity ", headers_.size());
+    rows_.push_back({std::move(cells), false});
+}
+
+void
+AsciiTable::addSeparator()
+{
+    rows_.push_back({{}, true});
+}
+
+void
+AsciiTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        if (row.separator)
+            continue;
+        for (std::size_t c = 0; c < row.cells.size(); ++c)
+            widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+
+    auto print_sep = [&] {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            os << '+' << std::string(widths[c] + 2, '-');
+        }
+        os << "+\n";
+    };
+
+    auto print_cells = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            const std::string &cell = cells[c];
+            const std::size_t pad = widths[c] - cell.size();
+            os << "| ";
+            if (c == 0) {
+                os << cell << std::string(pad, ' ');
+            } else {
+                os << std::string(pad, ' ') << cell;
+            }
+            os << ' ';
+        }
+        os << "|\n";
+    };
+
+    print_sep();
+    print_cells(headers_);
+    print_sep();
+    for (const auto &row : rows_) {
+        if (row.separator)
+            print_sep();
+        else
+            print_cells(row.cells);
+    }
+    print_sep();
+}
+
+std::string
+AsciiTable::toString() const
+{
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+} // namespace jitsched

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Simple ASCII table printer used by the benchmark harness to render
+ * the paper's tables and figures as text rows.
+ */
+
+#ifndef JITSCHED_SUPPORT_TABLE_HH
+#define JITSCHED_SUPPORT_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace jitsched {
+
+/**
+ * Column-aligned ASCII table.
+ *
+ * Usage:
+ * @code
+ *   AsciiTable t({"benchmark", "default", "IAR"});
+ *   t.addRow({"antlr", "1.71", "1.06"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class AsciiTable
+{
+  public:
+    explicit AsciiTable(std::vector<std::string> headers);
+
+    /** Append one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Render the table. First column left-aligned, rest right. */
+    void print(std::ostream &os) const;
+
+    /** Render to a string (convenience for tests). */
+    std::string toString() const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool separator = false;
+    };
+
+    std::vector<std::string> headers_;
+    std::vector<Row> rows_;
+};
+
+} // namespace jitsched
+
+#endif // JITSCHED_SUPPORT_TABLE_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every jitsched module.
+ *
+ * The simulator is fully deterministic: simulated time is kept as an
+ * integral number of ticks (1 tick = 1 nanosecond of simulated time),
+ * so there is no floating-point drift anywhere in the timing model.
+ * Conversion to seconds happens only at reporting boundaries.
+ */
+
+#ifndef JITSCHED_SUPPORT_TYPES_HH
+#define JITSCHED_SUPPORT_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace jitsched {
+
+/** Simulated time, in nanoseconds. Signed so durations can be negative. */
+using Tick = std::int64_t;
+
+/** Identifier of a compilation unit (function / method). */
+using FuncId = std::uint32_t;
+
+/** Optimization level index; 0 is the cheapest ("baseline") level. */
+using Level = std::uint8_t;
+
+/** Sentinel used for "no time" / "not yet happened". */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Sentinel for an invalid function id. */
+constexpr FuncId invalidFuncId = std::numeric_limits<FuncId>::max();
+
+/** Number of ticks in one simulated second. */
+constexpr Tick ticksPerSecond = 1'000'000'000;
+
+/** Number of ticks in one simulated millisecond. */
+constexpr Tick ticksPerMs = 1'000'000;
+
+/** Number of ticks in one simulated microsecond. */
+constexpr Tick ticksPerUs = 1'000;
+
+/** Convert ticks to (floating-point) seconds for reporting. */
+constexpr double
+toSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(ticksPerSecond);
+}
+
+/** Convert ticks to (floating-point) milliseconds for reporting. */
+constexpr double
+toMillis(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(ticksPerMs);
+}
+
+} // namespace jitsched
+
+#endif // JITSCHED_SUPPORT_TYPES_HH

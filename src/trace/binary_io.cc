@@ -1,0 +1,195 @@
+#include "trace/binary_io.hh"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "support/logging.hh"
+#include "trace/trace_io.hh"
+
+namespace jitsched {
+
+namespace {
+
+constexpr char magic[4] = {'J', 'S', 'W', '1'};
+
+void
+putVarint(std::ostream &os, std::uint64_t v)
+{
+    // LEB128: 7 bits per byte, high bit = continuation.
+    while (v >= 0x80) {
+        os.put(static_cast<char>((v & 0x7f) | 0x80));
+        v >>= 7;
+    }
+    os.put(static_cast<char>(v));
+}
+
+std::uint64_t
+getVarint(std::istream &is)
+{
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+        const int c = is.get();
+        if (c == EOF)
+            JITSCHED_FATAL("binary trace: truncated varint");
+        v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+        if ((c & 0x80) == 0)
+            break;
+        shift += 7;
+        if (shift > 63)
+            JITSCHED_FATAL("binary trace: varint overflow");
+    }
+    return v;
+}
+
+void
+putString(std::ostream &os, const std::string &s)
+{
+    putVarint(os, s.size());
+    os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string
+getString(std::istream &is)
+{
+    const std::uint64_t len = getVarint(is);
+    if (len > (1u << 20))
+        JITSCHED_FATAL("binary trace: implausible string length ",
+                       len);
+    std::string s(len, '\0');
+    is.read(s.data(), static_cast<std::streamsize>(len));
+    if (!is)
+        JITSCHED_FATAL("binary trace: truncated string");
+    return s;
+}
+
+} // anonymous namespace
+
+void
+writeWorkloadBinary(std::ostream &os, const Workload &w)
+{
+    os.write(magic, sizeof(magic));
+    putString(os, w.name());
+    putVarint(os, w.numFunctions());
+    for (std::size_t i = 0; i < w.numFunctions(); ++i) {
+        const auto &prof = w.function(static_cast<FuncId>(i));
+        putString(os, prof.name());
+        putVarint(os, prof.size());
+        putVarint(os, prof.numLevels());
+        for (std::size_t j = 0; j < prof.numLevels(); ++j) {
+            const auto &lc = prof.level(static_cast<Level>(j));
+            putVarint(os, static_cast<std::uint64_t>(lc.compile));
+            putVarint(os, static_cast<std::uint64_t>(lc.exec));
+        }
+    }
+
+    // Run-length encode the call sequence.
+    const auto &calls = w.calls();
+    std::uint64_t n_runs = 0;
+    for (std::size_t i = 0; i < calls.size();) {
+        std::size_t j = i + 1;
+        while (j < calls.size() && calls[j] == calls[i])
+            ++j;
+        ++n_runs;
+        i = j;
+    }
+    putVarint(os, calls.size());
+    putVarint(os, n_runs);
+    for (std::size_t i = 0; i < calls.size();) {
+        std::size_t j = i + 1;
+        while (j < calls.size() && calls[j] == calls[i])
+            ++j;
+        putVarint(os, calls[i]);
+        putVarint(os, j - i);
+        i = j;
+    }
+}
+
+void
+writeWorkloadBinaryFile(const std::string &path, const Workload &w)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        JITSCHED_FATAL("cannot open '", path, "' for writing");
+    writeWorkloadBinary(os, w);
+    if (!os)
+        JITSCHED_FATAL("I/O error while writing '", path, "'");
+}
+
+Workload
+readWorkloadBinary(std::istream &is)
+{
+    char got[4];
+    is.read(got, sizeof(got));
+    if (!is || std::string(got, 4) != std::string(magic, 4))
+        JITSCHED_FATAL("binary trace: bad magic");
+
+    const std::string name = getString(is);
+    const std::uint64_t n_funcs = getVarint(is);
+    if (n_funcs > (1u << 26))
+        JITSCHED_FATAL("binary trace: implausible function count ",
+                       n_funcs);
+
+    std::vector<FunctionProfile> funcs;
+    funcs.reserve(n_funcs);
+    for (std::uint64_t i = 0; i < n_funcs; ++i) {
+        const std::string fname = getString(is);
+        const auto size =
+            static_cast<std::uint32_t>(getVarint(is));
+        const std::uint64_t n_levels = getVarint(is);
+        if (n_levels == 0 || n_levels > 64)
+            JITSCHED_FATAL("binary trace: function '", fname,
+                           "' has implausible level count ",
+                           n_levels);
+        std::vector<LevelCosts> levels(n_levels);
+        for (auto &lc : levels) {
+            lc.compile = static_cast<Tick>(getVarint(is));
+            lc.exec = static_cast<Tick>(getVarint(is));
+        }
+        if (!FunctionProfile::levelsMonotonic(levels))
+            JITSCHED_FATAL("binary trace: function '", fname,
+                           "' violates level monotonicity");
+        funcs.emplace_back(fname, size, std::move(levels));
+    }
+
+    const std::uint64_t n_calls = getVarint(is);
+    const std::uint64_t n_runs = getVarint(is);
+    std::vector<FuncId> calls;
+    calls.reserve(n_calls);
+    for (std::uint64_t r = 0; r < n_runs; ++r) {
+        const std::uint64_t f = getVarint(is);
+        const std::uint64_t count = getVarint(is);
+        if (f >= n_funcs)
+            JITSCHED_FATAL("binary trace: call to unknown function ",
+                           f);
+        if (calls.size() + count > n_calls)
+            JITSCHED_FATAL("binary trace: RLE overruns call count");
+        calls.insert(calls.end(), count,
+                     static_cast<FuncId>(f));
+    }
+    if (calls.size() != n_calls)
+        JITSCHED_FATAL("binary trace: expected ", n_calls,
+                       " calls, decoded ", calls.size());
+    return Workload(name, std::move(funcs), std::move(calls));
+}
+
+Workload
+readWorkloadBinaryFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        JITSCHED_FATAL("cannot open '", path, "' for reading");
+    return readWorkloadBinary(is);
+}
+
+Workload
+loadWorkloadAuto(const std::string &path)
+{
+    if (path.size() > 4 &&
+        path.compare(path.size() - 4, 4, ".jsw") == 0)
+        return readWorkloadBinaryFile(path);
+    return readWorkloadFile(path);
+}
+
+} // namespace jitsched

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Compact binary serialization of workloads.
+ *
+ * The text format (trace_io.hh) is convenient but a full-length
+ * lusearch trace (43.6M calls) weighs hundreds of megabytes as text.
+ * This format stores the function table verbatim and the call
+ * sequence as run-length-encoded varints, exploiting the bursty
+ * temporal locality real traces have.  Typical full-scale traces
+ * shrink by an order of magnitude and load in a fraction of the
+ * time.
+ *
+ * Layout (little-endian):
+ *   magic   "JSW1" (4 bytes)
+ *   name    varint length + bytes
+ *   nfuncs  varint
+ *   per function: name, size (varint), nlevels (varint),
+ *                 per level: compile, exec (varints)
+ *   ncalls  varint (number of calls, pre-RLE)
+ *   nruns   varint (number of RLE runs)
+ *   per run: func id (varint), repeat count (varint)
+ */
+
+#ifndef JITSCHED_TRACE_BINARY_IO_HH
+#define JITSCHED_TRACE_BINARY_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/workload.hh"
+
+namespace jitsched {
+
+/** Serialize a workload to a stream in the binary format. */
+void writeWorkloadBinary(std::ostream &os, const Workload &w);
+
+/** Serialize to a file; fatal() on I/O failure. */
+void writeWorkloadBinaryFile(const std::string &path,
+                             const Workload &w);
+
+/** Parse a workload from a binary stream; fatal() on bad input. */
+Workload readWorkloadBinary(std::istream &is);
+
+/** Parse from a file; fatal() on I/O failure. */
+Workload readWorkloadBinaryFile(const std::string &path);
+
+/**
+ * Load a workload by file extension: ".jsw" binary, anything else
+ * the text format.
+ */
+Workload loadWorkloadAuto(const std::string &path);
+
+} // namespace jitsched
+
+#endif // JITSCHED_TRACE_BINARY_IO_HH

@@ -1,0 +1,116 @@
+#include "trace/dacapo.hh"
+
+#include <cstdlib>
+
+#include "support/logging.hh"
+
+namespace jitsched {
+
+const std::vector<DacapoSpec> &
+dacapoSpecs()
+{
+    static const std::vector<DacapoSpec> specs = {
+        {"antlr", false, 1187, 2403584, 1.6},
+        {"bloat", false, 1581, 9423445, 5.0},
+        {"eclipse", false, 2194, 467372, 28.4},
+        {"fop", false, 1927, 1323119, 1.5},
+        {"hsqldb", true, 1006, 8022794, 2.9},
+        {"jython", false, 2128, 23655473, 6.7},
+        {"luindex", false, 641, 20582610, 6.1},
+        {"lusearch", true, 543, 43573214, 3.2},
+        {"pmd", false, 1876, 12543579, 3.5},
+    };
+    return specs;
+}
+
+const DacapoSpec &
+dacapoSpec(const std::string &name)
+{
+    for (const auto &spec : dacapoSpecs()) {
+        if (spec.name == name)
+            return spec;
+    }
+    JITSCHED_FATAL("unknown DaCapo benchmark '", name, "'");
+}
+
+SyntheticConfig
+dacapoConfig(const DacapoSpec &spec, std::size_t scale)
+{
+    if (scale == 0)
+        JITSCHED_FATAL("dacapoConfig: scale must be >= 1");
+
+    SyntheticConfig cfg;
+    cfg.name = spec.name;
+    cfg.numFunctions = spec.numFunctions;
+    cfg.numCalls =
+        std::max(spec.numFunctions * 4, spec.numCalls / scale);
+    cfg.numLevels = 4;
+
+    // The default (warmup-run) time mixes compilation and execution;
+    // anchor the level-0-only execution mass slightly above it, scaled
+    // with the sequence.
+    const double scaled_time =
+        spec.defaultTimeSec *
+        (static_cast<double>(cfg.numCalls) /
+         static_cast<double>(spec.numCalls));
+    cfg.targetLevel0ExecTime = static_cast<Tick>(
+        scaled_time * 1.1 * static_cast<double>(ticksPerSecond));
+
+    // Keep the compile/execute balance of the full-length run: the
+    // trace (and its execution mass) shrank by `scale`, so compile
+    // times must too.
+    cfg.compileTimeScale =
+        static_cast<double>(cfg.numCalls) /
+        static_cast<double>(spec.numCalls);
+
+    // Per-benchmark character knobs.  Seeds differ so the workloads
+    // are independent draws.
+    std::uint64_t seed = 1000;
+    for (std::size_t i = 0; i < dacapoSpecs().size(); ++i) {
+        if (dacapoSpecs()[i].name == spec.name)
+            seed += 7919 * (i + 1);
+    }
+    cfg.seed = seed;
+
+    if (spec.name == "eclipse") {
+        // Few, heavy calls spread over the most functions.
+        cfg.numPhases = 10;
+        cfg.zipfSkew = 0.65;
+        cfg.execLogSigma = 1.6;
+    } else if (spec.name == "lusearch" || spec.name == "luindex") {
+        // Tens of millions of tiny calls over few, very hot functions.
+        cfg.numPhases = 3;
+        cfg.zipfSkew = 0.9;
+        cfg.sharedFraction = 0.4;
+    } else if (spec.name == "hsqldb") {
+        cfg.numPhases = 4;
+        cfg.zipfSkew = 0.85;
+    } else if (spec.name == "jython" || spec.name == "pmd" ||
+               spec.name == "bloat") {
+        cfg.numPhases = 6;
+        cfg.zipfSkew = 0.8;
+    } else {
+        // antlr, fop: short runs, moderate skew.
+        cfg.numPhases = 5;
+        cfg.zipfSkew = 0.75;
+    }
+    return cfg;
+}
+
+Workload
+makeDacapoWorkload(const std::string &name, std::size_t scale)
+{
+    return generateSynthetic(dacapoConfig(dacapoSpec(name), scale));
+}
+
+std::size_t
+benchScaleFromEnv(std::size_t default_scale)
+{
+    const char *v = std::getenv("JITSCHED_FULL");
+    if (v != nullptr && v[0] != '\0' &&
+        !(v[0] == '0' && v[1] == '\0'))
+        return 1;
+    return default_scale;
+}
+
+} // namespace jitsched

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The nine DaCapo-2006-like workload configurations of Table 1.
+ *
+ * The paper's experiments run on call sequences collected from antlr,
+ * bloat, eclipse, fop, hsqldb, jython, luindex, lusearch and pmd
+ * (chart and xalan do not run under Jikes RVM 3.1.2 / replay).  We
+ * reproduce each benchmark's published shape — number of distinct
+ * functions, call sequence length, and end-to-end default time — with
+ * the synthetic generator, and tune the remaining knobs per benchmark
+ * (phase count, skew, burstiness) to reflect its character (e.g.
+ * eclipse: few, long calls over many functions; lusearch: tens of
+ * millions of tiny calls over few functions).
+ */
+
+#ifndef JITSCHED_TRACE_DACAPO_HH
+#define JITSCHED_TRACE_DACAPO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/synthetic.hh"
+#include "trace/workload.hh"
+
+namespace jitsched {
+
+/** Static description of one Table-1 benchmark. */
+struct DacapoSpec
+{
+    std::string name;
+    bool parallel;             ///< multithreaded app (trace is merged)
+    std::size_t numFunctions;  ///< Table 1 "#functions"
+    std::size_t numCalls;      ///< Table 1 "call seq length"
+    double defaultTimeSec;     ///< Table 1 "default time(s)"
+};
+
+/** All nine benchmark specs, in Table 1 order. */
+const std::vector<DacapoSpec> &dacapoSpecs();
+
+/** Look up one spec by name; fatal() if unknown. */
+const DacapoSpec &dacapoSpec(const std::string &name);
+
+/**
+ * Build the generator configuration for a benchmark.
+ *
+ * @param spec which benchmark
+ * @param scale divide the call-sequence length by this factor
+ *              (>= 1).  Function count and the compile/execute balance
+ *              are preserved, so normalized make-spans are
+ *              scale-stable; benches default to 16 for speed.
+ */
+SyntheticConfig dacapoConfig(const DacapoSpec &spec,
+                             std::size_t scale = 1);
+
+/** Generate the workload for a benchmark at the given scale. */
+Workload makeDacapoWorkload(const std::string &name,
+                            std::size_t scale = 1);
+
+/**
+ * Resolve the benchmark scale for benches: 1 if the environment
+ * variable JITSCHED_FULL is set to a non-empty, non-"0" value,
+ * otherwise @p default_scale.
+ */
+std::size_t benchScaleFromEnv(std::size_t default_scale = 16);
+
+} // namespace jitsched
+
+#endif // JITSCHED_TRACE_DACAPO_HH

@@ -1,0 +1,69 @@
+#include "trace/function_profile.hh"
+
+#include "support/logging.hh"
+
+namespace jitsched {
+
+FunctionProfile::FunctionProfile(std::string name, std::uint32_t size,
+                                 std::vector<LevelCosts> levels)
+    : name_(std::move(name)), size_(size), levels_(std::move(levels))
+{
+    if (levels_.empty())
+        JITSCHED_PANIC("function '", name_, "' has no levels");
+    if (!levelsMonotonic(levels_))
+        JITSCHED_PANIC("function '", name_,
+                       "' violates level monotonicity");
+}
+
+const LevelCosts &
+FunctionProfile::level(Level j) const
+{
+    if (j >= levels_.size())
+        JITSCHED_PANIC("function '", name_, "': level ",
+                       static_cast<int>(j), " out of range (",
+                       levels_.size(), " levels)");
+    return levels_[j];
+}
+
+Level
+FunctionProfile::highestLevel() const
+{
+    return static_cast<Level>(levels_.size() - 1);
+}
+
+Level
+FunctionProfile::mostCostEffectiveLevel(std::uint64_t n_calls) const
+{
+    Level best = 0;
+    // Use __int128 so huge call counts cannot overflow the total.
+    __int128 best_cost = static_cast<__int128>(levels_[0].compile) +
+                         static_cast<__int128>(n_calls) * levels_[0].exec;
+    for (std::size_t j = 1; j < levels_.size(); ++j) {
+        const __int128 cost =
+            static_cast<__int128>(levels_[j].compile) +
+            static_cast<__int128>(n_calls) * levels_[j].exec;
+        if (cost < best_cost) {
+            best_cost = cost;
+            best = static_cast<Level>(j);
+        }
+    }
+    return best;
+}
+
+bool
+FunctionProfile::levelsMonotonic(const std::vector<LevelCosts> &levels)
+{
+    for (std::size_t j = 0; j + 1 < levels.size(); ++j) {
+        if (levels[j].compile > levels[j + 1].compile)
+            return false;
+        if (levels[j].exec < levels[j + 1].exec)
+            return false;
+    }
+    for (const auto &lc : levels) {
+        if (lc.compile < 0 || lc.exec < 0)
+            return false;
+    }
+    return true;
+}
+
+} // namespace jitsched

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Per-function compilation/execution cost profile.
+ *
+ * This is the (c_{i,j}, e_{i,j}) matrix from the paper's Definition 1:
+ * for every compilation unit i and optimization level j, the time to
+ * compile the unit at that level and the time one invocation takes
+ * when running the code produced at that level.  The paper's
+ * monotonicity assumptions are enforced as class invariants:
+ *
+ *   j1 < j2  =>  c(i,j1) <= c(i,j2)  and  e(i,j1) >= e(i,j2)
+ */
+
+#ifndef JITSCHED_TRACE_FUNCTION_PROFILE_HH
+#define JITSCHED_TRACE_FUNCTION_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace jitsched {
+
+/** Compilation and per-invocation execution cost at one level. */
+struct LevelCosts
+{
+    Tick compile = 0; ///< time to compile the function at this level
+    Tick exec = 0;    ///< time one invocation takes at this level
+
+    bool operator==(const LevelCosts &) const = default;
+};
+
+/**
+ * Cost profile of one compilation unit (function / method).
+ *
+ * Levels are indexed 0 (cheapest compile, slowest code) upward. The
+ * paper's Jikes RVM setup has 4 levels (baseline + O0/O1/O2); V8 has
+ * 2. The profile also carries a nominal code size, which the default
+ * cost-benefit model uses for its (deliberately imperfect) estimates.
+ */
+class FunctionProfile
+{
+  public:
+    FunctionProfile() = default;
+
+    /**
+     * @param name human-readable identifier
+     * @param size nominal code size (e.g. bytecodes)
+     * @param levels per-level costs; must satisfy the monotonicity
+     *               invariants (checked, panics otherwise)
+     */
+    FunctionProfile(std::string name, std::uint32_t size,
+                    std::vector<LevelCosts> levels);
+
+    const std::string &name() const { return name_; }
+    std::uint32_t size() const { return size_; }
+
+    /** Number of available optimization levels. */
+    std::size_t numLevels() const { return levels_.size(); }
+
+    /** Costs at a given level (bounds-checked). */
+    const LevelCosts &level(Level j) const;
+
+    /** Compilation time at level j. */
+    Tick compileTime(Level j) const { return level(j).compile; }
+
+    /** Per-invocation execution time at level j. */
+    Tick execTime(Level j) const { return level(j).exec; }
+
+    /** Highest (deepest-optimizing) level index. */
+    Level highestLevel() const;
+
+    /**
+     * Most cost-effective level given a call count: the level l
+     * minimizing c(l) + n * e(l) (Theorem 1 / Sec. 5.1), using the
+     * true profile times. Ties break toward the lower level.
+     */
+    Level mostCostEffectiveLevel(std::uint64_t n_calls) const;
+
+    /** True if the monotonicity invariants hold. */
+    static bool levelsMonotonic(const std::vector<LevelCosts> &levels);
+
+    bool operator==(const FunctionProfile &) const = default;
+
+  private:
+    std::string name_;
+    std::uint32_t size_ = 0;
+    std::vector<LevelCosts> levels_;
+};
+
+} // namespace jitsched
+
+#endif // JITSCHED_TRACE_FUNCTION_PROFILE_HH

@@ -1,0 +1,69 @@
+#include "trace/paper_examples.hh"
+
+namespace jitsched {
+
+namespace {
+
+std::vector<FunctionProfile>
+exampleFunctions()
+{
+    // f0 and f2's "one worthwhile level" is modeled by duplicating
+    // the useful level where the paper leaves the other unspecified:
+    // f0 is cheap either way; f2's two levels are both real (Fig. 2
+    // uses its level-1 recompilation).
+    std::vector<FunctionProfile> funcs;
+    funcs.emplace_back("f0", 1,
+                       std::vector<LevelCosts>{{1, 1}, {1, 1}});
+    funcs.emplace_back("f1", 1,
+                       std::vector<LevelCosts>{{1, 3}, {3, 2}});
+    funcs.emplace_back("f2", 1,
+                       std::vector<LevelCosts>{{3, 3}, {5, 1}});
+    return funcs;
+}
+
+} // anonymous namespace
+
+Workload
+figure1Workload()
+{
+    return Workload("paper-fig1", exampleFunctions(), {0, 1, 2, 1});
+}
+
+Workload
+figure2Workload()
+{
+    return Workload("paper-fig2", exampleFunctions(),
+                    {0, 1, 2, 1, 2});
+}
+
+Schedule
+figureSchemeS1()
+{
+    return Schedule({{0, 0}, {1, 0}, {2, 0}});
+}
+
+Schedule
+figureSchemeS2()
+{
+    return Schedule({{0, 0}, {1, 1}, {2, 0}});
+}
+
+Schedule
+figureSchemeS3()
+{
+    return Schedule({{0, 0}, {1, 0}, {2, 0}, {1, 1}});
+}
+
+Schedule
+figureSchemeS1Extended()
+{
+    return Schedule({{0, 0}, {1, 0}, {2, 0}, {2, 1}});
+}
+
+Schedule
+figureSchemeS2Extended()
+{
+    return Schedule({{0, 0}, {1, 1}, {2, 0}, {2, 1}});
+}
+
+} // namespace jitsched

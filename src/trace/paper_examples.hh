@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The worked examples of the paper's Figs. 1 and 2, as workloads.
+ *
+ * Three functions f0, f1, f2; invocation sequence "f0 f1 f2 f1"
+ * (Fig. 1) or "f0 f1 f2 f1 f2" (Fig. 2).  Times (in abstract units,
+ * 1 unit = 1 tick):
+ *
+ *   f0: one useful level            c = 1,  e = 1
+ *   f1: level 0: c = 1, e = 3       level 1: c = 3, e = 2
+ *   f2: level 0: c = 3, e = 3       level 1: c = 5, e = 1
+ *
+ * With these costs the paper's timelines give make-spans 11/12/10 for
+ * schemes s1/s2/s3 on the Fig. 1 sequence, and 12/13/13 when the
+ * fifth call is appended (with the c21 recompilation appended to s1
+ * and s2) — the example that shows how appending one call flips which
+ * schedule is best.
+ */
+
+#ifndef JITSCHED_TRACE_PAPER_EXAMPLES_HH
+#define JITSCHED_TRACE_PAPER_EXAMPLES_HH
+
+#include "core/schedule.hh"
+#include "trace/workload.hh"
+
+namespace jitsched {
+
+/** The Fig. 1 instance: calls f0 f1 f2 f1. */
+Workload figure1Workload();
+
+/** The Fig. 2 instance: calls f0 f1 f2 f1 f2. */
+Workload figure2Workload();
+
+/** Scheme s1: all functions compiled at level 0. */
+Schedule figureSchemeS1();
+
+/** Scheme s2: f1 compiled at level 1, others at level 0. */
+Schedule figureSchemeS2();
+
+/** Scheme s3: f1 compiled at level 0 first and later at level 1. */
+Schedule figureSchemeS3();
+
+/** Scheme s1/s2 with the recompilation of f2 at level 1 appended. */
+Schedule figureSchemeS1Extended();
+Schedule figureSchemeS2Extended();
+
+} // namespace jitsched
+
+#endif // JITSCHED_TRACE_PAPER_EXAMPLES_HH

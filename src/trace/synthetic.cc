@@ -1,0 +1,253 @@
+#include "trace/synthetic.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace jitsched {
+
+namespace {
+
+/** Round a positive double to a Tick, clamping at 1 ns minimum. */
+Tick
+toTick(double ns)
+{
+    const double clamped = std::max(1.0, ns);
+    return static_cast<Tick>(std::llround(clamped));
+}
+
+void
+validate(const SyntheticConfig &cfg)
+{
+    if (cfg.numFunctions == 0)
+        JITSCHED_FATAL("synthetic: numFunctions must be > 0");
+    if (cfg.numCalls < cfg.numFunctions)
+        JITSCHED_FATAL("synthetic: numCalls (", cfg.numCalls,
+                       ") must be >= numFunctions (", cfg.numFunctions,
+                       ") so every function can appear");
+    if (cfg.numLevels == 0)
+        JITSCHED_FATAL("synthetic: numLevels must be > 0");
+    if (cfg.compileFactor.size() < cfg.numLevels)
+        JITSCHED_FATAL("synthetic: compileFactor needs ",
+                       cfg.numLevels, " entries");
+    if (cfg.speedupMean.size() < cfg.numLevels)
+        JITSCHED_FATAL("synthetic: speedupMean needs ", cfg.numLevels,
+                       " entries");
+    if (cfg.numPhases == 0)
+        JITSCHED_FATAL("synthetic: numPhases must be > 0");
+    if (cfg.sharedFraction < 0.0 || cfg.sharedFraction > 1.0)
+        JITSCHED_FATAL("synthetic: sharedFraction must be in [0,1]");
+    if (cfg.burstiness < 0.0 || cfg.burstiness >= 1.0)
+        JITSCHED_FATAL("synthetic: burstiness must be in [0,1)");
+    if (cfg.targetLevel0ExecTime <= 0)
+        JITSCHED_FATAL("synthetic: targetLevel0ExecTime must be > 0");
+    if (cfg.compileTimeScale <= 0.0)
+        JITSCHED_FATAL("synthetic: compileTimeScale must be > 0");
+    if (cfg.firstCallWindow <= 0.0 || cfg.firstCallWindow > 1.0)
+        JITSCHED_FATAL("synthetic: firstCallWindow must be in (0,1]");
+}
+
+/**
+ * Build the per-phase call sequence.
+ *
+ * Functions are split into a shared core (hot across the whole run)
+ * and per-phase private slices.  Within a phase, Zipf ranks cover the
+ * shared core first, then the phase's private functions, so shared
+ * functions are the hot ones.  Each private function of the phase is
+ * guaranteed at least one call, so first appearances spread over the
+ * run the way class loading does.
+ */
+std::vector<FuncId>
+buildCalls(const SyntheticConfig &cfg, Rng &structure_rng,
+           Rng &draw_rng)
+{
+    const std::size_t n = cfg.numFunctions;
+    std::vector<FuncId> ids(n);
+    for (std::size_t i = 0; i < n; ++i)
+        ids[i] = static_cast<FuncId>(i);
+    structure_rng.shuffle(ids);
+
+    const auto n_shared = static_cast<std::size_t>(
+        std::llround(cfg.sharedFraction * static_cast<double>(n)));
+    const std::vector<FuncId> shared(ids.begin(), ids.begin() + n_shared);
+    const std::vector<FuncId> rest(ids.begin() + n_shared, ids.end());
+
+    // Split the non-shared functions evenly across phases.
+    const std::size_t phases = cfg.numPhases;
+    std::vector<std::vector<FuncId>> private_of(phases);
+    for (std::size_t i = 0; i < rest.size(); ++i)
+        private_of[i * phases / std::max<std::size_t>(rest.size(), 1)]
+            .push_back(rest[i]);
+
+    std::vector<FuncId> calls;
+    calls.reserve(cfg.numCalls);
+
+    // Cumulative active set: shared + private slices of phases seen so
+    // far; the Zipf universe of a phase favors shared, then the
+    // current phase's private functions, then older private ones.
+    std::vector<FuncId> older_private;
+
+    for (std::size_t p = 0; p < phases; ++p) {
+        std::vector<FuncId> universe = shared;
+        structure_rng.shuffle(universe);
+        std::vector<FuncId> cur = private_of[p];
+        structure_rng.shuffle(cur);
+        universe.insert(universe.end(), cur.begin(), cur.end());
+        // A cool tail of previously seen private functions.
+        std::vector<FuncId> old_tail = older_private;
+        structure_rng.shuffle(old_tail);
+        universe.insert(universe.end(), old_tail.begin(), old_tail.end());
+
+        const std::size_t begin = cfg.numCalls * p / phases;
+        const std::size_t end = cfg.numCalls * (p + 1) / phases;
+        const std::size_t len = end - begin;
+        if (universe.empty() || len == 0)
+            continue;
+
+        ZipfSampler zipf(universe.size(), cfg.zipfSkew);
+        std::vector<FuncId> phase_calls;
+        phase_calls.reserve(len);
+        FuncId prev = universe[0];
+        while (phase_calls.size() < len) {
+            const FuncId f = universe[zipf.sample(draw_rng)];
+            // Bursty locality: short runs of the same callee.
+            const std::uint32_t burst = draw_rng.nextBurst(
+                cfg.burstiness,
+                static_cast<std::uint32_t>(len - phase_calls.size()));
+            for (std::uint32_t b = 0;
+                 b < burst && phase_calls.size() < len; ++b)
+                phase_calls.push_back(f);
+            prev = f;
+        }
+        (void)prev;
+
+        // Guarantee this phase's private functions all appear, so the
+        // workload's function count matches the configuration, and
+        // cluster those first appearances near the phase start the
+        // way class loading does.  Distinct buckets keep the injected
+        // calls from overwriting each other.
+        if (!cur.empty() && len >= cur.size()) {
+            const auto window = std::max<std::size_t>(
+                cur.size(),
+                static_cast<std::size_t>(cfg.firstCallWindow *
+                                         static_cast<double>(len)));
+            const std::size_t bucket =
+                std::max<std::size_t>(window / cur.size(), 1);
+            for (std::size_t i = 0; i < cur.size(); ++i) {
+                std::size_t slot =
+                    i * bucket +
+                    static_cast<std::size_t>(
+                        draw_rng.nextBelow(bucket));
+                slot = std::min(slot, len - 1);
+                phase_calls[slot] = cur[i];
+            }
+        }
+
+        calls.insert(calls.end(), phase_calls.begin(),
+                     phase_calls.end());
+        older_private.insert(older_private.end(), cur.begin(),
+                             cur.end());
+    }
+
+    // Shared functions might still be missing if sharedFraction is
+    // large and the sequence short; force-inject them near the start.
+    std::vector<bool> seen(n, false);
+    for (const FuncId f : calls)
+        seen[f] = true;
+    std::size_t slot = 1;
+    for (const FuncId f : ids) {
+        if (!seen[f] && slot < calls.size()) {
+            calls[slot] = f;
+            slot += 2;
+        }
+    }
+    return calls;
+}
+
+} // anonymous namespace
+
+Workload
+generateSynthetic(const SyntheticConfig &cfg)
+{
+    validate(cfg);
+    Rng rng(cfg.seed);
+
+    // With a dedicated sequence seed, only the dynamic draws come
+    // from it; passing the same engine twice reproduces the single-
+    // stream behaviour exactly.
+    Rng seq_rng(cfg.sequenceSeed);
+    Rng &draw_rng = cfg.sequenceSeed != 0 ? seq_rng : rng;
+    std::vector<FuncId> calls = buildCalls(cfg, rng, draw_rng);
+
+    // Per-function call counts (needed to scale execution times).
+    std::vector<std::uint64_t> counts(cfg.numFunctions, 0);
+    for (const FuncId f : calls)
+        ++counts[f];
+
+    // Draw raw per-function level-0 invocation costs, then scale the
+    // whole set so the total level-0 execution time hits the target.
+    std::vector<double> raw_exec(cfg.numFunctions);
+    double total_raw = 0.0;
+    for (std::size_t i = 0; i < cfg.numFunctions; ++i) {
+        raw_exec[i] = rng.nextLogNormal(0.0, cfg.execLogSigma);
+        total_raw += raw_exec[i] * static_cast<double>(counts[i]);
+    }
+    const double exec_scale =
+        static_cast<double>(cfg.targetLevel0ExecTime) /
+        std::max(total_raw, 1.0);
+
+    std::vector<FunctionProfile> funcs;
+    funcs.reserve(cfg.numFunctions);
+    for (std::size_t i = 0; i < cfg.numFunctions; ++i) {
+        const double size_d =
+            rng.nextLogNormal(cfg.sizeLogMean, cfg.sizeLogSigma);
+        const auto size = static_cast<std::uint32_t>(
+            std::max(8.0, std::min(size_d, 2.0e6)));
+
+        // Per-function speedups, forced non-decreasing over levels.
+        std::vector<double> speedup(cfg.numLevels);
+        for (std::size_t j = 0; j < cfg.numLevels; ++j) {
+            const double mean = cfg.speedupMean[j];
+            speedup[j] = j == 0
+                             ? 1.0
+                             : 1.0 + (mean - 1.0) *
+                                   rng.nextLogNormal(0.0,
+                                                     cfg.speedupSigma);
+        }
+        std::sort(speedup.begin(), speedup.end());
+
+        const double e0 = raw_exec[i] * exec_scale;
+        const double c_base =
+            static_cast<double>(size) * cfg.compileNsPerByte *
+            cfg.compileTimeScale *
+            rng.nextLogNormal(0.0, cfg.compileJitterSigma);
+
+        std::vector<LevelCosts> levels(cfg.numLevels);
+        for (std::size_t j = 0; j < cfg.numLevels; ++j) {
+            const double c = c_base * cfg.compileFactor[j] *
+                             rng.nextLogNormal(0.0,
+                                               cfg.compileJitterSigma / 2);
+            levels[j].compile = toTick(c);
+            levels[j].exec = toTick(e0 / speedup[j]);
+        }
+        if (cfg.interpreterLevel0)
+            levels[0].compile = 0;
+
+        // Force the paper's monotonicity invariants after jitter.
+        for (std::size_t j = 1; j < cfg.numLevels; ++j) {
+            levels[j].compile =
+                std::max(levels[j].compile, levels[j - 1].compile);
+            levels[j].exec = std::min(levels[j].exec,
+                                      levels[j - 1].exec);
+        }
+
+        funcs.emplace_back("f" + std::to_string(i), size,
+                           std::move(levels));
+    }
+
+    return Workload(cfg.name, std::move(funcs), std::move(calls));
+}
+
+} // namespace jitsched

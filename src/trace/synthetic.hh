@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Synthetic workload generator.
+ *
+ * The paper collects (call sequence, c_{i,j}, e_{i,j}) data from Jikes
+ * RVM replay runs of the DaCapo 2006 suite.  We do not have that
+ * infrastructure, so this module synthesizes statistically similar
+ * inputs: log-normal code sizes, level cost models that respect the
+ * paper's monotonicity assumptions, Zipf-skewed function hotness,
+ * phase structure (functions appear over time, as classes load), and
+ * bursty temporal locality.  Every scheduler under study consumes only
+ * this (trace, costs) tuple — exactly what the paper's own make-span
+ * evaluation framework consumes — so the comparative results exercise
+ * the same code paths as the original study.
+ */
+
+#ifndef JITSCHED_TRACE_SYNTHETIC_HH
+#define JITSCHED_TRACE_SYNTHETIC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/types.hh"
+#include "trace/workload.hh"
+
+namespace jitsched {
+
+/**
+ * Tunable parameters of the synthetic workload generator.
+ *
+ * The defaults model a Jikes-RVM-like 4-level JIT: a very cheap
+ * baseline compiler and three optimizing levels whose compile cost
+ * grows steeply while the produced code gets faster.
+ */
+struct SyntheticConfig
+{
+    /** Workload name carried into the Workload. */
+    std::string name = "synthetic";
+
+    /** Number of distinct functions (every one will be called). */
+    std::size_t numFunctions = 1000;
+
+    /** Length of the call sequence. */
+    std::size_t numCalls = 1'000'000;
+
+    /** Number of JIT optimization levels (>= 1). */
+    std::size_t numLevels = 4;
+
+    /** Zipf skew of function hotness within a phase. */
+    double zipfSkew = 0.85;
+
+    /** Number of program phases; functions appear phase by phase. */
+    std::size_t numPhases = 6;
+
+    /** Fraction of functions hot across all phases (shared core). */
+    double sharedFraction = 0.40;
+
+    /** Probability of repeating the previous call (burstiness). */
+    double burstiness = 0.55;
+
+    /**
+     * log-normal parameters of code size in "bytecodes".  Java
+     * methods are small: median ~65, mean ~100.
+     */
+    double sizeLogMean = 4.2;
+    double sizeLogSigma = 0.9;
+
+    /**
+     * Baseline compile cost per size unit, in ns.  In the Jikes
+     * ballpark (baseline compiler: hundreds of bytecodes per ms).
+     */
+    double compileNsPerByte = 500.0;
+
+    /**
+     * Global multiplier on every compile time.  When a trace is
+     * generated at 1/S of its real length (numCalls and
+     * targetLevel0ExecTime divided by S) the compile mass must shrink
+     * with it, or the compile/execute balance — which the paper's
+     * comparisons hinge on — is distorted by S; pass 1/S here.
+     */
+    double compileTimeScale = 1.0;
+
+    /**
+     * Per-level compile cost multiplier over baseline.  The Jikes
+     * optimizing compiler is one to two orders of magnitude slower
+     * than the baseline compiler, steeply so at O2.
+     */
+    std::vector<double> compileFactor = {1.0, 32.0, 96.0, 256.0};
+
+    /** Multiplicative jitter applied to each compile time. */
+    double compileJitterSigma = 0.25;
+
+    /** Per-level mean speedup of execution over level 0. */
+    std::vector<double> speedupMean = {1.0, 3.15, 4.5, 6.0};
+
+    /**
+     * Fraction of a phase within which its new functions make their
+     * first appearance.  Small values model the class-loading bursts
+     * at phase boundaries that real traces show.
+     */
+    double firstCallWindow = 0.02;
+
+    /** log-sigma of per-function speedup variation. */
+    double speedupSigma = 0.55;
+
+    /** log-normal spread of per-function level-0 invocation cost. */
+    double execLogSigma = 1.2;
+
+    /**
+     * Target total level-0 execution time of the whole sequence; all
+     * execution times are scaled to hit this, so the compile/execute
+     * balance matches a warmup run of the given length.
+     */
+    Tick targetLevel0ExecTime = 4 * ticksPerSecond;
+
+    /**
+     * Treat level 0 as an interpreter (Sec. 8): zero compile cost for
+     * the lowest level.
+     */
+    bool interpreterLevel0 = false;
+
+    /** RNG seed; same seed, same workload. */
+    std::uint64_t seed = 1;
+
+    /**
+     * Seed for the *dynamic* draws only (which hot function each
+     * call picks, burst lengths, first-call slots).  0 (default)
+     * derives everything from `seed`.  A non-zero value models
+     * another run of the *same program*: function profiles, phase
+     * membership and the hotness ranking stay fixed, while the call
+     * interleaving varies — which is what cross-run learning
+     * (Sec. 8) trains on.
+     */
+    std::uint64_t sequenceSeed = 0;
+};
+
+/**
+ * Generate a workload from a configuration.
+ * fatal() on inconsistent configurations (user input).
+ */
+Workload generateSynthetic(const SyntheticConfig &cfg);
+
+} // namespace jitsched
+
+#endif // JITSCHED_TRACE_SYNTHETIC_HH

@@ -1,0 +1,164 @@
+#include "trace/trace_io.hh"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/strutil.hh"
+
+namespace jitsched {
+
+void
+writeWorkload(std::ostream &os, const Workload &w)
+{
+    os << "# jitsched workload trace\n";
+    os << "workload " << w.name() << "\n";
+    os << "levels " << w.maxLevels() << "\n";
+    for (std::size_t i = 0; i < w.numFunctions(); ++i) {
+        const auto &prof = w.function(static_cast<FuncId>(i));
+        os << "func " << i << ' ' << prof.name() << ' ' << prof.size();
+        for (std::size_t j = 0; j < prof.numLevels(); ++j) {
+            const auto &lc = prof.level(static_cast<Level>(j));
+            os << ' ' << lc.compile << ' ' << lc.exec;
+        }
+        os << "\n";
+    }
+    os << "calls " << w.numCalls() << "\n";
+    const auto &calls = w.calls();
+    for (std::size_t i = 0; i < calls.size(); ++i) {
+        os << calls[i];
+        os << ((i % 16 == 15 || i + 1 == calls.size()) ? '\n' : ' ');
+    }
+}
+
+void
+writeWorkloadFile(const std::string &path, const Workload &w)
+{
+    std::ofstream os(path);
+    if (!os)
+        JITSCHED_FATAL("cannot open '", path, "' for writing");
+    writeWorkload(os, w);
+    if (!os)
+        JITSCHED_FATAL("I/O error while writing '", path, "'");
+}
+
+namespace {
+
+/** Strip comments and surrounding whitespace from one line. */
+std::string
+cleanLine(const std::string &line)
+{
+    const std::size_t hash = line.find('#');
+    const std::string_view body =
+        hash == std::string::npos
+            ? std::string_view(line)
+            : std::string_view(line).substr(0, hash);
+    return std::string(trim(body));
+}
+
+std::int64_t
+requireInt(std::string_view tok, const char *what)
+{
+    const auto v = parseInt(tok);
+    if (!v)
+        JITSCHED_FATAL("trace parse error: bad ", what, " '",
+                       std::string(tok), "'");
+    return *v;
+}
+
+} // anonymous namespace
+
+Workload
+readWorkload(std::istream &is)
+{
+    std::string name = "unnamed";
+    std::size_t levels = 0;
+    std::vector<FunctionProfile> funcs;
+    std::vector<FuncId> calls;
+    std::size_t expected_calls = 0;
+    bool in_calls = false;
+
+    std::string raw;
+    while (std::getline(is, raw)) {
+        const std::string line = cleanLine(raw);
+        if (line.empty())
+            continue;
+
+        std::istringstream ls(line);
+        if (in_calls) {
+            std::string tok;
+            while (ls >> tok)
+                calls.push_back(static_cast<FuncId>(
+                    requireInt(tok, "call function id")));
+            if (calls.size() >= expected_calls)
+                in_calls = false;
+            continue;
+        }
+
+        std::string key;
+        ls >> key;
+        if (key == "workload") {
+            ls >> name;
+        } else if (key == "levels") {
+            std::string tok;
+            ls >> tok;
+            levels = static_cast<std::size_t>(
+                requireInt(tok, "level count"));
+        } else if (key == "func") {
+            std::string id_tok, fname, size_tok;
+            ls >> id_tok >> fname >> size_tok;
+            const auto id = static_cast<std::size_t>(
+                requireInt(id_tok, "function id"));
+            if (id != funcs.size())
+                JITSCHED_FATAL("trace parse error: function ids must "
+                               "be dense and in order (got ", id,
+                               ", expected ", funcs.size(), ")");
+            const auto size = static_cast<std::uint32_t>(
+                requireInt(size_tok, "function size"));
+            std::vector<LevelCosts> lcs;
+            std::string c_tok, e_tok;
+            while (ls >> c_tok >> e_tok) {
+                lcs.push_back({requireInt(c_tok, "compile time"),
+                               requireInt(e_tok, "execution time")});
+            }
+            if (lcs.empty())
+                JITSCHED_FATAL("trace parse error: function '", fname,
+                               "' has no level costs");
+            if (levels != 0 && lcs.size() > levels)
+                JITSCHED_FATAL("trace parse error: function '", fname,
+                               "' declares more levels than header");
+            if (!FunctionProfile::levelsMonotonic(lcs))
+                JITSCHED_FATAL("trace parse error: function '", fname,
+                               "' violates level monotonicity");
+            funcs.emplace_back(fname, size, std::move(lcs));
+        } else if (key == "calls") {
+            std::string tok;
+            ls >> tok;
+            expected_calls = static_cast<std::size_t>(
+                requireInt(tok, "call count"));
+            calls.reserve(expected_calls);
+            in_calls = expected_calls > 0;
+        } else {
+            JITSCHED_FATAL("trace parse error: unknown directive '",
+                           key, "'");
+        }
+    }
+
+    if (calls.size() != expected_calls)
+        JITSCHED_FATAL("trace parse error: expected ", expected_calls,
+                       " calls, found ", calls.size());
+    return Workload(name, std::move(funcs), std::move(calls));
+}
+
+Workload
+readWorkloadFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        JITSCHED_FATAL("cannot open '", path, "' for reading");
+    return readWorkload(is);
+}
+
+} // namespace jitsched

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Plain-text serialization of workloads.
+ *
+ * The format mirrors what the paper's data-collection framework emits
+ * from Jikes RVM replay runs: a function table with per-level
+ * compilation/execution times, followed by the call sequence.
+ *
+ * Grammar (line oriented, '#' starts a comment):
+ *
+ *   workload <name>
+ *   levels <L>
+ *   func <id> <name> <size> <c0> <e0> <c1> <e1> ... (L pairs, ticks)
+ *   calls <N>
+ *   <id> <id> <id> ...        (whitespace separated, any line breaks)
+ *
+ * Functions may declare fewer than L levels by repeating the last
+ * pair; the reader only requires each func line to carry at least one
+ * pair and at most L.
+ */
+
+#ifndef JITSCHED_TRACE_TRACE_IO_HH
+#define JITSCHED_TRACE_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/workload.hh"
+
+namespace jitsched {
+
+/** Serialize a workload to a stream in the text format above. */
+void writeWorkload(std::ostream &os, const Workload &w);
+
+/** Serialize a workload to a file; fatal() on I/O failure. */
+void writeWorkloadFile(const std::string &path, const Workload &w);
+
+/**
+ * Parse a workload from a stream.
+ * fatal() on malformed input (this is user data, not a bug).
+ */
+Workload readWorkload(std::istream &is);
+
+/** Parse a workload from a file; fatal() on I/O failure. */
+Workload readWorkloadFile(const std::string &path);
+
+} // namespace jitsched
+
+#endif // JITSCHED_TRACE_TRACE_IO_HH

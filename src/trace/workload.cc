@@ -1,0 +1,97 @@
+#include "trace/workload.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace jitsched {
+
+Workload::Workload(std::string name,
+                   std::vector<FunctionProfile> functions,
+                   std::vector<FuncId> calls)
+    : name_(std::move(name)), functions_(std::move(functions)),
+      calls_(std::move(calls))
+{
+    call_counts_.assign(functions_.size(), 0);
+    first_call_.assign(functions_.size(), -1);
+    first_order_.reserve(functions_.size());
+
+    for (std::size_t i = 0; i < calls_.size(); ++i) {
+        const FuncId f = calls_[i];
+        if (f >= functions_.size())
+            JITSCHED_PANIC("workload '", name_, "': call #", i,
+                           " references unknown function ", f);
+        if (call_counts_[f] == 0) {
+            first_call_[f] = static_cast<std::int64_t>(i);
+            first_order_.push_back(f);
+        }
+        ++call_counts_[f];
+    }
+}
+
+const FunctionProfile &
+Workload::function(FuncId f) const
+{
+    if (f >= functions_.size())
+        JITSCHED_PANIC("workload '", name_, "': function id ", f,
+                       " out of range");
+    return functions_[f];
+}
+
+std::uint64_t
+Workload::callCount(FuncId f) const
+{
+    if (f >= call_counts_.size())
+        JITSCHED_PANIC("callCount: function id ", f, " out of range");
+    return call_counts_[f];
+}
+
+std::int64_t
+Workload::firstCallIndex(FuncId f) const
+{
+    if (f >= first_call_.size())
+        JITSCHED_PANIC("firstCallIndex: function id ", f,
+                       " out of range");
+    return first_call_[f];
+}
+
+Tick
+Workload::totalExecAtLevel(Level j) const
+{
+    Tick total = 0;
+    for (const FuncId f : calls_) {
+        const auto &prof = functions_[f];
+        const Level use = std::min<Level>(j, prof.highestLevel());
+        total += prof.execTime(use);
+    }
+    return total;
+}
+
+std::size_t
+Workload::maxLevels() const
+{
+    std::size_t m = 0;
+    for (const auto &prof : functions_)
+        m = std::max(m, prof.numLevels());
+    return m;
+}
+
+Workload
+Workload::restrictLevels(std::size_t n_levels) const
+{
+    if (n_levels == 0)
+        JITSCHED_PANIC("restrictLevels: need at least one level");
+    std::vector<FunctionProfile> restricted;
+    restricted.reserve(functions_.size());
+    for (const auto &prof : functions_) {
+        std::vector<LevelCosts> levels;
+        const std::size_t keep = std::min(n_levels, prof.numLevels());
+        for (std::size_t j = 0; j < keep; ++j)
+            levels.push_back(prof.level(static_cast<Level>(j)));
+        restricted.emplace_back(prof.name(), prof.size(),
+                                std::move(levels));
+    }
+    return Workload(name_, std::move(restricted), calls_);
+}
+
+} // namespace jitsched

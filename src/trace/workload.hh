@@ -1,0 +1,102 @@
+/**
+ * @file
+ * A Workload is the complete input to the Optimal Compilation
+ * Scheduling Problem (OCSP, Definition 1 of the paper): a table of
+ * function profiles plus the dynamic call sequence.  Derived indices
+ * (call counts, first-call positions, first-appearance order) are
+ * precomputed because every scheduler needs them.
+ */
+
+#ifndef JITSCHED_TRACE_WORKLOAD_HH
+#define JITSCHED_TRACE_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/types.hh"
+#include "trace/function_profile.hh"
+
+namespace jitsched {
+
+/**
+ * Immutable OCSP instance: functions + call sequence + derived data.
+ */
+class Workload
+{
+  public:
+    Workload() = default;
+
+    /**
+     * @param name workload identifier (e.g. "antlr")
+     * @param functions profile table, indexed by FuncId
+     * @param calls dynamic call sequence; each entry must be a valid
+     *              index into @p functions (checked, panics otherwise)
+     */
+    Workload(std::string name, std::vector<FunctionProfile> functions,
+             std::vector<FuncId> calls);
+
+    const std::string &name() const { return name_; }
+
+    /** Number of functions in the profile table. */
+    std::size_t numFunctions() const { return functions_.size(); }
+
+    /** Length of the call sequence. */
+    std::size_t numCalls() const { return calls_.size(); }
+
+    const std::vector<FunctionProfile> &functions() const
+    {
+        return functions_;
+    }
+
+    const FunctionProfile &function(FuncId f) const;
+
+    const std::vector<FuncId> &calls() const { return calls_; }
+
+    /** Number of invocations of function f in the sequence. */
+    std::uint64_t callCount(FuncId f) const;
+
+    /**
+     * Index in the call sequence of the first call to f;
+     * -1 if f is never called.
+     */
+    std::int64_t firstCallIndex(FuncId f) const;
+
+    /** Functions ordered by their first appearance in the sequence. */
+    const std::vector<FuncId> &firstAppearanceOrder() const
+    {
+        return first_order_;
+    }
+
+    /** Number of distinct functions that are actually called. */
+    std::size_t numCalledFunctions() const { return first_order_.size(); }
+
+    /**
+     * Total execution time if every call ran at the given level
+     * (functions lacking that level use their highest one).
+     */
+    Tick totalExecAtLevel(Level j) const;
+
+    /** Maximum level count over all functions. */
+    std::size_t maxLevels() const;
+
+    /**
+     * Build a copy that only exposes the lowest @p n_levels levels of
+     * every function (used for the V8 experiment, which restricts the
+     * JIT to the two lowest Jikes levels, Sec. 6.2.4).
+     */
+    Workload restrictLevels(std::size_t n_levels) const;
+
+  private:
+    std::string name_;
+    std::vector<FunctionProfile> functions_;
+    std::vector<FuncId> calls_;
+
+    std::vector<std::uint64_t> call_counts_;
+    std::vector<std::int64_t> first_call_;
+    std::vector<FuncId> first_order_;
+};
+
+} // namespace jitsched
+
+#endif // JITSCHED_TRACE_WORKLOAD_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The Jikes RVM adaptive compilation scheme (Sec. 2, Sec. 6.2.1) —
+ * the paper's primary "default" baseline.
+ *
+ * Behaviour reproduced:
+ *  - At the first invocation of a function, a request to compile it
+ *    at the lowest level is enqueued.
+ *  - A timer-based sampler observes the running function.  After a
+ *    sample of function f (k samples seen so far), the system
+ *    evaluates recompilation: let l be the level of the last
+ *    compilation of f, and m the level minimizing the modeled cost
+ *    e_j * k + c_j over levels j > l.  If e_m * k + c_m < e_l * k,
+ *    a request to recompile f at level m is enqueued.
+ *  - Requests are served FIFO by the compilation thread(s).
+ *
+ * The e_j / c_j in the test come from a cost-benefit model
+ * (vm/cost_benefit.hh): the default estimator for Fig. 5, the oracle
+ * for Fig. 6.
+ */
+
+#ifndef JITSCHED_VM_ADAPTIVE_RUNTIME_HH
+#define JITSCHED_VM_ADAPTIVE_RUNTIME_HH
+
+#include "core/candidate_levels.hh"
+#include "vm/online_engine.hh"
+
+namespace jitsched {
+
+/** Knobs of the adaptive (Jikes-style) runtime. */
+struct AdaptiveConfig
+{
+    /** Number of compilation cores. */
+    std::size_t compileCores = 1;
+
+    /**
+     * Sampling period.  Pick relative to the workload duration; the
+     * helper defaultSamplePeriod() mimics a ~1 kHz OS timer scaled to
+     * the trace.
+     */
+    Tick samplePeriod = ticksPerMs;
+
+    /**
+     * Queue discipline.  Fifo is what Jikes does;
+     * FirstCompileFirst applies the paper's Sec. 7 insight.
+     */
+    QueueDiscipline discipline = QueueDiscipline::Fifo;
+};
+
+/**
+ * A sampling period matched to the workload: roughly the mean call
+ * duration, so a sample count approximates an invocation count (see
+ * the note in the implementation).
+ */
+Tick defaultSamplePeriod(const Workload &w);
+
+/**
+ * Run the Jikes adaptive scheme.
+ *
+ * @param w workload
+ * @param est the cost-benefit model's view of the times, used in the
+ *            recompilation test
+ * @param cfg engine knobs
+ */
+RuntimeResult runAdaptive(const Workload &w, const TimeEstimates &est,
+                          const AdaptiveConfig &cfg);
+
+} // namespace jitsched
+
+#endif // JITSCHED_VM_ADAPTIVE_RUNTIME_HH

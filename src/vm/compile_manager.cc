@@ -1,0 +1,145 @@
+#include "vm/compile_manager.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace jitsched {
+
+CompileManager::CompileManager(std::size_t num_funcs,
+                               std::size_t num_cores,
+                               QueueDiscipline discipline)
+    : discipline_(discipline), versions_(num_funcs)
+{
+    if (num_cores == 0)
+        JITSCHED_PANIC("CompileManager needs at least one core");
+    cores_.assign(num_cores, 0);
+}
+
+void
+CompileManager::submit(FuncId f, Level level, Tick duration,
+                       Tick arrival, bool first_compile)
+{
+    if (f >= versions_.size())
+        JITSCHED_PANIC("CompileManager::submit: bad function ", f);
+    if (arrival < last_arrival_)
+        JITSCHED_PANIC("CompileManager: arrivals must be "
+                       "non-decreasing (got ", arrival, " after ",
+                       last_arrival_, ")");
+    if (duration < 0)
+        JITSCHED_PANIC("CompileManager: negative duration");
+    last_arrival_ = arrival;
+
+    const std::size_t cls =
+        discipline_ == QueueDiscipline::FirstCompileFirst &&
+                !first_compile
+            ? 1
+            : 0;
+    pending_[cls].push_back({f, level, duration, arrival});
+    ++submitted_;
+}
+
+bool
+CompileManager::dispatchOne(Tick horizon)
+{
+    if (pending_[0].empty() && pending_[1].empty())
+        return false;
+
+    // The next dispatch happens when a core is free AND some job has
+    // arrived: at max(earliest core free, earliest pending arrival).
+    auto core = std::min_element(cores_.begin(), cores_.end());
+    Tick earliest_arrival = maxTick;
+    for (const auto &q : pending_) {
+        if (!q.empty())
+            earliest_arrival =
+                std::min(earliest_arrival, q.front().arrival);
+    }
+    const Tick start = std::max(*core, earliest_arrival);
+    if (start > horizon)
+        return false;
+
+    // Among jobs that have arrived by `start`, class 0 wins; within
+    // a class, arrival order (the deques are arrival-sorted).
+    std::deque<Job> *queue = nullptr;
+    for (auto &q : pending_) {
+        if (!q.empty() && q.front().arrival <= start) {
+            queue = &q;
+            break;
+        }
+    }
+    if (queue == nullptr)
+        JITSCHED_PANIC("CompileManager: dispatch logic error");
+
+    const Job job = queue->front();
+    queue->pop_front();
+    const Tick completion = start + job.duration;
+    *core = completion;
+    busy_ += job.duration;
+
+    auto &vers = versions_[job.func];
+    const Version v{completion, job.level};
+    vers.insert(std::upper_bound(vers.begin(), vers.end(), v,
+                                 [](const Version &a,
+                                    const Version &b) {
+                                     return a.completion <
+                                            b.completion;
+                                 }),
+                v);
+    dispatch_order_.emplace_back(job.func, job.level);
+    return true;
+}
+
+void
+CompileManager::dispatchUntil(Tick horizon)
+{
+    while (dispatchOne(horizon)) {
+    }
+}
+
+Tick
+CompileManager::firstReady(FuncId f)
+{
+    if (f >= versions_.size())
+        JITSCHED_PANIC("CompileManager::firstReady: bad function ",
+                       f);
+    // Dispatch forward until f has a version.  While the execution
+    // thread is blocked on f, no new requests can arrive, so future
+    // dispatch decisions here are final.
+    while (versions_[f].empty()) {
+        if (!dispatchOne(maxTick))
+            JITSCHED_PANIC("CompileManager::firstReady: function ",
+                           f, " was never requested");
+    }
+    Tick earliest = versions_[f].front().completion;
+    for (const auto &v : versions_[f])
+        earliest = std::min(earliest, v.completion);
+    return earliest;
+}
+
+int
+CompileManager::versionAt(FuncId f, Tick t)
+{
+    if (f >= versions_.size())
+        JITSCHED_PANIC("CompileManager::versionAt: bad function ",
+                       f);
+    // Any job that could complete by t must start by t.
+    dispatchUntil(t);
+    int best = -1;
+    for (const auto &v : versions_[f]) {
+        if (v.completion <= t)
+            best = std::max(best, static_cast<int>(v.level));
+    }
+    return best;
+}
+
+Tick
+CompileManager::drain()
+{
+    dispatchUntil(maxTick);
+    Tick done = 0;
+    for (const Tick t : cores_)
+        done = std::max(done, t);
+    return done;
+}
+
+} // namespace jitsched

@@ -1,0 +1,119 @@
+#include "vm/cost_benefit.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace jitsched {
+
+TimeEstimates
+buildEstimates(const Workload &w, const CostBenefitConfig &cfg)
+{
+    if (cfg.kind == ModelKind::Oracle)
+        return oracleEstimates(w);
+
+    Rng rng(cfg.seed);
+    TimeEstimates est;
+    est.perFunc.resize(w.numFunctions());
+
+    // Offline-trained compile rates: configured, or fitted from the
+    // workload the way Jikes calibrates its model at install time.
+    std::vector<double> rates = cfg.compileNsPerByte;
+    if (rates.empty()) {
+        const std::size_t nl_max = w.maxLevels();
+        std::vector<double> time_sum(nl_max, 0.0);
+        double size_sum = 0.0;
+        for (std::size_t i = 0; i < w.numFunctions(); ++i) {
+            const auto &prof = w.function(static_cast<FuncId>(i));
+            size_sum += static_cast<double>(prof.size());
+            for (std::size_t j = 0; j < prof.numLevels(); ++j)
+                time_sum[j] += static_cast<double>(
+                    prof.compileTime(static_cast<Level>(j)));
+        }
+        rates.resize(nl_max);
+        for (std::size_t j = 0; j < nl_max; ++j)
+            rates[j] = size_sum > 0.0 ? time_sum[j] / size_sum : 0.0;
+    }
+    for (double &r : rates)
+        r *= cfg.compileRateBias;
+
+    for (std::size_t i = 0; i < w.numFunctions(); ++i) {
+        const auto &prof = w.function(static_cast<FuncId>(i));
+        const std::size_t nl = prof.numLevels();
+        if (rates.size() < nl || cfg.assumedSpeedup.size() < nl)
+            JITSCHED_FATAL("cost-benefit model configured for fewer "
+                           "levels (", rates.size(),
+                           ") than function '", prof.name(), "' has (",
+                           nl, ")");
+
+        auto &levels = est.perFunc[i];
+        levels.resize(nl);
+
+        // The model can observe the function's level-0 behaviour (the
+        // sampler sees it run) but projects deeper levels with global
+        // constants — the paper's "rough static estimation".
+        const double e0 = static_cast<double>(prof.execTime(0));
+        const double size = static_cast<double>(prof.size());
+
+        for (std::size_t j = 0; j < nl; ++j) {
+            double c = size * rates[j];
+            double e = e0 / cfg.assumedSpeedup[j];
+            if (cfg.noiseSigma > 0.0) {
+                c *= rng.nextLogNormal(0.0, cfg.noiseSigma);
+                e *= rng.nextLogNormal(0.0, cfg.noiseSigma);
+            }
+            levels[j].compile =
+                static_cast<Tick>(std::llround(std::max(0.0, c)));
+            levels[j].exec = static_cast<Tick>(
+                std::llround(std::max(1.0, e)));
+        }
+
+        // Re-impose the paper's monotonicity so estimates stay a
+        // legal cost table even under noise.
+        for (std::size_t j = 1; j < nl; ++j) {
+            levels[j].compile =
+                std::max(levels[j].compile, levels[j - 1].compile);
+            levels[j].exec =
+                std::min(levels[j].exec, levels[j - 1].exec);
+        }
+    }
+    return est;
+}
+
+TimeEstimates
+buildOracleEstimates(const Workload &w)
+{
+    CostBenefitConfig cfg;
+    cfg.kind = ModelKind::Oracle;
+    return buildEstimates(w, cfg);
+}
+
+TimeEstimates
+buildDefaultEstimates(const Workload &w)
+{
+    return buildEstimates(w, CostBenefitConfig{});
+}
+
+std::vector<double>
+modelCallCounts(const Workload &w, const CostBenefitConfig &cfg)
+{
+    const double factor =
+        cfg.kind == ModelKind::Oracle ? 1.0 : cfg.hotnessDiscount;
+    std::vector<double> counts(w.numFunctions());
+    for (std::size_t f = 0; f < w.numFunctions(); ++f)
+        counts[f] =
+            factor *
+            static_cast<double>(w.callCount(static_cast<FuncId>(f)));
+    return counts;
+}
+
+std::vector<CandidatePair>
+modelCandidateLevels(const Workload &w, const CostBenefitConfig &cfg)
+{
+    return chooseCandidateLevels(buildEstimates(w, cfg),
+                                 modelCallCounts(w, cfg));
+}
+
+} // namespace jitsched

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Discrete-event engine for *online* compilation policies.
+ *
+ * Unlike the static make-span simulator, online schedulers (the Jikes
+ * RVM adaptive system, the V8 scheme) discover work while the program
+ * runs: requests are enqueued at first encounters, at invocation
+ * counts, or at sampling ticks, and the compilation thread(s) serve
+ * the queue.  This engine interleaves a single execution thread with
+ * the compile queue and timer-based sampling, and reports both the
+ * resulting make-span and the compilation schedule that was actually
+ * dispatched.
+ *
+ * The queue discipline is pluggable (vm/compile_manager.hh): strict
+ * FIFO reproduces Jikes; FirstCompileFirst implements the paper's
+ * Sec. 7 insight that first-time compilations should outrank
+ * recompilations of other methods.
+ *
+ * Policy concept (duck-typed):
+ *
+ *   Level firstLevel(FuncId f);
+ *     level to request when f is first encountered
+ *   void onInvocation(FuncId f, std::uint64_t nth_call, Tick now,
+ *                     Requester &req);
+ *     called when an invocation of f is about to run (nth_call >= 1)
+ *   void onSample(FuncId f, Tick now, Requester &req);
+ *     called when the sampler catches f on the (simulated) stack
+ */
+
+#ifndef JITSCHED_VM_ONLINE_ENGINE_HH
+#define JITSCHED_VM_ONLINE_ENGINE_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/schedule.hh"
+#include "sim/makespan.hh"
+#include "support/logging.hh"
+#include "support/types.hh"
+#include "trace/workload.hh"
+#include "vm/compile_manager.hh"
+
+namespace jitsched {
+
+/** What an online policy run produces. */
+struct RuntimeResult
+{
+    /** Timing results, same shape as the static simulator's. */
+    SimResult sim;
+
+    /**
+     * The compile events in the order the compiler thread(s)
+     * actually processed them — the schedule the policy induced.
+     */
+    Schedule inducedSchedule;
+
+    /** Sampling ticks that hit a running function. */
+    std::uint64_t samples = 0;
+
+    /** Recompilation requests issued (beyond first encounters). */
+    std::uint64_t recompiles = 0;
+};
+
+/** Engine-level knobs shared by all online policies. */
+struct OnlineConfig
+{
+    /** Number of compilation cores (threads). */
+    std::size_t compileCores = 1;
+
+    /**
+     * Sampling period of the timer-based profiler; 0 disables
+     * sampling (the V8 scheme does not sample).
+     */
+    Tick samplePeriod = 0;
+
+    /** Queue discipline of the compilation queue. */
+    QueueDiscipline discipline = QueueDiscipline::Fifo;
+};
+
+/**
+ * Interface handed to policies for enqueueing compile requests.
+ * Requests at or below the function's last requested level are
+ * ignored (the adaptive system never downgrades).
+ */
+class Requester
+{
+  public:
+    Requester(const Workload &w, CompileManager &mgr,
+              std::vector<int> &last_requested)
+        : w_(w), mgr_(mgr), last_requested_(last_requested)
+    {
+    }
+
+    /**
+     * Enqueue a compile request.
+     * @return true if the request was accepted.
+     */
+    bool
+    request(FuncId f, Level level, Tick now)
+    {
+        if (static_cast<int>(level) <= last_requested_[f])
+            return false;
+        const bool first_compile = last_requested_[f] < 0;
+        mgr_.submit(f, level, w_.function(f).compileTime(level), now,
+                    first_compile);
+        last_requested_[f] = static_cast<int>(level);
+        return true;
+    }
+
+    /** Last level requested for f, or -1 if none. */
+    int
+    lastRequestedLevel(FuncId f) const
+    {
+        return last_requested_[f];
+    }
+
+  private:
+    const Workload &w_;
+    CompileManager &mgr_;
+    std::vector<int> &last_requested_;
+};
+
+/**
+ * Run an online policy over a workload.
+ *
+ * Semantics:
+ *  - at the arrival of a call to a never-seen function, the policy's
+ *    firstLevel() request is enqueued;
+ *  - the call waits (bubble) until some version has been compiled;
+ *  - the call runs the deepest version completed at or before its
+ *    start;
+ *  - while a call runs, sampling ticks (every samplePeriod, absolute
+ *    times) hit the running function and invoke onSample(); ticks
+ *    that land in bubbles hit no function (the thread is blocked in
+ *    the VM, not in application code);
+ *  - make-span is the end of the last call.
+ */
+template <typename Policy>
+RuntimeResult
+runOnline(const Workload &w, const OnlineConfig &cfg, Policy &policy)
+{
+    RuntimeResult out;
+    out.sim.callsAtLevel.assign(w.maxLevels(), 0);
+
+    CompileManager mgr(w.numFunctions(), cfg.compileCores,
+                       cfg.discipline);
+    std::vector<int> last_requested(w.numFunctions(), -1);
+    std::vector<std::uint64_t> n_calls(w.numFunctions(), 0);
+
+    Requester req(w, mgr, last_requested);
+
+    Tick now = 0;
+    Tick next_sample =
+        cfg.samplePeriod > 0 ? cfg.samplePeriod : maxTick;
+
+    const std::size_t first_encounters = w.numCalledFunctions();
+
+    for (const FuncId f : w.calls()) {
+        if (last_requested[f] < 0)
+            req.request(f, policy.firstLevel(f), now);
+
+        policy.onInvocation(f, ++n_calls[f], now, req);
+
+        const Tick first_ready = mgr.firstReady(f);
+        const Tick start = std::max(now, first_ready);
+        if (start > now) {
+            out.sim.totalBubble += start - now;
+            ++out.sim.bubbleCount;
+            // Sampling ticks inside the bubble hit no function.
+            while (next_sample <= start)
+                next_sample += cfg.samplePeriod;
+        }
+
+        const int lvl = mgr.versionAt(f, start);
+        if (lvl < 0)
+            JITSCHED_PANIC("runOnline: no version ready at start");
+        const Level level = static_cast<Level>(lvl);
+        const Tick dur = w.function(f).execTime(level);
+        const Tick end = start + dur;
+
+        // Sampling ticks that land while this call runs.
+        while (next_sample <= end) {
+            ++out.samples;
+            policy.onSample(f, next_sample, req);
+            next_sample += cfg.samplePeriod;
+        }
+
+        now = end;
+        out.sim.totalExec += dur;
+        ++out.sim.callsAtLevel[level];
+    }
+
+    out.sim.execEnd = now;
+    out.sim.makespan = now;
+    out.sim.compileEnd = mgr.drain();
+    out.sim.totalCompile = mgr.busyTime();
+
+    for (const auto &[func, level] : mgr.dispatchOrder())
+        out.inducedSchedule.append(func, level);
+    out.recompiles = mgr.jobCount() >= first_encounters
+                         ? mgr.jobCount() - first_encounters
+                         : 0;
+    return out;
+}
+
+} // namespace jitsched
+
+#endif // JITSCHED_VM_ONLINE_ENGINE_HH

@@ -1,0 +1,73 @@
+#include "vm/tiered_policy.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace jitsched {
+
+namespace {
+
+class TieredPolicyImpl
+{
+  public:
+    TieredPolicyImpl(const Workload &w,
+                     const std::vector<std::uint64_t> &promote_at)
+        : w_(w), promote_at_(promote_at)
+    {
+    }
+
+    Level
+    firstLevel(FuncId) const
+    {
+        return 0;
+    }
+
+    void
+    onInvocation(FuncId f, std::uint64_t nth, Tick now,
+                 Requester &req)
+    {
+        // Promote one tier per crossed threshold; the requester
+        // ignores levels at or below the last requested one, so a
+        // function that skips thresholds jumps straight to the
+        // deepest crossed tier.
+        const auto max_level = w_.function(f).highestLevel();
+        for (std::size_t i = promote_at_.size(); i-- > 0;) {
+            if (nth >= promote_at_[i]) {
+                const auto target = static_cast<Level>(
+                    std::min<std::size_t>(i + 1, max_level));
+                req.request(f, target, now);
+                break;
+            }
+        }
+    }
+
+    void
+    onSample(FuncId, Tick, Requester &)
+    {
+    }
+
+  private:
+    const Workload &w_;
+    const std::vector<std::uint64_t> &promote_at_;
+};
+
+} // anonymous namespace
+
+RuntimeResult
+runTiered(const Workload &w, const TieredConfig &cfg)
+{
+    for (std::size_t i = 1; i < cfg.promoteAt.size(); ++i) {
+        if (cfg.promoteAt[i] <= cfg.promoteAt[i - 1])
+            JITSCHED_FATAL("runTiered: promoteAt thresholds must "
+                           "strictly increase");
+    }
+    TieredPolicyImpl policy(w, cfg.promoteAt);
+    OnlineConfig ecfg;
+    ecfg.compileCores = cfg.compileCores;
+    ecfg.samplePeriod = 0; // counter-driven, no sampling
+    ecfg.discipline = cfg.discipline;
+    return runOnline(w, ecfg, policy);
+}
+
+} // namespace jitsched

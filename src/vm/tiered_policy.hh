@@ -1,0 +1,46 @@
+/**
+ * @file
+ * HotSpot-style tiered compilation policy.
+ *
+ * A third industrial baseline beyond the paper's two (Jikes, V8):
+ * modern HotSpot promotes a method through compilation tiers when
+ * its invocation counter crosses fixed thresholds — no timer
+ * sampling, no cost-benefit model, just counters.  Including it lets
+ * the benchmark suite compare the whole family of deployed
+ * scheduling schemes against the IAR limit.
+ */
+
+#ifndef JITSCHED_VM_TIERED_POLICY_HH
+#define JITSCHED_VM_TIERED_POLICY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "vm/online_engine.hh"
+
+namespace jitsched {
+
+/** Knobs of the tiered runtime. */
+struct TieredConfig
+{
+    /** Number of compilation cores. */
+    std::size_t compileCores = 1;
+
+    /**
+     * Invocation counts at which a function is promoted to level
+     * 1, 2, ... (level 0 compiles at first encounter).  Defaults
+     * scale like HotSpot's Tier2/Tier3/Tier4 thresholds.
+     */
+    std::vector<std::uint64_t> promoteAt = {200, 2000, 15000};
+
+    /** Queue discipline of the compile queue. */
+    QueueDiscipline discipline = QueueDiscipline::Fifo;
+};
+
+/** Run the tiered scheme on a workload. */
+RuntimeResult runTiered(const Workload &w,
+                        const TieredConfig &cfg = {});
+
+} // namespace jitsched
+
+#endif // JITSCHED_VM_TIERED_POLICY_HH

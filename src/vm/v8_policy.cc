@@ -1,0 +1,53 @@
+#include "vm/v8_policy.hh"
+
+namespace jitsched {
+
+namespace {
+
+class V8PolicyImpl
+{
+  public:
+    V8PolicyImpl(const Workload &w, std::uint64_t trigger)
+        : w_(w), trigger_(trigger)
+    {
+    }
+
+    Level
+    firstLevel(FuncId) const
+    {
+        return 0;
+    }
+
+    void
+    onInvocation(FuncId f, std::uint64_t nth, Tick now, Requester &req)
+    {
+        if (nth == trigger_) {
+            const Level high = w_.function(f).highestLevel();
+            if (high > 0)
+                req.request(f, high, now);
+        }
+    }
+
+    void
+    onSample(FuncId, Tick, Requester &)
+    {
+    }
+
+  private:
+    const Workload &w_;
+    std::uint64_t trigger_;
+};
+
+} // anonymous namespace
+
+RuntimeResult
+runV8(const Workload &w, const V8Config &cfg)
+{
+    V8PolicyImpl policy(w, cfg.recompileOnInvocation);
+    OnlineConfig ecfg;
+    ecfg.compileCores = cfg.compileCores;
+    ecfg.samplePeriod = 0; // the V8 scheme does not sample
+    return runOnline(w, ecfg, policy);
+}
+
+} // namespace jitsched

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The V8 compilation scheduling scheme (Sec. 6.2.4).
+ *
+ * V8 (as studied in the paper) has two optimization levels: a
+ * function is compiled at the low level at its first encounter and
+ * recompiled at the high level at its second invocation.  The paper
+ * applies this *scheme* to the Java call sequences, using the two
+ * lowest Jikes levels as V8's low/high; callers typically pass a
+ * workload restricted with Workload::restrictLevels(2).
+ */
+
+#ifndef JITSCHED_VM_V8_POLICY_HH
+#define JITSCHED_VM_V8_POLICY_HH
+
+#include "vm/online_engine.hh"
+
+namespace jitsched {
+
+/** Knobs of the V8-scheme runtime. */
+struct V8Config
+{
+    /** Number of compilation cores. */
+    std::size_t compileCores = 1;
+
+    /** Which invocation triggers the high-level recompile. */
+    std::uint64_t recompileOnInvocation = 2;
+};
+
+/**
+ * Run the V8 scheme on a workload.  The low level is 0; the high
+ * level is each function's highest available level (restrict the
+ * workload to two levels to match the paper's setup).
+ */
+RuntimeResult runV8(const Workload &w, const V8Config &cfg = {});
+
+} // namespace jitsched
+
+#endif // JITSCHED_VM_V8_POLICY_HH

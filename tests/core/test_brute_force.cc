@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the exact branch-and-bound solver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.hh"
+#include "core/iar.hh"
+#include "sim/makespan.hh"
+#include "trace/paper_examples.hh"
+#include "trace/synthetic.hh"
+
+namespace jitsched {
+namespace {
+
+TEST(BruteForce, SolvesFig1Optimally)
+{
+    // The paper's Fig. 1 discussion: s3 (make-span 10) is the best of
+    // the three schemes; brute force may at best match it (and it is
+    // indeed optimal for that instance).
+    const Workload w = figure1Workload();
+    const BruteForceResult res = bruteForceOptimal(w);
+    ASSERT_TRUE(res.complete);
+    EXPECT_EQ(res.makespan, 10);
+    EXPECT_TRUE(res.schedule.validate(w));
+    EXPECT_EQ(simulate(w, res.schedule).makespan, res.makespan);
+}
+
+TEST(BruteForce, SolvesFig2Optimally)
+{
+    // With the appended call, the best of the paper's schemes is 12.
+    const Workload w = figure2Workload();
+    const BruteForceResult res = bruteForceOptimal(w);
+    ASSERT_TRUE(res.complete);
+    EXPECT_EQ(res.makespan, 12);
+}
+
+TEST(BruteForce, SingleFunction)
+{
+    std::vector<FunctionProfile> funcs;
+    funcs.emplace_back("f", 1,
+                       std::vector<LevelCosts>{{1, 10}, {5, 2}});
+    const Workload w("w", std::move(funcs), {0, 0, 0});
+    const BruteForceResult res = bruteForceOptimal(w);
+    ASSERT_TRUE(res.complete);
+    // Candidates: level0 only: 1 + 30 = 31.  level1 only: 5+6=11.
+    // level0 then level1 (compile 1, run 10 while compiling 5 at 2..7,
+    // calls at [1,11) [11,13) [13,15): 15.  Optimal: 11.
+    EXPECT_EQ(res.makespan, 11);
+}
+
+TEST(BruteForce, NeverWorseThanIar)
+{
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        SyntheticConfig cfg;
+        cfg.numFunctions = 4;
+        cfg.numCalls = 30;
+        cfg.numLevels = 2;
+        cfg.seed = seed;
+        const Workload w = generateSynthetic(cfg);
+        const BruteForceResult bf = bruteForceOptimal(w);
+        ASSERT_TRUE(bf.complete);
+        const Tick iar =
+            simulate(w, iarScheduleOracle(w).schedule).makespan;
+        EXPECT_LE(bf.makespan, iar) << "seed " << seed;
+    }
+}
+
+TEST(BruteForce, NodeCapTruncates)
+{
+    SyntheticConfig cfg;
+    cfg.numFunctions = 6;
+    cfg.numCalls = 60;
+    cfg.numLevels = 2;
+    cfg.seed = 9;
+    const Workload w = generateSynthetic(cfg);
+    BruteForceConfig bcfg;
+    bcfg.maxNodes = 100;
+    const BruteForceResult res = bruteForceOptimal(w, bcfg);
+    EXPECT_FALSE(res.complete);
+    // Still returns a valid incumbent schedule.
+    EXPECT_TRUE(res.schedule.validate(w));
+}
+
+TEST(BruteForce, CountsNodes)
+{
+    const BruteForceResult res =
+        bruteForceOptimal(figure1Workload());
+    EXPECT_GT(res.nodesVisited, 0u);
+}
+
+TEST(BruteForceDeath, EmptyCallSequence)
+{
+    const Workload w("empty", {}, {});
+    EXPECT_EXIT(bruteForceOptimal(w), ::testing::ExitedWithCode(1),
+                "empty call sequence");
+}
+
+} // anonymous namespace
+} // namespace jitsched

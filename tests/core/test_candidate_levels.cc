@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for candidate-level selection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/candidate_levels.hh"
+#include "trace/synthetic.hh"
+
+namespace jitsched {
+namespace {
+
+Workload
+twoFuncs()
+{
+    std::vector<FunctionProfile> funcs;
+    // hot: high level pays off for many calls.
+    funcs.emplace_back("hot", 10,
+                       std::vector<LevelCosts>{{10, 100}, {500, 10}});
+    // cold: called once, high level never pays.
+    funcs.emplace_back("cold", 10,
+                       std::vector<LevelCosts>{{10, 100}, {500, 10}});
+    std::vector<FuncId> calls(50, 0);
+    calls.push_back(1);
+    return Workload("w", std::move(funcs), calls);
+}
+
+TEST(CandidateLevels, OracleEstimatesMirrorTruth)
+{
+    const Workload w = twoFuncs();
+    const TimeEstimates est = oracleEstimates(w);
+    ASSERT_EQ(est.perFunc.size(), 2u);
+    EXPECT_EQ(est.at(0, 0).compile, 10);
+    EXPECT_EQ(est.at(0, 1).exec, 10);
+}
+
+TEST(CandidateLevels, HotGetsHighColdStaysLow)
+{
+    const Workload w = twoFuncs();
+    const auto cands = oracleCandidateLevels(w);
+    ASSERT_EQ(cands.size(), 2u);
+    // hot: 50 calls. level0: 10+5000=5010; level1: 500+500=1000.
+    EXPECT_EQ(cands[0].low, 0);
+    EXPECT_EQ(cands[0].high, 1);
+    // cold: 1 call. level0: 110; level1: 510.
+    EXPECT_EQ(cands[1].low, 0);
+    EXPECT_EQ(cands[1].high, 0);
+}
+
+TEST(CandidateLevels, TieBreaksTowardLowerLevel)
+{
+    std::vector<FunctionProfile> funcs;
+    funcs.emplace_back("t", 1,
+                       std::vector<LevelCosts>{{10, 5}, {15, 4}});
+    // n = 5: both levels cost 35 -> lower wins.
+    const Workload w("w", std::move(funcs),
+                     std::vector<FuncId>(5, 0));
+    const auto cands = oracleCandidateLevels(w);
+    EXPECT_EQ(cands[0].high, 0);
+}
+
+TEST(CandidateLevels, MostResponsiveIsCheapestCompile)
+{
+    const Workload w = twoFuncs();
+    const auto cands = oracleCandidateLevels(w);
+    EXPECT_EQ(cands[0].low, 0);
+}
+
+TEST(CandidateLevels, CountsOverloadMatchesWorkloadOverload)
+{
+    SyntheticConfig cfg;
+    cfg.numFunctions = 60;
+    cfg.numCalls = 6000;
+    cfg.seed = 11;
+    const Workload w = generateSynthetic(cfg);
+    const TimeEstimates est = oracleEstimates(w);
+
+    std::vector<double> counts(w.numFunctions());
+    for (std::size_t f = 0; f < w.numFunctions(); ++f)
+        counts[f] = static_cast<double>(
+            w.callCount(static_cast<FuncId>(f)));
+
+    const auto a = chooseCandidateLevels(w, est);
+    const auto b = chooseCandidateLevels(est, counts);
+    EXPECT_EQ(a, b);
+}
+
+TEST(CandidateLevels, UpgradableNeverBelowLow)
+{
+    SyntheticConfig cfg;
+    cfg.numFunctions = 100;
+    cfg.numCalls = 10000;
+    cfg.seed = 13;
+    const Workload w = generateSynthetic(cfg);
+    for (const CandidatePair &c : oracleCandidateLevels(w))
+        EXPECT_LE(c.low, c.high);
+}
+
+TEST(CandidateLevelsDeath, MismatchedTablePanics)
+{
+    const Workload w = twoFuncs();
+    TimeEstimates est = oracleEstimates(w);
+    est.perFunc.pop_back();
+    EXPECT_DEATH(chooseCandidateLevels(w, est), "estimate table");
+}
+
+TEST(CandidateLevelsDeath, CountsSizeMismatchPanics)
+{
+    const Workload w = twoFuncs();
+    const TimeEstimates est = oracleEstimates(w);
+    EXPECT_DEATH(chooseCandidateLevels(est, {1.0}), "counts");
+}
+
+} // anonymous namespace
+} // namespace jitsched

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit and property tests for the make-span lower bound (Sec. 5.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/candidate_levels.hh"
+#include "core/iar.hh"
+#include "core/lower_bound.hh"
+#include "core/single_level.hh"
+#include "sim/makespan.hh"
+#include "trace/paper_examples.hh"
+#include "trace/synthetic.hh"
+
+namespace jitsched {
+namespace {
+
+TEST(LowerBound, AllLevelsUsesHighestLevelTimes)
+{
+    // Fig. 1 instance: best execs are 1, 2, 1; calls f0 f1 f2 f1.
+    EXPECT_EQ(lowerBoundAllLevels(figure1Workload()), 1 + 2 + 1 + 2);
+}
+
+TEST(LowerBound, CandidateBoundUsesFasterCandidate)
+{
+    const Workload w = figure1Workload();
+    // Force candidates manually: f1 restricted to level 0 only.
+    std::vector<CandidatePair> cands{{0, 0}, {0, 0}, {0, 1}};
+    // f0 e=1, f1 e=3 (low), f2 e=1 (high): 1+3+1+3 = 8.
+    EXPECT_EQ(lowerBoundCandidates(w, cands), 8);
+}
+
+TEST(LowerBound, NoBoundExceedsSimulatedMakespan)
+{
+    const Workload w = figure1Workload();
+    const Tick lb = lowerBoundAllLevels(w);
+    for (const Schedule &s : {figureSchemeS1(), figureSchemeS2(),
+                              figureSchemeS3()})
+        EXPECT_LE(lb, simulate(w, s).makespan);
+}
+
+TEST(LowerBound, CandidateBoundBelowCandidateSchedules)
+{
+    // Property: over random instances, the candidate lower bound
+    // never exceeds the make-span of any schedule restricted to the
+    // candidate levels.
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        SyntheticConfig cfg;
+        cfg.numFunctions = 80;
+        cfg.numCalls = 8000;
+        cfg.seed = seed;
+        const Workload w = generateSynthetic(cfg);
+        const auto cands = oracleCandidateLevels(w);
+        const Tick lb = lowerBoundCandidates(w, cands);
+
+        EXPECT_LE(lb,
+                  simulate(w, baseLevelSchedule(w, cands)).makespan);
+        EXPECT_LE(lb, simulate(w, optimizingLevelSchedule(w, cands))
+                          .makespan);
+        EXPECT_LE(lb,
+                  simulate(w, iarSchedule(w, cands).schedule)
+                      .makespan);
+    }
+}
+
+TEST(LowerBound, AllLevelsBoundIsTightest)
+{
+    SyntheticConfig cfg;
+    cfg.numFunctions = 50;
+    cfg.numCalls = 5000;
+    cfg.seed = 3;
+    const Workload w = generateSynthetic(cfg);
+    // The all-levels bound can only be lower (deeper levels allowed).
+    EXPECT_LE(lowerBoundAllLevels(w),
+              lowerBoundCandidates(w, oracleCandidateLevels(w)));
+}
+
+TEST(LowerBound, EmptyWorkloadIsZero)
+{
+    const Workload w("empty", {}, {});
+    EXPECT_EQ(lowerBoundAllLevels(w), 0);
+    EXPECT_EQ(lowerBoundCandidates(w, {}), 0);
+}
+
+TEST(LowerBoundDeath, CandidateTableMismatch)
+{
+    const Workload w = figure1Workload();
+    EXPECT_DEATH(lowerBoundCandidates(w, {{0, 0}}),
+                 "candidate table");
+}
+
+} // anonymous namespace
+} // namespace jitsched

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for the Schedule type and its validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/schedule.hh"
+#include "trace/paper_examples.hh"
+
+namespace jitsched {
+namespace {
+
+TEST(Schedule, BuildAndAccess)
+{
+    Schedule s;
+    EXPECT_TRUE(s.empty());
+    s.append(2, 1);
+    s.append(0, 0);
+    EXPECT_EQ(s.size(), 2u);
+    EXPECT_EQ(s[0].func, 2u);
+    EXPECT_EQ(s[0].level, 1);
+    EXPECT_EQ(s[1].func, 0u);
+}
+
+TEST(Schedule, ValidSchedulesPass)
+{
+    const Workload w = figure1Workload();
+    std::string err;
+    EXPECT_TRUE(figureSchemeS1().validate(w, &err)) << err;
+    EXPECT_TRUE(figureSchemeS3().validate(w, &err)) << err;
+}
+
+TEST(Schedule, RejectsUnknownFunction)
+{
+    const Workload w = figure1Workload();
+    const Schedule s({{7, 0}});
+    std::string err;
+    EXPECT_FALSE(s.validate(w, &err));
+    EXPECT_NE(err.find("unknown function"), std::string::npos);
+}
+
+TEST(Schedule, RejectsInvalidLevel)
+{
+    const Workload w = figure1Workload();
+    const Schedule s({{0, 5}, {1, 0}, {2, 0}});
+    std::string err;
+    EXPECT_FALSE(s.validate(w, &err));
+    EXPECT_NE(err.find("invalid level"), std::string::npos);
+}
+
+TEST(Schedule, RejectsNonIncreasingLevels)
+{
+    const Workload w = figure1Workload();
+    // f1 compiled at level 1 then level 0: malformed.
+    const Schedule s({{0, 0}, {1, 1}, {2, 0}, {1, 0}});
+    std::string err;
+    EXPECT_FALSE(s.validate(w, &err));
+    EXPECT_NE(err.find("not above"), std::string::npos);
+
+    // Duplicate same-level compile is equally malformed.
+    const Schedule dup({{0, 0}, {0, 0}, {1, 0}, {2, 0}});
+    EXPECT_FALSE(dup.validate(w, &err));
+}
+
+TEST(Schedule, RejectsMissingCalledFunction)
+{
+    const Workload w = figure1Workload();
+    const Schedule s({{0, 0}, {1, 0}});
+    std::string err;
+    EXPECT_FALSE(s.validate(w, &err));
+    EXPECT_NE(err.find("never compiled"), std::string::npos);
+}
+
+TEST(Schedule, UncalledFunctionsNeedNoCompile)
+{
+    std::vector<FunctionProfile> funcs;
+    funcs.emplace_back("called", 1,
+                       std::vector<LevelCosts>{{1, 1}});
+    funcs.emplace_back("uncalled", 1,
+                       std::vector<LevelCosts>{{1, 1}});
+    const Workload w("w", std::move(funcs), {0});
+    const Schedule s({{0, 0}});
+    EXPECT_TRUE(s.validate(w));
+}
+
+TEST(Schedule, TotalCompileTime)
+{
+    const Workload w = figure1Workload();
+    EXPECT_EQ(figureSchemeS1().totalCompileTime(w), 5);
+    EXPECT_EQ(figureSchemeS3().totalCompileTime(w), 8);
+}
+
+TEST(Schedule, ToStringNamesEvents)
+{
+    const Workload w = figure1Workload();
+    const std::string repr = figureSchemeS3().toString(w);
+    EXPECT_EQ(repr, "C0(f0) C0(f1) C0(f2) C1(f1)");
+}
+
+TEST(Schedule, Equality)
+{
+    EXPECT_EQ(figureSchemeS1(), figureSchemeS1());
+    EXPECT_NE(figureSchemeS1(), figureSchemeS2());
+}
+
+} // anonymous namespace
+} // namespace jitsched

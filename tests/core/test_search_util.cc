@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the shared search cost machinery (f(v) = b(v) + e(v)).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/search_util.hh"
+#include "sim/makespan.hh"
+#include "trace/paper_examples.hh"
+#include "trace/synthetic.hh"
+
+namespace jitsched {
+namespace {
+
+TEST(SearchUtil, BestExecTimes)
+{
+    const Workload w = figure1Workload();
+    const auto best = bestExecTimes(w);
+    ASSERT_EQ(best.size(), 3u);
+    EXPECT_EQ(best[0], 1);
+    EXPECT_EQ(best[1], 2);
+    EXPECT_EQ(best[2], 1);
+}
+
+TEST(SearchUtil, CompleteCostMatchesSimulator)
+{
+    // makespan == lowerBoundAllLevels + evalComplete for any valid
+    // complete schedule — the decomposition the searches rely on.
+    const Workload w = figure1Workload();
+    const auto best = bestExecTimes(w);
+    Tick lb = 0;
+    for (const FuncId f : w.calls())
+        lb += best[f];
+
+    for (const Schedule &s : {figureSchemeS1(), figureSchemeS2(),
+                              figureSchemeS3()}) {
+        EXPECT_EQ(lb + evalComplete(w, s.events(), best),
+                  simulate(w, s).makespan);
+    }
+}
+
+TEST(SearchUtil, CompleteCostMatchesSimulatorOnRandomInstances)
+{
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        SyntheticConfig cfg;
+        cfg.numFunctions = 30;
+        cfg.numCalls = 1500;
+        cfg.seed = seed;
+        const Workload w = generateSynthetic(cfg);
+        const auto best = bestExecTimes(w);
+        Tick lb = 0;
+        for (const FuncId f : w.calls())
+            lb += best[f];
+
+        // A mixed schedule: everything at level 0, hot third
+        // recompiled at level 3.
+        std::vector<CompileEvent> events;
+        for (const FuncId f : w.firstAppearanceOrder())
+            events.push_back({f, 0});
+        for (const FuncId f : w.firstAppearanceOrder()) {
+            if (w.callCount(f) > 50)
+                events.push_back({f, 3});
+        }
+        EXPECT_EQ(lb + evalComplete(w, events, best),
+                  simulate(w, Schedule(events)).makespan);
+    }
+}
+
+TEST(SearchUtil, EmptyPrefixChargesTheUnavoidableFirstCompile)
+{
+    // Even an empty prefix has committed cost: the first call (f0)
+    // cannot start before f0's cheapest compile (1 tick) finishes.
+    // This is the strengthening over the paper's plain b(v) + e(v)
+    // that stops A* from wandering through prefixes that postpone a
+    // needed compilation for free.
+    const Workload w = figure1Workload();
+    const auto best = bestExecTimes(w);
+    const PrefixCost pc = evalPrefix(w, {}, best);
+    EXPECT_EQ(pc.compileEnd, 0);
+    EXPECT_EQ(pc.f(), 1);
+}
+
+TEST(SearchUtil, PrefixCostIsMonotoneAlongPaths)
+{
+    // f(v) never decreases when a prefix is extended — the property
+    // that makes the A* heuristic admissible and consistent.
+    const Workload w = figure2Workload();
+    const auto best = bestExecTimes(w);
+    const std::vector<CompileEvent> full =
+        figureSchemeS2Extended().events();
+
+    Tick prev = 0;
+    std::vector<CompileEvent> prefix;
+    for (const CompileEvent &ev : full) {
+        prefix.push_back(ev);
+        const Tick f = evalPrefix(w, prefix, best).f();
+        EXPECT_GE(f, prev);
+        prev = f;
+    }
+}
+
+TEST(SearchUtil, PrefixNeverExceedsCompleteCost)
+{
+    const Workload w = figure1Workload();
+    const auto best = bestExecTimes(w);
+    for (const Schedule &s : {figureSchemeS1(), figureSchemeS2(),
+                              figureSchemeS3()}) {
+        std::vector<CompileEvent> prefix;
+        const Tick total = evalComplete(w, s.events(), best);
+        for (const CompileEvent &ev : s.events()) {
+            prefix.push_back(ev);
+            EXPECT_LE(evalPrefix(w, prefix, best).f(), total);
+        }
+    }
+}
+
+TEST(SearchUtil, PrefixCommitsDeterminedWaits)
+{
+    // A prefix compiling only f0 (1 tick): the first call's start is
+    // already pinned at t = 1 by the prefix (later compiles cannot
+    // provide an earlier first version), so its 1-tick wait is
+    // committed even though it falls outside the compile window.
+    const Workload w = figure1Workload();
+    const auto best = bestExecTimes(w);
+    const PrefixCost pc = evalPrefix(w, {{0, 0}}, best);
+    EXPECT_EQ(pc.compileEnd, 1);
+    EXPECT_EQ(pc.f(), 1);
+}
+
+} // anonymous namespace
+} // namespace jitsched

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the single-core optimum (Sec. 4.1, Theorem 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/single_core.hh"
+#include "trace/paper_examples.hh"
+#include "trace/synthetic.hh"
+
+namespace jitsched {
+namespace {
+
+TEST(SingleCore, ScheduleCompilesEachFunctionOnce)
+{
+    const Workload w = figure1Workload();
+    const Schedule s = singleCoreOptimalSchedule(w);
+    EXPECT_EQ(s.size(), w.numCalledFunctions());
+    EXPECT_TRUE(s.validate(w));
+}
+
+TEST(SingleCore, PicksCostEffectiveLevels)
+{
+    const Workload w = figure1Workload();
+    const Schedule s = singleCoreOptimalSchedule(w);
+    // f0: only identical levels -> 0.  f1 (2 calls):
+    // level0 1+6=7 vs level1 3+4=7 -> tie, level 0.
+    // f2 (1 call): level0 3+3=6 vs level1 5+1=6 -> tie, level 0.
+    for (const CompileEvent &ev : s.events())
+        EXPECT_EQ(ev.level, 0);
+}
+
+TEST(SingleCore, MakespanIsWorkSum)
+{
+    const Workload w = figure1Workload();
+    // All at level 0: compiles 1+1+3, execs 1+3+3+3 = 15.
+    EXPECT_EQ(singleCoreMakespan(w, figureSchemeS1()), 15);
+    // s3 adds c11 (3) and swaps the two f1 execs to e=2 each:
+    // compiles 8, execs 1+2+3+2 = 16.
+    EXPECT_EQ(singleCoreMakespan(w, figureSchemeS3()), 16);
+}
+
+/**
+ * Theorem 1, checked exhaustively: over random small instances, the
+ * Theorem-1 schedule's single-core make-span is minimal among every
+ * single-compile level assignment, and no recompilation schedule
+ * beats it either.
+ */
+class Theorem1Test : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(Theorem1Test, OptimalAmongAllLevelAssignments)
+{
+    SyntheticConfig cfg;
+    cfg.numFunctions = 5;
+    cfg.numCalls = 40;
+    cfg.numLevels = 2;
+    cfg.seed = GetParam();
+    const Workload w = generateSynthetic(cfg);
+
+    const Tick best =
+        singleCoreMakespan(w, singleCoreOptimalSchedule(w));
+
+    // Enumerate all 2^5 level assignments.
+    const std::size_t n = w.numFunctions();
+    for (std::size_t mask = 0; mask < (1u << n); ++mask) {
+        Schedule s;
+        for (const FuncId f : w.firstAppearanceOrder())
+            s.append(f, (mask >> f) & 1 ? 1 : 0);
+        EXPECT_GE(singleCoreMakespan(w, s), best) << "mask " << mask;
+    }
+
+    // Recompilation (low then high, every subset) cannot help on a
+    // single core either.
+    for (std::size_t mask = 1; mask < (1u << n); ++mask) {
+        Schedule s;
+        for (const FuncId f : w.firstAppearanceOrder())
+            s.append(f, 0);
+        for (const FuncId f : w.firstAppearanceOrder()) {
+            if ((mask >> f) & 1)
+                s.append(f, 1);
+        }
+        EXPECT_GE(singleCoreMakespan(w, s), best) << "mask " << mask;
+    }
+}
+
+TEST_P(Theorem1Test, OrderIrrelevant)
+{
+    SyntheticConfig cfg;
+    cfg.numFunctions = 6;
+    cfg.numCalls = 60;
+    cfg.numLevels = 3;
+    cfg.seed = GetParam() + 100;
+    const Workload w = generateSynthetic(cfg);
+
+    const Schedule fwd = singleCoreOptimalSchedule(w);
+    Schedule rev(std::vector<CompileEvent>(fwd.events().rbegin(),
+                                           fwd.events().rend()));
+    EXPECT_EQ(singleCoreMakespan(w, fwd), singleCoreMakespan(w, rev));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem1Test,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9,
+                                           10));
+
+TEST(SingleCoreDeath, InvalidSchedule)
+{
+    const Workload w = figure1Workload();
+    EXPECT_DEATH(singleCoreMakespan(w, Schedule({{0, 0}})),
+                 "invalid schedule");
+}
+
+} // anonymous namespace
+} // namespace jitsched

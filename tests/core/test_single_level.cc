@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the single-level approximations (Sec. 5.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/candidate_levels.hh"
+#include "core/single_level.hh"
+#include "sim/makespan.hh"
+#include "trace/synthetic.hh"
+
+namespace jitsched {
+namespace {
+
+Workload
+smallWorkload(std::uint64_t seed = 21)
+{
+    SyntheticConfig cfg;
+    cfg.numFunctions = 40;
+    cfg.numCalls = 4000;
+    cfg.seed = seed;
+    return generateSynthetic(cfg);
+}
+
+TEST(SingleLevel, BaseUsesLowCandidates)
+{
+    const Workload w = smallWorkload();
+    const auto cands = oracleCandidateLevels(w);
+    const Schedule s = baseLevelSchedule(w, cands);
+    ASSERT_EQ(s.size(), w.numCalledFunctions());
+    for (const CompileEvent &ev : s.events())
+        EXPECT_EQ(ev.level, cands[ev.func].low);
+    EXPECT_TRUE(s.validate(w));
+}
+
+TEST(SingleLevel, OptimizingUsesHighCandidates)
+{
+    const Workload w = smallWorkload();
+    const auto cands = oracleCandidateLevels(w);
+    const Schedule s = optimizingLevelSchedule(w, cands);
+    for (const CompileEvent &ev : s.events())
+        EXPECT_EQ(ev.level, cands[ev.func].high);
+    EXPECT_TRUE(s.validate(w));
+}
+
+TEST(SingleLevel, FirstCallOrderPreserved)
+{
+    const Workload w = smallWorkload();
+    const auto cands = oracleCandidateLevels(w);
+    const Schedule s = baseLevelSchedule(w, cands);
+    const auto &order = w.firstAppearanceOrder();
+    ASSERT_EQ(s.size(), order.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(s[i].func, order[i]);
+}
+
+TEST(SingleLevel, UniformClampsToAvailableLevels)
+{
+    std::vector<FunctionProfile> funcs;
+    funcs.emplace_back("deep", 1,
+                       std::vector<LevelCosts>{{1, 9}, {2, 8}, {3, 7}});
+    funcs.emplace_back("shallow", 1,
+                       std::vector<LevelCosts>{{1, 9}});
+    const Workload w("w", std::move(funcs), {0, 1});
+    const Schedule s = uniformLevelSchedule(w, 2);
+    EXPECT_EQ(s[0].level, 2);
+    EXPECT_EQ(s[1].level, 0);
+}
+
+TEST(SingleLevel, BaseBeatsOptimizingOnColdStart)
+{
+    // Every function called exactly once: deep compiles cannot pay
+    // off, so base-level-only must win.
+    std::vector<FunctionProfile> funcs;
+    std::vector<FuncId> calls;
+    for (int i = 0; i < 10; ++i) {
+        funcs.emplace_back(
+            "f" + std::to_string(i), 1,
+            std::vector<LevelCosts>{{10, 100}, {1000, 50}});
+        calls.push_back(static_cast<FuncId>(i));
+    }
+    const Workload w("cold", std::move(funcs), calls);
+    // Hand candidates forcing high = 1 for everyone.
+    std::vector<CandidatePair> cands(w.numFunctions(),
+                                     CandidatePair{0, 1});
+    const Tick base =
+        simulate(w, baseLevelSchedule(w, cands)).makespan;
+    const Tick opt =
+        simulate(w, optimizingLevelSchedule(w, cands)).makespan;
+    EXPECT_LT(base, opt);
+}
+
+TEST(SingleLevelDeath, CandidateMismatch)
+{
+    const Workload w = smallWorkload();
+    EXPECT_DEATH(baseLevelSchedule(w, {}), "candidate table");
+}
+
+} // anonymous namespace
+} // namespace jitsched

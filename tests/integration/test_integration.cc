@@ -1,0 +1,174 @@
+/**
+ * @file
+ * End-to-end integration tests: the full Fig. 5 pipeline on one
+ * DaCapo-style workload, trace round-trips, and cross-module
+ * consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/iar.hh"
+#include "core/lower_bound.hh"
+#include "core/single_level.hh"
+#include "sim/makespan.hh"
+#include "trace/dacapo.hh"
+#include "trace/trace_io.hh"
+#include "vm/adaptive_runtime.hh"
+#include "vm/cost_benefit.hh"
+#include "vm/v8_policy.hh"
+
+namespace jitsched {
+namespace {
+
+class Pipeline : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        w_ = new Workload(makeDacapoWorkload("antlr", 64));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete w_;
+        w_ = nullptr;
+    }
+
+    static const Workload &
+    w()
+    {
+        return *w_;
+    }
+
+  private:
+    static Workload *w_;
+};
+
+Workload *Pipeline::w_ = nullptr;
+
+TEST_F(Pipeline, Figure5OrderingsHold)
+{
+    CostBenefitConfig mcfg;
+    const TimeEstimates est = buildEstimates(w(), mcfg);
+    const auto cands = modelCandidateLevels(w(), mcfg);
+    const Tick lb = lowerBoundCandidates(w(), cands);
+
+    const Tick iar =
+        simulate(w(), iarSchedule(w(), cands).schedule).makespan;
+    AdaptiveConfig acfg;
+    acfg.samplePeriod = defaultSamplePeriod(w());
+    const Tick deflt = runAdaptive(w(), est, acfg).sim.makespan;
+    const Tick base =
+        simulate(w(), baseLevelSchedule(w(), cands)).makespan;
+    const Tick opt =
+        simulate(w(), optimizingLevelSchedule(w(), cands)).makespan;
+
+    // The paper's qualitative Fig. 5 structure.
+    EXPECT_LT(lb, iar);
+    EXPECT_LT(iar, deflt);     // big room over the default scheme
+    EXPECT_LT(deflt, base);    // base-level-only is worst here
+    EXPECT_LT(iar, opt);       // IAR beats single-level schemes
+    // IAR within the paper's per-benchmark bound (< 17% gap),
+    // default far away (> 30%).
+    EXPECT_LT(static_cast<double>(iar) / lb, 1.17);
+    EXPECT_GT(static_cast<double>(deflt) / lb, 1.30);
+}
+
+TEST_F(Pipeline, OracleModelWidensDefaultGap)
+{
+    CostBenefitConfig def_cfg;
+    CostBenefitConfig orc_cfg;
+    orc_cfg.kind = ModelKind::Oracle;
+
+    auto normalized_default = [&](const CostBenefitConfig &mcfg) {
+        const TimeEstimates est = buildEstimates(w(), mcfg);
+        const auto cands = modelCandidateLevels(w(), mcfg);
+        AdaptiveConfig acfg;
+        acfg.samplePeriod = defaultSamplePeriod(w());
+        const Tick span = runAdaptive(w(), est, acfg).sim.makespan;
+        return static_cast<double>(span) /
+               static_cast<double>(lowerBoundCandidates(w(), cands));
+    };
+    // Sec. 6.2.2: the default scheme's normalized gap grows when the
+    // cost-benefit model improves.
+    EXPECT_GT(normalized_default(orc_cfg),
+              normalized_default(def_cfg));
+}
+
+TEST_F(Pipeline, OracleModelLowersTheBound)
+{
+    CostBenefitConfig def_cfg;
+    CostBenefitConfig orc_cfg;
+    orc_cfg.kind = ModelKind::Oracle;
+    const Tick lb_default =
+        lowerBoundCandidates(w(), modelCandidateLevels(w(), def_cfg));
+    const Tick lb_oracle =
+        lowerBoundCandidates(w(), modelCandidateLevels(w(), orc_cfg));
+    EXPECT_LT(lb_oracle, lb_default);
+}
+
+TEST_F(Pipeline, V8SchemeLeavesRoomButIarIsClose)
+{
+    const Workload w2 = w().restrictLevels(2);
+    const auto cands = oracleCandidateLevels(w2);
+    const Tick lb = lowerBoundCandidates(w2, cands);
+    const Tick v8 = runV8(w2).sim.makespan;
+    const Tick iar =
+        simulate(w2, iarSchedule(w2, cands).schedule).makespan;
+    // Sec. 6.2.4 structure: IAR near the bound, V8 far away.
+    EXPECT_LT(static_cast<double>(iar) / lb, 1.15);
+    EXPECT_GT(static_cast<double>(v8) / lb, 1.25);
+    EXPECT_LT(iar, v8);
+}
+
+TEST_F(Pipeline, ConcurrentJitGainsAreMinorUnderIar)
+{
+    // Sec. 6.2.3: with a good schedule, extra compile cores barely
+    // help.
+    const auto cands = oracleCandidateLevels(w());
+    const Schedule s = iarSchedule(w(), cands).schedule;
+    const Tick one = simulate(w(), s, {.compileCores = 1}).makespan;
+    const Tick sixteen =
+        simulate(w(), s, {.compileCores = 16}).makespan;
+    EXPECT_LE(sixteen, one);
+    const double speedup = static_cast<double>(one) /
+                           static_cast<double>(sixteen);
+    EXPECT_LT(speedup, 1.25);
+}
+
+TEST_F(Pipeline, TraceRoundTripPreservesSchedulingResults)
+{
+    std::stringstream ss;
+    writeWorkload(ss, w());
+    const Workload copy = readWorkload(ss);
+
+    const auto cands = oracleCandidateLevels(w());
+    const auto cands2 = oracleCandidateLevels(copy);
+    EXPECT_EQ(cands, cands2);
+    EXPECT_EQ(simulate(w(), iarSchedule(w(), cands).schedule)
+                  .makespan,
+              simulate(copy, iarSchedule(copy, cands2).schedule)
+                  .makespan);
+}
+
+TEST_F(Pipeline, InducedDefaultScheduleReplaysNoFasterStatically)
+{
+    // Replaying the adaptive scheme's induced compile order through
+    // the static simulator (all requests ready at t=0) can only do
+    // better or equal: the online run also waited for requests to be
+    // *made*.
+    CostBenefitConfig mcfg;
+    const TimeEstimates est = buildEstimates(w(), mcfg);
+    AdaptiveConfig acfg;
+    acfg.samplePeriod = defaultSamplePeriod(w());
+    const RuntimeResult online = runAdaptive(w(), est, acfg);
+    const SimResult replay = simulate(w(), online.inducedSchedule);
+    EXPECT_LE(replay.makespan, online.sim.makespan);
+}
+
+} // anonymous namespace
+} // namespace jitsched

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Cross-module property tests, parameterized over seeds and workload
+ * shapes (TEST_P sweeps).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/astar.hh"
+#include "core/brute_force.hh"
+#include "core/iar.hh"
+#include "core/lower_bound.hh"
+#include "core/single_core.hh"
+#include "core/single_level.hh"
+#include "sim/makespan.hh"
+#include "trace/synthetic.hh"
+#include "vm/adaptive_runtime.hh"
+#include "vm/cost_benefit.hh"
+#include "vm/v8_policy.hh"
+
+namespace jitsched {
+namespace {
+
+struct Shape
+{
+    std::uint64_t seed;
+    std::size_t funcs;
+    std::size_t calls;
+    std::size_t levels;
+    double skew;
+    bool interpreter;
+};
+
+void
+PrintTo(const Shape &s, std::ostream *os)
+{
+    *os << "seed=" << s.seed << " funcs=" << s.funcs
+        << " calls=" << s.calls << " levels=" << s.levels
+        << " skew=" << s.skew << " interp=" << s.interpreter;
+}
+
+class WorkloadProperty : public ::testing::TestWithParam<Shape>
+{
+  protected:
+    Workload
+    make() const
+    {
+        const Shape &s = GetParam();
+        SyntheticConfig cfg;
+        cfg.numFunctions = s.funcs;
+        cfg.numCalls = s.calls;
+        cfg.numLevels = s.levels;
+        cfg.zipfSkew = s.skew;
+        cfg.interpreterLevel0 = s.interpreter;
+        cfg.seed = s.seed;
+        return generateSynthetic(cfg);
+    }
+};
+
+TEST_P(WorkloadProperty, EverySchedulerRespectsTheLowerBound)
+{
+    const Workload w = make();
+    const Tick lb_all = lowerBoundAllLevels(w);
+    const auto cands = oracleCandidateLevels(w);
+
+    EXPECT_GE(simulate(w, baseLevelSchedule(w, cands)).makespan,
+              lb_all);
+    EXPECT_GE(
+        simulate(w, optimizingLevelSchedule(w, cands)).makespan,
+        lb_all);
+    EXPECT_GE(simulate(w, iarSchedule(w, cands).schedule).makespan,
+              lb_all);
+
+    AdaptiveConfig acfg;
+    acfg.samplePeriod = defaultSamplePeriod(w);
+    EXPECT_GE(
+        runAdaptive(w, buildOracleEstimates(w), acfg).sim.makespan,
+        lb_all);
+    EXPECT_GE(runV8(w.restrictLevels(2)).sim.makespan,
+              lowerBoundAllLevels(w.restrictLevels(2)));
+}
+
+TEST_P(WorkloadProperty, SimulatedTimeDecomposes)
+{
+    const Workload w = make();
+    const auto cands = oracleCandidateLevels(w);
+    for (const Schedule &s :
+         {baseLevelSchedule(w, cands),
+          optimizingLevelSchedule(w, cands),
+          iarSchedule(w, cands).schedule}) {
+        const SimResult r = simulate(w, s);
+        EXPECT_EQ(r.execEnd, r.totalExec + r.totalBubble);
+        EXPECT_EQ(r.makespan, r.execEnd);
+        std::uint64_t calls = 0;
+        for (const std::uint64_t c : r.callsAtLevel)
+            calls += c;
+        EXPECT_EQ(calls, w.numCalls());
+    }
+}
+
+TEST_P(WorkloadProperty, IarProducesValidSchedules)
+{
+    const Workload w = make();
+    const IarResult res = iarScheduleOracle(w);
+    std::string err;
+    EXPECT_TRUE(res.schedule.validate(w, &err)) << err;
+}
+
+TEST_P(WorkloadProperty, DefaultModelSchedulesStayValid)
+{
+    const Workload w = make();
+    CostBenefitConfig mcfg;
+    const auto cands = modelCandidateLevels(w, mcfg);
+    EXPECT_TRUE(baseLevelSchedule(w, cands).validate(w));
+    EXPECT_TRUE(optimizingLevelSchedule(w, cands).validate(w));
+    EXPECT_TRUE(iarSchedule(w, cands).schedule.validate(w));
+}
+
+TEST_P(WorkloadProperty, MoreCompileCoresNeverSlowStaticSchedules)
+{
+    const Workload w = make();
+    const Schedule s = iarScheduleOracle(w).schedule;
+    Tick prev = maxTick;
+    for (const std::size_t cores : {1u, 2u, 4u, 8u}) {
+        const Tick span =
+            simulate(w, s, {.compileCores = cores}).makespan;
+        EXPECT_LE(span, prev);
+        prev = span;
+    }
+}
+
+TEST_P(WorkloadProperty, SingleCoreTheoremHolds)
+{
+    const Workload w = make();
+    const Tick best =
+        singleCoreMakespan(w, singleCoreOptimalSchedule(w));
+    const auto cands = oracleCandidateLevels(w);
+    // Any other tested scheme is no better on a single core.
+    EXPECT_LE(best,
+              singleCoreMakespan(w, baseLevelSchedule(w, cands)));
+    EXPECT_LE(best, singleCoreMakespan(
+                        w, optimizingLevelSchedule(w, cands)));
+    EXPECT_LE(best,
+              singleCoreMakespan(w, iarScheduleOracle(w).schedule));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, WorkloadProperty,
+    ::testing::Values(
+        Shape{1, 40, 4000, 4, 1.0, false},
+        Shape{2, 80, 8000, 4, 0.7, false},
+        Shape{3, 120, 12000, 2, 1.2, false},
+        Shape{4, 60, 6000, 3, 0.9, false},
+        Shape{5, 40, 4000, 4, 1.0, true},
+        Shape{6, 200, 20000, 4, 0.8, false},
+        Shape{7, 25, 5000, 2, 1.4, false},
+        Shape{8, 100, 10000, 3, 0.6, true}));
+
+/** Tiny-instance exactness sweep: A* == brute force, IAR close. */
+class TinyExactness : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(TinyExactness, OptimalityChain)
+{
+    SyntheticConfig cfg;
+    cfg.numFunctions = 4;
+    cfg.numCalls = 20;
+    cfg.numLevels = 2;
+    cfg.seed = GetParam() * 1000 + 17;
+    const Workload w = generateSynthetic(cfg);
+
+    const BruteForceResult bf = bruteForceOptimal(w);
+    ASSERT_TRUE(bf.complete);
+    const AStarResult as = aStarOptimal(w);
+    ASSERT_EQ(as.status, AStarStatus::Optimal);
+
+    EXPECT_EQ(bf.makespan, as.makespan);
+    EXPECT_LE(bf.makespan,
+              simulate(w, iarScheduleOracle(w).schedule).makespan);
+    EXPECT_GE(bf.makespan, lowerBoundAllLevels(w));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TinyExactness,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+} // anonymous namespace
+} // namespace jitsched

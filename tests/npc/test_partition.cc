@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the PARTITION DP solver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "npc/partition.hh"
+#include "support/rng.hh"
+
+namespace jitsched {
+namespace {
+
+TEST(Partition, TotalsAndTarget)
+{
+    const PartitionInstance inst{{3, 1, 1, 2, 2, 1}};
+    EXPECT_EQ(inst.total(), 10u);
+    EXPECT_EQ(inst.target(), 5u);
+}
+
+TEST(Partition, SolvesSimpleInstance)
+{
+    const PartitionInstance inst{{3, 1, 1, 2, 2, 1}};
+    const auto subset = solvePartition(inst);
+    ASSERT_TRUE(subset.has_value());
+    EXPECT_TRUE(isValidPartition(inst, *subset));
+}
+
+TEST(Partition, OddTotalIsUnsolvable)
+{
+    EXPECT_FALSE(solvePartition({{1, 2, 4}}).has_value());
+}
+
+TEST(Partition, EvenTotalMayStillBeUnsolvable)
+{
+    // Sum 8, target 4, but {1, 1, 6} cannot reach 4.
+    EXPECT_FALSE(solvePartition({{1, 1, 6}}).has_value());
+}
+
+TEST(Partition, TwoEqualElements)
+{
+    const PartitionInstance inst{{7, 7}};
+    const auto subset = solvePartition(inst);
+    ASSERT_TRUE(subset.has_value());
+    EXPECT_EQ(subset->size(), 1u);
+}
+
+TEST(Partition, HandlesZeros)
+{
+    const PartitionInstance inst{{0, 2, 2, 0}};
+    const auto subset = solvePartition(inst);
+    ASSERT_TRUE(subset.has_value());
+    EXPECT_TRUE(isValidPartition(inst, *subset));
+}
+
+TEST(Partition, EmptyInstanceTriviallySolvable)
+{
+    const PartitionInstance inst{{}};
+    const auto subset = solvePartition(inst);
+    ASSERT_TRUE(subset.has_value());
+    EXPECT_TRUE(subset->empty());
+}
+
+TEST(Partition, ValidatorRejectsBadSubsets)
+{
+    const PartitionInstance inst{{3, 1, 2}};
+    // total 6, target 3: {0} sums to 3 -> valid.
+    EXPECT_TRUE(isValidPartition(inst, {0}));
+    EXPECT_FALSE(isValidPartition(inst, {1}));     // sums to 1
+    EXPECT_FALSE(isValidPartition(inst, {0, 0}));  // duplicate index
+    EXPECT_FALSE(isValidPartition(inst, {9}));     // out of range
+}
+
+TEST(Partition, RandomInstancesRoundTrip)
+{
+    Rng rng(91);
+    for (int trial = 0; trial < 50; ++trial) {
+        PartitionInstance inst;
+        // Build a guaranteed-solvable instance: mirror two halves.
+        std::uint64_t half = 0;
+        const int n = 3 + static_cast<int>(rng.nextBelow(5));
+        for (int i = 0; i < n; ++i) {
+            const std::uint64_t v = rng.nextBelow(20);
+            inst.values.push_back(v);
+            half += v;
+        }
+        inst.values.push_back(half); // mirror element
+        const auto subset = solvePartition(inst);
+        ASSERT_TRUE(subset.has_value()) << "trial " << trial;
+        EXPECT_TRUE(isValidPartition(inst, *subset));
+    }
+}
+
+TEST(Partition, DpAgreesWithExhaustiveSearch)
+{
+    Rng rng(93);
+    for (int trial = 0; trial < 60; ++trial) {
+        PartitionInstance inst;
+        const int n = 1 + static_cast<int>(rng.nextBelow(8));
+        for (int i = 0; i < n; ++i)
+            inst.values.push_back(rng.nextBelow(15));
+
+        bool exhaustive = false;
+        if (inst.total() % 2 == 0) {
+            for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+                std::uint64_t sum = 0;
+                for (int i = 0; i < n; ++i) {
+                    if ((mask >> i) & 1)
+                        sum += inst.values[i];
+                }
+                exhaustive |= sum == inst.target();
+            }
+        }
+        EXPECT_EQ(solvePartition(inst).has_value(), exhaustive)
+            << "trial " << trial;
+    }
+}
+
+} // anonymous namespace
+} // namespace jitsched

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the PARTITION -> OCSP reduction (Theorem 2), checking
+ * both directions of the proof on concrete instances.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.hh"
+#include "npc/reduction.hh"
+#include "sim/makespan.hh"
+#include "support/rng.hh"
+
+namespace jitsched {
+namespace {
+
+TEST(Reduction, InstanceShape)
+{
+    const PartitionInstance inst{{2, 3, 1}};
+    const ReductionInstance red = buildReduction(inst);
+    // first + 3 middles + last.
+    EXPECT_EQ(red.workload.numFunctions(), 5u);
+    EXPECT_EQ(red.workload.numCalls(), 5u);
+    // t = 3, n = 3: bound = 2(1 + 3 + 3) = 14.
+    EXPECT_EQ(red.bound, 14);
+
+    // Middle costs follow the construction.
+    const auto &m0 = red.workload.function(red.middle[0]);
+    EXPECT_EQ(m0.compileTime(0), 1);
+    EXPECT_EQ(m0.compileTime(1), 3);   // s_0 + 1
+    EXPECT_EQ(m0.execTime(0), 3);      // s_0 + 1
+    EXPECT_EQ(m0.execTime(1), 1);
+
+    const auto &first = red.workload.function(red.first);
+    EXPECT_EQ(first.compileTime(0), 1);
+    EXPECT_EQ(first.execTime(0), 6); // t + n
+
+    const auto &last = red.workload.function(red.last);
+    EXPECT_EQ(last.compileTime(0), 6);
+    EXPECT_EQ(last.execTime(0), 1);
+}
+
+TEST(Reduction, PartitionYieldsScheduleAtBound)
+{
+    const PartitionInstance inst{{2, 3, 1}};
+    const auto subset = solvePartition(inst);
+    ASSERT_TRUE(subset.has_value());
+
+    const ReductionInstance red = buildReduction(inst);
+    const Schedule s = scheduleFromPartition(red, *subset);
+    ASSERT_TRUE(s.validate(red.workload));
+    EXPECT_EQ(simulate(red.workload, s).makespan, red.bound);
+}
+
+TEST(Reduction, BoundIsOptimal)
+{
+    // Brute force confirms no schedule beats 2(1 + t + n) when a
+    // partition exists.
+    const PartitionInstance inst{{2, 2}};
+    const ReductionInstance red = buildReduction(inst);
+    const BruteForceResult bf = bruteForceOptimal(red.workload);
+    ASSERT_TRUE(bf.complete);
+    EXPECT_EQ(bf.makespan, red.bound);
+}
+
+TEST(Reduction, NoPartitionMeansNoScheduleAtBound)
+{
+    // {1, 1, 6} has an even total but no perfect partition: the
+    // optimal make-span must exceed the bound (the converse
+    // direction of the proof).
+    const PartitionInstance inst{{1, 1, 6}};
+    ASSERT_FALSE(solvePartition(inst).has_value());
+
+    const ReductionInstance red = buildReduction(inst);
+    const BruteForceResult bf = bruteForceOptimal(red.workload);
+    ASSERT_TRUE(bf.complete);
+    EXPECT_GT(bf.makespan, red.bound);
+}
+
+TEST(Reduction, ExtractPartitionFromWitnessSchedule)
+{
+    const PartitionInstance inst{{4, 1, 3, 2}};
+    const auto subset = solvePartition(inst);
+    ASSERT_TRUE(subset.has_value());
+
+    const ReductionInstance red = buildReduction(inst);
+    const Schedule s = scheduleFromPartition(red, *subset);
+    const auto extracted = partitionFromSchedule(inst, red, s);
+    ASSERT_TRUE(extracted.has_value());
+    EXPECT_TRUE(isValidPartition(inst, *extracted));
+}
+
+TEST(Reduction, ExtractionRejectsSlowSchedules)
+{
+    const PartitionInstance inst{{2, 2}};
+    const ReductionInstance red = buildReduction(inst);
+    // Compile everything at the low level in call order: middles
+    // run slow (s_i + 1 each), exceeding the bound.
+    Schedule slow;
+    slow.append(red.first, 0);
+    for (const FuncId m : red.middle)
+        slow.append(m, 0);
+    slow.append(red.last, 0);
+    EXPECT_FALSE(
+        partitionFromSchedule(inst, red, slow).has_value());
+}
+
+TEST(Reduction, RandomSolvableInstancesAchieveBound)
+{
+    Rng rng(97);
+    for (int trial = 0; trial < 20; ++trial) {
+        PartitionInstance inst;
+        std::uint64_t half = 0;
+        const int n = 2 + static_cast<int>(rng.nextBelow(6));
+        for (int i = 0; i < n; ++i) {
+            const std::uint64_t v = 1 + rng.nextBelow(9);
+            inst.values.push_back(v);
+            half += v;
+        }
+        inst.values.push_back(half);
+        const auto subset = solvePartition(inst);
+        ASSERT_TRUE(subset.has_value());
+
+        const ReductionInstance red = buildReduction(inst);
+        const Schedule s = scheduleFromPartition(red, *subset);
+        EXPECT_EQ(simulate(red.workload, s).makespan, red.bound)
+            << "trial " << trial;
+        EXPECT_TRUE(
+            partitionFromSchedule(inst, red, s).has_value());
+    }
+}
+
+TEST(ReductionDeath, OddTotalRejected)
+{
+    EXPECT_EXIT(buildReduction({{1, 2}}),
+                ::testing::ExitedWithCode(1), "even");
+}
+
+} // anonymous namespace
+} // namespace jitsched

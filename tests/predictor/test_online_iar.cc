@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the online IAR scheduler (the Sec. 8 deployment story).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/candidate_levels.hh"
+#include "core/single_level.hh"
+#include "predictor/online_iar.hh"
+#include "sim/makespan.hh"
+#include "trace/synthetic.hh"
+
+namespace jitsched {
+namespace {
+
+Workload
+runOfProgram(std::uint64_t seed)
+{
+    SyntheticConfig cfg;
+    cfg.numFunctions = 60;
+    cfg.numCalls = 12000;
+    cfg.seed = seed;
+    return generateSynthetic(cfg);
+}
+
+TEST(CompleteSchedule, CoversAllCalledFunctions)
+{
+    const Workload w = runOfProgram(1);
+    // A plan knowing only three functions.
+    Schedule planned;
+    planned.append(0, 0);
+    planned.append(1, 0);
+    planned.append(0, 3);
+    std::size_t missing = 0;
+    const Schedule full = completeScheduleFor(w, planned, &missing);
+    EXPECT_TRUE(full.validate(w));
+    EXPECT_EQ(missing, w.numCalledFunctions() - 2);
+}
+
+TEST(CompleteSchedule, KeepsPlannedLevels)
+{
+    const Workload w = runOfProgram(2);
+    Schedule planned;
+    for (const FuncId f : w.firstAppearanceOrder())
+        planned.append(f, 1);
+    const Schedule full = completeScheduleFor(w, planned);
+    for (const CompileEvent &ev : full.events())
+        EXPECT_EQ(ev.level, 1);
+}
+
+TEST(CompleteSchedule, ClampsLevelsToRealProfile)
+{
+    std::vector<FunctionProfile> funcs;
+    funcs.emplace_back("shallow", 1,
+                       std::vector<LevelCosts>{{1, 5}});
+    const Workload w("w", std::move(funcs), {0});
+    Schedule planned;
+    planned.append(0, 3); // level that does not exist
+    const Schedule full = completeScheduleFor(w, planned);
+    EXPECT_TRUE(full.validate(w));
+    EXPECT_EQ(full[0].level, 0);
+}
+
+TEST(CompleteSchedule, DropsUncalledAndDuplicateRecompiles)
+{
+    const Workload w = runOfProgram(3);
+    Schedule planned;
+    planned.append(0, 0);
+    planned.append(0, 2);
+    planned.append(0, 2); // duplicate level: must be dropped
+    const Schedule full = completeScheduleFor(w, planned);
+    EXPECT_TRUE(full.validate(w));
+}
+
+TEST(OnlineIar, ProducesValidScheduleEndToEnd)
+{
+    // Train on two past runs, deploy on a third.
+    const Workload past1 = runOfProgram(10);
+    const Workload past2 = runOfProgram(11);
+    const Workload today = runOfProgram(12);
+
+    NGramPredictor predictor(3);
+    predictor.train(past1.calls());
+    predictor.train(past2.calls());
+
+    ProfileRepository repo;
+    repo.recordRun(past1, 0.1, 1);
+    repo.recordRun(past2, 0.1, 2);
+
+    const OnlineIarResult res =
+        onlineIarSchedule(today, predictor, repo);
+    std::string err;
+    EXPECT_TRUE(res.schedule.validate(today, &err)) << err;
+    EXPECT_GT(res.predictionAccuracy, 0.0);
+}
+
+TEST(OnlineIar, BeatsBaseOnlyWhenPredictionIsGood)
+{
+    // Identical past and present runs: prediction is easy, so the
+    // planned schedule should comfortably beat base-level-only.
+    const Workload w = runOfProgram(20);
+    NGramPredictor predictor(3);
+    predictor.train(w.calls());
+    ProfileRepository repo;
+    repo.recordRun(w);
+
+    const OnlineIarResult res =
+        onlineIarSchedule(w, predictor, repo);
+    const Tick online = simulate(w, res.schedule).makespan;
+    const Tick base =
+        simulate(w,
+                 baseLevelSchedule(w, oracleCandidateLevels(w)))
+            .makespan;
+    EXPECT_LT(online, base);
+    EXPECT_EQ(res.unpredictedFunctions, 0u);
+}
+
+TEST(OnlineIar, HandlesUnpredictedFunctionsGracefully)
+{
+    // Train on a run that misses some functions the real run calls.
+    const Workload small = runOfProgram(30);
+    // Past run: a truncated view (only first half of the calls).
+    std::vector<FuncId> half(small.calls().begin(),
+                             small.calls().begin() +
+                                 small.numCalls() / 8);
+    std::vector<FunctionProfile> funcs(small.functions());
+    const Workload past("past", std::move(funcs), half);
+
+    NGramPredictor predictor(2);
+    predictor.train(past.calls());
+    ProfileRepository repo;
+    repo.recordRun(past);
+
+    const OnlineIarResult res =
+        onlineIarSchedule(small, predictor, repo);
+    EXPECT_TRUE(res.schedule.validate(small));
+}
+
+TEST(OnlineIarDeath, EmptyRepositoryRejected)
+{
+    const Workload w = runOfProgram(40);
+    const NGramPredictor predictor(2);
+    const ProfileRepository repo;
+    EXPECT_EXIT(onlineIarSchedule(w, predictor, repo),
+                ::testing::ExitedWithCode(1), "empty profile");
+}
+
+} // anonymous namespace
+} // namespace jitsched

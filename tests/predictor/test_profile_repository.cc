@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the cross-run profile repository.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictor/profile_repository.hh"
+#include "trace/synthetic.hh"
+
+namespace jitsched {
+namespace {
+
+Workload
+run(std::uint64_t seed)
+{
+    SyntheticConfig cfg;
+    cfg.numFunctions = 40;
+    cfg.numCalls = 4000;
+    cfg.seed = seed;
+    return generateSynthetic(cfg);
+}
+
+TEST(Repository, EmptyIsNotReady)
+{
+    const ProfileRepository repo;
+    EXPECT_FALSE(repo.ready());
+    EXPECT_EQ(repo.runCount(), 0u);
+}
+
+TEST(Repository, SingleExactRunReproducesTimes)
+{
+    const Workload w = run(1);
+    ProfileRepository repo;
+    repo.recordRun(w);
+    EXPECT_TRUE(repo.ready());
+
+    const TimeEstimates est = repo.estimates();
+    for (std::size_t f = 0; f < w.numFunctions(); ++f) {
+        const auto &prof = w.function(static_cast<FuncId>(f));
+        for (std::size_t j = 0; j < prof.numLevels(); ++j) {
+            EXPECT_EQ(est.at(static_cast<FuncId>(f),
+                             static_cast<Level>(j))
+                          .compile,
+                      prof.compileTime(static_cast<Level>(j)));
+        }
+    }
+}
+
+TEST(Repository, ExpectedCallCountsAverageAcrossRuns)
+{
+    // Same profile shape, different call sequences.
+    const Workload a = run(1);
+    ProfileRepository repo;
+    repo.recordRun(a);
+    repo.recordRun(a);
+    EXPECT_EQ(repo.runCount(), 2u);
+    const auto counts = repo.expectedCallCounts();
+    EXPECT_NEAR(counts[0], static_cast<double>(a.callCount(0)),
+                1e-9);
+}
+
+TEST(Repository, NoisyObservationsKeepInvariants)
+{
+    const Workload w = run(2);
+    ProfileRepository repo;
+    for (std::uint64_t s = 1; s <= 5; ++s)
+        repo.recordRun(w, 0.4, s);
+    const TimeEstimates est = repo.estimates();
+    for (const auto &levels : est.perFunc)
+        EXPECT_TRUE(FunctionProfile::levelsMonotonic(levels));
+}
+
+TEST(Repository, AveragingConvergesTowardTruth)
+{
+    const Workload w = run(3);
+    ProfileRepository noisy_few, noisy_many;
+    for (std::uint64_t s = 1; s <= 2; ++s)
+        noisy_few.recordRun(w, 0.5, s);
+    for (std::uint64_t s = 1; s <= 40; ++s)
+        noisy_many.recordRun(w, 0.5, s);
+
+    auto relerr = [&](const TimeEstimates &est) {
+        double total = 0.0;
+        std::size_t n = 0;
+        for (std::size_t f = 0; f < w.numFunctions(); ++f) {
+            const auto &prof = w.function(static_cast<FuncId>(f));
+            for (std::size_t j = 0; j < prof.numLevels(); ++j) {
+                const double truth = static_cast<double>(
+                    prof.compileTime(static_cast<Level>(j)));
+                const double got = static_cast<double>(
+                    est.at(static_cast<FuncId>(f),
+                           static_cast<Level>(j))
+                        .compile);
+                if (truth > 0) {
+                    total += std::abs(got - truth) / truth;
+                    ++n;
+                }
+            }
+        }
+        return total / static_cast<double>(n);
+    };
+    EXPECT_LT(relerr(noisy_many.estimates()),
+              relerr(noisy_few.estimates()));
+}
+
+TEST(Repository, CandidateLevelsMatchOracleOnExactData)
+{
+    const Workload w = run(4);
+    ProfileRepository repo;
+    repo.recordRun(w);
+    EXPECT_EQ(repo.candidateLevels(), oracleCandidateLevels(w));
+}
+
+TEST(RepositoryDeath, ShapeMismatchRejected)
+{
+    ProfileRepository repo;
+    repo.recordRun(run(1));
+    SyntheticConfig cfg;
+    cfg.numFunctions = 10;
+    cfg.numCalls = 1000;
+    const Workload other = generateSynthetic(cfg);
+    EXPECT_EXIT(repo.recordRun(other),
+                ::testing::ExitedWithCode(1), "functions");
+}
+
+TEST(RepositoryDeath, EstimatesBeforeAnyRunPanics)
+{
+    const ProfileRepository repo;
+    EXPECT_DEATH(repo.estimates(), "before any run");
+    EXPECT_DEATH(repo.expectedCallCounts(), "before");
+}
+
+} // anonymous namespace
+} // namespace jitsched

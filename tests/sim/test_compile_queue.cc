@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the multi-core compile queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/compile_queue.hh"
+
+namespace jitsched {
+namespace {
+
+TEST(CompileQueue, SingleCoreSerializes)
+{
+    CompileQueue q(1);
+    EXPECT_EQ(q.submit(0, 10), 10);
+    EXPECT_EQ(q.submit(0, 5), 15);
+    EXPECT_EQ(q.submit(0, 1), 16);
+    EXPECT_EQ(q.allDone(), 16);
+    EXPECT_EQ(q.busyTime(), 16);
+    EXPECT_EQ(q.jobCount(), 3u);
+}
+
+TEST(CompileQueue, ArrivalGapIdles)
+{
+    CompileQueue q(1);
+    EXPECT_EQ(q.submit(0, 4), 4);
+    // Arrives after the core went idle.
+    EXPECT_EQ(q.submit(10, 3), 13);
+    EXPECT_EQ(q.busyTime(), 7);
+}
+
+TEST(CompileQueue, TwoCoresRunInParallel)
+{
+    CompileQueue q(2);
+    EXPECT_EQ(q.submit(0, 10), 10);
+    EXPECT_EQ(q.submit(0, 10), 10);
+    EXPECT_EQ(q.submit(0, 10), 20);
+    EXPECT_EQ(q.allDone(), 20);
+}
+
+TEST(CompileQueue, FifoGoesToEarliestFreeCore)
+{
+    CompileQueue q(2);
+    q.submit(0, 100); // core A busy until 100
+    q.submit(0, 1);   // core B busy until 1
+    // Next job lands on B (free at 1), not A.
+    EXPECT_EQ(q.submit(0, 5), 6);
+}
+
+TEST(CompileQueue, ZeroDurationJob)
+{
+    CompileQueue q(1);
+    EXPECT_EQ(q.submit(3, 0), 3);
+    EXPECT_EQ(q.busyTime(), 0);
+}
+
+TEST(CompileQueue, LastCompletionTracksMostRecentJob)
+{
+    CompileQueue q(2);
+    q.submit(0, 100);
+    EXPECT_EQ(q.lastCompletion(), 100);
+    q.submit(0, 1);
+    EXPECT_EQ(q.lastCompletion(), 1);
+}
+
+TEST(CompileQueue, ResetClearsState)
+{
+    CompileQueue q(2);
+    q.submit(0, 5);
+    q.reset();
+    EXPECT_EQ(q.jobCount(), 0u);
+    EXPECT_EQ(q.busyTime(), 0);
+    EXPECT_EQ(q.allDone(), 0);
+    EXPECT_EQ(q.submit(0, 2), 2);
+}
+
+TEST(CompileQueue, ManyCoresBoundedByLongestJob)
+{
+    CompileQueue q(16);
+    for (int i = 0; i < 16; ++i)
+        q.submit(0, 7);
+    EXPECT_EQ(q.allDone(), 7);
+    EXPECT_EQ(q.busyTime(), 7 * 16);
+}
+
+TEST(CompileQueueDeath, DecreasingArrivalPanics)
+{
+    CompileQueue q(1);
+    q.submit(10, 1);
+    EXPECT_DEATH(q.submit(9, 1), "non-decreasing");
+}
+
+TEST(CompileQueueDeath, NegativeDurationPanics)
+{
+    CompileQueue q(1);
+    EXPECT_DEATH(q.submit(0, -1), "negative duration");
+}
+
+TEST(CompileQueueDeath, ZeroCoresPanics)
+{
+    EXPECT_DEATH(CompileQueue(0), "at least one core");
+}
+
+} // anonymous namespace
+} // namespace jitsched

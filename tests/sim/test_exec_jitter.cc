@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for per-invocation execution-time variation (Sec. 8 / the
+ * Assumption-1 discussion): profiles carry *average* per-call times;
+ * the simulator can vary each call around them.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/candidate_levels.hh"
+#include "core/iar.hh"
+#include "core/lower_bound.hh"
+#include "core/single_level.hh"
+#include "sim/makespan.hh"
+#include "trace/synthetic.hh"
+
+namespace jitsched {
+namespace {
+
+Workload
+sample(std::uint64_t seed = 201)
+{
+    SyntheticConfig cfg;
+    cfg.numFunctions = 150;
+    cfg.numCalls = 30000;
+    cfg.seed = seed;
+    return generateSynthetic(cfg);
+}
+
+TEST(ExecJitter, ZeroSigmaIsBitIdentical)
+{
+    const Workload w = sample();
+    const Schedule s = iarScheduleOracle(w).schedule;
+    SimOptions none;
+    SimOptions zero;
+    zero.execJitterSigma = 0.0;
+    zero.jitterSeed = 42;
+    EXPECT_EQ(simulate(w, s, none).makespan,
+              simulate(w, s, zero).makespan);
+}
+
+TEST(ExecJitter, DeterministicPerSeed)
+{
+    const Workload w = sample();
+    const Schedule s = iarScheduleOracle(w).schedule;
+    SimOptions a, b, c;
+    a.execJitterSigma = b.execJitterSigma = c.execJitterSigma = 0.5;
+    a.jitterSeed = b.jitterSeed = 7;
+    c.jitterSeed = 8;
+    EXPECT_EQ(simulate(w, s, a).makespan,
+              simulate(w, s, b).makespan);
+    EXPECT_NE(simulate(w, s, a).makespan,
+              simulate(w, s, c).makespan);
+}
+
+TEST(ExecJitter, MeanOneFactorPreservesTotals)
+{
+    // The mean-one correction keeps the total execution time close
+    // to the unjittered run — the property the paper leans on when
+    // arguing averages do not skew the lower bound (Sec. 8).
+    const Workload w = sample();
+    const Schedule s = iarScheduleOracle(w).schedule;
+    const SimResult base = simulate(w, s);
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        SimOptions opts;
+        opts.execJitterSigma = 0.5;
+        opts.jitterSeed = seed;
+        const SimResult jit = simulate(w, s, opts);
+        const double ratio =
+            static_cast<double>(jit.totalExec) /
+            static_cast<double>(base.totalExec);
+        EXPECT_NEAR(ratio, 1.0, 0.03) << "seed " << seed;
+    }
+}
+
+TEST(ExecJitter, HigherSigmaSpreadsDurations)
+{
+    const Workload w = sample();
+    const Schedule s = iarScheduleOracle(w).schedule;
+
+    class SpreadObserver : public SimObserver
+    {
+      public:
+        void
+        onCall(std::size_t, FuncId, Tick, Tick dur, Level) override
+        {
+            min_dur = std::min(min_dur, dur);
+            max_dur = std::max(max_dur, dur);
+        }
+        Tick min_dur = maxTick;
+        Tick max_dur = 0;
+    };
+
+    SpreadObserver flat, wide;
+    SimOptions fo;
+    simulate(w, s, fo, flat);
+    SimOptions wo;
+    wo.execJitterSigma = 1.0;
+    simulate(w, s, wo, wide);
+    EXPECT_GT(static_cast<double>(wide.max_dur) / wide.min_dur,
+              static_cast<double>(flat.max_dur) / flat.min_dur);
+}
+
+TEST(ExecJitter, ConclusionsSurviveVariation)
+{
+    // The paper's Sec. 8 claim: run-time variation does not alter
+    // the major conclusions.  Under sizeable jitter, IAR still beats
+    // both single-level schemes, and the ordering of schemes is
+    // unchanged.
+    const Workload w = sample();
+    const auto cands = oracleCandidateLevels(w);
+    const Schedule iar = iarSchedule(w, cands).schedule;
+    const Schedule base = baseLevelSchedule(w, cands);
+    const Schedule opt = optimizingLevelSchedule(w, cands);
+
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        SimOptions opts;
+        opts.execJitterSigma = 0.6;
+        opts.jitterSeed = seed;
+        const Tick iar_span = simulate(w, iar, opts).makespan;
+        EXPECT_LT(iar_span, simulate(w, base, opts).makespan);
+        EXPECT_LE(iar_span, simulate(w, opt, opts).makespan);
+    }
+}
+
+TEST(ExecJitter, AverageBasedBoundStaysMeaningful)
+{
+    // The lower bound uses average times; with mean-one jitter the
+    // realized make-span stays above it up to the (small) total-time
+    // wobble.
+    const Workload w = sample();
+    const auto cands = oracleCandidateLevels(w);
+    const Tick lb = lowerBoundCandidates(w, cands);
+    SimOptions opts;
+    opts.execJitterSigma = 0.5;
+    const Tick span =
+        simulate(w, iarSchedule(w, cands).schedule, opts).makespan;
+    EXPECT_GT(static_cast<double>(span),
+              0.95 * static_cast<double>(lb));
+}
+
+} // anonymous namespace
+} // namespace jitsched

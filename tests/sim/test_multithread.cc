@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for multi-threaded execution of static schedules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/iar.hh"
+#include "sim/multithread.hh"
+#include "trace/paper_examples.hh"
+#include "trace/synthetic.hh"
+
+namespace jitsched {
+namespace {
+
+TEST(Multithread, SingleThreadMatchesPlainSimulator)
+{
+    const Workload w = figure1Workload();
+    const Schedule s = figureSchemeS3();
+    const MtSimResult mt = simulateMt(w, {w.calls()}, s);
+    const SimResult st = simulate(w, s);
+    ASSERT_EQ(mt.threads.size(), 1u);
+    EXPECT_EQ(mt.makespan, st.makespan);
+    EXPECT_EQ(mt.totalBubble, st.totalBubble);
+    EXPECT_EQ(mt.totalExec, st.totalExec);
+}
+
+TEST(Multithread, MakespanIsSlowestThread)
+{
+    const Workload w = figure1Workload();
+    const Schedule s = figureSchemeS1();
+    // Thread 0 runs everything of fig1 (ends at 11); thread 1 runs
+    // a single quick f0 call (ends at 2).
+    const MtSimResult mt =
+        simulateMt(w, {{0, 1, 2, 1}, {0}}, s);
+    EXPECT_EQ(mt.threads[0].execEnd, 11);
+    EXPECT_EQ(mt.threads[1].execEnd, 2);
+    EXPECT_EQ(mt.makespan, 11);
+}
+
+TEST(Multithread, SharedCodeCacheBenefitsEveryThread)
+{
+    // One compiled version serves all threads: both threads' f1
+    // calls use the level-1 version once it exists.
+    const Workload w = figure1Workload();
+    const Schedule s = figureSchemeS3(); // recompiles f1 at 8
+    const MtSimResult mt =
+        simulateMt(w, {{1, 1, 1}, {1, 1, 1}}, s);
+    // Identical sequences -> identical timelines.
+    EXPECT_EQ(mt.threads[0].execEnd, mt.threads[1].execEnd);
+    EXPECT_EQ(mt.threads[0].callsAtLevel[1],
+              mt.threads[1].callsAtLevel[1]);
+}
+
+TEST(Multithread, SplitTracePreservesCallsPerThreadOrder)
+{
+    SyntheticConfig cfg;
+    cfg.numFunctions = 40;
+    cfg.numCalls = 8000;
+    cfg.seed = 91;
+    const Workload w = generateSynthetic(cfg);
+
+    Rng rng(5);
+    const auto threads = splitTrace(w.calls(), 4, rng);
+    std::size_t total = 0;
+    std::vector<std::uint64_t> counts(w.numFunctions(), 0);
+    for (const auto &t : threads) {
+        total += t.size();
+        for (const FuncId f : t)
+            ++counts[f];
+    }
+    EXPECT_EQ(total, w.numCalls());
+    for (std::size_t f = 0; f < w.numFunctions(); ++f)
+        EXPECT_EQ(counts[f], w.callCount(static_cast<FuncId>(f)));
+}
+
+TEST(Multithread, MergeRoundTripKeepsCounts)
+{
+    SyntheticConfig cfg;
+    cfg.numFunctions = 30;
+    cfg.numCalls = 3000;
+    cfg.seed = 93;
+    const Workload w = generateSynthetic(cfg);
+    Rng rng(7);
+    const auto threads = splitTrace(w.calls(), 3, rng);
+    const Workload merged = mergeThreads(w, threads);
+    EXPECT_EQ(merged.numCalls(), w.numCalls());
+    for (std::size_t f = 0; f < w.numFunctions(); ++f)
+        EXPECT_EQ(merged.callCount(static_cast<FuncId>(f)),
+                  w.callCount(static_cast<FuncId>(f)));
+}
+
+TEST(Multithread, MoreThreadsFinishNoLater)
+{
+    // Spreading the same work over more threads cannot make the
+    // slowest thread slower (per-thread work shrinks; the shared
+    // compile timeline is unchanged).
+    SyntheticConfig cfg;
+    cfg.numFunctions = 60;
+    cfg.numCalls = 12000;
+    cfg.seed = 95;
+    const Workload w = generateSynthetic(cfg);
+    const Schedule s = iarScheduleOracle(w).schedule;
+
+    Rng rng(9);
+    const auto two = splitTrace(w.calls(), 2, rng);
+    Rng rng2(9);
+    const auto eight = splitTrace(w.calls(), 8, rng2);
+    // Not a strict theorem for arbitrary splits, but holds for the
+    // burst-dealing splitter on these workloads.
+    EXPECT_LE(simulateMt(w, eight, s).makespan * 95 / 100,
+              simulateMt(w, two, s).makespan);
+}
+
+TEST(Multithread, ScheduleFromMergedTraceServesAllThreads)
+{
+    // The paper's methodology: schedule on the merged sequence, run
+    // the threads against it.
+    SyntheticConfig cfg;
+    cfg.numFunctions = 80;
+    cfg.numCalls = 16000;
+    cfg.seed = 97;
+    const Workload w = generateSynthetic(cfg);
+    Rng rng(11);
+    const auto threads = splitTrace(w.calls(), 4, rng);
+    const Workload merged = mergeThreads(w, threads);
+    const Schedule s = iarScheduleOracle(merged).schedule;
+    const MtSimResult mt = simulateMt(w, threads, s);
+    EXPECT_GT(mt.makespan, 0);
+    EXPECT_EQ(mt.threads.size(), 4u);
+}
+
+TEST(MultithreadDeath, Validation)
+{
+    const Workload w = figure1Workload();
+    EXPECT_EXIT(simulateMt(w, {}, figureSchemeS1()),
+                ::testing::ExitedWithCode(1), "at least one thread");
+    Rng rng(1);
+    EXPECT_EXIT(splitTrace(w.calls(), 0, rng),
+                ::testing::ExitedWithCode(1), "at least one thread");
+    // Missing compile for a called function.
+    EXPECT_DEATH(simulateMt(w, {w.calls()}, Schedule({{0, 0}})),
+                 "invalid schedule");
+}
+
+} // anonymous namespace
+} // namespace jitsched

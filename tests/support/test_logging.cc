@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Unit tests for logging and error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+
+namespace jitsched {
+namespace {
+
+TEST(Logging, ConcatJoinsArguments)
+{
+    EXPECT_EQ(detail::concat("a", 1, '-', 2.5), "a1-2.5");
+    EXPECT_EQ(detail::concat(), "");
+}
+
+TEST(Logging, EnableDisableRoundTrip)
+{
+    const bool was = setLoggingEnabled(false);
+    EXPECT_FALSE(setLoggingEnabled(was)); // returns the false we set
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(JITSCHED_PANIC("boom ", 42), "boom 42");
+}
+
+TEST(LoggingDeath, FatalExitsWithOne)
+{
+    EXPECT_EXIT(JITSCHED_FATAL("bad input ", "x"),
+                ::testing::ExitedWithCode(1), "bad input x");
+}
+
+TEST(Logging, WarnAndInformDoNotThrow)
+{
+    const bool was = setLoggingEnabled(false);
+    warn("suppressed ", 1);
+    inform("suppressed ", 2);
+    setLoggingEnabled(was);
+}
+
+} // anonymous namespace
+} // namespace jitsched

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG and the Zipf sampler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "support/rng.hh"
+
+namespace jitsched {
+namespace {
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int differing = 0;
+    for (int i = 0; i < 32; ++i) {
+        if (a.next() != b.next())
+            ++differing;
+    }
+    EXPECT_GT(differing, 28);
+}
+
+TEST(Rng, NextBelowRespectsBound)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBelow(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowCoversAllValues)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(rng.nextBelow(5));
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextBelowRoughlyUniform)
+{
+    Rng rng(13);
+    std::vector<int> hist(8, 0);
+    const int n = 80000;
+    for (int i = 0; i < n; ++i)
+        ++hist[rng.nextBelow(8)];
+    for (const int count : hist) {
+        EXPECT_GT(count, n / 8 * 0.9);
+        EXPECT_LT(count, n / 8 * 1.1);
+    }
+}
+
+TEST(Rng, NextRangeInclusiveBounds)
+{
+    Rng rng(17);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const std::int64_t v = rng.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextRangeDegenerate)
+{
+    Rng rng(19);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.nextRange(5, 5), 5);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(23);
+    for (int i = 0; i < 2000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, NextDoubleRange)
+{
+    Rng rng(29);
+    for (int i = 0; i < 500; ++i) {
+        const double d = rng.nextDouble(2.5, 7.5);
+        EXPECT_GE(d, 2.5);
+        EXPECT_LT(d, 7.5);
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(31);
+    const int n = 50000;
+    double sum = 0.0, sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.nextGaussian();
+        sum += g;
+        sq += g * g;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.03);
+    EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, LogNormalPositive)
+{
+    Rng rng(37);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GT(rng.nextLogNormal(0.0, 1.0), 0.0);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(41);
+    int hits = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.nextBool(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, BurstWithinLimits)
+{
+    Rng rng(43);
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint32_t b = rng.nextBurst(0.9, 7);
+        EXPECT_GE(b, 1u);
+        EXPECT_LE(b, 7u);
+    }
+}
+
+TEST(Rng, BurstZeroProbAlwaysOne)
+{
+    Rng rng(47);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.nextBurst(0.0, 10), 1u);
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng rng(53);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<int> orig = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ShuffleActuallyPermutes)
+{
+    Rng rng(59);
+    std::vector<int> v(100);
+    for (int i = 0; i < 100; ++i)
+        v[i] = i;
+    const std::vector<int> orig = v;
+    rng.shuffle(v);
+    EXPECT_NE(v, orig);
+}
+
+TEST(Rng, SplitIsIndependent)
+{
+    Rng parent(61);
+    Rng child = parent.split();
+    int same = 0;
+    for (int i = 0; i < 32; ++i) {
+        if (parent.next() == child.next())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Zipf, ProbabilitiesSumToOne)
+{
+    const ZipfSampler zipf(50, 1.1);
+    double total = 0.0;
+    for (std::size_t r = 0; r < zipf.size(); ++r)
+        total += zipf.probability(r);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, ProbabilityDecreasesWithRank)
+{
+    const ZipfSampler zipf(20, 0.8);
+    for (std::size_t r = 0; r + 1 < zipf.size(); ++r)
+        EXPECT_GE(zipf.probability(r), zipf.probability(r + 1));
+}
+
+TEST(Zipf, ZeroSkewIsUniform)
+{
+    const ZipfSampler zipf(10, 0.0);
+    for (std::size_t r = 0; r < 10; ++r)
+        EXPECT_NEAR(zipf.probability(r), 0.1, 1e-9);
+}
+
+TEST(Zipf, SampleWithinRange)
+{
+    Rng rng(67);
+    const ZipfSampler zipf(13, 1.0);
+    for (int i = 0; i < 2000; ++i)
+        EXPECT_LT(zipf.sample(rng), 13u);
+}
+
+TEST(Zipf, HigherSkewConcentratesOnRankZero)
+{
+    Rng rng(71);
+    const ZipfSampler flat(100, 0.3);
+    const ZipfSampler steep(100, 1.5);
+    int flat_zero = 0, steep_zero = 0;
+    for (int i = 0; i < 20000; ++i) {
+        flat_zero += flat.sample(rng) == 0 ? 1 : 0;
+        steep_zero += steep.sample(rng) == 0 ? 1 : 0;
+    }
+    EXPECT_GT(steep_zero, 2 * flat_zero);
+}
+
+TEST(Zipf, SampleFrequenciesMatchProbabilities)
+{
+    Rng rng(73);
+    const ZipfSampler zipf(5, 1.0);
+    std::vector<int> hist(5, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++hist[zipf.sample(rng)];
+    for (std::size_t r = 0; r < 5; ++r) {
+        EXPECT_NEAR(static_cast<double>(hist[r]) / n,
+                    zipf.probability(r), 0.01);
+    }
+}
+
+TEST(ZipfDeath, EmptyPanics)
+{
+    EXPECT_DEATH(ZipfSampler(0, 1.0), "ZipfSampler");
+}
+
+TEST(RngDeath, NextBelowZeroPanics)
+{
+    Rng rng(1);
+    EXPECT_DEATH(rng.nextBelow(0), "nextBelow");
+}
+
+TEST(RngDeath, BadRangePanics)
+{
+    Rng rng(1);
+    EXPECT_DEATH(rng.nextRange(3, 2), "nextRange");
+}
+
+} // anonymous namespace
+} // namespace jitsched

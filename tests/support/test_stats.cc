@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for the statistics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/rng.hh"
+#include "support/stats.hh"
+
+namespace jitsched {
+namespace {
+
+TEST(Stats, MeanBasic)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({5.0}), 5.0);
+}
+
+TEST(Stats, MeanEmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, GeomeanBasic)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 8.0, 27.0}), 6.0, 1e-9);
+}
+
+TEST(Stats, GeomeanEmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(StatsDeath, GeomeanRejectsNonPositive)
+{
+    EXPECT_DEATH(geomean({1.0, 0.0}), "geomean");
+    EXPECT_DEATH(geomean({-1.0}), "geomean");
+}
+
+TEST(Stats, StddevKnownValue)
+{
+    // Sample of {2, 4, 4, 4, 5, 5, 7, 9}: sample variance 32/7.
+    const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+    EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, StddevDegenerate)
+{
+    EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev({3.0}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev({3.0, 3.0, 3.0}), 0.0);
+}
+
+TEST(Stats, PercentileEndpoints)
+{
+    std::vector<double> xs{5.0, 1.0, 3.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 5.0);
+}
+
+TEST(Stats, PercentileInterpolates)
+{
+    // Sorted {10, 20, 30, 40}: p50 -> rank 1.5 -> 25.
+    EXPECT_DOUBLE_EQ(percentile({40.0, 10.0, 30.0, 20.0}, 50.0), 25.0);
+}
+
+TEST(Stats, PercentileMedianOddCount)
+{
+    EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 50.0), 2.0);
+}
+
+TEST(Stats, PercentileSingleElement)
+{
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 33.0), 7.0);
+}
+
+TEST(Stats, PercentileEmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(StatsDeath, PercentileRejectsBadP)
+{
+    EXPECT_DEATH(percentile({1.0}, -1.0), "percentile");
+    EXPECT_DEATH(percentile({1.0}, 101.0), "percentile");
+}
+
+TEST(Summary, EmptyDefaults)
+{
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, SingleSample)
+{
+    Summary s;
+    s.add(4.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.min(), 4.5);
+    EXPECT_DOUBLE_EQ(s.max(), 4.5);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, TracksMinMaxSum)
+{
+    Summary s;
+    for (const double x : {3.0, -1.0, 7.0, 2.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.min(), -1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 7.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 11.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.75);
+}
+
+TEST(Summary, MatchesBatchStatistics)
+{
+    Rng rng(101);
+    std::vector<double> xs;
+    Summary s;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.nextDouble(-10.0, 10.0);
+        xs.push_back(x);
+        s.add(x);
+    }
+    EXPECT_NEAR(s.mean(), mean(xs), 1e-9);
+    EXPECT_NEAR(s.stddev(), stddev(xs), 1e-9);
+}
+
+} // anonymous namespace
+} // namespace jitsched

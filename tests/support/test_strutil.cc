@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for string / formatting utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/strutil.hh"
+
+namespace jitsched {
+namespace {
+
+TEST(Split, Basic)
+{
+    const auto parts = split("a,b,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "b");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, PreservesEmptyFields)
+{
+    const auto parts = split(",x,,", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "");
+    EXPECT_EQ(parts[1], "x");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, EmptyInputGivesOneEmptyField)
+{
+    const auto parts = split("", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "");
+}
+
+TEST(Trim, StripsWhitespace)
+{
+    EXPECT_EQ(trim("  hello \t\n"), "hello");
+    EXPECT_EQ(trim("x"), "x");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(ParseInt, Valid)
+{
+    EXPECT_EQ(parseInt("42").value(), 42);
+    EXPECT_EQ(parseInt("-7").value(), -7);
+    EXPECT_EQ(parseInt("  123 ").value(), 123);
+    EXPECT_EQ(parseInt("0").value(), 0);
+}
+
+TEST(ParseInt, Invalid)
+{
+    EXPECT_FALSE(parseInt("").has_value());
+    EXPECT_FALSE(parseInt("abc").has_value());
+    EXPECT_FALSE(parseInt("12x").has_value());
+    EXPECT_FALSE(parseInt("1.5").has_value());
+    EXPECT_FALSE(parseInt("99999999999999999999999").has_value());
+}
+
+TEST(ParseDouble, Valid)
+{
+    EXPECT_DOUBLE_EQ(parseDouble("2.5").value(), 2.5);
+    EXPECT_DOUBLE_EQ(parseDouble("-1e3").value(), -1000.0);
+    EXPECT_DOUBLE_EQ(parseDouble(" 7 ").value(), 7.0);
+}
+
+TEST(ParseDouble, Invalid)
+{
+    EXPECT_FALSE(parseDouble("").has_value());
+    EXPECT_FALSE(parseDouble("x").has_value());
+    EXPECT_FALSE(parseDouble("1.5z").has_value());
+    EXPECT_FALSE(parseDouble("nan").has_value());
+    EXPECT_FALSE(parseDouble("inf").has_value());
+}
+
+TEST(FormatTicks, PicksUnits)
+{
+    EXPECT_EQ(formatTicks(500), "500 ns");
+    EXPECT_EQ(formatTicks(1500), "1.500 us");
+    EXPECT_EQ(formatTicks(2'500'000), "2.500 ms");
+    EXPECT_EQ(formatTicks(3'000'000'000), "3.000 s");
+}
+
+TEST(FormatFixed, Decimals)
+{
+    EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(formatFixed(2.0, 0), "2");
+    EXPECT_EQ(formatFixed(-1.5, 1), "-1.5");
+}
+
+TEST(FormatCount, ThousandsSeparators)
+{
+    EXPECT_EQ(formatCount(0), "0");
+    EXPECT_EQ(formatCount(999), "999");
+    EXPECT_EQ(formatCount(1000), "1,000");
+    EXPECT_EQ(formatCount(2403584), "2,403,584");
+    EXPECT_EQ(formatCount(43573214), "43,573,214");
+}
+
+TEST(Strprintf, FormatsLikePrintf)
+{
+    EXPECT_EQ(strprintf("%d-%s", 5, "x"), "5-x");
+    EXPECT_EQ(strprintf("%.2f", 1.234), "1.23");
+    EXPECT_EQ(strprintf("empty"), "empty");
+}
+
+} // anonymous namespace
+} // namespace jitsched

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests for the ASCII table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/table.hh"
+
+namespace jitsched {
+namespace {
+
+TEST(AsciiTable, ContainsHeadersAndCells)
+{
+    AsciiTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"beta", "22"});
+    const std::string out = t.toString();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("value"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(AsciiTable, RowCount)
+{
+    AsciiTable t({"a"});
+    EXPECT_EQ(t.rowCount(), 0u);
+    t.addRow({"x"});
+    t.addSeparator();
+    t.addRow({"y"});
+    EXPECT_EQ(t.rowCount(), 3u);
+}
+
+TEST(AsciiTable, ColumnsAlign)
+{
+    AsciiTable t({"h", "num"});
+    t.addRow({"long-name", "7"});
+    t.addRow({"x", "123"});
+    const std::string out = t.toString();
+    // Every line must be equally wide (borders align).
+    std::size_t width = 0;
+    std::size_t start = 0;
+    while (start < out.size()) {
+        const std::size_t end = out.find('\n', start);
+        const std::size_t len = end - start;
+        if (width == 0)
+            width = len;
+        EXPECT_EQ(len, width);
+        start = end + 1;
+    }
+}
+
+TEST(AsciiTable, SeparatorAddsBorderLine)
+{
+    AsciiTable plain({"a"});
+    plain.addRow({"1"});
+    plain.addRow({"2"});
+
+    AsciiTable with_sep({"a"});
+    with_sep.addRow({"1"});
+    with_sep.addSeparator();
+    with_sep.addRow({"2"});
+
+    auto count_borders = [](const std::string &s) {
+        std::size_t n = 0, pos = 0;
+        while ((pos = s.find("+--", pos)) != std::string::npos) {
+            ++n;
+            ++pos;
+        }
+        return n;
+    };
+    EXPECT_EQ(count_borders(with_sep.toString()),
+              count_borders(plain.toString()) + 1);
+}
+
+TEST(AsciiTableDeath, WrongArityPanics)
+{
+    AsciiTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "arity");
+}
+
+TEST(AsciiTableDeath, EmptyHeaderPanics)
+{
+    EXPECT_DEATH(AsciiTable({}), "at least one column");
+}
+
+} // anonymous namespace
+} // namespace jitsched

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the compact binary trace format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "trace/binary_io.hh"
+#include "trace/synthetic.hh"
+#include "trace/trace_io.hh"
+
+namespace jitsched {
+namespace {
+
+Workload
+sample(std::uint64_t seed = 111)
+{
+    SyntheticConfig cfg;
+    cfg.numFunctions = 60;
+    cfg.numCalls = 6000;
+    cfg.seed = seed;
+    return generateSynthetic(cfg);
+}
+
+void
+expectEqualWorkloads(const Workload &a, const Workload &b)
+{
+    EXPECT_EQ(a.name(), b.name());
+    ASSERT_EQ(a.numFunctions(), b.numFunctions());
+    EXPECT_EQ(a.calls(), b.calls());
+    for (std::size_t f = 0; f < a.numFunctions(); ++f)
+        EXPECT_EQ(a.function(static_cast<FuncId>(f)),
+                  b.function(static_cast<FuncId>(f)));
+}
+
+TEST(BinaryIo, RoundTrip)
+{
+    const Workload w = sample();
+    std::stringstream ss(std::ios::in | std::ios::out |
+                         std::ios::binary);
+    writeWorkloadBinary(ss, w);
+    expectEqualWorkloads(w, readWorkloadBinary(ss));
+}
+
+TEST(BinaryIo, RoundTripEmptyCalls)
+{
+    std::vector<FunctionProfile> funcs;
+    funcs.emplace_back("f", 7, std::vector<LevelCosts>{{1, 2}});
+    const Workload w("empty-calls", std::move(funcs), {});
+    std::stringstream ss(std::ios::in | std::ios::out |
+                         std::ios::binary);
+    writeWorkloadBinary(ss, w);
+    expectEqualWorkloads(w, readWorkloadBinary(ss));
+}
+
+TEST(BinaryIo, SmallerThanText)
+{
+    const Workload w = sample();
+    std::stringstream text, bin;
+    writeWorkload(text, w);
+    writeWorkloadBinary(bin, w);
+    // The bursty traces RLE well; expect a substantial win.
+    EXPECT_LT(bin.str().size() * 2, text.str().size());
+}
+
+TEST(BinaryIo, FileRoundTripAndAutoLoad)
+{
+    const std::string path = testing::TempDir() + "/bio_test.jsw";
+    const Workload w = sample(7);
+    writeWorkloadBinaryFile(path, w);
+    expectEqualWorkloads(w, readWorkloadBinaryFile(path));
+    expectEqualWorkloads(w, loadWorkloadAuto(path));
+    std::remove(path.c_str());
+}
+
+TEST(BinaryIo, AutoLoadFallsBackToText)
+{
+    const std::string path = testing::TempDir() + "/bio_test.wl";
+    const Workload w = sample(9);
+    writeWorkloadFile(path, w);
+    expectEqualWorkloads(w, loadWorkloadAuto(path));
+    std::remove(path.c_str());
+}
+
+TEST(BinaryIo, DacapoScaleRoundTripPreservesScheduling)
+{
+    // A realistic-size trace survives the round trip and produces
+    // byte-identical scheduling results.
+    const Workload w = [&] {
+        SyntheticConfig cfg;
+        cfg.numFunctions = 400;
+        cfg.numCalls = 120000;
+        cfg.seed = 115;
+        return generateSynthetic(cfg);
+    }();
+    std::stringstream ss(std::ios::in | std::ios::out |
+                         std::ios::binary);
+    writeWorkloadBinary(ss, w);
+    const Workload r = readWorkloadBinary(ss);
+    expectEqualWorkloads(w, r);
+}
+
+TEST(BinaryIoDeath, BadMagic)
+{
+    std::stringstream ss;
+    ss << "NOPE and more bytes";
+    EXPECT_EXIT(readWorkloadBinary(ss),
+                ::testing::ExitedWithCode(1), "bad magic");
+}
+
+TEST(BinaryIoDeath, Truncation)
+{
+    const Workload w = sample(13);
+    std::stringstream ss(std::ios::in | std::ios::out |
+                         std::ios::binary);
+    writeWorkloadBinary(ss, w);
+    const std::string full = ss.str();
+    std::stringstream cut(full.substr(0, full.size() / 2),
+                          std::ios::in | std::ios::binary);
+    EXPECT_EXIT(readWorkloadBinary(cut),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(BinaryIoDeath, MissingFile)
+{
+    EXPECT_EXIT(readWorkloadBinaryFile("/nonexistent/x.jsw"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // anonymous namespace
+} // namespace jitsched

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the Table-1 benchmark configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "trace/dacapo.hh"
+
+namespace jitsched {
+namespace {
+
+TEST(Dacapo, NineBenchmarksInTableOrder)
+{
+    const auto &specs = dacapoSpecs();
+    ASSERT_EQ(specs.size(), 9u);
+    EXPECT_EQ(specs[0].name, "antlr");
+    EXPECT_EQ(specs[2].name, "eclipse");
+    EXPECT_EQ(specs[8].name, "pmd");
+}
+
+TEST(Dacapo, Table1Numbers)
+{
+    const DacapoSpec &lusearch = dacapoSpec("lusearch");
+    EXPECT_TRUE(lusearch.parallel);
+    EXPECT_EQ(lusearch.numFunctions, 543u);
+    EXPECT_EQ(lusearch.numCalls, 43573214u);
+    EXPECT_DOUBLE_EQ(lusearch.defaultTimeSec, 3.2);
+
+    const DacapoSpec &eclipse = dacapoSpec("eclipse");
+    EXPECT_FALSE(eclipse.parallel);
+    EXPECT_EQ(eclipse.numFunctions, 2194u);
+    EXPECT_EQ(eclipse.numCalls, 467372u);
+    EXPECT_DOUBLE_EQ(eclipse.defaultTimeSec, 28.4);
+}
+
+TEST(Dacapo, OnlyTwoParallelBenchmarks)
+{
+    std::size_t parallel = 0;
+    for (const auto &spec : dacapoSpecs())
+        parallel += spec.parallel ? 1 : 0;
+    EXPECT_EQ(parallel, 2u);
+}
+
+TEST(DacapoDeath, UnknownBenchmark)
+{
+    EXPECT_EXIT(dacapoSpec("chart"), ::testing::ExitedWithCode(1),
+                "unknown DaCapo benchmark");
+}
+
+TEST(Dacapo, ConfigScalesCalls)
+{
+    const DacapoSpec &spec = dacapoSpec("antlr");
+    const SyntheticConfig full = dacapoConfig(spec, 1);
+    const SyntheticConfig scaled = dacapoConfig(spec, 16);
+    EXPECT_EQ(full.numCalls, spec.numCalls);
+    EXPECT_NEAR(static_cast<double>(scaled.numCalls),
+                static_cast<double>(spec.numCalls) / 16.0,
+                static_cast<double>(spec.numFunctions) * 4);
+    EXPECT_EQ(full.numFunctions, spec.numFunctions);
+    EXPECT_EQ(scaled.numFunctions, spec.numFunctions);
+}
+
+TEST(Dacapo, ConfigScalesCompileMassWithTrace)
+{
+    const DacapoSpec &spec = dacapoSpec("jython");
+    const SyntheticConfig scaled = dacapoConfig(spec, 8);
+    EXPECT_NEAR(scaled.compileTimeScale,
+                static_cast<double>(scaled.numCalls) /
+                    static_cast<double>(spec.numCalls),
+                1e-12);
+}
+
+TEST(Dacapo, ScaleFloorKeepsFunctionsCallable)
+{
+    // Extreme scale: the sequence still holds 4 calls per function.
+    const DacapoSpec &spec = dacapoSpec("eclipse");
+    const SyntheticConfig cfg = dacapoConfig(spec, 1000000);
+    EXPECT_GE(cfg.numCalls, cfg.numFunctions * 4);
+}
+
+TEST(DacapoDeath, ZeroScale)
+{
+    EXPECT_EXIT(dacapoConfig(dacapoSpec("fop"), 0),
+                ::testing::ExitedWithCode(1), "scale");
+}
+
+TEST(Dacapo, WorkloadMatchesSpec)
+{
+    const Workload w = makeDacapoWorkload("lusearch", 64);
+    EXPECT_EQ(w.name(), "lusearch");
+    EXPECT_EQ(w.numFunctions(), 543u);
+    EXPECT_EQ(w.numCalledFunctions(), 543u);
+    EXPECT_EQ(w.maxLevels(), 4u);
+}
+
+TEST(Dacapo, SeedsDifferAcrossBenchmarks)
+{
+    EXPECT_NE(dacapoConfig(dacapoSpec("antlr"), 1).seed,
+              dacapoConfig(dacapoSpec("bloat"), 1).seed);
+}
+
+TEST(Dacapo, BenchScaleFromEnv)
+{
+    unsetenv("JITSCHED_FULL");
+    EXPECT_EQ(benchScaleFromEnv(16), 16u);
+    setenv("JITSCHED_FULL", "1", 1);
+    EXPECT_EQ(benchScaleFromEnv(16), 1u);
+    setenv("JITSCHED_FULL", "0", 1);
+    EXPECT_EQ(benchScaleFromEnv(16), 16u);
+    unsetenv("JITSCHED_FULL");
+}
+
+} // anonymous namespace
+} // namespace jitsched

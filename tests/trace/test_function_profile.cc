@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for FunctionProfile and its invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/function_profile.hh"
+
+namespace jitsched {
+namespace {
+
+FunctionProfile
+threeLevels()
+{
+    return FunctionProfile("f", 100,
+                           {{10, 100}, {50, 40}, {200, 25}});
+}
+
+TEST(FunctionProfile, Accessors)
+{
+    const FunctionProfile p = threeLevels();
+    EXPECT_EQ(p.name(), "f");
+    EXPECT_EQ(p.size(), 100u);
+    EXPECT_EQ(p.numLevels(), 3u);
+    EXPECT_EQ(p.compileTime(0), 10);
+    EXPECT_EQ(p.execTime(0), 100);
+    EXPECT_EQ(p.compileTime(2), 200);
+    EXPECT_EQ(p.execTime(2), 25);
+    EXPECT_EQ(p.highestLevel(), 2);
+}
+
+TEST(FunctionProfile, EqualLevelsAllowed)
+{
+    // Monotonicity is non-strict: equal times across levels are fine.
+    const FunctionProfile p("g", 1, {{5, 7}, {5, 7}});
+    EXPECT_EQ(p.numLevels(), 2u);
+}
+
+TEST(FunctionProfile, MonotonicChecker)
+{
+    EXPECT_TRUE(FunctionProfile::levelsMonotonic(
+        {{1, 10}, {2, 9}, {3, 8}}));
+    EXPECT_TRUE(FunctionProfile::levelsMonotonic({{1, 1}}));
+    // Compile time decreases: invalid.
+    EXPECT_FALSE(FunctionProfile::levelsMonotonic({{5, 10}, {4, 9}}));
+    // Execution time increases: invalid.
+    EXPECT_FALSE(FunctionProfile::levelsMonotonic({{1, 5}, {2, 6}}));
+    // Negative times: invalid.
+    EXPECT_FALSE(FunctionProfile::levelsMonotonic({{-1, 5}}));
+    EXPECT_FALSE(FunctionProfile::levelsMonotonic({{1, -5}}));
+}
+
+TEST(FunctionProfileDeath, RejectsNonMonotonic)
+{
+    EXPECT_DEATH(FunctionProfile("bad", 1, {{5, 10}, {4, 20}}),
+                 "monotonicity");
+}
+
+TEST(FunctionProfileDeath, RejectsEmptyLevels)
+{
+    EXPECT_DEATH(FunctionProfile("bad", 1, {}), "no levels");
+}
+
+TEST(FunctionProfileDeath, LevelOutOfRange)
+{
+    const FunctionProfile p = threeLevels();
+    EXPECT_DEATH(p.level(3), "out of range");
+}
+
+TEST(FunctionProfile, CostEffectiveLevelSingleCall)
+{
+    // One call: level0 10+100=110, level1 50+40=90, level2 200+25=225.
+    EXPECT_EQ(threeLevels().mostCostEffectiveLevel(1), 1);
+}
+
+TEST(FunctionProfile, CostEffectiveLevelHotFunction)
+{
+    // Many calls: execution dominates -> highest level.
+    EXPECT_EQ(threeLevels().mostCostEffectiveLevel(100000), 2);
+}
+
+TEST(FunctionProfile, CostEffectiveLevelMiddle)
+{
+    // n = 3: level 0 -> 10+300=310, level 1 -> 50+120=170,
+    // level 2 -> 200+75=275.  Level 1 wins.
+    EXPECT_EQ(threeLevels().mostCostEffectiveLevel(3), 1);
+}
+
+TEST(FunctionProfile, CostEffectiveZeroCalls)
+{
+    // No calls: cheapest compile wins.
+    EXPECT_EQ(threeLevels().mostCostEffectiveLevel(0), 0);
+}
+
+TEST(FunctionProfile, CostEffectiveTieBreaksLow)
+{
+    const FunctionProfile p("t", 1, {{10, 5}, {15, 4}});
+    // n = 5: level 0 -> 35, level 1 -> 35: tie -> level 0.
+    EXPECT_EQ(p.mostCostEffectiveLevel(5), 0);
+}
+
+TEST(FunctionProfile, Equality)
+{
+    EXPECT_EQ(threeLevels(), threeLevels());
+    const FunctionProfile other("f", 100, {{10, 100}, {50, 40}});
+    EXPECT_NE(threeLevels(), other);
+}
+
+} // anonymous namespace
+} // namespace jitsched

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Direct tests of the Fig. 1 / Fig. 2 instance definitions (the
+ * timelines themselves are exercised in tests/sim/test_makespan.cc).
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/paper_examples.hh"
+
+namespace jitsched {
+namespace {
+
+TEST(PaperExamples, Fig1Shape)
+{
+    const Workload w = figure1Workload();
+    EXPECT_EQ(w.numFunctions(), 3u);
+    ASSERT_EQ(w.numCalls(), 4u);
+    EXPECT_EQ(w.calls(), (std::vector<FuncId>{0, 1, 2, 1}));
+}
+
+TEST(PaperExamples, Fig2AppendsOneCall)
+{
+    const Workload f1 = figure1Workload();
+    const Workload f2 = figure2Workload();
+    ASSERT_EQ(f2.numCalls(), 5u);
+    EXPECT_EQ(f2.calls().back(), 2u);
+    // Same cost table in both.
+    for (std::size_t f = 0; f < 3; ++f)
+        EXPECT_EQ(f1.function(static_cast<FuncId>(f)),
+                  f2.function(static_cast<FuncId>(f)));
+}
+
+TEST(PaperExamples, CostTableMatchesThePaper)
+{
+    const Workload w = figure1Workload();
+    // f1: c10 = 1, e10 = 3, c11 = 3, e11 = 2.
+    EXPECT_EQ(w.function(1).compileTime(0), 1);
+    EXPECT_EQ(w.function(1).execTime(0), 3);
+    EXPECT_EQ(w.function(1).compileTime(1), 3);
+    EXPECT_EQ(w.function(1).execTime(1), 2);
+    // f2: c20 = 3, e20 = 3, c21 = 5, e21 = 1.
+    EXPECT_EQ(w.function(2).compileTime(0), 3);
+    EXPECT_EQ(w.function(2).execTime(0), 3);
+    EXPECT_EQ(w.function(2).compileTime(1), 5);
+    EXPECT_EQ(w.function(2).execTime(1), 1);
+}
+
+TEST(PaperExamples, SchemesAreValid)
+{
+    const Workload f1 = figure1Workload();
+    const Workload f2 = figure2Workload();
+    EXPECT_TRUE(figureSchemeS1().validate(f1));
+    EXPECT_TRUE(figureSchemeS2().validate(f1));
+    EXPECT_TRUE(figureSchemeS3().validate(f1));
+    EXPECT_TRUE(figureSchemeS1Extended().validate(f2));
+    EXPECT_TRUE(figureSchemeS2Extended().validate(f2));
+    EXPECT_TRUE(figureSchemeS3().validate(f2));
+}
+
+} // anonymous namespace
+} // namespace jitsched

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Unit and property tests for the synthetic workload generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trace/synthetic.hh"
+
+namespace jitsched {
+namespace {
+
+SyntheticConfig
+smallConfig(std::uint64_t seed = 1)
+{
+    SyntheticConfig cfg;
+    cfg.numFunctions = 120;
+    cfg.numCalls = 20000;
+    cfg.seed = seed;
+    cfg.targetLevel0ExecTime = 50 * ticksPerMs;
+    return cfg;
+}
+
+TEST(Synthetic, ShapeMatchesConfig)
+{
+    const Workload w = generateSynthetic(smallConfig());
+    EXPECT_EQ(w.numFunctions(), 120u);
+    EXPECT_EQ(w.numCalls(), 20000u);
+    EXPECT_EQ(w.maxLevels(), 4u);
+}
+
+TEST(Synthetic, EveryFunctionIsCalled)
+{
+    const Workload w = generateSynthetic(smallConfig());
+    EXPECT_EQ(w.numCalledFunctions(), w.numFunctions());
+}
+
+TEST(Synthetic, DeterministicBySeed)
+{
+    const Workload a = generateSynthetic(smallConfig(7));
+    const Workload b = generateSynthetic(smallConfig(7));
+    EXPECT_EQ(a.calls(), b.calls());
+    for (std::size_t f = 0; f < a.numFunctions(); ++f)
+        EXPECT_EQ(a.function(static_cast<FuncId>(f)),
+                  b.function(static_cast<FuncId>(f)));
+}
+
+TEST(Synthetic, DifferentSeedsDiffer)
+{
+    const Workload a = generateSynthetic(smallConfig(1));
+    const Workload b = generateSynthetic(smallConfig(2));
+    EXPECT_NE(a.calls(), b.calls());
+}
+
+TEST(Synthetic, MonotonicityInvariantsHold)
+{
+    const Workload w = generateSynthetic(smallConfig(3));
+    for (std::size_t i = 0; i < w.numFunctions(); ++i) {
+        const auto &prof = w.function(static_cast<FuncId>(i));
+        for (std::size_t j = 0; j + 1 < prof.numLevels(); ++j) {
+            const auto lj = static_cast<Level>(j);
+            const auto lj1 = static_cast<Level>(j + 1);
+            EXPECT_LE(prof.compileTime(lj), prof.compileTime(lj1));
+            EXPECT_GE(prof.execTime(lj), prof.execTime(lj1));
+        }
+    }
+}
+
+TEST(Synthetic, HitsExecTimeTarget)
+{
+    const SyntheticConfig cfg = smallConfig(4);
+    const Workload w = generateSynthetic(cfg);
+    const double actual =
+        static_cast<double>(w.totalExecAtLevel(0));
+    const double target =
+        static_cast<double>(cfg.targetLevel0ExecTime);
+    // Rounding each call to >= 1 ns inflates slightly; allow 5%.
+    EXPECT_NEAR(actual / target, 1.0, 0.05);
+}
+
+TEST(Synthetic, InterpreterLevel0HasZeroCompile)
+{
+    SyntheticConfig cfg = smallConfig(5);
+    cfg.interpreterLevel0 = true;
+    const Workload w = generateSynthetic(cfg);
+    for (std::size_t i = 0; i < w.numFunctions(); ++i)
+        EXPECT_EQ(w.function(static_cast<FuncId>(i)).compileTime(0),
+                  0);
+}
+
+TEST(Synthetic, CompileTimeScaleScalesCompiles)
+{
+    SyntheticConfig cfg = smallConfig(6);
+    const Workload full = generateSynthetic(cfg);
+    cfg.compileTimeScale = 0.25;
+    const Workload quarter = generateSynthetic(cfg);
+
+    Tick full_mass = 0, quarter_mass = 0;
+    for (std::size_t i = 0; i < full.numFunctions(); ++i) {
+        full_mass +=
+            full.function(static_cast<FuncId>(i)).compileTime(3);
+        quarter_mass +=
+            quarter.function(static_cast<FuncId>(i)).compileTime(3);
+    }
+    EXPECT_NEAR(static_cast<double>(quarter_mass) /
+                    static_cast<double>(full_mass),
+                0.25, 0.01);
+    // Execution side is untouched.
+    EXPECT_EQ(full.totalExecAtLevel(0), quarter.totalExecAtLevel(0));
+}
+
+TEST(Synthetic, FewerLevels)
+{
+    SyntheticConfig cfg = smallConfig(8);
+    cfg.numLevels = 2;
+    const Workload w = generateSynthetic(cfg);
+    EXPECT_EQ(w.maxLevels(), 2u);
+}
+
+TEST(Synthetic, FirstAppearancesSpreadAcrossPhases)
+{
+    SyntheticConfig cfg = smallConfig(9);
+    cfg.numPhases = 4;
+    cfg.sharedFraction = 0.25;
+    const Workload w = generateSynthetic(cfg);
+    // Some functions must first appear in the second half of the
+    // sequence (late phases) and some in the first 10% (startup).
+    std::size_t early = 0, late = 0;
+    for (std::size_t i = 0; i < w.numFunctions(); ++i) {
+        const std::int64_t idx =
+            w.firstCallIndex(static_cast<FuncId>(i));
+        ASSERT_GE(idx, 0);
+        if (idx < static_cast<std::int64_t>(w.numCalls() / 10))
+            ++early;
+        if (idx > static_cast<std::int64_t>(w.numCalls() / 2))
+            ++late;
+    }
+    EXPECT_GT(early, 10u);
+    EXPECT_GT(late, 10u);
+}
+
+TEST(Synthetic, ZipfSkewConcentratesCalls)
+{
+    SyntheticConfig flat = smallConfig(10);
+    flat.zipfSkew = 0.2;
+    SyntheticConfig steep = smallConfig(10);
+    steep.zipfSkew = 1.4;
+
+    auto top_share = [](const Workload &w) {
+        std::vector<std::uint64_t> counts;
+        for (std::size_t i = 0; i < w.numFunctions(); ++i)
+            counts.push_back(
+                w.callCount(static_cast<FuncId>(i)));
+        std::sort(counts.rbegin(), counts.rend());
+        std::uint64_t top = 0;
+        for (std::size_t i = 0; i < 10; ++i)
+            top += counts[i];
+        return static_cast<double>(top) /
+               static_cast<double>(w.numCalls());
+    };
+    EXPECT_GT(top_share(generateSynthetic(steep)),
+              top_share(generateSynthetic(flat)) + 0.1);
+}
+
+TEST(Synthetic, SequenceSeedVariesOnlyTheCalls)
+{
+    SyntheticConfig cfg = smallConfig(12);
+    cfg.sequenceSeed = 100;
+    const Workload a = generateSynthetic(cfg);
+    cfg.sequenceSeed = 200;
+    const Workload b = generateSynthetic(cfg);
+
+    // Different interleavings...
+    EXPECT_NE(a.calls(), b.calls());
+    // ...same program: identical profile shapes/sizes and compile
+    // times (execution times may differ slightly because each run
+    // re-normalizes to the target).
+    ASSERT_EQ(a.numFunctions(), b.numFunctions());
+    for (std::size_t f = 0; f < a.numFunctions(); ++f) {
+        const auto &pa = a.function(static_cast<FuncId>(f));
+        const auto &pb = b.function(static_cast<FuncId>(f));
+        EXPECT_EQ(pa.size(), pb.size());
+        for (std::size_t j = 0; j < pa.numLevels(); ++j)
+            EXPECT_EQ(pa.compileTime(static_cast<Level>(j)),
+                      pb.compileTime(static_cast<Level>(j)));
+    }
+
+    // Hotness structure is preserved: the per-function call counts
+    // of the two runs correlate strongly.
+    double dot = 0, na = 0, nb = 0;
+    for (std::size_t f = 0; f < a.numFunctions(); ++f) {
+        const double ca = static_cast<double>(
+            a.callCount(static_cast<FuncId>(f)));
+        const double cb = static_cast<double>(
+            b.callCount(static_cast<FuncId>(f)));
+        dot += ca * cb;
+        na += ca * ca;
+        nb += cb * cb;
+    }
+    EXPECT_GT(dot / std::sqrt(na * nb), 0.8);
+}
+
+TEST(SyntheticDeath, Validation)
+{
+    SyntheticConfig cfg = smallConfig();
+    cfg.numFunctions = 0;
+    EXPECT_EXIT(generateSynthetic(cfg),
+                ::testing::ExitedWithCode(1), "numFunctions");
+
+    cfg = smallConfig();
+    cfg.numCalls = 10; // fewer than functions
+    EXPECT_EXIT(generateSynthetic(cfg),
+                ::testing::ExitedWithCode(1), "numCalls");
+
+    cfg = smallConfig();
+    cfg.numLevels = 9; // more than compileFactor entries
+    EXPECT_EXIT(generateSynthetic(cfg),
+                ::testing::ExitedWithCode(1), "compileFactor");
+
+    cfg = smallConfig();
+    cfg.burstiness = 1.0;
+    EXPECT_EXIT(generateSynthetic(cfg),
+                ::testing::ExitedWithCode(1), "burstiness");
+
+    cfg = smallConfig();
+    cfg.targetLevel0ExecTime = 0;
+    EXPECT_EXIT(generateSynthetic(cfg),
+                ::testing::ExitedWithCode(1), "targetLevel0ExecTime");
+
+    cfg = smallConfig();
+    cfg.firstCallWindow = 0.0;
+    EXPECT_EXIT(generateSynthetic(cfg),
+                ::testing::ExitedWithCode(1), "firstCallWindow");
+}
+
+} // anonymous namespace
+} // namespace jitsched

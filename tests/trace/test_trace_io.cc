@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for workload text serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "trace/synthetic.hh"
+#include "trace/trace_io.hh"
+
+namespace jitsched {
+namespace {
+
+Workload
+sample()
+{
+    std::vector<FunctionProfile> funcs;
+    funcs.emplace_back("alpha", 10,
+                       std::vector<LevelCosts>{{1, 8}, {4, 3}});
+    funcs.emplace_back("beta", 20,
+                       std::vector<LevelCosts>{{2, 9}});
+    return Workload("sample", std::move(funcs), {0, 1, 0, 0, 1});
+}
+
+void
+expectEqualWorkloads(const Workload &a, const Workload &b)
+{
+    EXPECT_EQ(a.name(), b.name());
+    ASSERT_EQ(a.numFunctions(), b.numFunctions());
+    ASSERT_EQ(a.numCalls(), b.numCalls());
+    EXPECT_EQ(a.calls(), b.calls());
+    for (std::size_t f = 0; f < a.numFunctions(); ++f)
+        EXPECT_EQ(a.function(static_cast<FuncId>(f)),
+                  b.function(static_cast<FuncId>(f)));
+}
+
+TEST(TraceIo, RoundTripSmall)
+{
+    const Workload w = sample();
+    std::stringstream ss;
+    writeWorkload(ss, w);
+    const Workload r = readWorkload(ss);
+    expectEqualWorkloads(w, r);
+}
+
+TEST(TraceIo, RoundTripSynthetic)
+{
+    SyntheticConfig cfg;
+    cfg.numFunctions = 50;
+    cfg.numCalls = 2000;
+    cfg.seed = 5;
+    const Workload w = generateSynthetic(cfg);
+    std::stringstream ss;
+    writeWorkload(ss, w);
+    const Workload r = readWorkload(ss);
+    expectEqualWorkloads(w, r);
+}
+
+TEST(TraceIo, ToleratesCommentsAndBlankLines)
+{
+    std::stringstream ss;
+    ss << "# leading comment\n\n"
+       << "workload demo\n"
+       << "levels 1   # trailing comment\n"
+       << "func 0 f0 5 2 3\n"
+       << "\n"
+       << "calls 2\n"
+       << "0 0\n";
+    const Workload w = readWorkload(ss);
+    EXPECT_EQ(w.name(), "demo");
+    EXPECT_EQ(w.numCalls(), 2u);
+    EXPECT_EQ(w.function(0).compileTime(0), 2);
+}
+
+TEST(TraceIo, CallsAcrossManyLines)
+{
+    std::stringstream ss;
+    ss << "workload demo\nlevels 1\nfunc 0 f0 5 1 1\ncalls 5\n"
+       << "0\n0 0\n0\n0\n";
+    const Workload w = readWorkload(ss);
+    EXPECT_EQ(w.numCalls(), 5u);
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    const std::string path = testing::TempDir() + "/trace_io_test.wl";
+    const Workload w = sample();
+    writeWorkloadFile(path, w);
+    const Workload r = readWorkloadFile(path);
+    expectEqualWorkloads(w, r);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoDeath, UnknownDirective)
+{
+    std::stringstream ss;
+    ss << "bogus directive\n";
+    EXPECT_EXIT(readWorkload(ss), ::testing::ExitedWithCode(1),
+                "unknown directive");
+}
+
+TEST(TraceIoDeath, WrongCallCount)
+{
+    std::stringstream ss;
+    ss << "workload d\nlevels 1\nfunc 0 f 1 1 1\ncalls 3\n0 0\n";
+    EXPECT_EXIT(readWorkload(ss), ::testing::ExitedWithCode(1),
+                "expected 3 calls");
+}
+
+TEST(TraceIoDeath, NonMonotonicLevels)
+{
+    std::stringstream ss;
+    ss << "workload d\nlevels 2\nfunc 0 f 1 5 1 4 1\ncalls 1\n0\n";
+    EXPECT_EXIT(readWorkload(ss), ::testing::ExitedWithCode(1),
+                "monotonicity");
+}
+
+TEST(TraceIoDeath, NonDenseFunctionIds)
+{
+    std::stringstream ss;
+    ss << "workload d\nlevels 1\nfunc 1 f 1 1 1\ncalls 0\n";
+    EXPECT_EXIT(readWorkload(ss), ::testing::ExitedWithCode(1),
+                "dense");
+}
+
+TEST(TraceIoDeath, FunctionWithoutCosts)
+{
+    std::stringstream ss;
+    ss << "workload d\nlevels 1\nfunc 0 f 1\ncalls 0\n";
+    EXPECT_EXIT(readWorkload(ss), ::testing::ExitedWithCode(1),
+                "no level costs");
+}
+
+TEST(TraceIoDeath, MissingInputFile)
+{
+    EXPECT_EXIT(readWorkloadFile("/nonexistent/path/x.wl"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TraceIoDeath, BadInteger)
+{
+    std::stringstream ss;
+    ss << "workload d\nlevels 1\nfunc 0 f xyz 1 1\ncalls 0\n";
+    EXPECT_EXIT(readWorkload(ss), ::testing::ExitedWithCode(1),
+                "bad");
+}
+
+} // anonymous namespace
+} // namespace jitsched

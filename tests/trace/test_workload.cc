@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for Workload and its derived indices.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/workload.hh"
+
+namespace jitsched {
+namespace {
+
+Workload
+sample()
+{
+    std::vector<FunctionProfile> funcs;
+    funcs.emplace_back("a", 10,
+                       std::vector<LevelCosts>{{1, 8}, {4, 3}});
+    funcs.emplace_back("b", 20,
+                       std::vector<LevelCosts>{{2, 9}, {6, 4}});
+    funcs.emplace_back("never", 30,
+                       std::vector<LevelCosts>{{3, 7}});
+    return Workload("w", std::move(funcs), {1, 0, 1, 1, 0});
+}
+
+TEST(Workload, BasicCounts)
+{
+    const Workload w = sample();
+    EXPECT_EQ(w.name(), "w");
+    EXPECT_EQ(w.numFunctions(), 3u);
+    EXPECT_EQ(w.numCalls(), 5u);
+    EXPECT_EQ(w.numCalledFunctions(), 2u);
+}
+
+TEST(Workload, CallCounts)
+{
+    const Workload w = sample();
+    EXPECT_EQ(w.callCount(0), 2u);
+    EXPECT_EQ(w.callCount(1), 3u);
+    EXPECT_EQ(w.callCount(2), 0u);
+}
+
+TEST(Workload, FirstCallIndices)
+{
+    const Workload w = sample();
+    EXPECT_EQ(w.firstCallIndex(0), 1);
+    EXPECT_EQ(w.firstCallIndex(1), 0);
+    EXPECT_EQ(w.firstCallIndex(2), -1);
+}
+
+TEST(Workload, FirstAppearanceOrder)
+{
+    const Workload w = sample();
+    const auto &order = w.firstAppearanceOrder();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 1u);
+    EXPECT_EQ(order[1], 0u);
+}
+
+TEST(Workload, TotalExecAtLevel)
+{
+    const Workload w = sample();
+    // Level 0: calls b,a,b,b,a = 9+8+9+9+8 = 43.
+    EXPECT_EQ(w.totalExecAtLevel(0), 43);
+    // Level 1: 4+3+4+4+3 = 18.
+    EXPECT_EQ(w.totalExecAtLevel(1), 18);
+}
+
+TEST(Workload, TotalExecClampsMissingLevels)
+{
+    std::vector<FunctionProfile> funcs;
+    funcs.emplace_back("single", 1,
+                       std::vector<LevelCosts>{{1, 5}});
+    const Workload w("t", std::move(funcs), {0, 0});
+    // Function has only level 0; asking for level 3 clamps.
+    EXPECT_EQ(w.totalExecAtLevel(3), 10);
+}
+
+TEST(Workload, MaxLevels)
+{
+    EXPECT_EQ(sample().maxLevels(), 2u);
+}
+
+TEST(Workload, RestrictLevels)
+{
+    const Workload r = sample().restrictLevels(1);
+    EXPECT_EQ(r.maxLevels(), 1u);
+    EXPECT_EQ(r.numFunctions(), 3u);
+    EXPECT_EQ(r.numCalls(), 5u);
+    EXPECT_EQ(r.function(0).numLevels(), 1u);
+    EXPECT_EQ(r.function(0).execTime(0), 8);
+}
+
+TEST(Workload, RestrictLevelsKeepsShorterProfiles)
+{
+    const Workload r = sample().restrictLevels(5);
+    EXPECT_EQ(r.function(0).numLevels(), 2u);
+    EXPECT_EQ(r.function(2).numLevels(), 1u);
+}
+
+TEST(Workload, EmptyWorkload)
+{
+    const Workload w("empty", {}, {});
+    EXPECT_EQ(w.numFunctions(), 0u);
+    EXPECT_EQ(w.numCalls(), 0u);
+    EXPECT_EQ(w.numCalledFunctions(), 0u);
+    EXPECT_EQ(w.totalExecAtLevel(0), 0);
+}
+
+TEST(WorkloadDeath, CallToUnknownFunction)
+{
+    std::vector<FunctionProfile> funcs;
+    funcs.emplace_back("a", 1, std::vector<LevelCosts>{{1, 1}});
+    EXPECT_DEATH(Workload("bad", std::move(funcs), {0, 7}),
+                 "unknown function");
+}
+
+TEST(WorkloadDeath, FunctionIdOutOfRange)
+{
+    const Workload w = sample();
+    EXPECT_DEATH(w.function(9), "out of range");
+    EXPECT_DEATH(w.callCount(9), "out of range");
+    EXPECT_DEATH(w.firstCallIndex(9), "out of range");
+}
+
+TEST(WorkloadDeath, RestrictToZeroLevels)
+{
+    EXPECT_DEATH(sample().restrictLevels(0), "at least one level");
+}
+
+} // anonymous namespace
+} // namespace jitsched

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for the Jikes-style adaptive runtime (Sec. 6.2.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/lower_bound.hh"
+#include "sim/makespan.hh"
+#include "trace/synthetic.hh"
+#include "vm/adaptive_runtime.hh"
+#include "vm/cost_benefit.hh"
+
+namespace jitsched {
+namespace {
+
+/** One very hot function plus a cold one. */
+Workload
+hotColdWorkload()
+{
+    std::vector<FunctionProfile> funcs;
+    funcs.emplace_back(
+        "hot", 100,
+        std::vector<LevelCosts>{{1000, 10000}, {100000, 1000}});
+    funcs.emplace_back(
+        "cold", 100,
+        std::vector<LevelCosts>{{1000, 10000}, {100000, 1000}});
+    std::vector<FuncId> calls;
+    calls.push_back(1);
+    for (int i = 0; i < 5000; ++i)
+        calls.push_back(0);
+    return Workload("hotcold", std::move(funcs), calls);
+}
+
+TEST(Adaptive, FirstEncounterCompilesAtLevelZero)
+{
+    const Workload w = hotColdWorkload();
+    AdaptiveConfig cfg;
+    cfg.samplePeriod = 0; // no sampling: only first encounters
+    const RuntimeResult res =
+        runAdaptive(w, buildOracleEstimates(w), cfg);
+    ASSERT_EQ(res.inducedSchedule.size(), 2u);
+    EXPECT_EQ(res.inducedSchedule[0].func, 1u);
+    EXPECT_EQ(res.inducedSchedule[0].level, 0);
+    EXPECT_EQ(res.inducedSchedule[1].func, 0u);
+    EXPECT_EQ(res.inducedSchedule[1].level, 0);
+    EXPECT_EQ(res.recompiles, 0u);
+    EXPECT_EQ(res.samples, 0u);
+}
+
+TEST(Adaptive, HotFunctionGetsRecompiled)
+{
+    const Workload w = hotColdWorkload();
+    AdaptiveConfig cfg;
+    cfg.samplePeriod = 20000; // one sample every ~2 hot calls
+    const RuntimeResult res =
+        runAdaptive(w, buildOracleEstimates(w), cfg);
+    EXPECT_GE(res.recompiles, 1u);
+    // The recompile targets the hot function at level 1.
+    bool hot_upgraded = false;
+    for (const CompileEvent &ev : res.inducedSchedule.events())
+        hot_upgraded |= ev.func == 0 && ev.level == 1;
+    EXPECT_TRUE(hot_upgraded);
+    // And the make-span beats never recompiling.
+    AdaptiveConfig no_sampling;
+    no_sampling.samplePeriod = 0;
+    const RuntimeResult base =
+        runAdaptive(w, buildOracleEstimates(w), no_sampling);
+    EXPECT_LT(res.sim.makespan, base.sim.makespan);
+}
+
+TEST(Adaptive, ColdFunctionNeverRecompiled)
+{
+    const Workload w = hotColdWorkload();
+    AdaptiveConfig cfg;
+    cfg.samplePeriod = 20000;
+    const RuntimeResult res =
+        runAdaptive(w, buildOracleEstimates(w), cfg);
+    for (const CompileEvent &ev : res.inducedSchedule.events()) {
+        if (ev.func == 1) {
+            EXPECT_EQ(ev.level, 0);
+        }
+    }
+}
+
+TEST(Adaptive, InducedScheduleIsValid)
+{
+    SyntheticConfig scfg;
+    scfg.numFunctions = 150;
+    scfg.numCalls = 30000;
+    scfg.seed = 61;
+    const Workload w = generateSynthetic(scfg);
+    AdaptiveConfig cfg;
+    cfg.samplePeriod = defaultSamplePeriod(w);
+    const RuntimeResult res =
+        runAdaptive(w, buildDefaultEstimates(w), cfg);
+    std::string err;
+    EXPECT_TRUE(res.inducedSchedule.validate(w, &err)) << err;
+}
+
+TEST(Adaptive, MakespanAtLeastLowerBound)
+{
+    SyntheticConfig scfg;
+    scfg.numFunctions = 100;
+    scfg.numCalls = 20000;
+    scfg.seed = 63;
+    const Workload w = generateSynthetic(scfg);
+    AdaptiveConfig cfg;
+    cfg.samplePeriod = defaultSamplePeriod(w);
+    const RuntimeResult res =
+        runAdaptive(w, buildOracleEstimates(w), cfg);
+    EXPECT_GE(res.sim.makespan, lowerBoundAllLevels(w));
+    EXPECT_EQ(res.sim.execEnd,
+              res.sim.totalExec + res.sim.totalBubble);
+}
+
+TEST(Adaptive, FirstCallAlwaysBubbles)
+{
+    // The first call must wait for its level-0 compile: with a
+    // single compile core the first bubble is unavoidable.
+    const Workload w = hotColdWorkload();
+    AdaptiveConfig cfg;
+    cfg.samplePeriod = 0;
+    const RuntimeResult res =
+        runAdaptive(w, buildOracleEstimates(w), cfg);
+    EXPECT_GE(res.sim.bubbleCount, 1u);
+    EXPECT_GE(res.sim.totalBubble, 1000);
+}
+
+TEST(Adaptive, SamplingCountsSamples)
+{
+    const Workload w = hotColdWorkload();
+    AdaptiveConfig cfg;
+    cfg.samplePeriod = 100000;
+    const RuntimeResult res =
+        runAdaptive(w, buildOracleEstimates(w), cfg);
+    // Total execution is ~50M ticks at level 0 (less once the hot
+    // function is optimized); samples land every 100K ticks.
+    EXPECT_GT(res.samples, 50u);
+}
+
+TEST(Adaptive, MoreCompileCoresNeverHurt)
+{
+    SyntheticConfig scfg;
+    scfg.numFunctions = 120;
+    scfg.numCalls = 25000;
+    scfg.seed = 67;
+    const Workload w = generateSynthetic(scfg);
+    const TimeEstimates est = buildDefaultEstimates(w);
+
+    AdaptiveConfig one;
+    one.samplePeriod = defaultSamplePeriod(w);
+    AdaptiveConfig four = one;
+    four.compileCores = 4;
+    // Not a theorem (policies see different timings), but holds on
+    // this workload and guards gross regressions.
+    EXPECT_LE(runAdaptive(w, est, four).sim.makespan,
+              runAdaptive(w, est, one).sim.makespan * 101 / 100);
+}
+
+TEST(Adaptive, DefaultSamplePeriodScalesWithWorkload)
+{
+    SyntheticConfig scfg;
+    scfg.numFunctions = 50;
+    scfg.numCalls = 5000;
+    scfg.seed = 69;
+    scfg.targetLevel0ExecTime = 60 * ticksPerMs;
+    const Workload small = generateSynthetic(scfg);
+    scfg.targetLevel0ExecTime = 600 * ticksPerMs;
+    const Workload big = generateSynthetic(scfg);
+    EXPECT_GT(defaultSamplePeriod(big), defaultSamplePeriod(small));
+}
+
+TEST(AdaptiveDeath, EstimateTableMismatch)
+{
+    const Workload w = hotColdWorkload();
+    TimeEstimates est = buildOracleEstimates(w);
+    est.perFunc.pop_back();
+    EXPECT_DEATH(runAdaptive(w, est, AdaptiveConfig{}),
+                 "estimate table");
+}
+
+} // anonymous namespace
+} // namespace jitsched

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the lazy-dispatch compile manager and its queue
+ * disciplines (the Sec. 7 first-compile-priority insight).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/compile_queue.hh"
+#include "support/rng.hh"
+#include "vm/compile_manager.hh"
+
+namespace jitsched {
+namespace {
+
+TEST(CompileManager, FifoMatchesEagerQueue)
+{
+    // The lazy FIFO dispatch must reproduce CompileQueue exactly.
+    Rng rng(3);
+    for (const std::size_t cores : {1u, 2u, 4u}) {
+        CompileManager mgr(8, cores, QueueDiscipline::Fifo);
+        CompileQueue q(cores);
+        Tick arrival = 0;
+        for (int i = 0; i < 200; ++i) {
+            arrival += static_cast<Tick>(rng.nextBelow(50));
+            const auto f = static_cast<FuncId>(rng.nextBelow(8));
+            const Tick dur =
+                static_cast<Tick>(1 + rng.nextBelow(100));
+            mgr.submit(f, 0, dur, arrival, true);
+            q.submit(arrival, dur);
+        }
+        EXPECT_EQ(mgr.drain(), q.allDone());
+        EXPECT_EQ(mgr.busyTime(), q.busyTime());
+    }
+}
+
+TEST(CompileManager, FirstReadyDispatchesForward)
+{
+    CompileManager mgr(3, 1, QueueDiscipline::Fifo);
+    mgr.submit(0, 0, 10, 0, true);
+    mgr.submit(1, 0, 20, 0, true);
+    mgr.submit(2, 0, 5, 0, true);
+    EXPECT_EQ(mgr.firstReady(2), 35);
+    EXPECT_EQ(mgr.firstReady(0), 10);
+    EXPECT_EQ(mgr.firstReady(1), 30);
+}
+
+TEST(CompileManager, VersionAtPicksDeepestCompleted)
+{
+    CompileManager mgr(1, 1, QueueDiscipline::Fifo);
+    mgr.submit(0, 0, 10, 0, true);   // done at 10
+    mgr.submit(0, 2, 30, 0, false);  // done at 40
+    EXPECT_EQ(mgr.versionAt(0, 5), -1);
+    EXPECT_EQ(mgr.versionAt(0, 10), 0);
+    EXPECT_EQ(mgr.versionAt(0, 39), 0);
+    EXPECT_EQ(mgr.versionAt(0, 40), 2);
+}
+
+TEST(CompileManager, PriorityLetsFirstCompilesOvertake)
+{
+    // A long recompile is pending behind the current job when a
+    // first compile arrives: under FIFO the first compile waits for
+    // the recompile; under FirstCompileFirst it overtakes it.
+    auto run = [](QueueDiscipline d) {
+        CompileManager mgr(3, 1, d);
+        mgr.submit(0, 0, 10, 0, true);    // busy [0,10)
+        mgr.submit(1, 1, 100, 1, false);  // recompile, pending
+        mgr.submit(2, 0, 5, 2, true);     // first compile of f2
+        return mgr.firstReady(2);
+    };
+    EXPECT_EQ(run(QueueDiscipline::Fifo), 115);
+    EXPECT_EQ(run(QueueDiscipline::FirstCompileFirst), 15);
+}
+
+TEST(CompileManager, StartedJobsAreNotPreempted)
+{
+    // The recompile has already started when the first compile
+    // arrives: it must run to completion.
+    CompileManager mgr(2, 1, QueueDiscipline::FirstCompileFirst);
+    mgr.submit(0, 1, 100, 0, false);
+    // Force dispatch of the recompile by querying time 1.
+    EXPECT_EQ(mgr.versionAt(0, 1), -1);
+    mgr.submit(1, 0, 5, 10, true);
+    EXPECT_EQ(mgr.firstReady(1), 105);
+}
+
+TEST(CompileManager, PriorityKeepsArrivalOrderWithinClass)
+{
+    CompileManager mgr(3, 1, QueueDiscipline::FirstCompileFirst);
+    mgr.submit(0, 0, 10, 0, true);
+    mgr.submit(1, 0, 10, 1, true);
+    mgr.submit(2, 0, 10, 2, true);
+    EXPECT_EQ(mgr.firstReady(0), 10);
+    EXPECT_EQ(mgr.firstReady(1), 20);
+    EXPECT_EQ(mgr.firstReady(2), 30);
+}
+
+TEST(CompileManager, DispatchOrderRecordsWhatRan)
+{
+    CompileManager mgr(3, 1, QueueDiscipline::FirstCompileFirst);
+    mgr.submit(0, 0, 10, 0, true);
+    mgr.submit(1, 1, 50, 1, false);
+    mgr.submit(2, 0, 5, 2, true);
+    mgr.drain();
+    const auto &order = mgr.dispatchOrder();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0].first, 0u);
+    EXPECT_EQ(order[1].first, 2u); // overtook the recompile
+    EXPECT_EQ(order[2].first, 1u);
+}
+
+TEST(CompileManager, IdleGapsWhenNothingHasArrived)
+{
+    CompileManager mgr(2, 1, QueueDiscipline::Fifo);
+    mgr.submit(0, 0, 10, 0, true);
+    mgr.submit(1, 0, 10, 100, true);
+    EXPECT_EQ(mgr.drain(), 110);
+    EXPECT_EQ(mgr.busyTime(), 20);
+}
+
+TEST(CompileManager, MultiCorePriorityDispatch)
+{
+    CompileManager mgr(4, 2, QueueDiscipline::FirstCompileFirst);
+    mgr.submit(0, 0, 100, 0, true); // core A [0,100)
+    mgr.submit(1, 1, 100, 0, false); // core B [0,100)
+    mgr.submit(2, 1, 50, 1, false);  // pending recompile
+    mgr.submit(3, 0, 5, 2, true);    // first compile overtakes
+    EXPECT_EQ(mgr.firstReady(3), 105);
+    mgr.drain();
+    EXPECT_EQ(mgr.versionAt(2, 200), 1);
+}
+
+TEST(CompileManagerDeath, Validation)
+{
+    EXPECT_DEATH(CompileManager(1, 0, QueueDiscipline::Fifo),
+                 "at least one core");
+    CompileManager mgr(2, 1, QueueDiscipline::Fifo);
+    EXPECT_DEATH(mgr.submit(5, 0, 1, 0, true), "bad function");
+    mgr.submit(0, 0, 1, 10, true);
+    EXPECT_DEATH(mgr.submit(0, 1, 1, 5, false), "non-decreasing");
+    EXPECT_DEATH(mgr.firstReady(1), "never requested");
+}
+
+} // anonymous namespace
+} // namespace jitsched

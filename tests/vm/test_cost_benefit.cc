@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the cost-benefit models (default estimator and oracle).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trace/synthetic.hh"
+#include "vm/cost_benefit.hh"
+
+namespace jitsched {
+namespace {
+
+Workload
+sample(std::uint64_t seed = 51)
+{
+    SyntheticConfig cfg;
+    cfg.numFunctions = 80;
+    cfg.numCalls = 16000;
+    cfg.seed = seed;
+    return generateSynthetic(cfg);
+}
+
+TEST(CostBenefit, OracleMirrorsTruth)
+{
+    const Workload w = sample();
+    const TimeEstimates est = buildOracleEstimates(w);
+    for (std::size_t f = 0; f < w.numFunctions(); ++f) {
+        const auto &prof = w.function(static_cast<FuncId>(f));
+        for (std::size_t j = 0; j < prof.numLevels(); ++j) {
+            EXPECT_EQ(est.at(static_cast<FuncId>(f),
+                             static_cast<Level>(j))
+                          .compile,
+                      prof.compileTime(static_cast<Level>(j)));
+            EXPECT_EQ(est.at(static_cast<FuncId>(f),
+                             static_cast<Level>(j))
+                          .exec,
+                      prof.execTime(static_cast<Level>(j)));
+        }
+    }
+}
+
+TEST(CostBenefit, DefaultEstimatesKeepInvariants)
+{
+    const Workload w = sample();
+    CostBenefitConfig cfg;
+    cfg.noiseSigma = 0.5; // stress the clamping
+    const TimeEstimates est = buildEstimates(w, cfg);
+    for (const auto &levels : est.perFunc) {
+        ASSERT_FALSE(levels.empty());
+        EXPECT_TRUE(FunctionProfile::levelsMonotonic(levels));
+    }
+}
+
+TEST(CostBenefit, DefaultKnowsLevel0Execution)
+{
+    const Workload w = sample();
+    const TimeEstimates est = buildDefaultEstimates(w);
+    // The sampler observes level-0 behaviour, so e0 is exact.
+    for (std::size_t f = 0; f < w.numFunctions(); ++f)
+        EXPECT_EQ(est.at(static_cast<FuncId>(f), 0).exec,
+                  w.function(static_cast<FuncId>(f)).execTime(0));
+}
+
+TEST(CostBenefit, FittedRatesTrackTrueMassTimesBias)
+{
+    const Workload w = sample();
+    CostBenefitConfig cfg;
+    cfg.compileRateBias = 1.0;
+    const TimeEstimates est = buildEstimates(w, cfg);
+
+    // Aggregate estimated vs true compile mass at each level: the
+    // fit matches total mass per level (rate * total size).
+    for (std::size_t j = 0; j < w.maxLevels(); ++j) {
+        double true_mass = 0.0, est_mass = 0.0;
+        for (std::size_t f = 0; f < w.numFunctions(); ++f) {
+            true_mass += static_cast<double>(
+                w.function(static_cast<FuncId>(f))
+                    .compileTime(static_cast<Level>(j)));
+            est_mass += static_cast<double>(
+                est.at(static_cast<FuncId>(f),
+                       static_cast<Level>(j))
+                    .compile);
+        }
+        EXPECT_NEAR(est_mass / true_mass, 1.0, 0.02);
+    }
+}
+
+TEST(CostBenefit, RateBiasScalesCompileEstimates)
+{
+    const Workload w = sample();
+    CostBenefitConfig unbiased;
+    unbiased.compileRateBias = 1.0;
+    CostBenefitConfig biased;
+    biased.compileRateBias = 2.0;
+    const TimeEstimates a = buildEstimates(w, unbiased);
+    const TimeEstimates b = buildEstimates(w, biased);
+    EXPECT_NEAR(static_cast<double>(b.at(0, 3).compile) /
+                    static_cast<double>(a.at(0, 3).compile),
+                2.0, 0.01);
+}
+
+TEST(CostBenefit, NoiseIsDeterministicBySeed)
+{
+    const Workload w = sample();
+    CostBenefitConfig cfg;
+    cfg.noiseSigma = 0.3;
+    const TimeEstimates a = buildEstimates(w, cfg);
+    const TimeEstimates b = buildEstimates(w, cfg);
+    EXPECT_EQ(a.perFunc, b.perFunc);
+
+    cfg.seed = 1234;
+    const TimeEstimates c = buildEstimates(w, cfg);
+    EXPECT_NE(a.perFunc, c.perFunc);
+}
+
+TEST(CostBenefit, ModelCallCountsDiscount)
+{
+    const Workload w = sample();
+    CostBenefitConfig cfg;
+    cfg.hotnessDiscount = 0.5;
+    const auto counts = modelCallCounts(w, cfg);
+    EXPECT_NEAR(counts[0],
+                0.5 * static_cast<double>(w.callCount(0)), 1e-9);
+
+    cfg.kind = ModelKind::Oracle;
+    const auto oracle_counts = modelCallCounts(w, cfg);
+    EXPECT_NEAR(oracle_counts[0],
+                static_cast<double>(w.callCount(0)), 1e-9);
+}
+
+TEST(CostBenefit, ModelCandidateLevelsOracleMatchesDirect)
+{
+    const Workload w = sample();
+    CostBenefitConfig cfg;
+    cfg.kind = ModelKind::Oracle;
+    EXPECT_EQ(modelCandidateLevels(w, cfg),
+              oracleCandidateLevels(w));
+}
+
+TEST(CostBenefit, ConservativeBiasChoosesShallowerLevels)
+{
+    const Workload w = sample();
+    CostBenefitConfig cheap;
+    cheap.compileRateBias = 0.2;
+    CostBenefitConfig pricey;
+    pricey.compileRateBias = 3.0;
+    const auto a = modelCandidateLevels(w, cheap);
+    const auto b = modelCandidateLevels(w, pricey);
+    std::size_t a_depth = 0, b_depth = 0;
+    for (std::size_t f = 0; f < w.numFunctions(); ++f) {
+        a_depth += a[f].high;
+        b_depth += b[f].high;
+    }
+    EXPECT_GT(a_depth, b_depth);
+}
+
+TEST(CostBenefitDeath, TooFewConfiguredLevels)
+{
+    const Workload w = sample();
+    CostBenefitConfig cfg;
+    cfg.compileNsPerByte = {100.0}; // workload has 4 levels
+    EXPECT_EXIT(buildEstimates(w, cfg),
+                ::testing::ExitedWithCode(1), "fewer");
+}
+
+} // anonymous namespace
+} // namespace jitsched

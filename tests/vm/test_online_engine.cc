@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the online discrete-event engine, via a scripted policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "vm/online_engine.hh"
+
+namespace jitsched {
+namespace {
+
+/** Policy scripted per test: requests a fixed (func, level, at-nth). */
+struct ScriptedPolicy
+{
+    struct Rule
+    {
+        FuncId func;
+        std::uint64_t nth;
+        Level level;
+    };
+    std::vector<Rule> rules;
+    std::vector<Tick> sample_times;
+
+    Level
+    firstLevel(FuncId) const
+    {
+        return 0;
+    }
+
+    void
+    onInvocation(FuncId f, std::uint64_t nth, Tick now,
+                 Requester &req)
+    {
+        for (const Rule &r : rules) {
+            if (r.func == f && r.nth == nth)
+                req.request(f, r.level, now);
+        }
+    }
+
+    void
+    onSample(FuncId, Tick now, Requester &)
+    {
+        sample_times.push_back(now);
+    }
+};
+
+Workload
+simpleWorkload()
+{
+    std::vector<FunctionProfile> funcs;
+    funcs.emplace_back(
+        "f", 1,
+        std::vector<LevelCosts>{{10, 100}, {20, 50}, {40, 25}});
+    funcs.emplace_back(
+        "g", 1,
+        std::vector<LevelCosts>{{10, 100}, {20, 50}, {40, 25}});
+    return Workload("w", std::move(funcs), {0, 1, 0, 1, 0, 1});
+}
+
+TEST(OnlineEngine, DowngradeRequestsIgnored)
+{
+    const Workload w = simpleWorkload();
+    ScriptedPolicy policy;
+    policy.rules = {{0, 2, 2}, {0, 3, 1}}; // level 1 after level 2
+    OnlineConfig cfg;
+    const RuntimeResult res = runOnline(w, cfg, policy);
+    // The level-1 request must have been dropped.
+    for (const CompileEvent &ev : res.inducedSchedule.events()) {
+        if (ev.func == 0) {
+            EXPECT_NE(ev.level, 1);
+        }
+    }
+    EXPECT_TRUE(res.inducedSchedule.validate(w));
+}
+
+TEST(OnlineEngine, SameLevelRequestIgnored)
+{
+    const Workload w = simpleWorkload();
+    ScriptedPolicy policy;
+    policy.rules = {{0, 2, 1}, {0, 3, 1}};
+    const RuntimeResult res = runOnline(w, OnlineConfig{}, policy);
+    std::size_t f0_events = 0;
+    for (const CompileEvent &ev : res.inducedSchedule.events())
+        f0_events += ev.func == 0 ? 1 : 0;
+    EXPECT_EQ(f0_events, 2u); // level 0 + one level 1
+}
+
+TEST(OnlineEngine, RecompileCountExcludesFirstEncounters)
+{
+    const Workload w = simpleWorkload();
+    ScriptedPolicy policy;
+    policy.rules = {{0, 2, 1}, {1, 2, 2}};
+    const RuntimeResult res = runOnline(w, OnlineConfig{}, policy);
+    EXPECT_EQ(res.recompiles, 2u);
+    EXPECT_EQ(res.inducedSchedule.size(), 4u);
+}
+
+TEST(OnlineEngine, BubblesWhenQueueIsBusy)
+{
+    // g's first compile sits behind f's in the queue, so g's first
+    // call waits.
+    const Workload w = simpleWorkload();
+    ScriptedPolicy policy;
+    const RuntimeResult res = runOnline(w, OnlineConfig{}, policy);
+    // f compiles [0,10), f runs [10,110); g requested at 110 -> g
+    // compiles [110,120): bubble of 10 for g's call.
+    EXPECT_GE(res.sim.bubbleCount, 2u); // f's first call also waits
+    EXPECT_GE(res.sim.totalBubble, 20);
+}
+
+TEST(OnlineEngine, SamplesOnlyDuringExecution)
+{
+    const Workload w = simpleWorkload();
+    ScriptedPolicy policy;
+    OnlineConfig cfg;
+    cfg.samplePeriod = 50;
+    const RuntimeResult res = runOnline(w, cfg, policy);
+    EXPECT_EQ(res.samples, policy.sample_times.size());
+    EXPECT_GT(res.samples, 0u);
+    // Sample times strictly increase.
+    for (std::size_t i = 1; i < policy.sample_times.size(); ++i)
+        EXPECT_GT(policy.sample_times[i],
+                  policy.sample_times[i - 1]);
+    // No sample during the initial bubble [0,10).
+    EXPECT_GE(policy.sample_times.front(), 10);
+}
+
+TEST(OnlineEngine, SamplingDisabledWithZeroPeriod)
+{
+    const Workload w = simpleWorkload();
+    ScriptedPolicy policy;
+    OnlineConfig cfg;
+    cfg.samplePeriod = 0;
+    const RuntimeResult res = runOnline(w, cfg, policy);
+    EXPECT_EQ(res.samples, 0u);
+}
+
+TEST(OnlineEngine, MultipleCompileCoresOverlap)
+{
+    const Workload w = simpleWorkload();
+    ScriptedPolicy p1, p2;
+    OnlineConfig one;
+    OnlineConfig two;
+    two.compileCores = 2;
+    const Tick m1 = runOnline(w, one, p1).sim.makespan;
+    const Tick m2 = runOnline(w, two, p2).sim.makespan;
+    EXPECT_LE(m2, m1);
+}
+
+TEST(OnlineEngine, UpgradedVersionUsedOnceReady)
+{
+    const Workload w = simpleWorkload();
+    ScriptedPolicy policy;
+    policy.rules = {{0, 1, 2}}; // upgrade f immediately
+    const RuntimeResult res = runOnline(w, OnlineConfig{}, policy);
+    // f's later calls run at level 2.
+    EXPECT_GT(res.sim.callsAtLevel[2], 0u);
+}
+
+} // anonymous namespace
+} // namespace jitsched

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the HotSpot-style tiered (counter-threshold) policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/lower_bound.hh"
+#include "trace/synthetic.hh"
+#include "vm/tiered_policy.hh"
+
+namespace jitsched {
+namespace {
+
+Workload
+oneHotFunction(std::size_t calls)
+{
+    std::vector<FunctionProfile> funcs;
+    funcs.emplace_back("hot", 1,
+                       std::vector<LevelCosts>{
+                           {10, 100}, {50, 40}, {200, 20}, {800, 10}});
+    return Workload("w", std::move(funcs),
+                    std::vector<FuncId>(calls, 0));
+}
+
+TEST(Tiered, PromotesThroughTiers)
+{
+    const Workload w = oneHotFunction(20000);
+    TieredConfig cfg;
+    cfg.promoteAt = {100, 1000, 10000};
+    const RuntimeResult res = runTiered(w, cfg);
+    // All four levels get compiled: 0 at first call, then promotions.
+    ASSERT_EQ(res.inducedSchedule.size(), 4u);
+    EXPECT_EQ(res.inducedSchedule[0].level, 0);
+    EXPECT_EQ(res.inducedSchedule[1].level, 1);
+    EXPECT_EQ(res.inducedSchedule[2].level, 2);
+    EXPECT_EQ(res.inducedSchedule[3].level, 3);
+    EXPECT_EQ(res.recompiles, 3u);
+}
+
+TEST(Tiered, ColdFunctionStaysAtBaseline)
+{
+    const Workload w = oneHotFunction(50);
+    TieredConfig cfg;
+    cfg.promoteAt = {100, 1000, 10000};
+    const RuntimeResult res = runTiered(w, cfg);
+    EXPECT_EQ(res.inducedSchedule.size(), 1u);
+    EXPECT_EQ(res.recompiles, 0u);
+}
+
+TEST(Tiered, LukewarmFunctionStopsMidTier)
+{
+    const Workload w = oneHotFunction(500);
+    TieredConfig cfg;
+    cfg.promoteAt = {100, 1000, 10000};
+    const RuntimeResult res = runTiered(w, cfg);
+    ASSERT_EQ(res.inducedSchedule.size(), 2u);
+    EXPECT_EQ(res.inducedSchedule[1].level, 1);
+}
+
+TEST(Tiered, ClampsToAvailableLevels)
+{
+    std::vector<FunctionProfile> funcs;
+    funcs.emplace_back("two-level", 1,
+                       std::vector<LevelCosts>{{10, 100}, {50, 40}});
+    const Workload w("w", std::move(funcs),
+                     std::vector<FuncId>(20000, 0));
+    TieredConfig cfg;
+    cfg.promoteAt = {100, 1000, 10000};
+    const RuntimeResult res = runTiered(w, cfg);
+    for (const CompileEvent &ev : res.inducedSchedule.events())
+        EXPECT_LE(ev.level, 1);
+    EXPECT_TRUE(res.inducedSchedule.validate(w));
+}
+
+TEST(Tiered, ValidOnSyntheticWorkload)
+{
+    SyntheticConfig cfg;
+    cfg.numFunctions = 120;
+    cfg.numCalls = 24000;
+    cfg.seed = 81;
+    const Workload w = generateSynthetic(cfg);
+    const RuntimeResult res = runTiered(w);
+    std::string err;
+    EXPECT_TRUE(res.inducedSchedule.validate(w, &err)) << err;
+    EXPECT_GE(res.sim.makespan, lowerBoundAllLevels(w));
+}
+
+TEST(Tiered, PriorityDisciplineHelpsOrTies)
+{
+    SyntheticConfig scfg;
+    scfg.numFunctions = 200;
+    scfg.numCalls = 40000;
+    scfg.seed = 83;
+    const Workload w = generateSynthetic(scfg);
+
+    TieredConfig fifo;
+    TieredConfig prio;
+    prio.discipline = QueueDiscipline::FirstCompileFirst;
+    // First-compile priority removes first-call waits behind long
+    // promotions; allow a sliver of tolerance for pathological
+    // interleavings.
+    EXPECT_LE(runTiered(w, prio).sim.makespan,
+              runTiered(w, fifo).sim.makespan * 101 / 100);
+}
+
+TEST(TieredDeath, ThresholdsMustIncrease)
+{
+    const Workload w = oneHotFunction(10);
+    TieredConfig cfg;
+    cfg.promoteAt = {100, 100};
+    EXPECT_EXIT(runTiered(w, cfg), ::testing::ExitedWithCode(1),
+                "strictly increase");
+}
+
+} // anonymous namespace
+} // namespace jitsched

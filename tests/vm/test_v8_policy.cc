@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the V8 scheduling scheme (Sec. 6.2.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/lower_bound.hh"
+#include "trace/synthetic.hh"
+#include "vm/v8_policy.hh"
+
+namespace jitsched {
+namespace {
+
+Workload
+twoLevelWorkload(std::uint64_t seed = 71)
+{
+    SyntheticConfig cfg;
+    cfg.numFunctions = 80;
+    cfg.numCalls = 16000;
+    cfg.numLevels = 2;
+    cfg.seed = seed;
+    return generateSynthetic(cfg);
+}
+
+TEST(V8, FirstLowSecondHigh)
+{
+    std::vector<FunctionProfile> funcs;
+    funcs.emplace_back("f", 1,
+                       std::vector<LevelCosts>{{10, 100}, {50, 20}});
+    const Workload w("w", std::move(funcs), {0, 0, 0});
+    const RuntimeResult res = runV8(w);
+    ASSERT_EQ(res.inducedSchedule.size(), 2u);
+    EXPECT_EQ(res.inducedSchedule[0].level, 0);
+    EXPECT_EQ(res.inducedSchedule[1].level, 1);
+    EXPECT_EQ(res.recompiles, 1u);
+}
+
+TEST(V8, SingleCallFunctionsNeverRecompiled)
+{
+    std::vector<FunctionProfile> funcs;
+    funcs.emplace_back("once", 1,
+                       std::vector<LevelCosts>{{10, 100}, {50, 20}});
+    funcs.emplace_back("twice", 1,
+                       std::vector<LevelCosts>{{10, 100}, {50, 20}});
+    const Workload w("w", std::move(funcs), {0, 1, 1});
+    const RuntimeResult res = runV8(w);
+    for (const CompileEvent &ev : res.inducedSchedule.events()) {
+        if (ev.func == 0) {
+            EXPECT_EQ(ev.level, 0);
+        }
+    }
+    EXPECT_EQ(res.recompiles, 1u);
+}
+
+TEST(V8, RecompileTimingFollowsSecondInvocation)
+{
+    // The high compile is requested when the second call arrives,
+    // not at the first: with a long gap between calls the request
+    // arrives late.
+    std::vector<FunctionProfile> funcs;
+    funcs.emplace_back("f", 1,
+                       std::vector<LevelCosts>{{10, 100}, {50, 20}});
+    funcs.emplace_back("filler", 1,
+                       std::vector<LevelCosts>{{5, 1000}, {5, 1000}});
+    const Workload w("w", std::move(funcs), {0, 1, 0, 0});
+    const RuntimeResult res = runV8(w);
+    // f compiles [0,10), runs [10,110).  Filler compiles [110,115),
+    // runs [115,1115).  The second f call requests the high compile
+    // at 1115 ([1115,1165)) but itself still runs the low version
+    // [1115,1215); the third call uses the high version [1215,1235).
+    EXPECT_EQ(res.sim.makespan, 1235);
+}
+
+TEST(V8, CustomTriggerInvocation)
+{
+    std::vector<FunctionProfile> funcs;
+    funcs.emplace_back("f", 1,
+                       std::vector<LevelCosts>{{10, 100}, {50, 20}});
+    const Workload w("w", std::move(funcs), {0, 0, 0, 0});
+    V8Config cfg;
+    cfg.recompileOnInvocation = 4;
+    const RuntimeResult res = runV8(w, cfg);
+    ASSERT_EQ(res.inducedSchedule.size(), 2u);
+    // Requested at the 4th call: too late to help any call.
+    EXPECT_EQ(res.sim.callsAtLevel[1], 0u);
+}
+
+TEST(V8, InducedScheduleValidOnSyntheticWorkload)
+{
+    const Workload w = twoLevelWorkload();
+    const RuntimeResult res = runV8(w);
+    std::string err;
+    EXPECT_TRUE(res.inducedSchedule.validate(w, &err)) << err;
+    EXPECT_GE(res.sim.makespan, lowerBoundAllLevels(w));
+}
+
+TEST(V8, SingleLevelWorkloadHasNoRecompiles)
+{
+    SyntheticConfig cfg;
+    cfg.numFunctions = 30;
+    cfg.numCalls = 3000;
+    cfg.numLevels = 1;
+    cfg.seed = 73;
+    const Workload w = generateSynthetic(cfg);
+    const RuntimeResult res = runV8(w);
+    EXPECT_EQ(res.recompiles, 0u);
+    EXPECT_EQ(res.inducedSchedule.size(), w.numCalledFunctions());
+}
+
+TEST(V8, OptimizesRepeatedlyCalledFunctions)
+{
+    // Most calls of a hot function run at the high level.
+    std::vector<FunctionProfile> funcs;
+    funcs.emplace_back("hot", 1,
+                       std::vector<LevelCosts>{{10, 100}, {50, 20}});
+    const Workload w("w", std::move(funcs),
+                     std::vector<FuncId>(1000, 0));
+    const RuntimeResult res = runV8(w);
+    EXPECT_GT(res.sim.callsAtLevel[1], 990u);
+}
+
+TEST(V8, WorksOnRestrictedDacapoStyleWorkload)
+{
+    SyntheticConfig cfg;
+    cfg.numFunctions = 120;
+    cfg.numCalls = 24000;
+    cfg.seed = 79;
+    const Workload w4 = generateSynthetic(cfg);
+    const Workload w2 = w4.restrictLevels(2);
+    const RuntimeResult res = runV8(w2);
+    EXPECT_TRUE(res.inducedSchedule.validate(w2));
+    // Every level index must be < 2.
+    for (std::size_t j = 0; j < res.sim.callsAtLevel.size(); ++j) {
+        if (j >= 2) {
+            EXPECT_EQ(res.sim.callsAtLevel[j], 0u);
+        }
+    }
+}
+
+} // anonymous namespace
+} // namespace jitsched
