@@ -18,6 +18,7 @@
 #include "core/iar.hh"
 #include "core/lower_bound.hh"
 #include "core/single_level.hh"
+#include "exec/batch_eval.hh"
 #include "sim/makespan.hh"
 #include "support/stats.hh"
 #include "support/strutil.hh"
@@ -32,14 +33,24 @@ namespace {
 
 const char *kAblationBenchmarks[] = {"antlr", "jython", "luindex"};
 
-double
-normalizedIar(const Workload &w, const std::vector<CandidatePair> &c,
-              const IarConfig &icfg)
+/**
+ * Normalized make-spans of IAR variants on one workload, evaluated
+ * as a single batch on the shared pool.
+ */
+std::vector<double>
+normalizedIarBatch(const Workload &w,
+                   const std::vector<CandidatePair> &c,
+                   const std::vector<IarConfig> &configs)
 {
-    const Tick lb = lowerBoundCandidates(w, c);
-    const Tick span =
-        simulate(w, iarSchedule(w, c, icfg).schedule).makespan;
-    return static_cast<double>(span) / static_cast<double>(lb);
+    const double lb =
+        static_cast<double>(lowerBoundCandidates(w, c));
+    std::vector<EvalJob> jobs;
+    for (const IarConfig &icfg : configs)
+        jobs.push_back({&w, iarSchedule(w, c, icfg).schedule, {}});
+    std::vector<double> norms;
+    for (const SimResult &r : BatchEvaluator::global().evaluate(jobs))
+        norms.push_back(static_cast<double>(r.makespan) / lb);
+    return norms;
 }
 
 void
@@ -51,13 +62,15 @@ kSweep(std::size_t scale)
         const Workload w = makeDacapoWorkload(name, scale);
         const auto cands =
             modelCandidateLevels(w, CostBenefitConfig{});
-        std::vector<std::string> row{name};
+        std::vector<IarConfig> configs;
         for (const double k : {1.0, 3.0, 5.0, 10.0, 20.0}) {
             IarConfig icfg;
             icfg.k = k;
-            row.push_back(
-                formatFixed(normalizedIar(w, cands, icfg), 3));
+            configs.push_back(icfg);
         }
+        std::vector<std::string> row{name};
+        for (const double n : normalizedIarBatch(w, cands, configs))
+            row.push_back(formatFixed(n, 3));
         t.addRow(row);
     }
     t.print(std::cout);
@@ -81,11 +94,12 @@ stepAblation(std::size_t scale)
         s2.fillEndingGap = false;
         IarConfig s3;
         s3.fillEndingGap = false;
-        const IarConfig full;
 
-        t.addRow({name, formatFixed(normalizedIar(w, cands, s2), 3),
-                  formatFixed(normalizedIar(w, cands, s3), 3),
-                  formatFixed(normalizedIar(w, cands, full), 3)});
+        const std::vector<double> norms =
+            normalizedIarBatch(w, cands, {s2, s3, IarConfig{}});
+        t.addRow({name, formatFixed(norms[0], 3),
+                  formatFixed(norms[1], 3),
+                  formatFixed(norms[2], 3)});
     }
     t.print(std::cout);
     std::cout << "Paper reference: steps 3-4 are fine adjustments "
@@ -105,22 +119,23 @@ noiseSweep(std::size_t scale)
                   "1.6"});
     for (const char *name : kAblationBenchmarks) {
         const Workload w = makeDacapoWorkload(name, scale);
-        double baseline = 0.0;
-        std::vector<std::string> row{name};
+        // One job per noise level, evaluated as one batch.
+        std::vector<EvalJob> jobs;
         for (const double sigma : {0.0, 0.2, 0.4, 0.8, 1.6}) {
             CostBenefitConfig mcfg;
             mcfg.noiseSigma = sigma;
             const auto cands = modelCandidateLevels(w, mcfg);
-            const double span = static_cast<double>(
-                simulate(w, iarSchedule(w, cands).schedule)
-                    .makespan);
-            if (sigma == 0.0) {
-                baseline = span;
-                row.push_back("1.000");
-            } else {
-                row.push_back(formatFixed(span / baseline, 3));
-            }
+            jobs.push_back({&w, iarSchedule(w, cands).schedule, {}});
         }
+        const std::vector<SimResult> sims =
+            BatchEvaluator::global().evaluate(jobs);
+        const double baseline =
+            static_cast<double>(sims[0].makespan);
+        std::vector<std::string> row{name, "1.000"};
+        for (std::size_t i = 1; i < sims.size(); ++i)
+            row.push_back(formatFixed(
+                static_cast<double>(sims[i].makespan) / baseline,
+                3));
         t.addRow(row);
     }
     t.print(std::cout);
@@ -149,18 +164,26 @@ variationSweep(std::size_t scale)
         const Schedule iar = iarSchedule(w, cands).schedule;
         const Schedule base = baseLevelSchedule(w, cands);
 
+        // 2 schemes x 4 jitter levels = one 8-job batch.
+        std::vector<EvalJob> jobs;
+        for (const bool use_iar : {true, false})
+            for (const double sigma : {0.0, 0.3, 0.6, 1.0}) {
+                SimOptions opts;
+                opts.execJitterSigma = sigma;
+                jobs.push_back({&w, use_iar ? iar : base, opts});
+            }
+        const std::vector<SimResult> sims =
+            BatchEvaluator::global().evaluate(jobs);
         for (const bool use_iar : {true, false}) {
             std::vector<std::string> row{
                 use_iar ? name : "",
                 use_iar ? "IAR" : "base-only"};
-            for (const double sigma : {0.0, 0.3, 0.6, 1.0}) {
-                SimOptions opts;
-                opts.execJitterSigma = sigma;
-                const double span = static_cast<double>(
-                    simulate(w, use_iar ? iar : base, opts)
-                        .makespan);
-                row.push_back(formatFixed(span / lb, 3));
-            }
+            const std::size_t off = use_iar ? 0 : 4;
+            for (std::size_t i = 0; i < 4; ++i)
+                row.push_back(formatFixed(
+                    static_cast<double>(sims[off + i].makespan) /
+                        lb,
+                    3));
             t.addRow(row);
         }
     }
@@ -192,7 +215,8 @@ interpreterSweep(std::size_t scale)
             const double lb = static_cast<double>(
                 lowerBoundCandidates(w, cands));
             const double iar = static_cast<double>(
-                simulate(w, iarSchedule(w, cands).schedule)
+                BatchEvaluator::global()
+                    .evaluateOne(w, iarSchedule(w, cands).schedule)
                     .makespan);
             AdaptiveConfig acfg;
             acfg.samplePeriod = defaultSamplePeriod(w);

@@ -19,6 +19,7 @@
 
 #include "core/astar.hh"
 #include "core/brute_force.hh"
+#include "exec/thread_pool.hh"
 #include "support/strutil.hh"
 #include "support/table.hh"
 #include "trace/synthetic.hh"
@@ -66,6 +67,7 @@ main()
         AStarConfig acfg;
         acfg.memoryBudget = 512ull << 20;
         acfg.maxExpansions = 2'000'000;
+        acfg.pool = &ThreadPool::global();
         const AStarResult res = aStarOptimal(w, acfg);
 
         const char *status =

@@ -10,6 +10,7 @@
 
 #include "core/astar.hh"
 #include "core/brute_force.hh"
+#include "exec/batch_eval.hh"
 #include "sim/makespan.hh"
 #include "support/table.hh"
 #include "trace/paper_examples.hh"
@@ -44,13 +45,19 @@ main()
          figureSchemeS2Extended(), "12", "13"},
         {"s3", figureSchemeS3(), figureSchemeS3(), "10", "13"},
     };
+    // All six example evaluations as one batch.
+    std::vector<EvalJob> jobs;
     for (const Row &r : rows) {
+        jobs.push_back({&fig1, r.fig1_sched, {}});
+        jobs.push_back({&fig2, r.fig2_sched, {}});
+    }
+    const std::vector<SimResult> sims =
+        BatchEvaluator::global().evaluate(jobs);
+    for (std::size_t i = 0; i < std::size(rows); ++i) {
+        const Row &r = rows[i];
         t.addRow({r.name, r.fig2_sched.toString(fig2),
-                  std::to_string(simulate(fig1, r.fig1_sched)
-                                     .makespan),
-                  r.paper1,
-                  std::to_string(simulate(fig2, r.fig2_sched)
-                                     .makespan),
+                  std::to_string(sims[2 * i].makespan), r.paper1,
+                  std::to_string(sims[2 * i + 1].makespan),
                   r.paper2});
     }
     t.print(std::cout);

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/iar.hh"
+#include "exec/batch_eval.hh"
 #include "harness.hh"
 #include "sim/makespan.hh"
 #include "support/stats.hh"
@@ -42,10 +43,15 @@ main()
         const auto cands = modelCandidateLevels(w, mcfg);
         const Schedule s = iarSchedule(w, cands).schedule;
 
-        std::vector<double> spans;
+        // One batch job per core count: the whole sweep fans out on
+        // the shared evaluation pool.
+        std::vector<EvalJob> jobs;
         for (const std::size_t cores : core_counts)
-            spans.push_back(static_cast<double>(
-                simulate(w, s, {.compileCores = cores}).makespan));
+            jobs.push_back({&w, s, {.compileCores = cores}});
+        std::vector<double> spans;
+        for (const SimResult &r :
+             BatchEvaluator::global().evaluate(jobs))
+            spans.push_back(static_cast<double>(r.makespan));
 
         std::vector<std::string> row{spec.name};
         for (std::size_t i = 1; i < core_counts.size(); ++i) {

@@ -14,6 +14,7 @@
 #include "core/iar.hh"
 #include "core/lower_bound.hh"
 #include "core/single_level.hh"
+#include "exec/batch_eval.hh"
 #include "sim/makespan.hh"
 #include "support/stats.hh"
 #include "support/strutil.hh"
@@ -41,15 +42,18 @@ main()
         const double lb = static_cast<double>(
             lowerBoundCandidates(w, cands));
 
-        const double iar = static_cast<double>(
-            simulate(w, iarSchedule(w, cands).schedule).makespan);
+        // Static schedules batch on the shared pool; the V8 scheme
+        // is an online policy and stays sequential.
+        const std::vector<SimResult> sims =
+            BatchEvaluator::global().evaluate(
+                {{&w, iarSchedule(w, cands).schedule, {}},
+                 {&w, baseLevelSchedule(w, cands), {}},
+                 {&w, optimizingLevelSchedule(w, cands), {}}});
+        const double iar = static_cast<double>(sims[0].makespan);
+        const double base = static_cast<double>(sims[1].makespan);
+        const double opt = static_cast<double>(sims[2].makespan);
         const double v8 =
             static_cast<double>(runV8(w).sim.makespan);
-        const double base = static_cast<double>(
-            simulate(w, baseLevelSchedule(w, cands)).makespan);
-        const double opt = static_cast<double>(
-            simulate(w, optimizingLevelSchedule(w, cands))
-                .makespan);
 
         t.addRow({spec.name, "1.00", formatFixed(iar / lb, 2),
                   formatFixed(v8 / lb, 2), formatFixed(base / lb, 2),

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+#
+# Tier-1 gate: configure (if needed), build, and run the fast test
+# suite.  This is the command every change must keep green.
+#
+#   scripts/check.sh           # build + ctest -L tier1
+#   scripts/check.sh --tsan    # also build the exec tests with
+#                              # -fsanitize=thread in build-tsan/ and
+#                              # run them (thread pool, eval cache,
+#                              # batch determinism)
+#
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_tsan=0
+for arg in "$@"; do
+    case "$arg" in
+        --tsan) run_tsan=1 ;;
+        *)
+            echo "usage: scripts/check.sh [--tsan]" >&2
+            exit 2
+            ;;
+    esac
+done
+
+cmake -B build -S . >/dev/null
+cmake --build build -j
+(cd build && ctest -L tier1 --output-on-failure -j "$(nproc)")
+
+if [ "$run_tsan" -eq 1 ]; then
+    echo "== ThreadSanitizer pass (exec tests) =="
+    cmake -B build-tsan -S . -DJITSCHED_TSAN=ON \
+        -DJITSCHED_BUILD_BENCH=OFF -DJITSCHED_BUILD_EXAMPLES=OFF \
+        >/dev/null
+    cmake --build build-tsan --target test_exec -j
+    # More than one executor thread, so the pool and the sharded
+    # cache actually race if they can.
+    JITSCHED_THREADS=4 ./build-tsan/tests/test_exec \
+        --gtest_filter='ThreadPool*:EvalCache*:Batch*'
+fi
+
+echo "check.sh: all green"

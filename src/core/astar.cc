@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/search_util.hh"
+#include "exec/thread_pool.hh"
 #include "support/logging.hh"
 
 namespace jitsched {
@@ -135,28 +136,49 @@ aStarOptimal(const Workload &w, const AStarConfig &cfg)
         }
 
         // Children: append any (function, level) with level strictly
-        // above the function's last compiled level.
-        std::vector<CompileEvent> child_events = events;
-        child_events.push_back({});
+        // above the function's last compiled level.  The candidate
+        // list is generated in a fixed order first so the costly
+        // evalPrefix() calls can fan out over the batch-evaluation
+        // pool without changing which node gets which arena index.
+        std::vector<CompileEvent> children;
         for (std::size_t i = 0; i < w.numFunctions(); ++i) {
             const auto f = static_cast<FuncId>(i);
             if (w.callCount(f) == 0)
                 continue;
             const auto &prof = w.function(f);
             for (int l = last_level[i] + 1;
-                 l < static_cast<int>(prof.numLevels()); ++l) {
-                child_events.back() = {f, static_cast<Level>(l)};
-                const PrefixCost pc =
-                    evalPrefix(w, child_events, best_exec);
-                arena.push_back(
-                    Node{idx, child_events.back(), pc.f(), false});
-                open.push({pc.f(), static_cast<std::int64_t>(
-                                       arena.size() - 1)});
-                ++res.nodesGenerated;
-                if (!account()) {
-                    res.status = AStarStatus::OutOfMemory;
-                    return res;
-                }
+                 l < static_cast<int>(prof.numLevels()); ++l)
+                children.push_back({f, static_cast<Level>(l)});
+        }
+
+        std::vector<Tick> child_f(children.size());
+        if (cfg.pool != nullptr &&
+            children.size() >= cfg.minParallelChildren) {
+            cfg.pool->parallelFor(
+                children.size(), [&](std::size_t c) {
+                    std::vector<CompileEvent> child_events = events;
+                    child_events.push_back(children[c]);
+                    child_f[c] =
+                        evalPrefix(w, child_events, best_exec).f();
+                });
+        } else {
+            std::vector<CompileEvent> child_events = events;
+            child_events.push_back({});
+            for (std::size_t c = 0; c < children.size(); ++c) {
+                child_events.back() = children[c];
+                child_f[c] =
+                    evalPrefix(w, child_events, best_exec).f();
+            }
+        }
+
+        for (std::size_t c = 0; c < children.size(); ++c) {
+            arena.push_back(Node{idx, children[c], child_f[c], false});
+            open.push({child_f[c],
+                       static_cast<std::int64_t>(arena.size() - 1)});
+            ++res.nodesGenerated;
+            if (!account()) {
+                res.status = AStarStatus::OutOfMemory;
+                return res;
             }
         }
     }

@@ -20,6 +20,7 @@
 #ifndef JITSCHED_CORE_ASTAR_HH
 #define JITSCHED_CORE_ASTAR_HH
 
+#include <cstddef>
 #include <cstdint>
 
 #include "core/schedule.hh"
@@ -27,6 +28,8 @@
 #include "trace/workload.hh"
 
 namespace jitsched {
+
+class ThreadPool;
 
 /** Knobs of the A* search. */
 struct AStarConfig
@@ -39,6 +42,20 @@ struct AStarConfig
 
     /** Safety cap on node expansions (0 = unlimited). */
     std::uint64_t maxExpansions = 0;
+
+    /**
+     * Pool for fanning out the candidate (child) evaluations of one
+     * expansion; nullptr evaluates them sequentially.  The result is
+     * bit-identical either way: children are generated and pushed in
+     * a fixed order, only their evalPrefix() calls run concurrently.
+     */
+    ThreadPool *pool = nullptr;
+
+    /**
+     * Fan out only when an expansion has at least this many children;
+     * below it the hand-off overhead outweighs the win.
+     */
+    std::size_t minParallelChildren = 16;
 };
 
 /** Why the search stopped. */

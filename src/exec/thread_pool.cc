@@ -1,0 +1,147 @@
+#include "exec/thread_pool.hh"
+
+#include <cstdlib>
+#include <string>
+
+#include "support/logging.hh"
+
+namespace jitsched {
+
+namespace {
+
+std::size_t
+resolveConcurrency(std::size_t requested)
+{
+    if (requested != 0)
+        return requested;
+    const std::size_t hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+} // anonymous namespace
+
+ThreadPool::ThreadPool(std::size_t concurrency)
+{
+    const std::size_t n = resolveConcurrency(concurrency);
+    workers_.reserve(n - 1);
+    for (std::size_t i = 0; i + 1 < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        shutdown_ = true;
+    }
+    wake_cv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::runTasks(const std::function<void(std::size_t)> *body,
+                     std::size_t n)
+{
+    for (;;) {
+        const std::size_t i =
+            next_index_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n)
+            return;
+        (*body)(i);
+        if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            // Last task of the batch: wake the caller.  Taking the
+            // lock orders the notify against the caller's wait.
+            std::lock_guard<std::mutex> lk(mutex_);
+            done_cv_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+        const std::function<void(std::size_t)> *body = nullptr;
+        std::size_t n = 0;
+        {
+            std::unique_lock<std::mutex> lk(mutex_);
+            wake_cv_.wait(lk, [&] {
+                return shutdown_ || generation_ != seen_generation;
+            });
+            if (shutdown_)
+                return;
+            seen_generation = generation_;
+            body = body_;
+            n = batch_size_;
+            // A worker that slept through a whole batch wakes here
+            // after the caller already cleared body_; there is
+            // nothing to run, and claiming indices against the
+            // stale batch_size_ would corrupt the next batch.
+            if (body == nullptr)
+                continue;
+            ++active_runners_;
+        }
+        runTasks(body, n);
+        {
+            std::lock_guard<std::mutex> lk(mutex_);
+            if (--active_runners_ == 0)
+                done_cv_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    if (workers_.empty()) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    std::lock_guard<std::mutex> run_lk(run_mutex_);
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        body_ = &body;
+        batch_size_ = n;
+        next_index_.store(0, std::memory_order_relaxed);
+        pending_.store(n, std::memory_order_relaxed);
+        ++generation_;
+    }
+    wake_cv_.notify_all();
+
+    runTasks(&body, n);
+
+    // Wait until every task finished AND every worker has left
+    // runTasks(): a worker still inside could otherwise claim an
+    // index of the *next* batch against this batch's body.
+    std::unique_lock<std::mutex> lk(mutex_);
+    done_cv_.wait(lk, [&] {
+        return pending_.load(std::memory_order_acquire) == 0 &&
+               active_runners_ == 0;
+    });
+    body_ = nullptr;
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool([] {
+        const char *env = std::getenv("JITSCHED_THREADS");
+        if (env == nullptr || *env == '\0')
+            return std::size_t{0};
+        const long v = std::strtol(env, nullptr, 10);
+        if (v < 1)
+            JITSCHED_FATAL("JITSCHED_THREADS must be >= 1, got '",
+                           env, "'");
+        return static_cast<std::size_t>(v);
+    }());
+    return pool;
+}
+
+} // namespace jitsched

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Differential testing of the scheduler stack.
+ *
+ * On ~200 seeded random tiny traces (small enough for exhaustive
+ * search) the whole quality chain must hold:
+ *
+ *   lower bound <= brute-force optimum == A* <= IAR
+ *               <= each single-level approximation
+ *
+ * A regression in any scheduler — a simulator change that mis-times
+ * bubbles, an IAR step that stops helping, an A* heuristic that
+ * overestimates — breaks one of the inequalities on some seed.  The
+ * make-span evaluations themselves run through the batch engine, so
+ * the harness also exercises the exec/ path it protects.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/astar.hh"
+#include "core/brute_force.hh"
+#include "core/iar.hh"
+#include "core/lower_bound.hh"
+#include "core/single_level.hh"
+#include "exec/batch_eval.hh"
+#include "trace/synthetic.hh"
+
+namespace jitsched {
+namespace {
+
+/** Instance shape derived from the seed; all exhaustively solvable. */
+struct Shape
+{
+    std::size_t levels;
+    bool interpreter;
+};
+
+Shape
+shapeOf(std::uint64_t seed)
+{
+    return Shape{2 + (seed % 3 == 0 ? 1u : 0u), // mostly 2, some 3
+                 seed % 5 == 0};
+}
+
+Workload
+differentialWorkload(std::uint64_t seed)
+{
+    const Shape shape = shapeOf(seed);
+    SyntheticConfig cfg;
+    cfg.numFunctions = 3 + seed % 2; // 3 or 4 unique functions
+    cfg.numCalls = 12 + seed % 17;   // 12 .. 28 calls
+    cfg.numLevels = shape.levels;
+    cfg.numPhases = 1 + seed % 2;
+    cfg.zipfSkew = 0.5 + 0.1 * (seed % 7);
+    cfg.interpreterLevel0 = shape.interpreter;
+    cfg.seed = seed * 7919 + 13;
+    return generateSynthetic(cfg);
+}
+
+class Differential : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(Differential, SchedulerQualityChainHolds)
+{
+    const std::uint64_t seed = GetParam();
+    const Workload w = differentialWorkload(seed);
+
+    const BruteForceResult bf = bruteForceOptimal(w);
+    ASSERT_TRUE(bf.complete) << "instance too large for brute force";
+    const AStarResult as = aStarOptimal(w);
+    ASSERT_EQ(as.status, AStarStatus::Optimal);
+
+    const auto cands = oracleCandidateLevels(w);
+    const std::vector<SimResult> sims =
+        BatchEvaluator::global().evaluate(
+            {{&w, bf.schedule, {}},
+             {&w, as.schedule, {}},
+             {&w, iarSchedule(w, cands).schedule, {}},
+             {&w, baseLevelSchedule(w, cands), {}},
+             {&w, optimizingLevelSchedule(w, cands), {}}});
+    const Tick brute = sims[0].makespan;
+    const Tick astar = sims[1].makespan;
+    const Tick iar = sims[2].makespan;
+    const Tick base = sims[3].makespan;
+    const Tick opt = sims[4].makespan;
+
+    // The solvers' own make-span accounting agrees with the
+    // simulator's.
+    EXPECT_EQ(brute, bf.makespan);
+    EXPECT_EQ(astar, as.makespan);
+
+    // Lower bound <= optimum.
+    EXPECT_LE(lowerBoundAllLevels(w), brute);
+
+    // Both exact solvers find the same optimum.
+    EXPECT_EQ(brute, astar);
+
+    // The optimum bounds every approximation from below.
+    EXPECT_LE(brute, iar);
+    EXPECT_LE(brute, base);
+    EXPECT_LE(brute, opt);
+
+    // IAR starts from the base-level schedule and only refines it;
+    // it must never end up worse.
+    EXPECT_LE(iar, base);
+
+    // Against opt-only the advantage is the paper's *empirical*
+    // claim for its Jikes-like two-candidate setting, not a theorem:
+    // on tiny interpreter-tier or 3-level instances the Formula-2
+    // classification can keep a function low where compiling
+    // everything high happens to win.  Assert it on the shapes where
+    // it is robust (every 2-level JIT instance in the sweep).
+    const Shape shape = shapeOf(seed);
+    if (shape.levels == 2 && !shape.interpreter)
+        EXPECT_LE(iar, opt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Differential,
+                         ::testing::Range<std::uint64_t>(1, 201));
+
+} // anonymous namespace
+} // namespace jitsched

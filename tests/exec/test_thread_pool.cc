@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for the fork-join thread pool.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/thread_pool.hh"
+
+namespace jitsched {
+namespace {
+
+TEST(ThreadPool, ConcurrencyIncludesTheCaller)
+{
+    EXPECT_EQ(ThreadPool(1).concurrency(), 1u);
+    EXPECT_EQ(ThreadPool(2).concurrency(), 2u);
+    EXPECT_EQ(ThreadPool(8).concurrency(), 8u);
+    EXPECT_GE(ThreadPool(0).concurrency(), 1u);
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce)
+{
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+        ThreadPool pool(threads);
+        constexpr std::size_t n = 1000;
+        std::vector<std::atomic<int>> counts(n);
+        pool.parallelFor(n, [&](std::size_t i) { ++counts[i]; });
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(counts[i].load(), 1)
+                << "index " << i << " at " << threads << " threads";
+    }
+}
+
+TEST(ThreadPool, EmptyBatchIsANoop)
+{
+    ThreadPool pool(4);
+    bool ran = false;
+    pool.parallelFor(0, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, SingleIndexBatch)
+{
+    ThreadPool pool(4);
+    std::atomic<std::size_t> seen{0};
+    pool.parallelFor(1, [&](std::size_t i) { seen = i + 1; });
+    EXPECT_EQ(seen.load(), 1u);
+}
+
+TEST(ThreadPool, RepeatedBatchesReuseTheWorkers)
+{
+    ThreadPool pool(4);
+    std::uint64_t total = 0;
+    for (int round = 0; round < 200; ++round) {
+        const std::size_t n = 1 + round % 7;
+        std::vector<std::uint64_t> out(n);
+        pool.parallelFor(n, [&](std::size_t i) { out[i] = i + 1; });
+        total = std::accumulate(out.begin(), out.end(), total);
+    }
+    // Sum of 1..n over the rounds, computed independently.
+    std::uint64_t expect = 0;
+    for (int round = 0; round < 200; ++round) {
+        const std::uint64_t n = 1 + round % 7;
+        expect += n * (n + 1) / 2;
+    }
+    EXPECT_EQ(total, expect);
+}
+
+TEST(ThreadPool, ResultsIndependentOfConcurrency)
+{
+    constexpr std::size_t n = 512;
+    std::vector<std::uint64_t> reference(n);
+    ThreadPool(1).parallelFor(n, [&](std::size_t i) {
+        reference[i] = i * i + 17;
+    });
+    for (const std::size_t threads : {2u, 3u, 8u}) {
+        ThreadPool pool(threads);
+        std::vector<std::uint64_t> out(n);
+        pool.parallelFor(n, [&](std::size_t i) {
+            out[i] = i * i + 17;
+        });
+        EXPECT_EQ(out, reference) << threads << " threads";
+    }
+}
+
+TEST(ThreadPool, ManyMoreTasksThanThreads)
+{
+    ThreadPool pool(2);
+    constexpr std::size_t n = 20000;
+    std::atomic<std::uint64_t> sum{0};
+    pool.parallelFor(n, [&](std::size_t i) {
+        sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), std::uint64_t{n} * (n - 1) / 2);
+}
+
+TEST(ThreadPool, GlobalPoolIsASingleton)
+{
+    EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+    EXPECT_GE(ThreadPool::global().concurrency(), 1u);
+}
+
+} // anonymous namespace
+} // namespace jitsched

