@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Load generator for the scheduling service: an in-process jitschedd
+ * on an ephemeral loopback port, hammered by concurrent clients, with
+ * throughput and tail latency (p50/p95/p99) reported per scenario.
+ *
+ * Three scenarios bracket the service's operating range:
+ *
+ *   cold    every request is a distinct workload — each one pays a
+ *           full solve (the cache can only miss)
+ *   warm    every request repeats one already-served workload — the
+ *           EvalCache answer path, which is what makes the service
+ *           viable for a JIT that re-asks about recurring phases
+ *   mixed   80% repeats / 20% fresh, the expected steady state
+ */
+
+#include <chrono>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness.hh"
+#include "service/client.hh"
+#include "service/server.hh"
+#include "support/logging.hh"
+#include "trace/synthetic.hh"
+
+using namespace jitsched;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kClients = 8;
+constexpr std::size_t kRequestsPerClient = 32;
+
+Workload
+makeWorkload(std::uint64_t variant)
+{
+    SyntheticConfig cfg;
+    cfg.name = "svc-" + std::to_string(variant);
+    cfg.numFunctions = 60;
+    cfg.numCalls = 1500;
+    cfg.seed = 1000 + variant;
+    return generateSynthetic(cfg);
+}
+
+struct ScenarioResult
+{
+    std::vector<double> latenciesMs;
+    double elapsedSec = 0.0;
+    std::uint64_t errors = 0;
+};
+
+/**
+ * @param pick maps (client, request index) to a workload variant;
+ *        equal variants are identical requests and can share cache
+ *        entries
+ */
+ScenarioResult
+runScenario(std::uint16_t port, const std::string &policy,
+            std::uint64_t (*pick)(std::size_t, std::size_t))
+{
+    ScenarioResult result;
+    std::mutex merge_mutex;
+
+    const auto begin = Clock::now();
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (std::size_t c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            ServiceClient client;
+            std::string error;
+            if (!client.connect("127.0.0.1", port, &error))
+                JITSCHED_FATAL("connect: ", error);
+            std::vector<double> local;
+            std::uint64_t local_errors = 0;
+            for (std::size_t i = 0; i < kRequestsPerClient; ++i) {
+                ServiceRequest req;
+                req.id = c * kRequestsPerClient + i + 1;
+                req.policy = policy;
+                req.workload = makeWorkload(pick(c, i));
+                const auto t0 = Clock::now();
+                auto resp = client.call(req, &error);
+                const auto t1 = Clock::now();
+                if (!resp)
+                    JITSCHED_FATAL("call: ", error);
+                if (!resp->ok)
+                    ++local_errors;
+                local.push_back(
+                    std::chrono::duration<double, std::milli>(
+                        t1 - t0)
+                        .count());
+            }
+            std::lock_guard<std::mutex> lk(merge_mutex);
+            result.latenciesMs.insert(result.latenciesMs.end(),
+                                      local.begin(), local.end());
+            result.errors += local_errors;
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+    result.elapsedSec =
+        std::chrono::duration<double>(Clock::now() - begin).count();
+    return result;
+}
+
+std::uint64_t
+pickCold(std::size_t c, std::size_t i)
+{
+    return c * kRequestsPerClient + i; // all distinct
+}
+
+std::uint64_t
+pickWarm(std::size_t, std::size_t)
+{
+    return 0; // all identical
+}
+
+std::uint64_t
+pickMixed(std::size_t c, std::size_t i)
+{
+    // 1-in-5 requests is fresh; the rest cycle a small hot set.
+    if ((c + i) % 5 == 0)
+        return 100 + c * kRequestsPerClient + i;
+    return (c + i) % 4;
+}
+
+LatencyRow
+toRow(const std::string &label, const ScenarioResult &r)
+{
+    LatencyRow row;
+    row.label = label;
+    row.latency = summarizeLatencies(r.latenciesMs);
+    if (r.elapsedSec > 0.0)
+        row.throughputPerSec =
+            static_cast<double>(r.latenciesMs.size()) / r.elapsedSec;
+    return row;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    ServiceEngine engine;
+    ServiceServer server(engine);
+    std::string error;
+    if (!server.start(&error))
+        JITSCHED_FATAL("cannot start server: ", error);
+    std::cout << "service bench: " << kClients << " clients x "
+              << kRequestsPerClient << " requests, policy iar, "
+              << "loopback port " << server.port() << "\n\n";
+
+    std::vector<LatencyRow> rows;
+    rows.push_back(
+        toRow("cold (all distinct)",
+              runScenario(server.port(), "iar", pickCold)));
+    rows.push_back(
+        toRow("warm (all duplicate)",
+              runScenario(server.port(), "iar", pickWarm)));
+    rows.push_back(
+        toRow("mixed (80% repeat)",
+              runScenario(server.port(), "iar", pickMixed)));
+    printLatencyTable("scheduling service latency", rows);
+
+    std::cout << "cache: " << engine.cache().hits() << " hits / "
+              << engine.cache().misses() << " misses  |  admission: "
+              << server.admission().processed() << " processed, "
+              << server.admission().shed() << " shed\n";
+    server.stop();
+    return 0;
+}

@@ -83,4 +83,49 @@ printFigure(const std::string &title,
               << formatFixed(mean(def) / mean(iar), 2) << "x\n\n";
 }
 
+LatencySummary
+summarizeLatencies(std::vector<double> samples_ms)
+{
+    LatencySummary s;
+    s.count = samples_ms.size();
+    if (samples_ms.empty())
+        return s;
+    Summary acc;
+    for (const double x : samples_ms)
+        acc.add(x);
+    s.minMs = acc.min();
+    s.meanMs = acc.mean();
+    s.maxMs = acc.max();
+    s.p50Ms = percentile(samples_ms, 50.0);
+    s.p95Ms = percentile(samples_ms, 95.0);
+    s.p99Ms = percentile(samples_ms, 99.0);
+    return s;
+}
+
+void
+printLatencyTable(const std::string &title,
+                  const std::vector<LatencyRow> &rows)
+{
+    std::cout << "== " << title << " ==\n";
+    std::cout << "(latencies in ms; p50/p95/p99 by linear "
+                 "interpolation)\n";
+    AsciiTable table({"case", "n", "min", "mean", "p50", "p95",
+                      "p99", "max", "req/s"});
+    for (const LatencyRow &r : rows) {
+        const LatencySummary &l = r.latency;
+        table.addRow({r.label, std::to_string(l.count),
+                      formatFixed(l.minMs, 3),
+                      formatFixed(l.meanMs, 3),
+                      formatFixed(l.p50Ms, 3),
+                      formatFixed(l.p95Ms, 3),
+                      formatFixed(l.p99Ms, 3),
+                      formatFixed(l.maxMs, 3),
+                      r.throughputPerSec > 0.0
+                          ? formatFixed(r.throughputPerSec, 1)
+                          : "-"});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
 } // namespace jitsched

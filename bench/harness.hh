@@ -49,6 +49,38 @@ FigureRow runFigureRow(const Workload &w, ModelKind model);
 void printFigure(const std::string &title,
                  const std::vector<FigureRow> &rows);
 
+/**
+ * Latency distribution of a batch of timed operations — what a
+ * service benchmark reports instead of a single mean (tail latency is
+ * the metric that decides whether a scheduling service is usable
+ * inside a JIT's compilation pipeline).
+ */
+struct LatencySummary
+{
+    std::size_t count = 0;
+    double minMs = 0.0;
+    double meanMs = 0.0;
+    double p50Ms = 0.0;
+    double p95Ms = 0.0;
+    double p99Ms = 0.0;
+    double maxMs = 0.0;
+};
+
+/** Summarize raw per-operation latencies (milliseconds). */
+LatencySummary summarizeLatencies(std::vector<double> samples_ms);
+
+/** One row per labelled distribution, plus a throughput column. */
+struct LatencyRow
+{
+    std::string label;
+    LatencySummary latency;
+    double throughputPerSec = 0.0; ///< 0 hides the column entry
+};
+
+/** Print latency rows as a table (min/mean/p50/p95/p99/max). */
+void printLatencyTable(const std::string &title,
+                       const std::vector<LatencyRow> &rows);
+
 } // namespace jitsched
 
 #endif // JITSCHED_BENCH_HARNESS_HH

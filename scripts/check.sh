@@ -4,10 +4,12 @@
 # suite.  This is the command every change must keep green.
 #
 #   scripts/check.sh           # build + ctest -L tier1
-#   scripts/check.sh --tsan    # also build the exec tests with
-#                              # -fsanitize=thread in build-tsan/ and
-#                              # run them (thread pool, eval cache,
-#                              # batch determinism)
+#   scripts/check.sh --tsan    # also build the thread-heavy tests
+#                              # (`exec` and `service` ctest labels)
+#                              # with -fsanitize=thread in build-tsan/
+#                              # and run them (thread pool, eval
+#                              # cache, batch determinism, admission
+#                              # queue, loopback server)
 #
 set -euo pipefail
 
@@ -29,15 +31,18 @@ cmake --build build -j
 (cd build && ctest -L tier1 --output-on-failure -j "$(nproc)")
 
 if [ "$run_tsan" -eq 1 ]; then
-    echo "== ThreadSanitizer pass (exec tests) =="
+    echo "== ThreadSanitizer pass (exec + service tests) =="
     cmake -B build-tsan -S . -DJITSCHED_TSAN=ON \
         -DJITSCHED_BUILD_BENCH=OFF -DJITSCHED_BUILD_EXAMPLES=OFF \
         >/dev/null
-    cmake --build build-tsan --target test_exec -j
+    cmake --build build-tsan --target test_exec test_service -j
     # More than one executor thread, so the pool and the sharded
     # cache actually race if they can.
     JITSCHED_THREADS=4 ./build-tsan/tests/test_exec \
         --gtest_filter='ThreadPool*:EvalCache*:Batch*'
+    # The whole service stack is concurrent: acceptor + handler
+    # threads, admission worker, evaluation pool, parallel clients.
+    JITSCHED_THREADS=4 ./build-tsan/tests/test_service
 fi
 
 echo "check.sh: all green"

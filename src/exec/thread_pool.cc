@@ -4,6 +4,7 @@
 #include <string>
 
 #include "support/logging.hh"
+#include "support/strutil.hh"
 
 namespace jitsched {
 
@@ -128,19 +129,25 @@ ThreadPool::parallelFor(std::size_t n,
     body_ = nullptr;
 }
 
+std::size_t
+ThreadPool::parseThreadsEnv(const char *env)
+{
+    if (env == nullptr || *env == '\0')
+        return 0;
+    // parseInt() rejects partial parses, so "4x" and "abc" are both
+    // caught here instead of silently truncating via strtol.
+    const auto v = parseInt(trim(env));
+    if (!v || *v < 1)
+        JITSCHED_FATAL("JITSCHED_THREADS must be an integer >= 1, "
+                       "got '", env, "'");
+    return static_cast<std::size_t>(*v);
+}
+
 ThreadPool &
 ThreadPool::global()
 {
-    static ThreadPool pool([] {
-        const char *env = std::getenv("JITSCHED_THREADS");
-        if (env == nullptr || *env == '\0')
-            return std::size_t{0};
-        const long v = std::strtol(env, nullptr, 10);
-        if (v < 1)
-            JITSCHED_FATAL("JITSCHED_THREADS must be >= 1, got '",
-                           env, "'");
-        return static_cast<std::size_t>(v);
-    }());
+    static ThreadPool pool(
+        parseThreadsEnv(std::getenv("JITSCHED_THREADS")));
     return pool;
 }
 

@@ -76,6 +76,16 @@ class ThreadPool
      */
     static ThreadPool &global();
 
+    /**
+     * Parse a JITSCHED_THREADS value.  The contract the global pool
+     * documents: unset or empty means "auto" (returns 0); anything
+     * else must be a clean integer >= 1 — non-numeric text, values
+     * below 1, and trailing garbage ("4x") are all user errors and
+     * fatal().  Exposed so the contract is unit-testable without
+     * touching the process environment.
+     */
+    static std::size_t parseThreadsEnv(const char *env);
+
   private:
     void workerLoop();
     void runTasks(const std::function<void(std::size_t)> *body,

@@ -1,0 +1,173 @@
+#include "service/admission.hh"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace jitsched {
+
+AdmissionQueue::AdmissionQueue(ServiceEngine &engine,
+                               AdmissionConfig cfg)
+    : engine_(engine), cfg_(cfg)
+{
+    worker_ = std::thread([this] { workerLoop(); });
+}
+
+AdmissionQueue::~AdmissionQueue()
+{
+    stop();
+}
+
+std::future<ServiceResponse>
+AdmissionQueue::submit(ServiceRequest req)
+{
+    Pending p;
+    p.admitted = Clock::now();
+    if (req.options.deadlineMs >= 0) {
+        p.deadline = p.admitted +
+                     std::chrono::milliseconds(req.options.deadlineMs);
+        p.has_deadline = true;
+    }
+    p.fingerprint = requestFingerprint(req);
+    p.req = std::move(req);
+    std::future<ServiceResponse> future = p.promise.get_future();
+
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        if (stop_) {
+            p.promise.set_value(makeErrorResponse(
+                p.req.id, errcode::unavailable,
+                "service is shutting down"));
+            return future;
+        }
+        if (queue_.size() >= cfg_.maxDepth) {
+            ++shed_;
+            p.promise.set_value(makeErrorResponse(
+                p.req.id, errcode::resourceExhausted,
+                "admission queue full (" +
+                    std::to_string(cfg_.maxDepth) +
+                    " pending requests); retry later"));
+            return future;
+        }
+        ++accepted_;
+        queue_.push_back(std::move(p));
+    }
+    wake_cv_.notify_one();
+    return future;
+}
+
+void
+AdmissionQueue::answer(Pending &p, ServiceResponse resp)
+{
+    resp.stats.queueNs =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now() - p.admitted)
+            .count() -
+        resp.stats.solveNs;
+    if (resp.stats.queueNs < 0)
+        resp.stats.queueNs = 0;
+    p.promise.set_value(std::move(resp));
+}
+
+void
+AdmissionQueue::workerLoop()
+{
+    for (;;) {
+        std::vector<Pending> batch;
+        {
+            std::unique_lock<std::mutex> lk(mutex_);
+            wake_cv_.wait(lk,
+                          [&] { return stop_ || !queue_.empty(); });
+            if (queue_.empty() && stop_)
+                return;
+            while (!queue_.empty() && batch.size() < cfg_.maxBatch) {
+                batch.push_back(std::move(queue_.front()));
+                queue_.pop_front();
+            }
+        }
+
+        if (cfg_.discipline == AdmissionDiscipline::CachedFirst) {
+            // Stable: cache-backed requests first, arrival order
+            // preserved within each class (mirrors the
+            // first-compile-first queues of vm/compile_manager.hh).
+            std::stable_partition(
+                batch.begin(), batch.end(), [&](const Pending &p) {
+                    return served_fingerprints_.count(p.fingerprint) >
+                           0;
+                });
+        }
+
+        for (Pending &p : batch) {
+            if (p.has_deadline && Clock::now() > p.deadline) {
+                {
+                    std::lock_guard<std::mutex> lk(mutex_);
+                    ++expired_;
+                }
+                answer(p, makeErrorResponse(
+                              p.req.id, errcode::deadlineExceeded,
+                              "request waited past its " +
+                                  std::to_string(
+                                      p.req.options.deadlineMs) +
+                                  " ms deadline"));
+                continue;
+            }
+            ServiceResponse resp = engine_.serve(p.req);
+            served_fingerprints_.insert(p.fingerprint);
+            {
+                std::lock_guard<std::mutex> lk(mutex_);
+                ++processed_;
+            }
+            answer(p, std::move(resp));
+        }
+    }
+}
+
+void
+AdmissionQueue::stop()
+{
+    std::deque<Pending> orphans;
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        if (stop_ && !worker_.joinable())
+            return;
+        stop_ = true;
+        orphans.swap(queue_);
+    }
+    wake_cv_.notify_all();
+    if (worker_.joinable())
+        worker_.join();
+    for (Pending &p : orphans)
+        p.promise.set_value(makeErrorResponse(
+            p.req.id, errcode::unavailable,
+            "service stopped before the request was served"));
+}
+
+std::uint64_t
+AdmissionQueue::accepted() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    return accepted_;
+}
+
+std::uint64_t
+AdmissionQueue::shed() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    return shed_;
+}
+
+std::uint64_t
+AdmissionQueue::expired() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    return expired_;
+}
+
+std::uint64_t
+AdmissionQueue::processed() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    return processed_;
+}
+
+} // namespace jitsched

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Admission control for the scheduling service.
+ *
+ * Many clients, one solver pipeline: requests are admitted into a
+ * bounded queue and served by a single worker that drains them in
+ * batches through the shared ServiceEngine (and therefore through
+ * the BatchEvaluator/EvalCache — duplicate requests across clients
+ * hit the memo table instead of re-solving).
+ *
+ * Overload policy is explicit, in the spirit of the parallel-job
+ * scheduling literature the ROADMAP points at (Berg et al.; Kulkarni
+ * & Li): when the queue is full the service answers
+ * RESOURCE_EXHAUSTED immediately instead of stalling every client,
+ * and a request that waited past its deadline is answered
+ * DEADLINE_EXCEEDED without burning solver time on an answer nobody
+ * is waiting for.
+ *
+ * The queue discipline maps the paper's Sec. 7 insight onto the
+ * service (see DESIGN.md): CachedFirst lets requests that will be
+ * answered from the cache — the service analogue of cheap,
+ * client-unblocking first compiles — overtake full solves.
+ */
+
+#ifndef JITSCHED_SERVICE_ADMISSION_HH
+#define JITSCHED_SERVICE_ADMISSION_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+
+#include "service/engine.hh"
+#include "service/protocol.hh"
+
+namespace jitsched {
+
+/** How the admission queue orders a drained batch. */
+enum class AdmissionDiscipline
+{
+    /** Strict arrival order. */
+    Fifo,
+
+    /**
+     * Requests whose fingerprint has been served before jump ahead:
+     * they are near-free cache hits, so serving them first minimizes
+     * mean flow time without meaningfully delaying the full solves —
+     * the Sec. 7 first-compile-first insight transplanted to the
+     * request queue.  Default.
+     */
+    CachedFirst
+};
+
+/** Knobs of the admission queue. */
+struct AdmissionConfig
+{
+    /** Pending requests beyond this depth are shed. */
+    std::size_t maxDepth = 64;
+
+    /** Maximum requests drained into one processing batch. */
+    std::size_t maxBatch = 16;
+
+    AdmissionDiscipline discipline = AdmissionDiscipline::CachedFirst;
+};
+
+/**
+ * Bounded admission queue + single worker thread over a
+ * ServiceEngine.
+ */
+class AdmissionQueue
+{
+  public:
+    /** @param engine must outlive the queue */
+    explicit AdmissionQueue(ServiceEngine &engine,
+                            AdmissionConfig cfg = {});
+
+    /** Stops the worker; pending requests are answered UNAVAILABLE. */
+    ~AdmissionQueue();
+
+    AdmissionQueue(const AdmissionQueue &) = delete;
+    AdmissionQueue &operator=(const AdmissionQueue &) = delete;
+
+    /**
+     * Submit a request.  The future always becomes ready: with the
+     * policy's response, or with a structured RESOURCE_EXHAUSTED /
+     * DEADLINE_EXCEEDED / UNAVAILABLE error.
+     */
+    std::future<ServiceResponse> submit(ServiceRequest req);
+
+    /** Stop accepting and drain; idempotent. */
+    void stop();
+
+    std::uint64_t accepted() const;  ///< requests queued
+    std::uint64_t shed() const;      ///< rejected: queue full
+    std::uint64_t expired() const;   ///< rejected: deadline passed
+    std::uint64_t processed() const; ///< answered by the engine
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Pending
+    {
+        ServiceRequest req;
+        std::promise<ServiceResponse> promise;
+        Clock::time_point admitted;
+        Clock::time_point deadline; ///< valid when has_deadline
+        bool has_deadline = false;
+        std::uint64_t fingerprint = 0;
+    };
+
+    void workerLoop();
+    void answer(Pending &p, ServiceResponse resp);
+
+    ServiceEngine &engine_;
+    const AdmissionConfig cfg_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable wake_cv_;
+    std::deque<Pending> queue_;
+    bool stop_ = false;
+
+    std::uint64_t accepted_ = 0;
+    std::uint64_t shed_ = 0;
+    std::uint64_t expired_ = 0;
+    std::uint64_t processed_ = 0;
+
+    /** Fingerprints already served; worker-thread only. */
+    std::unordered_set<std::uint64_t> served_fingerprints_;
+
+    std::thread worker_;
+};
+
+} // namespace jitsched
+
+#endif // JITSCHED_SERVICE_ADMISSION_HH

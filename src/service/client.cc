@@ -1,0 +1,87 @@
+#include "service/client.hh"
+
+#include <sstream>
+#include <utility>
+
+#include "service/socket_util.hh"
+
+namespace jitsched {
+
+namespace {
+
+bool
+setError(std::string *error, std::string what)
+{
+    if (error != nullptr)
+        *error = std::move(what);
+    return false;
+}
+
+} // anonymous namespace
+
+ServiceClient::~ServiceClient()
+{
+    disconnect();
+}
+
+bool
+ServiceClient::connect(const std::string &address, std::uint16_t port,
+                       std::string *error)
+{
+    disconnect();
+    fd_ = connectTcp(address, port, error);
+    return fd_ >= 0;
+}
+
+void
+ServiceClient::disconnect()
+{
+    closeFd(fd_);
+    fd_ = -1;
+}
+
+std::optional<std::string>
+ServiceClient::callRaw(const std::string &frame, std::string *error)
+{
+    if (fd_ < 0) {
+        setError(error, "not connected");
+        return std::nullopt;
+    }
+    if (!writeAll(fd_, frame)) {
+        setError(error, "write failed (connection lost?)");
+        return std::nullopt;
+    }
+
+    // One response frame: every line up to and including `end`.  A
+    // fresh reader per call is fine — the protocol is strictly
+    // request/response, so no bytes of the next frame can be in
+    // flight yet.
+    LineReader reader(fd_);
+    std::string out;
+    while (auto line = reader.readLine()) {
+        out += *line;
+        out += '\n';
+        if (isFrameEnd(*line))
+            return out;
+    }
+    setError(error, "connection closed mid-response");
+    return std::nullopt;
+}
+
+std::optional<ServiceResponse>
+ServiceClient::call(const ServiceRequest &req, std::string *error)
+{
+    auto raw = callRaw(requestText(req), error);
+    if (!raw)
+        return std::nullopt;
+    std::istringstream is(*raw);
+    std::string parse_error;
+    auto resp = tryReadResponse(is, &parse_error);
+    if (!resp) {
+        setError(error, "bad response frame: " + parse_error);
+        return std::nullopt;
+    }
+    return resp;
+}
+
+} // namespace jitsched

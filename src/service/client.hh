@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Blocking loopback client for jitschedd: connect once, submit any
+ * number of request frames, read the matching response frames.  Used
+ * by jitsched-cli, bench_service, and the loopback integration
+ * tests; errors are reported as strings so callers decide whether a
+ * failed round-trip is fatal.
+ */
+
+#ifndef JITSCHED_SERVICE_CLIENT_HH
+#define JITSCHED_SERVICE_CLIENT_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "service/protocol.hh"
+
+namespace jitsched {
+
+class ServiceClient
+{
+  public:
+    ServiceClient() = default;
+
+    /** Disconnects if still connected. */
+    ~ServiceClient();
+
+    ServiceClient(const ServiceClient &) = delete;
+    ServiceClient &operator=(const ServiceClient &) = delete;
+
+    /**
+     * Connect to a running daemon.
+     * @return true on success; false with *error set otherwise
+     */
+    bool connect(const std::string &address, std::uint16_t port,
+                 std::string *error = nullptr);
+
+    bool connected() const { return fd_ >= 0; }
+
+    /** Close the connection; idempotent. */
+    void disconnect();
+
+    /**
+     * Send one request frame and block for its response frame.
+     * Transport failures (not server-side errors, which arrive as
+     * structured error responses) return nullopt with *error set.
+     */
+    std::optional<ServiceResponse> call(const ServiceRequest &req,
+                                        std::string *error = nullptr);
+
+    /**
+     * Send raw frame text and read back the raw response frame,
+     * byte-for-byte as received (every line up to and including
+     * `end`).  The hook the byte-identity tests are built on.
+     */
+    std::optional<std::string> callRaw(const std::string &frame,
+                                       std::string *error = nullptr);
+
+  private:
+    int fd_ = -1;
+};
+
+} // namespace jitsched
+
+#endif // JITSCHED_SERVICE_CLIENT_HH

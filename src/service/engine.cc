@@ -1,0 +1,62 @@
+#include "service/engine.hh"
+
+#include <chrono>
+
+namespace jitsched {
+
+ServiceResponse
+ServiceEngine::serve(const ServiceRequest &req)
+{
+    ++served_;
+
+    const SchedulerPolicy *policy = registry_.find(req.policy);
+    if (policy == nullptr) {
+        std::string known;
+        for (const std::string &n : registry_.names()) {
+            if (!known.empty())
+                known += ", ";
+            known += n;
+        }
+        return makeErrorResponse(
+            req.id, errcode::invalidArgument,
+            "unknown policy '" + req.policy + "' (known: " + known +
+                ")");
+    }
+    if (req.workload.numCalls() == 0)
+        return makeErrorResponse(req.id, errcode::invalidArgument,
+                                 "workload has no calls — nothing to "
+                                 "schedule");
+
+    const std::uint64_t hits0 = cache_.hits();
+    const std::uint64_t misses0 = cache_.misses();
+    const auto t0 = std::chrono::steady_clock::now();
+
+    const PolicyOutcome outcome =
+        policy->run(req.workload, req.options, evaluator_);
+
+    const auto t1 = std::chrono::steady_clock::now();
+
+    ServiceResponse resp;
+    if (!outcome.ok) {
+        resp = makeErrorResponse(req.id, errcode::solverLimit,
+                                 outcome.error);
+        resp.policy = req.policy;
+    } else {
+        resp.id = req.id;
+        resp.ok = true;
+        resp.policy = req.policy;
+        resp.lowerBound = outcome.lowerBound;
+        resp.hasSim = outcome.hasSim;
+        resp.sim = outcome.sim;
+        resp.hasSchedule = outcome.hasSchedule;
+        resp.schedule = outcome.schedule.events();
+    }
+    resp.stats.cacheHits = cache_.hits() - hits0;
+    resp.stats.cacheMisses = cache_.misses() - misses0;
+    resp.stats.solveNs =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count();
+    return resp;
+}
+
+} // namespace jitsched

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * ServiceEngine: one parsed request in, one response out.
+ *
+ * The engine is the library-call form of the service — the daemon's
+ * admission worker calls it, the CLI can call it in-process, and the
+ * loopback tests compare daemon responses byte-for-byte against it.
+ * It owns the EvalCache that makes duplicate requests cheap and
+ * routes every static-schedule evaluation through a BatchEvaluator on
+ * a shared thread pool.
+ *
+ * serve() is intended to be called from one thread at a time (the
+ * admission worker serializes requests); the per-request cache
+ * hit/miss deltas in the response stats are only meaningful under
+ * that discipline.
+ */
+
+#ifndef JITSCHED_SERVICE_ENGINE_HH
+#define JITSCHED_SERVICE_ENGINE_HH
+
+#include "exec/batch_eval.hh"
+#include "exec/eval_cache.hh"
+#include "exec/thread_pool.hh"
+#include "service/policy.hh"
+#include "service/protocol.hh"
+
+namespace jitsched {
+
+class ServiceEngine
+{
+  public:
+    /**
+     * @param registry policy table; must outlive the engine
+     * @param pool executor for the evaluation fan-out; nullptr uses
+     *        ThreadPool::global()
+     */
+    explicit ServiceEngine(
+        const PolicyRegistry &registry = PolicyRegistry::builtin(),
+        ThreadPool *pool = nullptr)
+        : registry_(registry),
+          evaluator_(pool != nullptr ? *pool : ThreadPool::global(),
+                     &cache_)
+    {
+    }
+
+    ServiceEngine(const ServiceEngine &) = delete;
+    ServiceEngine &operator=(const ServiceEngine &) = delete;
+
+    /**
+     * Serve one request synchronously.  Always returns a response —
+     * unknown policies, empty workloads and solver refusals come back
+     * as structured errors, never as process exits.  Fills every
+     * response field except stats.queueNs (the admission queue's).
+     */
+    ServiceResponse serve(const ServiceRequest &req);
+
+    const PolicyRegistry &registry() const { return registry_; }
+    EvalCache &cache() { return cache_; }
+    BatchEvaluator &evaluator() { return evaluator_; }
+
+    /** Requests served (ok or error) since construction. */
+    std::uint64_t requestsServed() const { return served_; }
+
+  private:
+    const PolicyRegistry &registry_;
+    EvalCache cache_;
+    BatchEvaluator evaluator_;
+    std::uint64_t served_ = 0;
+};
+
+} // namespace jitsched
+
+#endif // JITSCHED_SERVICE_ENGINE_HH

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * jitsched-cli — loopback client for jitschedd.
+ *
+ * Reads a workload (text trace format) from a file or stdin, submits
+ * it to a running daemon under a named policy, and prints the
+ * response frame.  The output *is* the wire format, so what the CLI
+ * prints is exactly what any client would parse.
+ *
+ * Usage:
+ *   jitsched-cli [--host H] [--port P] [--policy NAME]
+ *                [--option K V]... [--id N] [--no-stats]
+ *                [<workload-file> | -]
+ *   jitsched-cli --list-policies
+ */
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/client.hh"
+#include "service/policy.hh"
+#include "support/logging.hh"
+#include "support/strutil.hh"
+#include "trace/trace_io.hh"
+
+using namespace jitsched;
+
+namespace {
+
+[[noreturn]] void
+usage(int rc)
+{
+    std::cerr <<
+        "usage: jitsched-cli [options] [<workload-file> | -]\n"
+        "  --host H             daemon address (default 127.0.0.1)\n"
+        "  --port P             daemon port (required)\n"
+        "  --policy NAME        scheduling policy (default iar)\n"
+        "  --option K V         request option (repeatable); keys:\n"
+        "                       compile-cores, model, jitter-sigma,\n"
+        "                       jitter-seed, astar-max-expansions,\n"
+        "                       astar-memory-mb, deadline-ms\n"
+        "  --id N               request id echoed in the response\n"
+        "  --no-stats           omit the volatile stats line\n"
+        "  --list-policies      print the built-in policies and exit\n"
+        "  --help               this text\n"
+        "With no file argument (or '-') the workload is read from "
+        "stdin.\n";
+    std::exit(rc);
+}
+
+void
+listPolicies()
+{
+    const PolicyRegistry &reg = PolicyRegistry::builtin();
+    for (const std::string &name : reg.names())
+        std::cout << name << "\t" << reg.find(name)->describe()
+                  << "\n";
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string host = "127.0.0.1";
+    int port = -1;
+    std::string policy = "iar";
+    std::vector<std::pair<std::string, std::string>> options;
+    std::uint64_t id = 1;
+    bool with_stats = true;
+    std::string workload_path = "-";
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                JITSCHED_FATAL(arg, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else if (arg == "--list-policies") {
+            listPolicies();
+            return 0;
+        } else if (arg == "--host") {
+            host = next();
+        } else if (arg == "--port") {
+            const auto v = parseInt(next());
+            if (!v || *v < 1 || *v > 65535)
+                JITSCHED_FATAL("--port needs a port number");
+            port = static_cast<int>(*v);
+        } else if (arg == "--policy") {
+            policy = next();
+        } else if (arg == "--option") {
+            const std::string k = next();
+            const std::string v = next();
+            options.emplace_back(k, v);
+        } else if (arg == "--id") {
+            const auto v = parseInt(next());
+            if (!v || *v < 0)
+                JITSCHED_FATAL("--id needs a non-negative integer");
+            id = static_cast<std::uint64_t>(*v);
+        } else if (arg == "--no-stats") {
+            with_stats = false;
+        } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+            std::cerr << "jitsched-cli: unknown option '" << arg
+                      << "'\n";
+            usage(2);
+        } else {
+            workload_path = arg;
+        }
+    }
+    if (port < 0)
+        JITSCHED_FATAL("--port is required (see jitschedd's "
+                       "'listening on' line)");
+
+    // The CLI is a *user* front end: parse the workload and options
+    // locally so typos die with a clear message instead of a wire
+    // error, then rebuild the canonical frame via requestText().
+    Workload w = [&] {
+        if (workload_path == "-")
+            return readWorkload(std::cin);
+        return readWorkloadFile(workload_path);
+    }();
+
+    ServiceRequest req{id, policy, ServiceOptions{}, std::move(w)};
+    {
+        // Round-trip the option pairs through the wire parser so the
+        // CLI accepts exactly the keys the daemon does.
+        std::ostringstream frame;
+        frame << "jitsched-request " << id << "\n"
+              << "policy " << policy << "\n";
+        for (const auto &[k, v] : options)
+            frame << "option " << k << " " << v << "\n";
+        frame << "payload\n";
+        writeWorkload(frame, req.workload);
+        frame << "end\n";
+        std::istringstream is(frame.str());
+        std::string err;
+        auto parsed = tryReadRequest(is, &err);
+        if (!parsed)
+            JITSCHED_FATAL(err);
+        req = *std::move(parsed);
+    }
+
+    ServiceClient client;
+    std::string error;
+    if (!client.connect(host, static_cast<std::uint16_t>(port),
+                        &error))
+        JITSCHED_FATAL("cannot reach jitschedd: ", error);
+    auto resp = client.call(req, &error);
+    if (!resp)
+        JITSCHED_FATAL(error);
+
+    writeResponse(std::cout, *resp, with_stats);
+    return resp->ok ? 0 : 1;
+}

@@ -1,0 +1,560 @@
+#include "service/protocol.hh"
+
+#include <cstring>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "exec/eval_cache.hh"
+#include "support/logging.hh"
+#include "support/strutil.hh"
+#include "trace/trace_io.hh"
+
+namespace jitsched {
+
+namespace {
+
+/** Strip comments and surrounding whitespace from one line. */
+std::string
+cleanLine(const std::string &line)
+{
+    const std::size_t hash = line.find('#');
+    const std::string_view body =
+        hash == std::string::npos
+            ? std::string_view(line)
+            : std::string_view(line).substr(0, hash);
+    return std::string(trim(body));
+}
+
+/** Next non-empty cleaned line, or nullopt at EOF. */
+std::optional<std::string>
+nextLine(std::istream &is)
+{
+    std::string raw;
+    while (std::getline(is, raw)) {
+        std::string line = cleanLine(raw);
+        if (!line.empty())
+            return line;
+    }
+    return std::nullopt;
+}
+
+bool
+parseFail(std::string *error, const std::string &msg)
+{
+    if (error != nullptr)
+        *error = "protocol parse error: " + msg;
+    return false;
+}
+
+/** splitmix64 finalizer — the repo's standard bit mixer. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+hashCombine(std::uint64_t seed, std::uint64_t v)
+{
+    return mix64(seed ^ mix64(v));
+}
+
+/** Serialize a double so that it round-trips through parseDouble. */
+void
+writeDouble(std::ostream &os, double v)
+{
+    std::ostringstream tmp;
+    tmp.precision(std::numeric_limits<double>::max_digits10);
+    tmp << v;
+    os << tmp.str();
+}
+
+} // anonymous namespace
+
+bool
+isFrameEnd(std::string_view raw_line)
+{
+    const std::size_t hash = raw_line.find('#');
+    if (hash != std::string_view::npos)
+        raw_line = raw_line.substr(0, hash);
+    return trim(raw_line) == "end";
+}
+
+void
+writeRequest(std::ostream &os, const ServiceRequest &req)
+{
+    os << "jitsched-request " << req.id << "\n";
+    os << "policy " << req.policy << "\n";
+    const ServiceOptions &o = req.options;
+    os << "option compile-cores " << o.compileCores << "\n";
+    os << "option model "
+       << (o.model == ModelKind::Oracle ? "oracle" : "default")
+       << "\n";
+    if (o.jitterSigma != 0.0) {
+        os << "option jitter-sigma ";
+        writeDouble(os, o.jitterSigma);
+        os << "\n";
+        os << "option jitter-seed " << o.jitterSeed << "\n";
+    }
+    os << "option astar-max-expansions " << o.astarMaxExpansions
+       << "\n";
+    os << "option astar-memory-mb " << o.astarMemoryMb << "\n";
+    if (o.deadlineMs >= 0)
+        os << "option deadline-ms " << o.deadlineMs << "\n";
+    os << "payload\n";
+    writeWorkload(os, req.workload);
+    os << "end\n";
+}
+
+std::string
+requestText(const ServiceRequest &req)
+{
+    std::ostringstream os;
+    writeRequest(os, req);
+    return os.str();
+}
+
+namespace {
+
+/** Apply one `option <key> <value>` line; false + error on failure. */
+bool
+applyOption(ServiceRequest &req, const std::string &key,
+            const std::string &value, std::string *error)
+{
+    ServiceOptions &o = req.options;
+    const auto asInt = [&]() { return parseInt(value); };
+
+    if (key == "compile-cores") {
+        const auto v = asInt();
+        if (!v || *v < 1)
+            return parseFail(error, "option compile-cores must be an "
+                             "integer >= 1, got '" + value + "'");
+        o.compileCores = static_cast<std::size_t>(*v);
+        return true;
+    }
+    if (key == "model") {
+        if (value == "oracle")
+            o.model = ModelKind::Oracle;
+        else if (value == "default")
+            o.model = ModelKind::Default;
+        else
+            return parseFail(error, "option model must be 'oracle' or "
+                             "'default', got '" + value + "'");
+        return true;
+    }
+    if (key == "jitter-sigma") {
+        const auto v = parseDouble(value);
+        if (!v || *v < 0.0)
+            return parseFail(error, "option jitter-sigma must be a "
+                             "number >= 0, got '" + value + "'");
+        o.jitterSigma = *v;
+        return true;
+    }
+    if (key == "jitter-seed") {
+        const auto v = asInt();
+        if (!v || *v < 0)
+            return parseFail(error, "option jitter-seed must be a "
+                             "non-negative integer, got '" + value +
+                             "'");
+        o.jitterSeed = static_cast<std::uint64_t>(*v);
+        return true;
+    }
+    if (key == "astar-max-expansions") {
+        const auto v = asInt();
+        if (!v || *v < 0)
+            return parseFail(error, "option astar-max-expansions must "
+                             "be a non-negative integer, got '" +
+                             value + "'");
+        o.astarMaxExpansions = static_cast<std::uint64_t>(*v);
+        return true;
+    }
+    if (key == "astar-memory-mb") {
+        const auto v = asInt();
+        if (!v || *v < 1)
+            return parseFail(error, "option astar-memory-mb must be "
+                             "an integer >= 1, got '" + value + "'");
+        o.astarMemoryMb = static_cast<std::uint64_t>(*v);
+        return true;
+    }
+    if (key == "deadline-ms") {
+        const auto v = asInt();
+        if (!v || *v < 0)
+            return parseFail(error, "option deadline-ms must be a "
+                             "non-negative integer, got '" + value +
+                             "'");
+        o.deadlineMs = *v;
+        return true;
+    }
+    return parseFail(error, "unknown option '" + key + "'");
+}
+
+} // anonymous namespace
+
+std::optional<ServiceRequest>
+tryReadRequest(std::istream &is, std::string *error)
+{
+    ServiceRequest req;
+
+    const auto header = nextLine(is);
+    if (!header) {
+        parseFail(error, "empty request frame");
+        return std::nullopt;
+    }
+    {
+        std::istringstream hs(*header);
+        std::string tag, id_tok;
+        hs >> tag >> id_tok;
+        if (tag != "jitsched-request") {
+            parseFail(error, "expected 'jitsched-request <id>', got '" +
+                      *header + "'");
+            return std::nullopt;
+        }
+        const auto id = parseInt(id_tok);
+        if (!id || *id < 0) {
+            parseFail(error, "bad request id '" + id_tok + "'");
+            return std::nullopt;
+        }
+        req.id = static_cast<std::uint64_t>(*id);
+    }
+
+    // Preamble: policy and options, up to the payload marker.
+    for (;;) {
+        const auto line = nextLine(is);
+        if (!line) {
+            parseFail(error, "request truncated before payload");
+            return std::nullopt;
+        }
+        if (*line == "payload")
+            break;
+        if (*line == "end") {
+            parseFail(error, "request has no payload");
+            return std::nullopt;
+        }
+        std::istringstream ls(*line);
+        std::string key;
+        ls >> key;
+        if (key == "policy") {
+            ls >> req.policy;
+            if (req.policy.empty()) {
+                parseFail(error, "policy line names no policy");
+                return std::nullopt;
+            }
+        } else if (key == "option") {
+            std::string opt_key, opt_value;
+            ls >> opt_key >> opt_value;
+            if (opt_key.empty() || opt_value.empty()) {
+                parseFail(error,
+                          "option line needs a key and a value");
+                return std::nullopt;
+            }
+            if (!applyOption(req, opt_key, opt_value, error))
+                return std::nullopt;
+        } else {
+            parseFail(error, "unknown directive '" + key +
+                      "' before payload");
+            return std::nullopt;
+        }
+    }
+
+    if (req.policy.empty()) {
+        parseFail(error, "request names no policy");
+        return std::nullopt;
+    }
+
+    std::string wl_error;
+    auto w = tryReadWorkload(is, &wl_error, "end");
+    if (!w) {
+        if (error != nullptr)
+            *error = wl_error;
+        return std::nullopt;
+    }
+    req.workload = *std::move(w);
+    return req;
+}
+
+void
+writeResponse(std::ostream &os, const ServiceResponse &resp,
+              bool include_stats)
+{
+    os << "jitsched-response " << resp.id << "\n";
+    if (resp.ok) {
+        os << "status ok\n";
+    } else {
+        os << "status error "
+           << (resp.code.empty() ? errcode::unavailable : resp.code)
+           << "\n";
+        os << "error " << resp.error << "\n";
+    }
+    if (!resp.policy.empty())
+        os << "policy " << resp.policy << "\n";
+    if (resp.ok) {
+        os << "lower-bound " << resp.lowerBound << "\n";
+        if (resp.hasSim) {
+            const SimResult &s = resp.sim;
+            os << "makespan " << s.makespan << "\n";
+            os << "compile-end " << s.compileEnd << "\n";
+            os << "exec-end " << s.execEnd << "\n";
+            os << "total-bubble " << s.totalBubble << "\n";
+            os << "bubble-count " << s.bubbleCount << "\n";
+            os << "total-exec " << s.totalExec << "\n";
+            os << "total-compile " << s.totalCompile << "\n";
+            if (!s.callsAtLevel.empty()) {
+                os << "calls-at-level";
+                for (const std::uint64_t n : s.callsAtLevel)
+                    os << ' ' << n;
+                os << "\n";
+            }
+        }
+        if (resp.hasSchedule) {
+            os << "schedule " << resp.schedule.size() << "\n";
+            for (const CompileEvent &ev : resp.schedule)
+                os << ev.func << ' ' << static_cast<int>(ev.level)
+                   << "\n";
+        }
+    }
+    if (include_stats) {
+        os << "stats cache-hits " << resp.stats.cacheHits
+           << " cache-misses " << resp.stats.cacheMisses
+           << " queue-ns " << resp.stats.queueNs << " solve-ns "
+           << resp.stats.solveNs << "\n";
+    }
+    os << "end\n";
+}
+
+std::string
+responseText(const ServiceResponse &resp, bool include_stats)
+{
+    std::ostringstream os;
+    writeResponse(os, resp, include_stats);
+    return os.str();
+}
+
+namespace {
+
+/** Parse `<key> <int>` tails of the response grammar. */
+bool
+intField(std::istringstream &ls, const char *what, std::int64_t *out,
+         std::string *error)
+{
+    std::string tok;
+    ls >> tok;
+    const auto v = parseInt(tok);
+    if (!v)
+        return parseFail(error, std::string("bad ") + what + " '" +
+                         tok + "'");
+    *out = *v;
+    return true;
+}
+
+} // anonymous namespace
+
+std::optional<ServiceResponse>
+tryReadResponse(std::istream &is, std::string *error)
+{
+    ServiceResponse resp;
+
+    const auto header = nextLine(is);
+    if (!header) {
+        parseFail(error, "empty response frame");
+        return std::nullopt;
+    }
+    {
+        std::istringstream hs(*header);
+        std::string tag, id_tok;
+        hs >> tag >> id_tok;
+        if (tag != "jitsched-response") {
+            parseFail(error,
+                      "expected 'jitsched-response <id>', got '" +
+                      *header + "'");
+            return std::nullopt;
+        }
+        const auto id = parseInt(id_tok);
+        if (!id || *id < 0) {
+            parseFail(error, "bad response id '" + id_tok + "'");
+            return std::nullopt;
+        }
+        resp.id = static_cast<std::uint64_t>(*id);
+    }
+
+    bool saw_status = false;
+    for (;;) {
+        const auto line = nextLine(is);
+        if (!line) {
+            parseFail(error, "response truncated (no 'end')");
+            return std::nullopt;
+        }
+        if (*line == "end")
+            break;
+
+        std::istringstream ls(*line);
+        std::string key;
+        ls >> key;
+        std::int64_t v = 0;
+
+        if (key == "status") {
+            std::string st;
+            ls >> st;
+            if (st == "ok") {
+                resp.ok = true;
+            } else if (st == "error") {
+                resp.ok = false;
+                ls >> resp.code;
+                if (resp.code.empty()) {
+                    parseFail(error, "status error carries no code");
+                    return std::nullopt;
+                }
+            } else {
+                parseFail(error, "bad status '" + st + "'");
+                return std::nullopt;
+            }
+            saw_status = true;
+        } else if (key == "error") {
+            // The message is the rest of the line.
+            constexpr std::size_t skip = sizeof("error ") - 1;
+            resp.error = line->size() > skip ? line->substr(skip) : "";
+        } else if (key == "policy") {
+            ls >> resp.policy;
+        } else if (key == "lower-bound") {
+            if (!intField(ls, "lower-bound", &v, error))
+                return std::nullopt;
+            resp.lowerBound = v;
+        } else if (key == "makespan") {
+            if (!intField(ls, "makespan", &v, error))
+                return std::nullopt;
+            resp.sim.makespan = v;
+            resp.hasSim = true;
+        } else if (key == "compile-end") {
+            if (!intField(ls, "compile-end", &v, error))
+                return std::nullopt;
+            resp.sim.compileEnd = v;
+        } else if (key == "exec-end") {
+            if (!intField(ls, "exec-end", &v, error))
+                return std::nullopt;
+            resp.sim.execEnd = v;
+        } else if (key == "total-bubble") {
+            if (!intField(ls, "total-bubble", &v, error))
+                return std::nullopt;
+            resp.sim.totalBubble = v;
+        } else if (key == "bubble-count") {
+            if (!intField(ls, "bubble-count", &v, error))
+                return std::nullopt;
+            resp.sim.bubbleCount = static_cast<std::uint64_t>(v);
+        } else if (key == "total-exec") {
+            if (!intField(ls, "total-exec", &v, error))
+                return std::nullopt;
+            resp.sim.totalExec = v;
+        } else if (key == "total-compile") {
+            if (!intField(ls, "total-compile", &v, error))
+                return std::nullopt;
+            resp.sim.totalCompile = v;
+        } else if (key == "calls-at-level") {
+            std::string tok;
+            while (ls >> tok) {
+                const auto n = parseInt(tok);
+                if (!n || *n < 0) {
+                    parseFail(error, "bad calls-at-level entry '" +
+                              tok + "'");
+                    return std::nullopt;
+                }
+                resp.sim.callsAtLevel.push_back(
+                    static_cast<std::uint64_t>(*n));
+            }
+        } else if (key == "schedule") {
+            if (!intField(ls, "schedule size", &v, error))
+                return std::nullopt;
+            if (v < 0) {
+                parseFail(error, "negative schedule size");
+                return std::nullopt;
+            }
+            resp.hasSchedule = true;
+            resp.schedule.reserve(static_cast<std::size_t>(v));
+            for (std::int64_t i = 0; i < v; ++i) {
+                const auto ev_line = nextLine(is);
+                if (!ev_line) {
+                    parseFail(error, "schedule truncated");
+                    return std::nullopt;
+                }
+                std::istringstream es(*ev_line);
+                std::string f_tok, l_tok;
+                es >> f_tok >> l_tok;
+                const auto f = parseInt(f_tok);
+                const auto l = parseInt(l_tok);
+                if (!f || *f < 0 || !l || *l < 0) {
+                    parseFail(error, "bad schedule event '" +
+                              *ev_line + "'");
+                    return std::nullopt;
+                }
+                resp.schedule.push_back(
+                    {static_cast<FuncId>(*f),
+                     static_cast<Level>(*l)});
+            }
+        } else if (key == "stats") {
+            std::string k, val;
+            while (ls >> k >> val) {
+                const auto n = parseInt(val);
+                if (!n) {
+                    parseFail(error, "bad stats value '" + val + "'");
+                    return std::nullopt;
+                }
+                if (k == "cache-hits")
+                    resp.stats.cacheHits =
+                        static_cast<std::uint64_t>(*n);
+                else if (k == "cache-misses")
+                    resp.stats.cacheMisses =
+                        static_cast<std::uint64_t>(*n);
+                else if (k == "queue-ns")
+                    resp.stats.queueNs = *n;
+                else if (k == "solve-ns")
+                    resp.stats.solveNs = *n;
+                // Unknown stats keys are ignored (forward compat).
+            }
+        } else {
+            parseFail(error, "unknown response directive '" + key +
+                      "'");
+            return std::nullopt;
+        }
+    }
+
+    if (!saw_status) {
+        parseFail(error, "response carries no status");
+        return std::nullopt;
+    }
+    return resp;
+}
+
+ServiceResponse
+makeErrorResponse(std::uint64_t id, const std::string &code,
+                  const std::string &message)
+{
+    ServiceResponse resp;
+    resp.id = id;
+    resp.ok = false;
+    resp.code = code;
+    resp.error = message;
+    return resp;
+}
+
+std::uint64_t
+requestFingerprint(const ServiceRequest &req)
+{
+    std::uint64_t h = hashWorkload(req.workload);
+    h = hashCombine(h, std::hash<std::string>{}(req.policy));
+    const ServiceOptions &o = req.options;
+    h = hashCombine(h, o.compileCores);
+    h = hashCombine(h, o.model == ModelKind::Oracle ? 1 : 0);
+    std::uint64_t sigma_bits = 0;
+    static_assert(sizeof(sigma_bits) == sizeof(o.jitterSigma));
+    std::memcpy(&sigma_bits, &o.jitterSigma, sizeof(sigma_bits));
+    h = hashCombine(h, sigma_bits);
+    h = hashCombine(h, o.jitterSeed);
+    h = hashCombine(h, o.astarMaxExpansions);
+    h = hashCombine(h, o.astarMemoryMb);
+    return h;
+}
+
+} // namespace jitsched

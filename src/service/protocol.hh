@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The scheduling service's request/response wire protocol.
+ *
+ * Text, line-oriented, built on the workload grammar of
+ * trace/trace_io.hh so any trace a client can save to disk it can
+ * also submit over a socket.  `#` comments and blank lines are
+ * tolerated everywhere; every frame ends with a lone `end` line,
+ * which is what lets a connection recover framing after a malformed
+ * request.
+ *
+ * Request frame:
+ *
+ *   jitsched-request <id>
+ *   policy <name>
+ *   option <key> <value>        (zero or more)
+ *   payload
+ *   <workload text grammar>     (trace/trace_io.hh)
+ *   end
+ *
+ * Option keys: compile-cores, model (oracle|default), jitter-sigma,
+ * jitter-seed, astar-max-expansions, astar-memory-mb, deadline-ms.
+ *
+ * Response frame:
+ *
+ *   jitsched-response <id>
+ *   status ok                   | status error <CODE>
+ *   error <message>             (error frames only)
+ *   policy <name>
+ *   lower-bound <ticks>
+ *   makespan <ticks>            ┐
+ *   compile-end <ticks>         │
+ *   exec-end <ticks>            │
+ *   total-bubble <ticks>        │ present when the policy
+ *   bubble-count <n>            │ evaluated a schedule
+ *   total-exec <ticks>          │
+ *   total-compile <ticks>       │
+ *   calls-at-level <n0> <n1> …  ┘
+ *   schedule <K>                present when a schedule exists,
+ *   <func> <level>              followed by K event lines
+ *   stats cache-hits <h> cache-misses <m> queue-ns <q> solve-ns <s>
+ *   end
+ *
+ * Everything above the `stats` line is a pure function of the request
+ * — byte-identical to a direct library call.  The `stats` line is the
+ * only volatile part (cache behaviour, queueing, wall time), so
+ * clients comparing results strip exactly that line.
+ */
+
+#ifndef JITSCHED_SERVICE_PROTOCOL_HH
+#define JITSCHED_SERVICE_PROTOCOL_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/schedule.hh"
+#include "service/policy.hh"
+#include "sim/makespan.hh"
+#include "trace/workload.hh"
+
+namespace jitsched {
+
+/** One scheduling query. */
+struct ServiceRequest
+{
+    /** Client-chosen id, echoed in the response. */
+    std::uint64_t id = 0;
+
+    /** Policy name (see service/policy.hh). */
+    std::string policy;
+
+    /** Solver options. */
+    ServiceOptions options;
+
+    /** The OCSP instance to schedule. */
+    Workload workload;
+};
+
+/** Machine-readable error codes carried on `status error` lines. */
+namespace errcode {
+inline constexpr const char *invalidArgument = "INVALID_ARGUMENT";
+inline constexpr const char *deadlineExceeded = "DEADLINE_EXCEEDED";
+inline constexpr const char *resourceExhausted = "RESOURCE_EXHAUSTED";
+inline constexpr const char *solverLimit = "SOLVER_LIMIT";
+inline constexpr const char *unavailable = "UNAVAILABLE";
+} // namespace errcode
+
+/** Volatile per-request serving statistics (the `stats` line). */
+struct ServiceStats
+{
+    std::uint64_t cacheHits = 0;   ///< EvalCache hits this request
+    std::uint64_t cacheMisses = 0; ///< EvalCache misses this request
+    std::int64_t queueNs = 0;      ///< admission -> processing start
+    std::int64_t solveNs = 0;      ///< processing wall time
+};
+
+/** One scheduling answer. */
+struct ServiceResponse
+{
+    std::uint64_t id = 0;
+
+    bool ok = false;
+
+    /** Error code (errcode::*); empty on ok. */
+    std::string code;
+
+    /** Human-readable error message; empty on ok. */
+    std::string error;
+
+    /** Policy that served the request (empty if never resolved). */
+    std::string policy;
+
+    Tick lowerBound = 0;
+
+    /** Whether `sim` is populated. */
+    bool hasSim = false;
+
+    /** Make-span evaluation (subset of SimResult serialized). */
+    SimResult sim;
+
+    /** Whether `schedule` is populated. */
+    bool hasSchedule = false;
+
+    /** The compilation schedule, as bare events. */
+    std::vector<CompileEvent> schedule;
+
+    /** Volatile serving statistics. */
+    ServiceStats stats;
+};
+
+/** Serialize a request frame. */
+void writeRequest(std::ostream &os, const ServiceRequest &req);
+
+/** Request frame as a string (what the client sends). */
+std::string requestText(const ServiceRequest &req);
+
+/**
+ * Parse one request frame, consuming through its `end` line.
+ * @param error receives a description of the first problem
+ * @return the request, or nullopt on malformed input
+ */
+std::optional<ServiceRequest>
+tryReadRequest(std::istream &is, std::string *error = nullptr);
+
+/**
+ * Serialize a response frame.
+ * @param include_stats when false the volatile `stats` line is
+ *        omitted — the deterministic block clients compare on
+ */
+void writeResponse(std::ostream &os, const ServiceResponse &resp,
+                   bool include_stats = true);
+
+/** Response frame as a string. */
+std::string responseText(const ServiceResponse &resp,
+                         bool include_stats = true);
+
+/** Parse one response frame, consuming through its `end` line. */
+std::optional<ServiceResponse>
+tryReadResponse(std::istream &is, std::string *error = nullptr);
+
+/** Build an error response. */
+ServiceResponse makeErrorResponse(std::uint64_t id,
+                                  const std::string &code,
+                                  const std::string &message);
+
+/**
+ * True when @p raw_line (after comment/whitespace stripping) is the
+ * `end` frame terminator — the framing test connection handlers use.
+ */
+bool isFrameEnd(std::string_view raw_line);
+
+/**
+ * Content fingerprint of a request: policy + options + workload.
+ * Identical requests — the ones whose evaluations the cache merges —
+ * have identical fingerprints.
+ */
+std::uint64_t requestFingerprint(const ServiceRequest &req);
+
+} // namespace jitsched
+
+#endif // JITSCHED_SERVICE_PROTOCOL_HH

@@ -1,0 +1,154 @@
+#include "service/server.hh"
+
+#include <sstream>
+#include <utility>
+
+#include <sys/socket.h>
+
+#include "service/socket_util.hh"
+
+namespace jitsched {
+
+ServiceServer::ServiceServer(ServiceEngine &engine, ServerConfig cfg)
+    : engine_(engine), cfg_(std::move(cfg)),
+      queue_(engine_, cfg_.admission)
+{
+}
+
+ServiceServer::~ServiceServer()
+{
+    stop();
+}
+
+bool
+ServiceServer::start(std::string *error)
+{
+    listen_fd_ = listenTcp(cfg_.bindAddress, cfg_.port,
+                           cfg_.acceptBacklog, error);
+    if (listen_fd_ < 0)
+        return false;
+    port_ = boundPort(listen_fd_);
+
+    started_ = true;
+    acceptor_ = std::thread([this] { acceptLoop(); });
+    const std::size_t handlers =
+        cfg_.handlerThreads > 0 ? cfg_.handlerThreads : 1;
+    handlers_.reserve(handlers);
+    for (std::size_t i = 0; i < handlers; ++i)
+        handlers_.emplace_back([this] { handlerLoop(); });
+    return true;
+}
+
+void
+ServiceServer::acceptLoop()
+{
+    for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (stopping_.load(std::memory_order_acquire))
+                return;
+            // Transient accept failures (EINTR, aborted handshakes)
+            // must not kill the daemon.
+            continue;
+        }
+        connections_.fetch_add(1, std::memory_order_relaxed);
+        {
+            std::lock_guard<std::mutex> lk(conn_mutex_);
+            conn_queue_.push_back(fd);
+        }
+        conn_cv_.notify_one();
+    }
+}
+
+void
+ServiceServer::handlerLoop()
+{
+    for (;;) {
+        int fd = -1;
+        {
+            std::unique_lock<std::mutex> lk(conn_mutex_);
+            conn_cv_.wait(lk, [&] {
+                return stopping_.load(std::memory_order_acquire) ||
+                       !conn_queue_.empty();
+            });
+            if (conn_queue_.empty())
+                return; // stopping
+            fd = conn_queue_.front();
+            conn_queue_.pop_front();
+        }
+        handleConnection(fd);
+        closeFd(fd);
+    }
+}
+
+void
+ServiceServer::handleConnection(int fd)
+{
+    LineReader reader(fd);
+    for (;;) {
+        // Accumulate one frame: every line up to and including
+        // `end`.  Framing lives here, not in the parser, so a
+        // malformed frame body cannot desynchronize the connection.
+        std::string frame;
+        bool got_end = false;
+        while (auto line = reader.readLine()) {
+            frame += *line;
+            frame += '\n';
+            if (isFrameEnd(*line)) {
+                got_end = true;
+                break;
+            }
+        }
+        if (!got_end)
+            return; // EOF (clean close or truncated frame)
+
+        if (stopping_.load(std::memory_order_acquire))
+            return;
+
+        std::istringstream is(frame);
+        std::string parse_error;
+        auto req = tryReadRequest(is, &parse_error);
+
+        ServiceResponse resp;
+        if (!req) {
+            // The id may not even have parsed; 0 is the documented
+            // "unattributable" id.
+            resp = makeErrorResponse(0, errcode::invalidArgument,
+                                     parse_error);
+        } else {
+            resp = queue_.submit(*std::move(req)).get();
+        }
+        frames_.fetch_add(1, std::memory_order_relaxed);
+        if (!writeAll(fd, responseText(resp)))
+            return; // peer went away
+    }
+}
+
+void
+ServiceServer::stop()
+{
+    if (!started_)
+        return;
+    if (stopping_.exchange(true, std::memory_order_acq_rel))
+        return;
+
+    // Closing the listening socket kicks accept() out of its wait.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    closeFd(listen_fd_);
+    if (acceptor_.joinable())
+        acceptor_.join();
+
+    conn_cv_.notify_all();
+    for (std::thread &t : handlers_)
+        if (t.joinable())
+            t.join();
+
+    // Connections still queued but never picked up by a handler.
+    for (const int fd : conn_queue_)
+        closeFd(fd);
+    conn_queue_.clear();
+
+    queue_.stop();
+}
+
+} // namespace jitsched

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * jitschedd's serving core: a loopback TCP front end over the
+ * admission queue.
+ *
+ * Thread shape: one acceptor thread accepts connections and hands
+ * the fds to a fixed pool of connection handlers.  A handler reads
+ * one request frame at a time (everything up to an `end` line),
+ * parses it with the non-fatal protocol path, and either answers a
+ * parse error immediately or submits the request to the admission
+ * queue and relays the response.  Framing is recovered at the `end`
+ * scan, so one malformed request never desynchronizes or kills a
+ * connection — the client gets a structured INVALID_ARGUMENT frame
+ * and can keep the socket.
+ *
+ * Embeddable by design: the loopback tests and bench_service run the
+ * server in-process on an ephemeral port; jitschedd_main.cc adds
+ * argument parsing and signal handling around the same class.
+ */
+
+#ifndef JITSCHED_SERVICE_SERVER_HH
+#define JITSCHED_SERVICE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/admission.hh"
+#include "service/engine.hh"
+
+namespace jitsched {
+
+/** Knobs of the daemon front end. */
+struct ServerConfig
+{
+    /** Address to bind; loopback by default. */
+    std::string bindAddress = "127.0.0.1";
+
+    /** Port to bind; 0 picks an ephemeral port (see port()). */
+    std::uint16_t port = 0;
+
+    /** listen(2) backlog. */
+    int acceptBacklog = 64;
+
+    /** Concurrent connection handlers. */
+    std::size_t handlerThreads = 4;
+
+    /** Admission-queue knobs. */
+    AdmissionConfig admission;
+};
+
+class ServiceServer
+{
+  public:
+    /** @param engine must outlive the server */
+    explicit ServiceServer(ServiceEngine &engine,
+                           ServerConfig cfg = {});
+
+    /** Stops and joins everything. */
+    ~ServiceServer();
+
+    ServiceServer(const ServiceServer &) = delete;
+    ServiceServer &operator=(const ServiceServer &) = delete;
+
+    /**
+     * Bind, listen, and spawn the acceptor + handlers.
+     * @return true on success; false with *error set otherwise
+     */
+    bool start(std::string *error = nullptr);
+
+    /** Stop accepting, close connections, join threads; idempotent. */
+    void stop();
+
+    /** The port actually bound (valid after start()). */
+    std::uint16_t port() const { return port_; }
+
+    const std::string &bindAddress() const
+    {
+        return cfg_.bindAddress;
+    }
+
+    /** Connections accepted since start(). */
+    std::uint64_t connectionsAccepted() const
+    {
+        return connections_.load(std::memory_order_relaxed);
+    }
+
+    /** Request frames answered (valid and malformed). */
+    std::uint64_t framesServed() const
+    {
+        return frames_.load(std::memory_order_relaxed);
+    }
+
+    AdmissionQueue &admission() { return queue_; }
+
+  private:
+    void acceptLoop();
+    void handlerLoop();
+    void handleConnection(int fd);
+
+    ServiceEngine &engine_;
+    const ServerConfig cfg_;
+    AdmissionQueue queue_;
+
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> stopping_{false};
+    bool started_ = false;
+
+    std::mutex conn_mutex_;
+    std::condition_variable conn_cv_;
+    std::deque<int> conn_queue_;
+
+    std::atomic<std::uint64_t> connections_{0};
+    std::atomic<std::uint64_t> frames_{0};
+
+    std::thread acceptor_;
+    std::vector<std::thread> handlers_;
+};
+
+} // namespace jitsched
+
+#endif // JITSCHED_SERVICE_SERVER_HH

@@ -1,0 +1,174 @@
+#include "service/socket_util.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace jitsched {
+
+namespace {
+
+bool
+sockFail(std::string *error, const std::string &what)
+{
+    if (error != nullptr)
+        *error = what + ": " + std::strerror(errno);
+    return false;
+}
+
+/** Build a sockaddr_in; false on an unparsable address. */
+bool
+makeAddr(const std::string &address, std::uint16_t port,
+         sockaddr_in *out, std::string *error)
+{
+    std::memset(out, 0, sizeof(*out));
+    out->sin_family = AF_INET;
+    out->sin_port = htons(port);
+    if (inet_pton(AF_INET, address.c_str(), &out->sin_addr) != 1) {
+        if (error != nullptr)
+            *error = "bad IPv4 address '" + address + "'";
+        return false;
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+int
+listenTcp(const std::string &address, std::uint16_t port, int backlog,
+          std::string *error)
+{
+    sockaddr_in addr;
+    if (!makeAddr(address, port, &addr, error))
+        return -1;
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        sockFail(error, "socket()");
+        return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        sockFail(error, "bind(" + address + ":" +
+                 std::to_string(port) + ")");
+        closeFd(fd);
+        return -1;
+    }
+    if (::listen(fd, backlog) != 0) {
+        sockFail(error, "listen()");
+        closeFd(fd);
+        return -1;
+    }
+    return fd;
+}
+
+std::uint16_t
+boundPort(int fd)
+{
+    sockaddr_in addr;
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0)
+        return 0;
+    return ntohs(addr.sin_port);
+}
+
+int
+connectTcp(const std::string &address, std::uint16_t port,
+           std::string *error)
+{
+    sockaddr_in addr;
+    if (!makeAddr(address, port, &addr, error))
+        return -1;
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        sockFail(error, "socket()");
+        return -1;
+    }
+    int rc;
+    do {
+        rc = ::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                       sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+        sockFail(error, "connect(" + address + ":" +
+                 std::to_string(port) + ")");
+        closeFd(fd);
+        return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+}
+
+bool
+writeAll(int fd, std::string_view data)
+{
+    while (!data.empty()) {
+        const ssize_t n = ::write(fd, data.data(), data.size());
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data.remove_prefix(static_cast<std::size_t>(n));
+    }
+    return true;
+}
+
+void
+closeFd(int fd)
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+std::optional<std::string>
+LineReader::readLine()
+{
+    for (;;) {
+        const std::size_t nl = buffer_.find('\n', pos_);
+        if (nl != std::string::npos) {
+            std::string line = buffer_.substr(pos_, nl - pos_);
+            pos_ = nl + 1;
+            // Compact the consumed prefix occasionally so a
+            // long-lived connection does not grow the buffer forever.
+            if (pos_ > 64 * 1024) {
+                buffer_.erase(0, pos_);
+                pos_ = 0;
+            }
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            return line;
+        }
+        if (eof_) {
+            if (pos_ < buffer_.size()) {
+                std::string line = buffer_.substr(pos_);
+                pos_ = buffer_.size();
+                return line;
+            }
+            return std::nullopt;
+        }
+
+        char chunk[4096];
+        ssize_t n;
+        do {
+            n = ::read(fd_, chunk, sizeof(chunk));
+        } while (n < 0 && errno == EINTR);
+        if (n <= 0) {
+            eof_ = true;
+            continue;
+        }
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+} // namespace jitsched

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Thin POSIX TCP helpers for the service daemon and client: bind and
+ * listen on loopback, connect, retrying whole-buffer writes, and a
+ * buffered line reader — just enough socket for the line-oriented
+ * wire protocol, with errors reported as strings (a daemon must not
+ * fatal() on a misbehaving peer).
+ */
+
+#ifndef JITSCHED_SERVICE_SOCKET_UTIL_HH
+#define JITSCHED_SERVICE_SOCKET_UTIL_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace jitsched {
+
+/**
+ * Create, bind and listen on a TCP socket.
+ * @param address IPv4 dotted quad, e.g. "127.0.0.1"
+ * @param port port to bind; 0 picks an ephemeral port
+ * @param backlog listen(2) backlog
+ * @param error receives a description on failure
+ * @return the listening fd, or -1 on failure
+ */
+int listenTcp(const std::string &address, std::uint16_t port,
+              int backlog, std::string *error);
+
+/** Port a bound socket actually landed on (resolves port 0). */
+std::uint16_t boundPort(int fd);
+
+/**
+ * Connect to a TCP endpoint.
+ * @return the connected fd, or -1 on failure
+ */
+int connectTcp(const std::string &address, std::uint16_t port,
+               std::string *error);
+
+/** Write the whole buffer, retrying on partial writes and EINTR. */
+bool writeAll(int fd, std::string_view data);
+
+/** Close an fd, ignoring EINTR; no-op for fd < 0. */
+void closeFd(int fd);
+
+/**
+ * Buffered reader returning one '\n'-terminated line at a time
+ * (terminator stripped, trailing '\r' tolerated).  A final unterminated
+ * line before EOF is returned as-is.
+ */
+class LineReader
+{
+  public:
+    explicit LineReader(int fd) : fd_(fd) {}
+
+    /** Next line, or nullopt at EOF / on read error. */
+    std::optional<std::string> readLine();
+
+  private:
+    int fd_;
+    std::string buffer_;
+    std::size_t pos_ = 0;
+    bool eof_ = false;
+};
+
+} // namespace jitsched
+
+#endif // JITSCHED_SERVICE_SOCKET_UTIL_HH

@@ -58,21 +58,42 @@ cleanLine(const std::string &line)
     return std::string(trim(body));
 }
 
-std::int64_t
-requireInt(std::string_view tok, const char *what)
+/**
+ * Parse an integer token; on failure stores a message in *error and
+ * returns nullopt.  Every parse failure below funnels through here or
+ * through fail(), so the fatal and non-fatal paths report identical
+ * messages.
+ */
+std::optional<std::int64_t>
+tryInt(std::string_view tok, const char *what, std::string *error)
 {
     const auto v = parseInt(tok);
-    if (!v)
-        JITSCHED_FATAL("trace parse error: bad ", what, " '",
-                       std::string(tok), "'");
-    return *v;
+    if (!v) {
+        *error = detail::concat("trace parse error: bad ", what, " '",
+                                std::string(tok), "'");
+        return std::nullopt;
+    }
+    return v;
+}
+
+/** Record a parse error; returns nullopt for tail-calling. */
+template <typename... Args>
+std::optional<Workload>
+fail(std::string *error, const Args &...args)
+{
+    *error = detail::concat("trace parse error: ", args...);
+    return std::nullopt;
 }
 
 } // anonymous namespace
 
-Workload
-readWorkload(std::istream &is)
+std::optional<Workload>
+tryReadWorkload(std::istream &is, std::string *error,
+                const std::string &stop_line)
 {
+    std::string local_error;
+    std::string &err = error != nullptr ? *error : local_error;
+
     std::string name = "unnamed";
     std::size_t levels = 0;
     std::vector<FunctionProfile> funcs;
@@ -85,13 +106,18 @@ readWorkload(std::istream &is)
         const std::string line = cleanLine(raw);
         if (line.empty())
             continue;
+        if (!stop_line.empty() && line == stop_line)
+            break;
 
         std::istringstream ls(line);
         if (in_calls) {
             std::string tok;
-            while (ls >> tok)
-                calls.push_back(static_cast<FuncId>(
-                    requireInt(tok, "call function id")));
+            while (ls >> tok) {
+                const auto id = tryInt(tok, "call function id", &err);
+                if (!id)
+                    return std::nullopt;
+                calls.push_back(static_cast<FuncId>(*id));
+            }
             if (calls.size() >= expected_calls)
                 in_calls = false;
             continue;
@@ -104,52 +130,82 @@ readWorkload(std::istream &is)
         } else if (key == "levels") {
             std::string tok;
             ls >> tok;
-            levels = static_cast<std::size_t>(
-                requireInt(tok, "level count"));
+            const auto v = tryInt(tok, "level count", &err);
+            if (!v)
+                return std::nullopt;
+            levels = static_cast<std::size_t>(*v);
         } else if (key == "func") {
             std::string id_tok, fname, size_tok;
             ls >> id_tok >> fname >> size_tok;
-            const auto id = static_cast<std::size_t>(
-                requireInt(id_tok, "function id"));
-            if (id != funcs.size())
-                JITSCHED_FATAL("trace parse error: function ids must "
-                               "be dense and in order (got ", id,
-                               ", expected ", funcs.size(), ")");
-            const auto size = static_cast<std::uint32_t>(
-                requireInt(size_tok, "function size"));
+            const auto id = tryInt(id_tok, "function id", &err);
+            if (!id)
+                return std::nullopt;
+            if (static_cast<std::size_t>(*id) != funcs.size())
+                return fail(&err, "function ids must be dense and in "
+                            "order (got ", *id, ", expected ",
+                            funcs.size(), ")");
+            const auto size = tryInt(size_tok, "function size", &err);
+            if (!size)
+                return std::nullopt;
             std::vector<LevelCosts> lcs;
             std::string c_tok, e_tok;
             while (ls >> c_tok >> e_tok) {
-                lcs.push_back({requireInt(c_tok, "compile time"),
-                               requireInt(e_tok, "execution time")});
+                const auto c = tryInt(c_tok, "compile time", &err);
+                if (!c)
+                    return std::nullopt;
+                const auto e = tryInt(e_tok, "execution time", &err);
+                if (!e)
+                    return std::nullopt;
+                lcs.push_back({*c, *e});
             }
             if (lcs.empty())
-                JITSCHED_FATAL("trace parse error: function '", fname,
-                               "' has no level costs");
+                return fail(&err, "function '", fname,
+                            "' has no level costs");
             if (levels != 0 && lcs.size() > levels)
-                JITSCHED_FATAL("trace parse error: function '", fname,
-                               "' declares more levels than header");
+                return fail(&err, "function '", fname,
+                            "' declares more levels than header");
             if (!FunctionProfile::levelsMonotonic(lcs))
-                JITSCHED_FATAL("trace parse error: function '", fname,
-                               "' violates level monotonicity");
-            funcs.emplace_back(fname, size, std::move(lcs));
+                return fail(&err, "function '", fname,
+                            "' violates level monotonicity");
+            funcs.emplace_back(fname,
+                               static_cast<std::uint32_t>(*size),
+                               std::move(lcs));
         } else if (key == "calls") {
             std::string tok;
             ls >> tok;
-            expected_calls = static_cast<std::size_t>(
-                requireInt(tok, "call count"));
+            const auto v = tryInt(tok, "call count", &err);
+            if (!v)
+                return std::nullopt;
+            expected_calls = static_cast<std::size_t>(*v);
             calls.reserve(expected_calls);
             in_calls = expected_calls > 0;
         } else {
-            JITSCHED_FATAL("trace parse error: unknown directive '",
-                           key, "'");
+            return fail(&err, "unknown directive '", key, "'");
         }
     }
 
     if (calls.size() != expected_calls)
-        JITSCHED_FATAL("trace parse error: expected ", expected_calls,
-                       " calls, found ", calls.size());
+        return fail(&err, "expected ", expected_calls,
+                    " calls, found ", calls.size());
+    // The Workload constructor panics on out-of-range call ids —
+    // appropriate for algorithm code, not for foreign input, so the
+    // range check happens here on the non-fatal path.
+    for (std::size_t i = 0; i < calls.size(); ++i) {
+        if (calls[i] >= funcs.size())
+            return fail(&err, "call #", i,
+                        " references unknown function ", calls[i]);
+    }
     return Workload(name, std::move(funcs), std::move(calls));
+}
+
+Workload
+readWorkload(std::istream &is)
+{
+    std::string err;
+    auto w = tryReadWorkload(is, &err);
+    if (!w)
+        JITSCHED_FATAL(err);
+    return *std::move(w);
 }
 
 Workload

@@ -23,6 +23,7 @@
 #define JITSCHED_TRACE_TRACE_IO_HH
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "trace/workload.hh"
@@ -34,6 +35,29 @@ void writeWorkload(std::ostream &os, const Workload &w);
 
 /** Serialize a workload to a file; fatal() on I/O failure. */
 void writeWorkloadFile(const std::string &path, const Workload &w);
+
+/**
+ * Parse a workload from a stream without killing the process.
+ *
+ * This is the parse path for inputs that arrive from *other
+ * programs* — above all the scheduling service, where a malformed
+ * client request must produce an error response, not take the daemon
+ * down.  Also catches errors readWorkload() would previously have
+ * escalated to panic(), such as call ids that point past the function
+ * table.
+ *
+ * @param error receives a description of the first problem found
+ *              (unchanged on success); may be null
+ * @param stop_line when non-empty, parsing consumes lines up to and
+ *              including the first line that (after comment/space
+ *              stripping) equals this terminator, instead of reading
+ *              to EOF — how the wire protocol embeds a workload in a
+ *              larger stream
+ * @return the workload, or nullopt on malformed input
+ */
+std::optional<Workload>
+tryReadWorkload(std::istream &is, std::string *error = nullptr,
+                const std::string &stop_line = "");
 
 /**
  * Parse a workload from a stream.

@@ -105,5 +105,63 @@ TEST(ThreadPool, GlobalPoolIsASingleton)
     EXPECT_GE(ThreadPool::global().concurrency(), 1u);
 }
 
+// The JITSCHED_THREADS contract, pinned.  Accepted values configure
+// the pool; everything else is a user error and must exit(1) — a
+// silently mis-parsed thread count would skew every benchmark run.
+//
+// The death tests must use the threadsafe style: earlier tests in
+// this binary leave live pool threads behind, and the default fast
+// style forks the multi-threaded process directly — a deadlock under
+// TSan.  Threadsafe re-executes the binary for each death test.
+class ThreadPoolEnvDeath : public ::testing::Test
+{
+  protected:
+    ThreadPoolEnvDeath()
+    {
+        ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    }
+};
+
+TEST(ThreadPoolEnv, UnsetOrEmptyMeansAuto)
+{
+    EXPECT_EQ(ThreadPool::parseThreadsEnv(nullptr), 0u);
+    EXPECT_EQ(ThreadPool::parseThreadsEnv(""), 0u);
+}
+
+TEST(ThreadPoolEnv, PlainIntegersParse)
+{
+    EXPECT_EQ(ThreadPool::parseThreadsEnv("1"), 1u);
+    EXPECT_EQ(ThreadPool::parseThreadsEnv("8"), 8u);
+    EXPECT_EQ(ThreadPool::parseThreadsEnv("128"), 128u);
+    EXPECT_EQ(ThreadPool::parseThreadsEnv(" 4 "), 4u);
+}
+
+TEST_F(ThreadPoolEnvDeath, NonNumericIsFatal)
+{
+    EXPECT_EXIT(ThreadPool::parseThreadsEnv("lots"),
+                ::testing::ExitedWithCode(1), "JITSCHED_THREADS");
+}
+
+TEST_F(ThreadPoolEnvDeath, ZeroIsFatal)
+{
+    // 0 is reserved for "auto" via *unset*, never as an explicit
+    // value (a request for a zero-thread pool is meaningless).
+    EXPECT_EXIT(ThreadPool::parseThreadsEnv("0"),
+                ::testing::ExitedWithCode(1), "JITSCHED_THREADS");
+}
+
+TEST_F(ThreadPoolEnvDeath, NegativeIsFatal)
+{
+    EXPECT_EXIT(ThreadPool::parseThreadsEnv("-2"),
+                ::testing::ExitedWithCode(1), "JITSCHED_THREADS");
+}
+
+TEST_F(ThreadPoolEnvDeath, TrailingGarbageIsFatal)
+{
+    // strtol would have quietly read "4x" as 4; the contract says no.
+    EXPECT_EXIT(ThreadPool::parseThreadsEnv("4x"),
+                ::testing::ExitedWithCode(1), "JITSCHED_THREADS");
+}
+
 } // anonymous namespace
 } // namespace jitsched

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Wire-protocol tests: request/response round trips, option
+ * validation, malformed frames, frame-end detection, and the request
+ * fingerprint the admission queue and cache discipline rely on.
+ */
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "service/protocol.hh"
+#include "trace/paper_examples.hh"
+#include "trace/trace_io.hh"
+
+namespace jitsched {
+namespace {
+
+ServiceRequest
+exampleRequest()
+{
+    ServiceRequest req;
+    req.id = 42;
+    req.policy = "iar";
+    req.options.compileCores = 2;
+    req.options.model = ModelKind::Default;
+    req.options.jitterSigma = 0.25;
+    req.options.jitterSeed = 7;
+    req.options.astarMaxExpansions = 1000;
+    req.options.astarMemoryMb = 32;
+    req.options.deadlineMs = 500;
+    req.workload = figure1Workload();
+    return req;
+}
+
+std::string
+workloadText(const Workload &w)
+{
+    std::ostringstream os;
+    writeWorkload(os, w);
+    return os.str();
+}
+
+TEST(ServiceProtocol, RequestRoundTrip)
+{
+    const ServiceRequest req = exampleRequest();
+    std::istringstream is(requestText(req));
+    std::string error;
+    const auto back = tryReadRequest(is, &error);
+    ASSERT_TRUE(back.has_value()) << error;
+    EXPECT_EQ(back->id, req.id);
+    EXPECT_EQ(back->policy, req.policy);
+    EXPECT_EQ(back->options, req.options);
+    EXPECT_EQ(workloadText(back->workload),
+              workloadText(req.workload));
+}
+
+TEST(ServiceProtocol, RequestDefaultsSurviveRoundTrip)
+{
+    ServiceRequest req;
+    req.id = 1;
+    req.policy = "lower-bound";
+    req.workload = figure2Workload();
+    std::istringstream is(requestText(req));
+    const auto back = tryReadRequest(is);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->options, ServiceOptions{});
+}
+
+TEST(ServiceProtocol, UnknownOptionKeyIsRejected)
+{
+    std::istringstream is("jitsched-request 1\n"
+                          "policy iar\n"
+                          "option frobnicate 3\n"
+                          "payload\n" +
+                          workloadText(figure1Workload()) + "end\n");
+    std::string error;
+    EXPECT_FALSE(tryReadRequest(is, &error).has_value());
+    EXPECT_NE(error.find("frobnicate"), std::string::npos) << error;
+}
+
+TEST(ServiceProtocol, BadOptionValueIsRejected)
+{
+    std::istringstream is("jitsched-request 1\n"
+                          "policy iar\n"
+                          "option compile-cores 0\n"
+                          "payload\n" +
+                          workloadText(figure1Workload()) + "end\n");
+    std::string error;
+    EXPECT_FALSE(tryReadRequest(is, &error).has_value());
+    EXPECT_NE(error.find("compile-cores"), std::string::npos)
+        << error;
+}
+
+TEST(ServiceProtocol, EndBeforePayloadIsRejected)
+{
+    std::istringstream is("jitsched-request 1\n"
+                          "policy iar\n"
+                          "end\n");
+    std::string error;
+    EXPECT_FALSE(tryReadRequest(is, &error).has_value());
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(ServiceProtocol, MalformedWorkloadPropagatesParseError)
+{
+    std::istringstream is("jitsched-request 9\n"
+                          "policy iar\n"
+                          "payload\n"
+                          "workload broken\n"
+                          "levels two\n"
+                          "end\n");
+    std::string error;
+    EXPECT_FALSE(tryReadRequest(is, &error).has_value());
+    EXPECT_NE(error.find("trace parse error"), std::string::npos)
+        << error;
+}
+
+TEST(ServiceProtocol, OkResponseRoundTrip)
+{
+    ServiceResponse resp;
+    resp.id = 7;
+    resp.ok = true;
+    resp.policy = "iar";
+    resp.lowerBound = 10;
+    resp.hasSim = true;
+    resp.sim.makespan = 11;
+    resp.sim.execEnd = 11;
+    resp.sim.compileEnd = 5;
+    resp.sim.totalBubble = 1;
+    resp.sim.bubbleCount = 1;
+    resp.sim.totalExec = 9;
+    resp.sim.totalCompile = 5;
+    resp.sim.callsAtLevel = {3, 1};
+    resp.hasSchedule = true;
+    resp.schedule = {{0, 0}, {1, 1}};
+    resp.stats.cacheHits = 2;
+    resp.stats.cacheMisses = 1;
+    resp.stats.queueNs = 100;
+    resp.stats.solveNs = 2000;
+
+    std::istringstream is(responseText(resp));
+    std::string error;
+    const auto back = tryReadResponse(is, &error);
+    ASSERT_TRUE(back.has_value()) << error;
+    EXPECT_TRUE(back->ok);
+    EXPECT_EQ(back->id, resp.id);
+    EXPECT_EQ(back->policy, resp.policy);
+    EXPECT_EQ(back->lowerBound, resp.lowerBound);
+    ASSERT_TRUE(back->hasSim);
+    EXPECT_EQ(back->sim.makespan, resp.sim.makespan);
+    EXPECT_EQ(back->sim.callsAtLevel, resp.sim.callsAtLevel);
+    ASSERT_TRUE(back->hasSchedule);
+    ASSERT_EQ(back->schedule.size(), resp.schedule.size());
+    EXPECT_EQ(back->schedule[1].func, resp.schedule[1].func);
+    EXPECT_EQ(back->schedule[1].level, resp.schedule[1].level);
+    EXPECT_EQ(back->stats.cacheHits, resp.stats.cacheHits);
+    EXPECT_EQ(back->stats.solveNs, resp.stats.solveNs);
+}
+
+TEST(ServiceProtocol, ErrorResponseRoundTrip)
+{
+    const ServiceResponse resp = makeErrorResponse(
+        3, errcode::resourceExhausted, "queue full; retry later");
+    std::istringstream is(responseText(resp));
+    const auto back = tryReadResponse(is);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_FALSE(back->ok);
+    EXPECT_EQ(back->code, errcode::resourceExhausted);
+    EXPECT_EQ(back->error, "queue full; retry later");
+}
+
+TEST(ServiceProtocol, StatsLineIsTheOnlyVolatilePart)
+{
+    ServiceResponse resp = makeErrorResponse(
+        1, errcode::invalidArgument, "nope");
+    resp.stats.solveNs = 12345;
+    const std::string with = responseText(resp, true);
+    const std::string without = responseText(resp, false);
+    EXPECT_NE(with.find("\nstats "), std::string::npos);
+    EXPECT_EQ(without.find("\nstats "), std::string::npos);
+    // Removing the stats line from the full frame recovers the
+    // deterministic block exactly.
+    std::string stripped;
+    std::istringstream is(with);
+    for (std::string line; std::getline(is, line);)
+        if (line.rfind("stats ", 0) != 0)
+            stripped += line + "\n";
+    EXPECT_EQ(stripped, without);
+}
+
+TEST(ServiceProtocol, FrameEndDetection)
+{
+    EXPECT_TRUE(isFrameEnd("end"));
+    EXPECT_TRUE(isFrameEnd("  end  "));
+    EXPECT_TRUE(isFrameEnd("end # trailing comment"));
+    EXPECT_FALSE(isFrameEnd("ending"));
+    EXPECT_FALSE(isFrameEnd("# end"));
+    EXPECT_FALSE(isFrameEnd(""));
+}
+
+TEST(ServiceProtocol, FingerprintIgnoresId)
+{
+    ServiceRequest a = exampleRequest();
+    ServiceRequest b = exampleRequest();
+    b.id = a.id + 1;
+    EXPECT_EQ(requestFingerprint(a), requestFingerprint(b));
+}
+
+TEST(ServiceProtocol, FingerprintSeesPolicyOptionsAndWorkload)
+{
+    const ServiceRequest base = exampleRequest();
+
+    ServiceRequest other_policy = exampleRequest();
+    other_policy.policy = "astar";
+    EXPECT_NE(requestFingerprint(base),
+              requestFingerprint(other_policy));
+
+    ServiceRequest other_options = exampleRequest();
+    other_options.options.compileCores = 3;
+    EXPECT_NE(requestFingerprint(base),
+              requestFingerprint(other_options));
+
+    ServiceRequest other_workload = exampleRequest();
+    other_workload.workload = figure2Workload();
+    EXPECT_NE(requestFingerprint(base),
+              requestFingerprint(other_workload));
+}
+
+} // anonymous namespace
+} // namespace jitsched

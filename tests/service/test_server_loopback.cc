@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Loopback integration tests for jitschedd's serving core: a real
+ * TCP server on an ephemeral port, concurrent clients submitting a
+ * mix of valid, malformed and duplicate requests.  Valid responses
+ * must be byte-identical to direct library calls (modulo the
+ * volatile stats line), malformed frames must get structured errors
+ * without killing the connection, and duplicates must be answered
+ * from the EvalCache.
+ */
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/client.hh"
+#include "service/engine.hh"
+#include "service/server.hh"
+#include "trace/paper_examples.hh"
+#include "trace/trace_io.hh"
+
+namespace jitsched {
+namespace {
+
+/** Drop the volatile `stats` line; everything else is deterministic. */
+std::string
+stripStats(const std::string &frame)
+{
+    std::string out;
+    std::istringstream is(frame);
+    for (std::string line; std::getline(is, line);)
+        if (line.rfind("stats ", 0) != 0)
+            out += line + "\n";
+    return out;
+}
+
+ServiceRequest
+makeRequest(std::uint64_t id, const std::string &policy,
+            Workload w)
+{
+    ServiceRequest req;
+    req.id = id;
+    req.policy = policy;
+    req.workload = std::move(w);
+    return req;
+}
+
+std::string
+malformedFrame(std::uint64_t id)
+{
+    return "jitsched-request " + std::to_string(id) + "\n" +
+           "policy iar\n"
+           "payload\n"
+           "workload broken\n"
+           "levels not-a-number\n"
+           "end\n";
+}
+
+class LoopbackTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        std::string error;
+        ASSERT_TRUE(server_.start(&error)) << error;
+        ASSERT_NE(server_.port(), 0);
+    }
+
+    /** What a direct library call answers for @p req (no stats). */
+    std::string
+    directAnswer(const ServiceRequest &req)
+    {
+        // A separate engine: the reference path must not share state
+        // with the server under test.
+        ServiceResponse resp = reference_.serve(req);
+        resp.stats = {};
+        return responseText(resp, /*include_stats=*/false);
+    }
+
+    ServiceEngine engine_;
+    ServiceServer server_{engine_};
+    ServiceEngine reference_;
+};
+
+TEST_F(LoopbackTest, SingleRequestMatchesDirectLibraryCall)
+{
+    const ServiceRequest req =
+        makeRequest(11, "iar", figure1Workload());
+    ServiceClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", server_.port(), &error))
+        << error;
+    const auto raw = client.callRaw(requestText(req), &error);
+    ASSERT_TRUE(raw.has_value()) << error;
+    EXPECT_EQ(stripStats(*raw), directAnswer(req));
+}
+
+TEST_F(LoopbackTest, MalformedFrameGetsStructuredErrorAndKeepsConnection)
+{
+    ServiceClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", server_.port(), &error))
+        << error;
+
+    const auto raw = client.callRaw(malformedFrame(5), &error);
+    ASSERT_TRUE(raw.has_value()) << error;
+    std::istringstream is(*raw);
+    const auto resp = tryReadResponse(is);
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_FALSE(resp->ok);
+    EXPECT_EQ(resp->code, errcode::invalidArgument);
+
+    // The same connection still serves valid requests afterwards.
+    const ServiceRequest req =
+        makeRequest(6, "lower-bound", figure2Workload());
+    const auto ok = client.call(req, &error);
+    ASSERT_TRUE(ok.has_value()) << error;
+    EXPECT_TRUE(ok->ok);
+    EXPECT_EQ(ok->id, 6u);
+}
+
+TEST_F(LoopbackTest, GarbageBeforeAnEndLineIsSurvivable)
+{
+    ServiceClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", server_.port(), &error))
+        << error;
+    const auto raw =
+        client.callRaw("complete nonsense\nnot a frame\nend\n",
+                       &error);
+    ASSERT_TRUE(raw.has_value()) << error;
+    std::istringstream is(*raw);
+    const auto resp = tryReadResponse(is);
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_FALSE(resp->ok);
+    EXPECT_EQ(resp->code, errcode::invalidArgument);
+}
+
+TEST_F(LoopbackTest, DuplicateRequestsAreAnsweredFromTheCache)
+{
+    ServiceClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", server_.port(), &error))
+        << error;
+
+    const auto first = client.call(
+        makeRequest(1, "iar", figure1Workload()), &error);
+    ASSERT_TRUE(first.has_value()) << error;
+    ASSERT_TRUE(first->ok);
+
+    const auto second = client.call(
+        makeRequest(2, "iar", figure1Workload()), &error);
+    ASSERT_TRUE(second.has_value()) << error;
+    ASSERT_TRUE(second->ok);
+    EXPECT_GT(second->stats.cacheHits, 0u);
+    EXPECT_EQ(second->stats.cacheMisses, 0u);
+    EXPECT_EQ(second->sim.makespan, first->sim.makespan);
+}
+
+TEST_F(LoopbackTest, EightConcurrentClientsMixedTraffic)
+{
+    constexpr std::size_t kClients = 8;
+    constexpr std::size_t kRequestsPerClient = 6;
+
+    // Every client's valid answers must match these reference bytes.
+    const ServiceRequest reqFig1Iar =
+        makeRequest(101, "iar", figure1Workload());
+    const ServiceRequest reqFig2Iar =
+        makeRequest(102, "iar", figure2Workload());
+    const ServiceRequest reqFig1Base =
+        makeRequest(103, "base-only", figure1Workload());
+    const std::string wantFig1Iar = directAnswer(reqFig1Iar);
+    const std::string wantFig2Iar = directAnswer(reqFig2Iar);
+    const std::string wantFig1Base = directAnswer(reqFig1Base);
+
+    std::atomic<std::uint64_t> mismatches{0};
+    std::atomic<std::uint64_t> malformed_ok{0};
+    std::atomic<std::uint64_t> cache_hit_responses{0};
+    std::atomic<std::uint64_t> transport_errors{0};
+
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            ServiceClient client;
+            std::string error;
+            if (!client.connect("127.0.0.1", server_.port(),
+                                &error)) {
+                ++transport_errors;
+                return;
+            }
+            for (std::size_t i = 0; i < kRequestsPerClient; ++i) {
+                const std::size_t kind = (c + i) % 4;
+                if (kind == 3) {
+                    // Malformed frame; expect a structured error and
+                    // a connection that keeps working.
+                    const auto raw = client.callRaw(
+                        malformedFrame(900 + c), &error);
+                    if (!raw) {
+                        ++transport_errors;
+                        return;
+                    }
+                    std::istringstream is(*raw);
+                    const auto resp = tryReadResponse(is);
+                    if (resp && !resp->ok &&
+                        resp->code == errcode::invalidArgument)
+                        ++malformed_ok;
+                    continue;
+                }
+                // Valid traffic: three request shapes, repeated by
+                // every client — duplicates by construction.
+                const ServiceRequest &req =
+                    kind == 0 ? reqFig1Iar
+                    : kind == 1 ? reqFig2Iar
+                                : reqFig1Base;
+                const std::string &want =
+                    kind == 0 ? wantFig1Iar
+                    : kind == 1 ? wantFig2Iar
+                                : wantFig1Base;
+                const auto raw =
+                    client.callRaw(requestText(req), &error);
+                if (!raw) {
+                    ++transport_errors;
+                    return;
+                }
+                if (stripStats(*raw) != want)
+                    ++mismatches;
+                std::istringstream is(*raw);
+                const auto resp = tryReadResponse(is);
+                if (resp && resp->ok && resp->stats.cacheHits > 0)
+                    ++cache_hit_responses;
+            }
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+
+    EXPECT_EQ(transport_errors, 0u);
+    EXPECT_EQ(mismatches, 0u);
+    // Every malformed frame (kind == 3 per client/request grid) was
+    // answered with INVALID_ARGUMENT.
+    std::uint64_t expected_malformed = 0;
+    for (std::size_t c = 0; c < kClients; ++c)
+        for (std::size_t i = 0; i < kRequestsPerClient; ++i)
+            expected_malformed += ((c + i) % 4 == 3) ? 1 : 0;
+    EXPECT_EQ(malformed_ok, expected_malformed);
+    // Three distinct evaluations served 36 valid requests: the rest
+    // were answered from the cache, visible in the per-response
+    // counters.
+    EXPECT_GT(cache_hit_responses, 0u);
+    EXPECT_GT(engine_.cache().hits(), 0u);
+
+    // The server survived all of it.
+    EXPECT_EQ(server_.framesServed(),
+              kClients * kRequestsPerClient);
+    const ServiceRequest probe =
+        makeRequest(999, "iar", figure1Workload());
+    ServiceClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", server_.port(), &error))
+        << error;
+    const auto raw = client.callRaw(requestText(probe), &error);
+    ASSERT_TRUE(raw.has_value()) << error;
+    EXPECT_EQ(stripStats(*raw), directAnswer(probe));
+}
+
+TEST_F(LoopbackTest, StopIsIdempotentAndRefusesNewWork)
+{
+    server_.stop();
+    server_.stop();
+    ServiceClient client;
+    std::string error;
+    EXPECT_FALSE(
+        client.connect("127.0.0.1", server_.port(), &error));
+}
+
+} // anonymous namespace
+} // namespace jitsched

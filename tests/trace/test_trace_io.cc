@@ -148,5 +148,97 @@ TEST(TraceIoDeath, BadInteger)
                 "bad");
 }
 
+// The tryReadWorkload() path: the same malformed inputs that abort
+// the process through readWorkload() come back as error strings, so
+// a server can answer them instead of dying.
+
+TEST(TraceIoTry, RoundTripMatchesFatalPath)
+{
+    const Workload w = sample();
+    std::stringstream ss;
+    writeWorkload(ss, w);
+    std::string err;
+    const auto r = tryReadWorkload(ss, &err);
+    ASSERT_TRUE(r.has_value()) << err;
+    expectEqualWorkloads(w, *r);
+}
+
+TEST(TraceIoTry, TruncatedFuncLine)
+{
+    // "func" with id+name but no size / costs: the size token is
+    // missing entirely, which must parse-fail, not abort.
+    std::stringstream ss;
+    ss << "workload d\nlevels 1\nfunc 0 f\ncalls 0\n";
+    std::string err;
+    EXPECT_FALSE(tryReadWorkload(ss, &err).has_value());
+    EXPECT_NE(err.find("bad function size"), std::string::npos) << err;
+}
+
+TEST(TraceIoTry, BadCallId)
+{
+    // Call id past the function table previously escalated to the
+    // Workload constructor's panic() (process abort); now an error.
+    std::stringstream ss;
+    ss << "workload d\nlevels 1\nfunc 0 f 1 1 1\ncalls 2\n0 7\n";
+    std::string err;
+    EXPECT_FALSE(tryReadWorkload(ss, &err).has_value());
+    EXPECT_NE(err.find("references unknown function 7"),
+              std::string::npos)
+        << err;
+}
+
+TEST(TraceIoTry, LevelsMismatch)
+{
+    // Function declares more level pairs than the header allows.
+    std::stringstream ss;
+    ss << "workload d\nlevels 1\nfunc 0 f 1 5 9 6 3\ncalls 0\n";
+    std::string err;
+    EXPECT_FALSE(tryReadWorkload(ss, &err).has_value());
+    EXPECT_NE(err.find("more levels than header"), std::string::npos)
+        << err;
+}
+
+TEST(TraceIoTry, WrongCallCount)
+{
+    std::stringstream ss;
+    ss << "workload d\nlevels 1\nfunc 0 f 1 1 1\ncalls 3\n0 0\n";
+    std::string err;
+    EXPECT_FALSE(tryReadWorkload(ss, &err).has_value());
+    EXPECT_NE(err.find("expected 3 calls"), std::string::npos) << err;
+}
+
+TEST(TraceIoTry, ErrorStringUntouchedOnSuccess)
+{
+    std::stringstream ss;
+    writeWorkload(ss, sample());
+    std::string err = "sentinel";
+    ASSERT_TRUE(tryReadWorkload(ss, &err).has_value());
+    EXPECT_EQ(err, "sentinel");
+}
+
+TEST(TraceIoTry, StopLineEndsTheWorkload)
+{
+    // A workload embedded in a larger stream (the wire protocol):
+    // parsing stops at the terminator and leaves the rest unread.
+    std::stringstream ss;
+    ss << "workload demo\nlevels 1\nfunc 0 f0 5 2 3\ncalls 2\n0 0\n"
+       << "end\n"
+       << "trailing garbage the caller reads next\n";
+    std::string err;
+    const auto r = tryReadWorkload(ss, &err, "end");
+    ASSERT_TRUE(r.has_value()) << err;
+    EXPECT_EQ(r->numCalls(), 2u);
+    std::string next;
+    ASSERT_TRUE(static_cast<bool>(std::getline(ss, next)));
+    EXPECT_EQ(next, "trailing garbage the caller reads next");
+}
+
+TEST(TraceIoTry, NullErrorPointerIsAccepted)
+{
+    std::stringstream ss;
+    ss << "bogus\n";
+    EXPECT_FALSE(tryReadWorkload(ss).has_value());
+}
+
 } // anonymous namespace
 } // namespace jitsched
