@@ -112,6 +112,9 @@ AdmissionQueue::workerLoop()
                 continue;
             }
             ServiceResponse resp = engine_.serve(p.req);
+            if (served_fingerprints_.size() >=
+                cfg_.maxServedFingerprints)
+                served_fingerprints_.clear();
             served_fingerprints_.insert(p.fingerprint);
             {
                 std::lock_guard<std::mutex> lk(mutex_);

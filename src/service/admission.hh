@@ -64,6 +64,15 @@ struct AdmissionConfig
     /** Maximum requests drained into one processing batch. */
     std::size_t maxBatch = 16;
 
+    /**
+     * Cap on the served-fingerprint set behind CachedFirst; when
+     * exceeded the set is reset wholesale.  Keeps a long-running
+     * daemon's memory bounded under diverse workloads at the cost of
+     * briefly forgetting what is cached — a reordering heuristic, so
+     * forgetting is harmless.
+     */
+    std::size_t maxServedFingerprints = 4096;
+
     AdmissionDiscipline discipline = AdmissionDiscipline::CachedFirst;
 };
 

@@ -1,5 +1,6 @@
 #include "service/protocol.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <istream>
 #include <limits>
@@ -472,7 +473,13 @@ tryReadResponse(std::istream &is, std::string *error)
                 return std::nullopt;
             }
             resp.hasSchedule = true;
-            resp.schedule.reserve(static_cast<std::size_t>(v));
+            // The declared size is foreign input: cap the reserve so
+            // an absurd header cannot throw length_error/bad_alloc;
+            // push_back below grows past the cap if the events really
+            // arrive, and a short frame fails "schedule truncated".
+            resp.schedule.reserve(
+                std::min(static_cast<std::size_t>(v),
+                         std::size_t(1) << 20));
             for (std::int64_t i = 0; i < v; ++i) {
                 const auto ev_line = nextLine(is);
                 if (!ev_line) {

@@ -1,9 +1,13 @@
 #include "service/server.hh"
 
+#include <cerrno>
+#include <chrono>
 #include <sstream>
 #include <utility>
 
+#include <poll.h>
 #include <sys/socket.h>
+#include <unistd.h>
 
 #include "service/socket_util.hh"
 
@@ -48,7 +52,11 @@ ServiceServer::acceptLoop()
             if (stopping_.load(std::memory_order_acquire))
                 return;
             // Transient accept failures (EINTR, aborted handshakes)
-            // must not kill the daemon.
+            // must not kill the daemon; persistent ones (EMFILE,
+            // ENFILE) must not busy-spin it at 100% CPU either.
+            if (errno != EINTR && errno != ECONNABORTED)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
             continue;
         }
         connections_.fetch_add(1, std::memory_order_relaxed);
@@ -71,12 +79,22 @@ ServiceServer::handlerLoop()
                 return stopping_.load(std::memory_order_acquire) ||
                        !conn_queue_.empty();
             });
-            if (conn_queue_.empty())
-                return; // stopping
+            // On stop, leave even with connections still queued —
+            // stop() closes them.  Registering the fd under the same
+            // lock as the stopping_ check guarantees stop() either
+            // sees it in active_fds_ (and shuts it down) or we never
+            // start serving it.
+            if (stopping_.load(std::memory_order_acquire))
+                return;
             fd = conn_queue_.front();
             conn_queue_.pop_front();
+            active_fds_.insert(fd);
         }
         handleConnection(fd);
+        {
+            std::lock_guard<std::mutex> lk(conn_mutex_);
+            active_fds_.erase(fd);
+        }
         closeFd(fd);
     }
 }
@@ -84,20 +102,56 @@ ServiceServer::handlerLoop()
 void
 ServiceServer::handleConnection(int fd)
 {
-    LineReader reader(fd);
+    LineReader reader(fd, cfg_.maxFrameBytes);
     for (;;) {
         // Accumulate one frame: every line up to and including
         // `end`.  Framing lives here, not in the parser, so a
         // malformed frame body cannot desynchronize the connection.
         std::string frame;
         bool got_end = false;
+        bool oversized = false;
         while (auto line = reader.readLine()) {
+            if (frame.size() + line->size() + 1 > cfg_.maxFrameBytes) {
+                oversized = true;
+                break;
+            }
             frame += *line;
             frame += '\n';
             if (isFrameEnd(*line)) {
                 got_end = true;
                 break;
             }
+        }
+        if (oversized || reader.overflowed()) {
+            // No `end` in sight within the budget: resynchronizing
+            // would mean reading an unbounded amount, so answer a
+            // structured error and drop the connection.
+            frames_.fetch_add(1, std::memory_order_relaxed);
+            writeAll(fd,
+                     responseText(makeErrorResponse(
+                         0, errcode::invalidArgument,
+                         "request frame exceeds " +
+                             std::to_string(cfg_.maxFrameBytes) +
+                             " bytes")));
+            // Half-close and briefly drain the peer's leftovers so
+            // close() ends in FIN, not an RST that could discard the
+            // error before the peer reads it.  Both the drained
+            // volume and the poll waits are bounded — a peer that
+            // keeps streaming cannot pin the handler.
+            ::shutdown(fd, SHUT_WR);
+            char discard[4096];
+            pollfd pfd{fd, POLLIN, 0};
+            std::size_t drained = 0;
+            while (drained < (std::size_t(64) << 10)) {
+                if (::poll(&pfd, 1, 100) <= 0)
+                    break;
+                const ssize_t n =
+                    ::read(fd, discard, sizeof(discard));
+                if (n <= 0)
+                    break;
+                drained += static_cast<std::size_t>(n);
+            }
+            return;
         }
         if (!got_end)
             return; // EOF (clean close or truncated frame)
@@ -138,6 +192,14 @@ ServiceServer::stop()
     if (acceptor_.joinable())
         acceptor_.join();
 
+    // Handlers may be blocked in read(2) on an idle connection;
+    // shutting the sockets down turns those reads into EOF so join
+    // cannot hang on a client that simply never hangs up.
+    {
+        std::lock_guard<std::mutex> lk(conn_mutex_);
+        for (const int fd : active_fds_)
+            ::shutdown(fd, SHUT_RDWR);
+    }
     conn_cv_.notify_all();
     for (std::thread &t : handlers_)
         if (t.joinable())

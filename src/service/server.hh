@@ -28,6 +28,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "service/admission.hh"
@@ -49,6 +50,14 @@ struct ServerConfig
 
     /** Concurrent connection handlers. */
     std::size_t handlerThreads = 4;
+
+    /**
+     * Largest accepted request frame (and single line) in bytes.  A
+     * client that streams past this without an `end` line gets an
+     * INVALID_ARGUMENT response and is disconnected — the frame
+     * cannot be resynchronized without reading an unbounded amount.
+     */
+    std::size_t maxFrameBytes = std::size_t(1) << 20;
 
     /** Admission-queue knobs. */
     AdmissionConfig admission;
@@ -115,6 +124,13 @@ class ServiceServer
     std::mutex conn_mutex_;
     std::condition_variable conn_cv_;
     std::deque<int> conn_queue_;
+
+    /**
+     * Fds currently owned by a handler, so stop() can shutdown(2)
+     * them and unblock handlers parked in a read on an idle
+     * connection.  Guarded by conn_mutex_.
+     */
+    std::unordered_set<int> active_fds_;
 
     std::atomic<std::uint64_t> connections_{0};
     std::atomic<std::uint64_t> frames_{0};

@@ -113,7 +113,10 @@ bool
 writeAll(int fd, std::string_view data)
 {
     while (!data.empty()) {
-        const ssize_t n = ::write(fd, data.data(), data.size());
+        // MSG_NOSIGNAL: a peer that hung up must surface as EPIPE,
+        // not kill the daemon with SIGPIPE.
+        const ssize_t n =
+            ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -155,6 +158,10 @@ LineReader::readLine()
                 pos_ = buffer_.size();
                 return line;
             }
+            return std::nullopt;
+        }
+        if (buffer_.size() - pos_ > max_line_) {
+            overflowed_ = true;
             return std::nullopt;
         }
 

@@ -48,20 +48,36 @@ void closeFd(int fd);
  * Buffered reader returning one '\n'-terminated line at a time
  * (terminator stripped, trailing '\r' tolerated).  A final unterminated
  * line before EOF is returned as-is.
+ *
+ * Lines are capped at @p max_line_bytes: a peer streaming bytes
+ * without ever sending a newline would otherwise grow the buffer
+ * without bound.  On overflow readLine() returns nullopt and
+ * overflowed() reports why, so the caller can tell a hostile peer
+ * from a clean EOF.
  */
 class LineReader
 {
   public:
-    explicit LineReader(int fd) : fd_(fd) {}
+    explicit LineReader(int fd,
+                        std::size_t max_line_bytes = std::size_t(1)
+                                                     << 20)
+        : fd_(fd), max_line_(max_line_bytes)
+    {
+    }
 
-    /** Next line, or nullopt at EOF / on read error. */
+    /** Next line, or nullopt at EOF / read error / oversized line. */
     std::optional<std::string> readLine();
+
+    /** True once a line exceeded the construction-time cap. */
+    bool overflowed() const { return overflowed_; }
 
   private:
     int fd_;
+    std::size_t max_line_;
     std::string buffer_;
     std::size_t pos_ = 0;
     bool eof_ = false;
+    bool overflowed_ = false;
 };
 
 } // namespace jitsched

@@ -1,5 +1,6 @@
 #include "trace/trace_io.hh"
 
+#include <algorithm>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -85,6 +86,15 @@ fail(std::string *error, const Args &...args)
     return std::nullopt;
 }
 
+/**
+ * Ceiling on a reserve() driven by a declared count.  Counts are
+ * foreign input on the non-fatal path: an absurd header must not be
+ * able to throw length_error/bad_alloc out of the parser (which would
+ * kill a daemon thread).  Real elements still grow the vector past
+ * this via push_back, bounded by the input size itself.
+ */
+constexpr std::size_t kMaxDeclaredReserve = std::size_t(1) << 20;
+
 } // anonymous namespace
 
 std::optional<Workload>
@@ -133,6 +143,8 @@ tryReadWorkload(std::istream &is, std::string *error,
             const auto v = tryInt(tok, "level count", &err);
             if (!v)
                 return std::nullopt;
+            if (*v < 0)
+                return fail(&err, "negative level count ", *v);
             levels = static_cast<std::size_t>(*v);
         } else if (key == "func") {
             std::string id_tok, fname, size_tok;
@@ -147,6 +159,9 @@ tryReadWorkload(std::istream &is, std::string *error,
             const auto size = tryInt(size_tok, "function size", &err);
             if (!size)
                 return std::nullopt;
+            if (*size < 0)
+                return fail(&err, "negative size for function '",
+                            fname, "'");
             std::vector<LevelCosts> lcs;
             std::string c_tok, e_tok;
             while (ls >> c_tok >> e_tok) {
@@ -176,8 +191,11 @@ tryReadWorkload(std::istream &is, std::string *error,
             const auto v = tryInt(tok, "call count", &err);
             if (!v)
                 return std::nullopt;
+            if (*v < 0)
+                return fail(&err, "negative call count ", *v);
             expected_calls = static_cast<std::size_t>(*v);
-            calls.reserve(expected_calls);
+            calls.reserve(
+                std::min(expected_calls, kMaxDeclaredReserve));
             in_calls = expected_calls > 0;
         } else {
             return fail(&err, "unknown directive '", key, "'");

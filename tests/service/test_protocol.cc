@@ -171,6 +171,20 @@ TEST(ServiceProtocol, ErrorResponseRoundTrip)
     EXPECT_EQ(back->error, "queue full; retry later");
 }
 
+TEST(ServiceProtocol, AbsurdScheduleSizeDoesNotThrow)
+{
+    // A rogue server declaring a huge schedule must not make the
+    // client's reserve() throw; the frame fails as truncated instead.
+    std::istringstream is("jitsched-response 1\n"
+                          "status ok\n"
+                          "schedule 9999999999999999\n"
+                          "0 0\n");
+    std::string error;
+    EXPECT_FALSE(tryReadResponse(is, &error).has_value());
+    EXPECT_NE(error.find("schedule truncated"), std::string::npos)
+        << error;
+}
+
 TEST(ServiceProtocol, StatsLineIsTheOnlyVolatilePart)
 {
     ServiceResponse resp = makeErrorResponse(

@@ -10,6 +10,9 @@
  */
 
 #include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -276,6 +279,95 @@ TEST_F(LoopbackTest, StopIsIdempotentAndRefusesNewWork)
     std::string error;
     EXPECT_FALSE(
         client.connect("127.0.0.1", server_.port(), &error));
+}
+
+TEST_F(LoopbackTest, StopDoesNotHangOnIdleConnections)
+{
+    // Idle clients that connect and never send (or hang up) used to
+    // pin stop() forever: handlers blocked in read(2) were joined
+    // but their sockets never shut down.
+    std::vector<std::unique_ptr<ServiceClient>> idlers;
+    std::string error;
+    for (int i = 0; i < 3; ++i) {
+        auto c = std::make_unique<ServiceClient>();
+        ASSERT_TRUE(c->connect("127.0.0.1", server_.port(), &error))
+            << error;
+        idlers.push_back(std::move(c));
+    }
+    // One of them serves a request first, guaranteeing at least one
+    // connection is parked inside a handler's read, not just queued.
+    const auto resp = idlers[0]->call(
+        makeRequest(1, "iar", figure1Workload()), &error);
+    ASSERT_TRUE(resp.has_value()) << error;
+
+    std::promise<void> stopped;
+    auto done = stopped.get_future();
+    std::thread stopper([&] {
+        server_.stop();
+        stopped.set_value();
+    });
+    EXPECT_EQ(done.wait_for(std::chrono::seconds(30)),
+              std::future_status::ready)
+        << "stop() hangs while idle clients hold connections";
+    stopper.join();
+}
+
+TEST(ServiceServerLimits, OversizedFrameGetsErrorAndDisconnect)
+{
+    ServiceEngine engine;
+    ServerConfig cfg;
+    cfg.maxFrameBytes = 1024;
+    ServiceServer server(engine, cfg);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    ServiceClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port(), &error))
+        << error;
+    // Way past the cap with no `end` line in sight: the server must
+    // answer a structured error instead of buffering forever, then
+    // drop the connection (it cannot resynchronize).
+    std::string flood;
+    while (flood.size() < 4096)
+        flood += "option padding padding\n";
+    const auto raw = client.callRaw(flood, &error);
+    ASSERT_TRUE(raw.has_value()) << error;
+    std::istringstream is(*raw);
+    const auto resp = tryReadResponse(is);
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_FALSE(resp->ok);
+    EXPECT_EQ(resp->code, errcode::invalidArgument);
+    EXPECT_NE(resp->error.find("exceeds"), std::string::npos)
+        << resp->error;
+
+    EXPECT_FALSE(client.callRaw("jitsched-request 1\nend\n", &error)
+                     .has_value());
+    server.stop();
+}
+
+TEST(ServiceServerLimits, NewlineFreeStreamIsBounded)
+{
+    // A stream with no newline at all exercises the LineReader cap
+    // rather than the frame accumulator.
+    ServiceEngine engine;
+    ServerConfig cfg;
+    cfg.maxFrameBytes = 1024;
+    ServiceServer server(engine, cfg);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    ServiceClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port(), &error))
+        << error;
+    const auto raw =
+        client.callRaw(std::string(8192, 'x'), &error);
+    ASSERT_TRUE(raw.has_value()) << error;
+    std::istringstream is(*raw);
+    const auto resp = tryReadResponse(is);
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_FALSE(resp->ok);
+    EXPECT_EQ(resp->code, errcode::invalidArgument);
+    server.stop();
 }
 
 } // anonymous namespace

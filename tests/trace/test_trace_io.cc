@@ -207,6 +207,54 @@ TEST(TraceIoTry, WrongCallCount)
     EXPECT_NE(err.find("expected 3 calls"), std::string::npos) << err;
 }
 
+TEST(TraceIoTry, NegativeCallCountIsAnErrorNotACrash)
+{
+    // `calls -1` used to be cast straight to size_t and fed to
+    // reserve(), which throws out of the parser — a remote crash on
+    // the service path.  It must be an ordinary parse error.
+    std::stringstream ss;
+    ss << "workload d\nlevels 1\nfunc 0 f 1 1 1\ncalls -1\n";
+    std::string err;
+    EXPECT_FALSE(tryReadWorkload(ss, &err).has_value());
+    EXPECT_NE(err.find("negative call count"), std::string::npos)
+        << err;
+}
+
+TEST(TraceIoTry, AbsurdCallCountDoesNotThrow)
+{
+    // A huge declared count must not make reserve() throw
+    // length_error/bad_alloc; it fails the end-of-input call-count
+    // check like any other short workload.
+    std::stringstream ss;
+    ss << "workload d\nlevels 1\nfunc 0 f 1 1 1\n"
+       << "calls 9999999999999999\n0 0\n";
+    std::string err;
+    EXPECT_FALSE(tryReadWorkload(ss, &err).has_value());
+    EXPECT_NE(err.find("expected 9999999999999999 calls"),
+              std::string::npos)
+        << err;
+}
+
+TEST(TraceIoTry, NegativeLevelCountIsRejected)
+{
+    std::stringstream ss;
+    ss << "workload d\nlevels -3\nfunc 0 f 1 1 1\ncalls 0\n";
+    std::string err;
+    EXPECT_FALSE(tryReadWorkload(ss, &err).has_value());
+    EXPECT_NE(err.find("negative level count"), std::string::npos)
+        << err;
+}
+
+TEST(TraceIoTry, NegativeFunctionSizeIsRejected)
+{
+    // A negative size would silently wrap through the uint32_t cast.
+    std::stringstream ss;
+    ss << "workload d\nlevels 1\nfunc 0 f -5 1 1\ncalls 0\n";
+    std::string err;
+    EXPECT_FALSE(tryReadWorkload(ss, &err).has_value());
+    EXPECT_NE(err.find("negative size"), std::string::npos) << err;
+}
+
 TEST(TraceIoTry, ErrorStringUntouchedOnSuccess)
 {
     std::stringstream ss;
