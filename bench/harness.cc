@@ -1,5 +1,6 @@
 #include "harness.hh"
 
+#include <cassert>
 #include <iostream>
 
 #include "core/iar.hh"
@@ -126,6 +127,156 @@ printLatencyTable(const std::string &title,
     }
     table.print(std::cout);
     std::cout << "\n";
+}
+
+void
+JsonWriter::separate()
+{
+    if (after_key_) {
+        after_key_ = false;
+        return;
+    }
+    if (!first_.empty()) {
+        if (!first_.back())
+            os_ << ",";
+        first_.back() = false;
+        os_ << "\n" << std::string(first_.size() * 2, ' ');
+    }
+}
+
+void
+JsonWriter::escaped(const std::string &s)
+{
+    os_ << '"';
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            os_ << "\\\"";
+            break;
+        case '\\':
+            os_ << "\\\\";
+            break;
+        case '\n':
+            os_ << "\\n";
+            break;
+        case '\t':
+            os_ << "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                os_ << strprintf("\\u%04x", c);
+            else
+                os_ << c;
+        }
+    }
+    os_ << '"';
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separate();
+    os_ << "{";
+    first_.push_back(true);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    assert(!first_.empty() && !after_key_);
+    const bool empty = first_.back();
+    first_.pop_back();
+    if (!empty)
+        os_ << "\n" << std::string(first_.size() * 2, ' ');
+    os_ << "}";
+    if (first_.empty())
+        os_ << "\n";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separate();
+    os_ << "[";
+    first_.push_back(true);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    assert(!first_.empty() && !after_key_);
+    const bool empty = first_.back();
+    first_.pop_back();
+    if (!empty)
+        os_ << "\n" << std::string(first_.size() * 2, ' ');
+    os_ << "]";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    assert(!after_key_);
+    separate();
+    escaped(name);
+    os_ << ": ";
+    after_key_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    separate();
+    escaped(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    separate();
+    os_ << strprintf("%.9g", v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    separate();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    separate();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int v)
+{
+    return value(static_cast<std::int64_t>(v));
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    separate();
+    os_ << (v ? "true" : "false");
+    return *this;
 }
 
 } // namespace jitsched

@@ -8,6 +8,8 @@
 #ifndef JITSCHED_BENCH_HARNESS_HH
 #define JITSCHED_BENCH_HARNESS_HH
 
+#include <cstdint>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -80,6 +82,48 @@ struct LatencyRow
 /** Print latency rows as a table (min/mean/p50/p95/p99/max). */
 void printLatencyTable(const std::string &title,
                        const std::vector<LatencyRow> &rows);
+
+/**
+ * Minimal streaming JSON writer for the machine-readable artifacts
+ * some benches emit next to their tables (e.g. BENCH_astar.json).
+ * Call order must produce well-formed JSON — keys inside objects,
+ * values after keys — which is asserted, not silently repaired.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+    JsonWriter &key(const std::string &name);
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(int v);
+    JsonWriter &value(bool v);
+
+    /** key(name) followed by value(v), for scalar members. */
+    template <typename T>
+    JsonWriter &
+    member(const std::string &name, const T &v)
+    {
+        key(name);
+        return value(v);
+    }
+
+  private:
+    void separate(); ///< comma/newline/indent before a new element
+    void escaped(const std::string &s);
+
+    std::ostream &os_;
+    std::vector<bool> first_; ///< per open container: no element yet
+    bool after_key_ = false;
+};
 
 } // namespace jitsched
 

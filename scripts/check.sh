@@ -10,17 +10,25 @@
 #                              # and run them (thread pool, eval
 #                              # cache, batch determinism, admission
 #                              # queue, loopback server)
+#   scripts/check.sh --bench-smoke
+#                              # also run bench_astar --smoke and diff
+#                              # its deterministic search counters
+#                              # against bench/expectations/ — catches
+#                              # unintended changes to A* expansion
+#                              # order, pruning, or evaluation totals
 #
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 run_tsan=0
+run_bench_smoke=0
 for arg in "$@"; do
     case "$arg" in
         --tsan) run_tsan=1 ;;
+        --bench-smoke) run_bench_smoke=1 ;;
         *)
-            echo "usage: scripts/check.sh [--tsan]" >&2
+            echo "usage: scripts/check.sh [--tsan] [--bench-smoke]" >&2
             exit 2
             ;;
     esac
@@ -29,6 +37,21 @@ done
 cmake -B build -S . >/dev/null
 cmake --build build -j
 (cd build && ctest -L tier1 --output-on-failure -j "$(nproc)")
+
+if [ "$run_bench_smoke" -eq 1 ]; then
+    echo "== Bench smoke (deterministic A* counters) =="
+    ./build/bench/bench_astar --smoke > build/astar_smoke.out
+    if ! diff -u bench/expectations/astar_smoke.txt \
+            build/astar_smoke.out; then
+        echo "bench smoke: A* counters diverged from" \
+             "bench/expectations/astar_smoke.txt" >&2
+        echo "(if the change is intentional, regenerate with:" \
+             "./build/bench/bench_astar --smoke >" \
+             "bench/expectations/astar_smoke.txt)" >&2
+        exit 1
+    fi
+    echo "bench smoke: counters match"
+fi
 
 if [ "$run_tsan" -eq 1 ]; then
     echo "== ThreadSanitizer pass (exec + service tests) =="

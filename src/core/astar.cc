@@ -4,6 +4,7 @@
 #include <queue>
 #include <vector>
 
+#include "core/prefix_sim.hh"
 #include "core/search_util.hh"
 #include "exec/thread_pool.hh"
 #include "support/logging.hh"
@@ -40,9 +41,13 @@ struct OpenEntry
     }
 };
 
-/** Estimated bytes per stored node, for the memory account. */
-constexpr std::uint64_t bytesPerNode =
-    sizeof(Node) + sizeof(OpenEntry) + 16; // container overhead
+/**
+ * Bytes charged per stored node: the node, its resumable walk state,
+ * and container overhead.  Charged identically in both evaluation
+ * modes so the memory budget meters the same node count either way.
+ */
+constexpr std::uint64_t nodeBytes =
+    sizeof(Node) + sizeof(PrefixSimState) + 16;
 
 } // anonymous namespace
 
@@ -52,19 +57,29 @@ aStarOptimal(const Workload &w, const AStarConfig &cfg)
     if (w.numCalls() == 0)
         JITSCHED_FATAL("aStarOptimal: empty call sequence");
 
-    const std::vector<Tick> best_exec = bestExecTimes(w);
+    const PrefixEvaluator evaluator(w);
+    const std::vector<Tick> &best_exec = evaluator.bestExec();
     Tick lb = 0;
     for (const FuncId f : w.calls())
         lb += best_exec[f];
 
     AStarResult res;
+    res.bytesPerNode = nodeBytes;
 
     std::vector<Node> arena;
+    std::vector<PrefixSimState> states;
     std::priority_queue<OpenEntry, std::vector<OpenEntry>,
                         std::greater<OpenEntry>>
         open;
+    std::size_t open_high_water = 0;
 
-    // Reconstruct the event prefix of a node by walking parents.
+    const bool incremental = cfg.incrementalEval;
+    const bool dedup = incremental && cfg.duplicateDetection &&
+                       w.numFunctions() <= cfg.duplicateMaxFunctions;
+    DuplicateTable table(dedup ? w.numFunctions() : 0);
+
+    // Reconstruct the event prefix of a node by walking parents —
+    // off the hot path now, used once to emit the winning schedule.
     auto prefix_of = [&](std::int64_t idx) {
         std::vector<CompileEvent> events;
         for (std::int64_t i = idx; i >= 0; i = arena[i].parent) {
@@ -76,31 +91,45 @@ aStarOptimal(const Workload &w, const AStarConfig &cfg)
     };
 
     auto account = [&]() {
-        const std::uint64_t mem = arena.size() * bytesPerNode;
+        const std::uint64_t arena_mem = arena.size() * nodeBytes;
+        open_high_water = std::max(open_high_water, open.size());
+        const std::uint64_t open_mem =
+            open_high_water * sizeof(OpenEntry);
+        const std::uint64_t table_mem = dedup ? table.bytes() : 0;
+        res.peakArenaBytes = std::max(res.peakArenaBytes, arena_mem);
+        res.peakOpenBytes = std::max(res.peakOpenBytes, open_mem);
+        res.peakTableBytes = std::max(res.peakTableBytes, table_mem);
+        const std::uint64_t mem = arena_mem + open_mem + table_mem;
         res.peakMemory = std::max(res.peakMemory, mem);
         return mem <= cfg.memoryBudget;
     };
 
     // Root: empty prefix, f = 0.
     arena.push_back(Node{-1, CompileEvent{}, 0, true});
+    states.push_back(evaluator.rootState());
     // The root is "closed" in the struct sense only to mark it as not
     // carrying an event; it is never a goal because no function is
     // compiled yet (unless there are no called functions at all).
     open.push({0, 0});
     ++res.nodesGenerated;
 
+    // Per-function last compiled level of the node being expanded.
+    // Rebuilt from the parent chain in O(depth) with an undo list —
+    // no O(#functions) clear per expansion.
+    std::vector<LevelSig> sig(w.numFunctions(), -1);
+    std::vector<FuncId> touched;
+    touched.reserve(64);
+
     while (!open.empty()) {
         const OpenEntry top = open.top();
         open.pop();
         const std::int64_t idx = top.index;
 
-        const std::vector<CompileEvent> events = prefix_of(idx);
-
         // Is this a goal? A popped node marked closed with full
         // coverage is a complete schedule with minimal cost.
         if (arena[idx].closed && idx != 0) {
             res.status = AStarStatus::Optimal;
-            res.schedule = Schedule(events);
+            res.schedule = Schedule(prefix_of(idx));
             res.makespan = lb + arena[idx].f;
             return res;
         }
@@ -112,74 +141,126 @@ aStarOptimal(const Workload &w, const AStarConfig &cfg)
             return res;
         }
 
-        // Last compiled level per function along this path.
-        std::vector<int> last_level(w.numFunctions(), -1);
+        // Signature along this path: walking child -> root, the
+        // first event seen per function is its last (highest) level.
         std::size_t uncompiled = w.numCalledFunctions();
-        for (const CompileEvent &ev : events) {
-            if (last_level[ev.func] < 0)
+        for (std::int64_t i = idx; i > 0; i = arena[i].parent) {
+            const CompileEvent &ev = arena[i].event;
+            if (sig[ev.func] < 0) {
+                sig[ev.func] = ev.level;
+                touched.push_back(ev.func);
                 --uncompiled;
-            last_level[ev.func] = std::max(
-                last_level[ev.func], static_cast<int>(ev.level));
+            }
         }
+        // By value: the child pushes below may reallocate `states`.
+        const PrefixSimState pstate = states[idx];
+
+        // The from-scratch path still materializes the event list.
+        std::vector<CompileEvent> events;
+        if (!incremental)
+            events = prefix_of(idx);
+
+        bool oom = false;
 
         // Child 1: close the schedule here (only if complete).
         if (uncompiled == 0) {
-            const Tick total = evalComplete(w, events, best_exec);
+            ++res.evaluations;
+            const Tick total =
+                incremental ? evaluator.complete(pstate, sig.data())
+                            : evalComplete(w, events, best_exec);
             arena.push_back(Node{idx, CompileEvent{}, total, true});
+            states.push_back(pstate);
             open.push({total, static_cast<std::int64_t>(
                                   arena.size() - 1)});
             ++res.nodesGenerated;
-            if (!account()) {
-                res.status = AStarStatus::OutOfMemory;
-                return res;
-            }
+            oom = !account();
         }
 
         // Children: append any (function, level) with level strictly
         // above the function's last compiled level.  The candidate
         // list is generated in a fixed order first so the costly
-        // evalPrefix() calls can fan out over the batch-evaluation
-        // pool without changing which node gets which arena index.
+        // evaluations can fan out over the pool without changing
+        // which node gets which arena index.
         std::vector<CompileEvent> children;
-        for (std::size_t i = 0; i < w.numFunctions(); ++i) {
-            const auto f = static_cast<FuncId>(i);
-            if (w.callCount(f) == 0)
-                continue;
-            const auto &prof = w.function(f);
-            for (int l = last_level[i] + 1;
-                 l < static_cast<int>(prof.numLevels()); ++l)
-                children.push_back({f, static_cast<Level>(l)});
-        }
-
-        std::vector<Tick> child_f(children.size());
-        if (cfg.pool != nullptr &&
-            children.size() >= cfg.minParallelChildren) {
-            cfg.pool->parallelFor(
-                children.size(), [&](std::size_t c) {
-                    std::vector<CompileEvent> child_events = events;
-                    child_events.push_back(children[c]);
-                    child_f[c] =
-                        evalPrefix(w, child_events, best_exec).f();
-                });
-        } else {
-            std::vector<CompileEvent> child_events = events;
-            child_events.push_back({});
-            for (std::size_t c = 0; c < children.size(); ++c) {
-                child_events.back() = children[c];
-                child_f[c] =
-                    evalPrefix(w, child_events, best_exec).f();
+        if (!oom) {
+            for (std::size_t i = 0; i < w.numFunctions(); ++i) {
+                const auto f = static_cast<FuncId>(i);
+                if (w.callCount(f) == 0)
+                    continue;
+                const auto &prof = w.function(f);
+                for (int l = sig[i] + 1;
+                     l < static_cast<int>(prof.numLevels()); ++l)
+                    children.push_back({f, static_cast<Level>(l)});
             }
         }
 
-        for (std::size_t c = 0; c < children.size(); ++c) {
-            arena.push_back(Node{idx, children[c], child_f[c], false});
-            open.push({child_f[c],
+        std::vector<PrefixStep> steps(children.size());
+        res.evaluations += children.size();
+        if (incremental) {
+            // append() resumes the committed walk from the parent's
+            // saved state: O(newly committed calls) per child, no
+            // allocation, and pure — safe to fan out.
+            auto eval_child = [&](std::size_t c) {
+                steps[c] =
+                    evaluator.append(pstate, sig.data(), children[c]);
+            };
+            if (cfg.pool != nullptr &&
+                children.size() >= cfg.minParallelChildren) {
+                cfg.pool->parallelFor(children.size(), eval_child);
+            } else {
+                for (std::size_t c = 0; c < children.size(); ++c)
+                    eval_child(c);
+            }
+        } else {
+            auto eval_child = [&](std::size_t c,
+                                  std::vector<CompileEvent> &buf) {
+                buf.push_back(children[c]);
+                steps[c].f = evalPrefix(w, buf, best_exec).f();
+                buf.pop_back();
+            };
+            if (cfg.pool != nullptr &&
+                children.size() >= cfg.minParallelChildren) {
+                cfg.pool->parallelFor(
+                    children.size(), [&](std::size_t c) {
+                        std::vector<CompileEvent> buf = events;
+                        eval_child(c, buf);
+                    });
+            } else {
+                for (std::size_t c = 0; c < children.size(); ++c)
+                    eval_child(c, events);
+            }
+        }
+
+        for (std::size_t c = 0; !oom && c < children.size(); ++c) {
+            if (dedup) {
+                // Probe with the child's signature (event applied),
+                // then restore the expansion's scratch.
+                const FuncId f = children[c].func;
+                const LevelSig saved = sig[f];
+                sig[f] = children[c].level;
+                const bool dup = table.seen(steps[c].state, sig.data());
+                sig[f] = saved;
+                if (dup) {
+                    ++res.nodesPruned;
+                    continue;
+                }
+            }
+            arena.push_back(Node{idx, children[c], steps[c].f, false});
+            states.push_back(steps[c].state);
+            open.push({steps[c].f,
                        static_cast<std::int64_t>(arena.size() - 1)});
             ++res.nodesGenerated;
-            if (!account()) {
-                res.status = AStarStatus::OutOfMemory;
-                return res;
-            }
+            oom = !account();
+        }
+
+        // Undo the signature scratch for the next expansion.
+        for (const FuncId f : touched)
+            sig[f] = -1;
+        touched.clear();
+
+        if (oom) {
+            res.status = AStarStatus::OutOfMemory;
+            return res;
         }
     }
 

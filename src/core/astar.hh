@@ -56,6 +56,35 @@ struct AStarConfig
      * below it the hand-off overhead outweighs the win.
      */
     std::size_t minParallelChildren = 16;
+
+    /**
+     * Evaluate children incrementally from the parent's saved
+     * PrefixSimState (core/prefix_sim.hh) instead of replaying the
+     * call sequence from t = 0 per child.  Bit-identical f values and
+     * node ordering either way; `false` keeps the from-scratch
+     * evalPrefix() path alive for differential testing and for the
+     * bench_astar speedup baseline.
+     */
+    bool incrementalEval = true;
+
+    /**
+     * Discard a generated node when an exact duplicate state (same
+     * per-function last-level signature, resume position, pinned
+     * resume clock and compile end) was already generated.  Strictly
+     * safety-preserving — duplicates have identical completion-cost
+     * sets — and typically collapses the factorial interleavings of
+     * compiles that finish ahead of need.  Requires incrementalEval;
+     * auto-disabled above duplicateMaxFunctions.
+     */
+    bool duplicateDetection = true;
+
+    /**
+     * Signature width cap for duplicate detection.  Beyond a few
+     * dozen unique functions A* exhausts any memory budget long
+     * before pruning matters, while each table entry costs
+     * O(#functions) bytes — so very wide workloads skip the table.
+     */
+    std::size_t duplicateMaxFunctions = 64;
 };
 
 /** Why the search stopped. */
@@ -83,8 +112,36 @@ struct AStarResult
     /** Nodes generated (stored). */
     std::uint64_t nodesGenerated = 0;
 
-    /** Peak accounted memory in bytes. */
+    /** Generated nodes discarded by the duplicate-state table. */
+    std::uint64_t nodesPruned = 0;
+
+    /** Prefix evaluations performed (child + closing evaluations). */
+    std::uint64_t evaluations = 0;
+
+    /**
+     * Peak accounted memory in bytes: the high-water mark of arena +
+     * open list + duplicate table.  The open list is tracked by its
+     * own high-water mark — after pruning (and after deep pops) its
+     * size diverges from the arena's, so charging one per-node
+     * constant would misstate whichever is larger.
+     */
     std::uint64_t peakMemory = 0;
+
+    /** Peak node-arena footprint (nodes * bytesPerNode). */
+    std::uint64_t peakArenaBytes = 0;
+
+    /** Peak open-list footprint (entry high-water * entry size). */
+    std::uint64_t peakOpenBytes = 0;
+
+    /** Peak duplicate-table footprint. */
+    std::uint64_t peakTableBytes = 0;
+
+    /**
+     * Bytes charged per stored node, including the per-node
+     * PrefixSimState — kept in the result so reports reflect what
+     * the memory budget actually metered.
+     */
+    std::uint64_t bytesPerNode = 0;
 };
 
 /**

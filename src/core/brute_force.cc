@@ -2,8 +2,8 @@
 
 #include <algorithm>
 
+#include "core/prefix_sim.hh"
 #include "core/search_util.hh"
-#include "sim/makespan.hh"
 #include "support/logging.hh"
 
 namespace jitsched {
@@ -14,11 +14,11 @@ class Searcher
 {
   public:
     Searcher(const Workload &w, const BruteForceConfig &cfg)
-        : w_(w), cfg_(cfg), best_exec_(bestExecTimes(w))
+        : w_(w), cfg_(cfg), eval_(w)
     {
         lb_ = 0;
         for (const FuncId f : w.calls())
-            lb_ += best_exec_[f];
+            lb_ += eval_.bestExec()[f];
     }
 
     BruteForceResult
@@ -30,14 +30,14 @@ class Searcher
         std::vector<CompileEvent> seed;
         for (const FuncId f : w_.firstAppearanceOrder())
             seed.push_back({f, w_.function(f).highestLevel()});
-        best_cost_ = evalComplete(w_, seed, best_exec_);
+        best_cost_ = evalComplete(w_, seed, eval_.bestExec());
         best_ = seed;
 
-        last_level_.assign(w_.numFunctions(), -1);
+        sig_.assign(w_.numFunctions(), -1);
         prefix_.clear();
         uncompiled_ = w_.numCalledFunctions();
         truncated_ = false;
-        dfs();
+        dfs(eval_.rootState(), eval_.rootF());
 
         BruteForceResult res;
         res.complete = !truncated_;
@@ -49,7 +49,7 @@ class Searcher
 
   private:
     void
-    dfs()
+    dfs(const PrefixSimState &state, Tick f_value)
     {
         ++nodes_;
         if (cfg_.maxNodes != 0 && nodes_ > cfg_.maxNodes) {
@@ -58,14 +58,13 @@ class Searcher
         }
 
         // Committed cost of this prefix bounds every completion.
-        const PrefixCost pc = evalPrefix(w_, prefix_, best_exec_);
-        if (pc.f() >= best_cost_)
+        if (f_value >= best_cost_)
             return;
 
         // This node doubles as a leaf when every called function has
         // been compiled: evaluate the complete schedule.
         if (uncompiled_ == 0) {
-            const Tick total = evalComplete(w_, prefix_, best_exec_);
+            const Tick total = eval_.complete(state, sig_.data());
             if (total < best_cost_) {
                 best_cost_ = total;
                 best_ = prefix_;
@@ -73,24 +72,30 @@ class Searcher
         }
 
         // Expand: any function at any level above its last compile.
+        // Each child's cost resumes the committed walk from this
+        // node's saved state instead of replaying the call sequence.
         for (std::size_t i = 0; i < w_.numFunctions(); ++i) {
             const auto f = static_cast<FuncId>(i);
             if (w_.callCount(f) == 0)
                 continue;
             const auto &prof = w_.function(f);
-            const int from = last_level_[i] + 1;
+            const int from = sig_[i] + 1;
             for (int l = from;
                  l < static_cast<int>(prof.numLevels()); ++l) {
-                const int saved = last_level_[i];
-                last_level_[i] = l;
+                const CompileEvent ev{f, static_cast<Level>(l)};
+                const PrefixStep step =
+                    eval_.append(state, sig_.data(), ev);
+
+                const LevelSig saved = sig_[i];
+                sig_[i] = static_cast<LevelSig>(l);
                 if (saved < 0)
                     --uncompiled_;
-                prefix_.push_back({f, static_cast<Level>(l)});
+                prefix_.push_back(ev);
 
-                dfs();
+                dfs(step.state, step.f);
 
                 prefix_.pop_back();
-                last_level_[i] = saved;
+                sig_[i] = saved;
                 if (saved < 0)
                     ++uncompiled_;
                 if (truncated_)
@@ -101,11 +106,11 @@ class Searcher
 
     const Workload &w_;
     const BruteForceConfig &cfg_;
-    std::vector<Tick> best_exec_;
+    PrefixEvaluator eval_;
     Tick lb_ = 0;
 
     std::vector<CompileEvent> prefix_;
-    std::vector<int> last_level_;
+    std::vector<LevelSig> sig_;
     std::size_t uncompiled_ = 0;
 
     std::vector<CompileEvent> best_;

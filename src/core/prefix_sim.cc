@@ -1,0 +1,164 @@
+#include "core/prefix_sim.hh"
+
+#include <algorithm>
+
+#include "core/search_util.hh"
+#include "support/logging.hh"
+
+namespace jitsched {
+
+PrefixEvaluator::PrefixEvaluator(const Workload &w)
+    : w_(&w), best_exec_(bestExecTimes(w))
+{
+}
+
+Tick
+PrefixEvaluator::rootF() const
+{
+    if (w_->numCalls() == 0)
+        return 0;
+    const FuncId f = w_->calls().front();
+    return std::max<Tick>(0, w_->function(f).compileTime(0));
+}
+
+PrefixStep
+PrefixEvaluator::append(const PrefixSimState &parent,
+                        const LevelSig *sig, CompileEvent event) const
+{
+    PrefixStep out;
+    PrefixSimState &s = out.state;
+    s = parent;
+    s.compileEnd = parent.compileEnd +
+                   w_->function(event.func).compileTime(event.level);
+
+    const std::vector<FuncId> &calls = w_->calls();
+    const auto n = static_cast<std::uint32_t>(calls.size());
+    Tick penalty = 0;
+
+    std::uint32_t i = s.resumeCall;
+    for (; i < n; ++i) {
+        const FuncId f = calls[i];
+        const LevelSig base = sig[f];
+
+        if (base < 0 && f != event.func) {
+            // Still uncompiled: any extension compiles f no earlier
+            // than the new compile end plus f's cheapest compile
+            // time, so at least that much wait is committed.
+            penalty = std::max<Tick>(
+                0, s.compileEnd + w_->function(f).compileTime(0) -
+                       s.now);
+            s.nextStart = s.now;
+            break;
+        }
+
+        Tick start;
+        if (base < 0) {
+            // f == event.func receiving its first version, which
+            // completes exactly at the new compile end.
+            start = std::max(s.now, s.compileEnd);
+        } else if (i == parent.resumeCall) {
+            // The parent already pinned this call's start (later
+            // compiles cannot make the first version available
+            // sooner).
+            start = parent.nextStart;
+        } else {
+            // Every call processed during a resume starts at or
+            // after the parent's compile end, so all of the prefix's
+            // versions are ready: the start is just the clock.
+            start = s.now;
+        }
+
+        if (start >= s.compileEnd) {
+            // Starts outside the committed window, but the start
+            // itself is already determined by the prefix: its wait
+            // is committed as well.
+            penalty = start - s.now;
+            s.nextStart = start;
+            break;
+        }
+
+        s.bubbles += start - s.now;
+        const Tick dur =
+            w_->function(f).execTime(static_cast<Level>(base));
+        s.extraExec += dur - best_exec_[f];
+        s.now = start + dur;
+    }
+    if (i == n)
+        s.nextStart = s.now;
+
+    s.resumeCall = i;
+    out.f = s.bubbles + s.extraExec + penalty;
+    return out;
+}
+
+Tick
+PrefixEvaluator::complete(const PrefixSimState &state,
+                          const LevelSig *sig) const
+{
+    PrefixSimState s = state;
+    const std::vector<FuncId> &calls = w_->calls();
+    const auto n = static_cast<std::uint32_t>(calls.size());
+    for (std::uint32_t i = s.resumeCall; i < n; ++i) {
+        const FuncId f = calls[i];
+        const LevelSig base = sig[f];
+        if (base < 0)
+            JITSCHED_PANIC("PrefixEvaluator::complete: function ", f,
+                           " was never compiled");
+        const Tick start =
+            i == state.resumeCall ? state.nextStart : s.now;
+        s.bubbles += start - s.now;
+        const Tick dur =
+            w_->function(f).execTime(static_cast<Level>(base));
+        s.extraExec += dur - best_exec_[f];
+        s.now = start + dur;
+    }
+    return s.bubbles + s.extraExec;
+}
+
+DuplicateTable::DuplicateTable(std::size_t num_functions)
+    : num_functions_(num_functions)
+{
+}
+
+std::size_t
+DuplicateTable::EntryHash::operator()(const Entry &e) const
+{
+    // FNV-1a over the scalar fields and the signature bytes.
+    std::uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    };
+    mix(e.resumeCall);
+    mix(static_cast<std::uint64_t>(e.clock));
+    mix(static_cast<std::uint64_t>(e.compileEnd));
+    for (const LevelSig s : e.sig)
+        mix(static_cast<std::uint16_t>(s));
+    return static_cast<std::size_t>(h);
+}
+
+bool
+DuplicateTable::seen(const PrefixSimState &s, const LevelSig *sig)
+{
+    // The resume clock is nextStart in every case: for a pinned
+    // resume call it is the committed start, and append() sets
+    // nextStart = now at uncompiled-function breaks and at complete
+    // walks, where `now` is the part of the state the future depends
+    // on.
+    Entry e{s.resumeCall, s.nextStart, s.compileEnd,
+            std::vector<LevelSig>(sig, sig + num_functions_)};
+    return !entries_.insert(std::move(e)).second;
+}
+
+std::uint64_t
+DuplicateTable::bytes() const
+{
+    // Entry + its signature heap block + hash-set node overhead.
+    const std::uint64_t per =
+        sizeof(Entry) + num_functions_ * sizeof(LevelSig) + 32;
+    return entries_.size() * per;
+}
+
+} // namespace jitsched

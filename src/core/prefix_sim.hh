@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Incremental evaluation of compile-sequence prefixes.
+ *
+ * The exact solvers (A* and brute force) spend nearly all of their
+ * time in evalPrefix(), which replays the whole call sequence from
+ * t = 0 for every child of every expanded node — O(|window| + depth)
+ * work plus one heap-allocated version table per evaluation.  This
+ * module exploits the structure search_util.cc already establishes:
+ * committed costs are monotone along a path, and the calls that start
+ * strictly before the prefix's compile window never change when the
+ * prefix is extended (an appended event completes strictly later than
+ * every event before it).  A node therefore only needs to remember
+ * *where the committed walk stopped* — a compact PrefixSimState — and
+ * appending one CompileEvent resumes the walk from that position
+ * instead of replaying it.
+ *
+ * The key simplification that makes the resumed walk allocation-free:
+ * every call processed during a resume starts at or after the parent
+ * prefix's compile end (the parent's walk stopped at the first call
+ * that did not), so *all* of the parent's compiled versions are
+ * already available to it.  The resumed walk thus never needs the
+ * per-version completion times — only the per-function last compiled
+ * level (the signature the searches maintain anyway) and the single
+ * appended event.  Along one root-to-leaf path the total work drops
+ * from O(|calls| * depth) to O(|calls| + depth).
+ *
+ * On top of the state, DuplicateTable implements exact
+ * duplicate-state pruning for A*: two prefixes with the same
+ * signature, resume position, pinned resume clock and compile end
+ * have *identical* sets of completion costs, so only the first needs
+ * to be kept.  See DESIGN.md ("Incremental prefix evaluation") for
+ * why the stronger <=-dominance rule is unsound in this model.
+ */
+
+#ifndef JITSCHED_CORE_PREFIX_SIM_HH
+#define JITSCHED_CORE_PREFIX_SIM_HH
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/schedule.hh"
+#include "support/types.hh"
+#include "trace/workload.hh"
+
+namespace jitsched {
+
+/**
+ * Resumable state of the committed-cost walk over one prefix.
+ *
+ * Invariants (established by PrefixEvaluator::append):
+ *  - calls [0, resumeCall) started strictly before compileEnd and
+ *    their bubble/extra-execution costs are folded into bubbles and
+ *    extraExec; extending the prefix can never change them;
+ *  - `now` is the execution clock after the last processed call;
+ *  - when the resume call's function is compiled by the prefix,
+ *    `nextStart` is its pinned start time max(now, first version
+ *    ready) — later compiles cannot make the first version available
+ *    sooner, so the start is committed even though the call is not;
+ *  - when the resume call's function is *not* compiled (or the walk
+ *    consumed every call), nextStart == now.
+ */
+struct PrefixSimState
+{
+    /** Index of the first call not committed by this prefix. */
+    std::uint32_t resumeCall = 0;
+
+    /** Execution clock after the last committed call. */
+    Tick now = 0;
+
+    /** Pinned start of the resume call (see invariants above). */
+    Tick nextStart = 0;
+
+    /** Bubble time committed by the processed calls. */
+    Tick bubbles = 0;
+
+    /** Extra execution time committed by the processed calls. */
+    Tick extraExec = 0;
+
+    /** End of the prefix's compilations (single compile core). */
+    Tick compileEnd = 0;
+
+    bool operator==(const PrefixSimState &) const = default;
+};
+
+/** Result of appending one compile event to a prefix. */
+struct PrefixStep
+{
+    /** Committed state of the extended prefix. */
+    PrefixSimState state;
+
+    /**
+     * f(v) = b(v) + e(v) of the extended prefix, including the
+     * committed-wait strengthening of search_util.cc — bit-identical
+     * to evalPrefix(events + {event}).f().
+     */
+    Tick f = 0;
+};
+
+/**
+ * Per-function last compiled level of a prefix, -1 for "never
+ * compiled".  The searches maintain this signature incrementally; the
+ * evaluator only reads it.
+ */
+using LevelSig = std::int16_t;
+
+/**
+ * Incremental prefix evaluator over one workload.
+ *
+ * Stateless between calls (append() and complete() are const and
+ * allocation-free), so one instance can serve concurrent child
+ * evaluations fanned out over a thread pool.
+ */
+class PrefixEvaluator
+{
+  public:
+    /** @param w workload; must outlive the evaluator */
+    explicit PrefixEvaluator(const Workload &w);
+
+    /** State of the empty prefix. */
+    PrefixSimState rootState() const { return {}; }
+
+    /**
+     * f() of the empty prefix: the committed wait of the first call
+     * for the cheapest possible compile of its function
+     * (evalPrefix(w, {}, best).f()).
+     */
+    Tick rootF() const;
+
+    /**
+     * Evaluate the prefix obtained by appending `event` to the prefix
+     * described by (`parent`, `sig`).
+     *
+     * @param parent committed state of the parent prefix
+     * @param sig    parent signature (WITHOUT `event` applied),
+     *               indexed by FuncId over all functions
+     * @param event  appended compile event; event.level must be
+     *               strictly above sig[event.func] (not checked — the
+     *               searches construct children that way)
+     */
+    PrefixStep append(const PrefixSimState &parent, const LevelSig *sig,
+                      CompileEvent event) const;
+
+    /**
+     * Total cost (bubbles + extra execution over the whole run) of
+     * the *complete* prefix described by (`state`, `sig`) —
+     * bit-identical to evalComplete() on its event list.  Every
+     * called function must be compiled (sig >= 0); panics otherwise.
+     */
+    Tick complete(const PrefixSimState &state, const LevelSig *sig) const;
+
+    /** Per-function execution times at the highest level. */
+    const std::vector<Tick> &bestExec() const { return best_exec_; }
+
+    const Workload &workload() const { return *w_; }
+
+  private:
+    const Workload *w_;
+    std::vector<Tick> best_exec_;
+};
+
+/**
+ * Exact duplicate-state table for the A* search.
+ *
+ * Key: (per-function last-level signature, resume call index, pinned
+ * resume clock, compile end).  Two generated nodes with equal keys
+ * have equal f values and identical completion-cost sets — any
+ * schedule reachable from one is matched, tick for tick, by a
+ * schedule reachable from the other — so dropping every instance
+ * after the first preserves optimality unconditionally.  (The
+ * committed bubbles/extraExec split may differ between duplicates,
+ * but their sum at every completion is equal; see DESIGN.md.)
+ */
+class DuplicateTable
+{
+  public:
+    /** @param num_functions signature width, in functions */
+    explicit DuplicateTable(std::size_t num_functions);
+
+    /**
+     * Record a generated state; returns true when an identical state
+     * was already recorded (the caller should discard the node).
+     *
+     * @param s   committed state of the generated prefix
+     * @param sig its signature (WITH the generating event applied)
+     */
+    bool seen(const PrefixSimState &s, const LevelSig *sig);
+
+    /** Number of distinct states recorded. */
+    std::size_t size() const { return entries_.size(); }
+
+    /** Accounted memory footprint in bytes. */
+    std::uint64_t bytes() const;
+
+  private:
+    struct Entry
+    {
+        std::uint32_t resumeCall;
+        Tick clock; ///< nextStart (== now when not pinned)
+        Tick compileEnd;
+        std::vector<LevelSig> sig;
+
+        bool
+        operator==(const Entry &o) const
+        {
+            return resumeCall == o.resumeCall && clock == o.clock &&
+                   compileEnd == o.compileEnd && sig == o.sig;
+        }
+    };
+
+    struct EntryHash
+    {
+        std::size_t operator()(const Entry &e) const;
+    };
+
+    std::size_t num_functions_;
+    std::unordered_set<Entry, EntryHash> entries_;
+};
+
+} // namespace jitsched
+
+#endif // JITSCHED_CORE_PREFIX_SIM_HH

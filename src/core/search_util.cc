@@ -80,10 +80,13 @@ PrefixCost
 evalPrefix(const Workload &w, const std::vector<CompileEvent> &events,
            const std::vector<Tick> &best_exec)
 {
-    PrefixCost cost = walk(w, events, best_exec, 0);
-    // The window is the prefix's own compile end.
-    return walk(w, events, best_exec,
-                cost.compileEnd == 0 ? 0 : cost.compileEnd);
+    // The window is the prefix's own compile end, computed directly
+    // from the event list so the walk runs once (it used to run a
+    // whole throwaway pass just to learn this value).
+    Tick end = 0;
+    for (const CompileEvent &ev : events)
+        end += w.function(ev.func).compileTime(ev.level);
+    return walk(w, events, best_exec, end);
 }
 
 Tick
