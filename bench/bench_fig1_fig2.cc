@@ -4,13 +4,19 @@
  * schemes s1/s2/s3 on the 4-call sequence, how appending a fifth
  * call flips the winner, and the true optima from exhaustive search
  * and A*.
+ *
+ * `--trace-out <file>.json` additionally exports the fig1/s3
+ * timeline (the paper's headline picture) as a Chrome trace-event
+ * document loadable in Perfetto / chrome://tracing.
  */
 
+#include <cstring>
 #include <iostream>
 
 #include "core/astar.hh"
 #include "core/brute_force.hh"
 #include "exec/batch_eval.hh"
+#include "obs/schedule_timeline.hh"
 #include "sim/makespan.hh"
 #include "support/table.hh"
 #include "trace/paper_examples.hh"
@@ -18,8 +24,19 @@
 using namespace jitsched;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string trace_out;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace-out") == 0 &&
+            i + 1 < argc) {
+            trace_out = argv[++i];
+        } else {
+            std::cerr << "usage: bench_fig1_fig2 [--trace-out "
+                         "<file>.json]\n";
+            return 2;
+        }
+    }
     std::cout << "== Figures 1 & 2: the scheduling-order examples ==\n";
     std::cout << "Invocation sequences: fig1 = f0 f1 f2 f1,"
                  " fig2 = f0 f1 f2 f1 f2\n\n";
@@ -77,5 +94,12 @@ main()
     std::cout << "\nShape check: s3 is best on fig1 (10); appending "
                  "one call makes s1+c21 best (12) and s3 worst (13), "
                  "as in the paper.\n";
+
+    if (!trace_out.empty()) {
+        obs::writeScheduleTraceFile(trace_out, fig1,
+                                    figureSchemeS3(), {});
+        std::cout << "wrote fig1/s3 timeline trace to " << trace_out
+                  << "\n";
+    }
     return 0;
 }

@@ -16,6 +16,15 @@
 #                              # against bench/expectations/ — catches
 #                              # unintended changes to A* expansion
 #                              # order, pruning, or evaluation totals
+#   scripts/check.sh --obs-smoke
+#                              # also exercise the observability
+#                              # surface end to end: start jitschedd,
+#                              # submit the Fig. 1 workload with
+#                              # --trace-out and validate the Chrome
+#                              # trace JSON with jitsched-trace-check,
+#                              # then scrape STATS and diff the
+#                              # instrument key set against
+#                              # bench/expectations/obs_keys.txt
 #
 set -euo pipefail
 
@@ -23,12 +32,15 @@ cd "$(dirname "$0")/.."
 
 run_tsan=0
 run_bench_smoke=0
+run_obs_smoke=0
 for arg in "$@"; do
     case "$arg" in
         --tsan) run_tsan=1 ;;
         --bench-smoke) run_bench_smoke=1 ;;
+        --obs-smoke) run_obs_smoke=1 ;;
         *)
-            echo "usage: scripts/check.sh [--tsan] [--bench-smoke]" >&2
+            echo "usage: scripts/check.sh [--tsan] [--bench-smoke]" \
+                 "[--obs-smoke]" >&2
             exit 2
             ;;
     esac
@@ -53,12 +65,70 @@ if [ "$run_bench_smoke" -eq 1 ]; then
     echo "bench smoke: counters match"
 fi
 
+if [ "$run_obs_smoke" -eq 1 ]; then
+    echo "== Observability smoke (trace export + STATS key set) =="
+    workload="$(mktemp)" log="$(mktemp)" trace="$(mktemp --suffix=.json)"
+    daemon_pid=""
+    cleanup_obs() {
+        [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+        [ -n "$daemon_pid" ] && wait "$daemon_pid" 2>/dev/null || true
+        rm -f "$workload" "$log" "$trace" "$log.stats"
+    }
+    trap cleanup_obs EXIT
+    # The paper's Fig. 1 instance (trace/paper_examples.hh).
+    cat > "$workload" <<'EOF'
+# jitsched workload trace
+workload paper-fig1
+levels 2
+func 0 f0 1 1 1 1 1
+func 1 f1 1 1 3 3 2
+func 2 f2 1 3 3 5 1
+calls 4
+0 1 2 1
+EOF
+    ./build/bin/jitschedd --port 0 > "$log" &
+    daemon_pid=$!
+    port=""
+    for _ in $(seq 1 50); do
+        port="$(sed -n \
+            's/^jitschedd listening on .*:\([0-9]*\)$/\1/p' "$log")"
+        [ -n "$port" ] && break
+        sleep 0.1
+    done
+    if [ -z "$port" ]; then
+        echo "obs smoke: jitschedd did not come up:" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+    # Solve + timeline export, then validate the trace JSON.
+    ./build/bin/jitsched-cli --port "$port" --policy iar --no-stats \
+        --trace-out "$trace" "$workload" > /dev/null
+    ./build/bin/jitsched-trace-check "$trace"
+    # The STATS key set must match the checked-in inventory (values
+    # are volatile; the keys are the scrape contract).
+    ./build/bin/jitsched-cli --port "$port" stats > "$log.stats"
+    if ! awk '/^snapshot /{s=1; next} /^end$/{s=0} s{print $1, $2}' \
+            "$log.stats" | diff -u bench/expectations/obs_keys.txt -
+    then
+        echo "obs smoke: STATS keys diverged from" \
+             "bench/expectations/obs_keys.txt" >&2
+        echo "(if the change is intentional, regenerate the" \
+             "expectation from the awk output above)" >&2
+        exit 1
+    fi
+    kill "$daemon_pid" 2>/dev/null || true
+    wait "$daemon_pid" 2>/dev/null || true
+    daemon_pid=""
+    echo "obs smoke: trace valid, STATS keys match"
+fi
+
 if [ "$run_tsan" -eq 1 ]; then
-    echo "== ThreadSanitizer pass (exec + service tests) =="
+    echo "== ThreadSanitizer pass (exec + service + obs tests) =="
     cmake -B build-tsan -S . -DJITSCHED_TSAN=ON \
         -DJITSCHED_BUILD_BENCH=OFF -DJITSCHED_BUILD_EXAMPLES=OFF \
         >/dev/null
-    cmake --build build-tsan --target test_exec test_service -j
+    cmake --build build-tsan --target test_exec test_service \
+        test_obs -j
     # More than one executor thread, so the pool and the sharded
     # cache actually race if they can.
     JITSCHED_THREADS=4 ./build-tsan/tests/test_exec \
@@ -66,6 +136,10 @@ if [ "$run_tsan" -eq 1 ]; then
     # The whole service stack is concurrent: acceptor + handler
     # threads, admission worker, evaluation pool, parallel clients.
     JITSCHED_THREADS=4 ./build-tsan/tests/test_service
+    # The striped metrics instruments under a deliberate thread
+    # hammer (the satellite concurrency suites).
+    JITSCHED_THREADS=4 ./build-tsan/tests/test_obs \
+        --gtest_filter='MetricsConcurrency*'
 fi
 
 echo "check.sh: all green"

@@ -7,6 +7,7 @@
 #include "core/prefix_sim.hh"
 #include "core/search_util.hh"
 #include "exec/thread_pool.hh"
+#include "obs/instruments.hh"
 #include "support/logging.hh"
 
 namespace jitsched {
@@ -65,6 +66,30 @@ aStarOptimal(const Workload &w, const AStarConfig &cfg)
 
     AStarResult res;
     res.bytesPerNode = nodeBytes;
+
+#ifndef JITSCHED_OBS_DISABLED
+    // The result struct stays the deterministic, tested API; the
+    // registry instruments are the monitoring surface, fed in one
+    // bulk update per search on every exit path — nothing is added
+    // to the expansion loop itself.
+    struct ObsScope
+    {
+        const AStarResult &res;
+        ~ObsScope()
+        {
+            obs::SolverMetrics &m = obs::SolverMetrics::get();
+            m.astarSearches.add();
+            m.astarNodesExpanded.add(res.nodesExpanded);
+            m.astarNodesGenerated.add(res.nodesGenerated);
+            m.astarNodesPruned.add(res.nodesPruned);
+            m.astarEvaluations.add(res.evaluations);
+            m.astarPeakMemoryBytes.setMax(
+                static_cast<std::int64_t>(res.peakMemory));
+            m.astarPeakArenaBytes.setMax(
+                static_cast<std::int64_t>(res.peakArenaBytes));
+        }
+    } obs_scope{res};
+#endif
 
     std::vector<Node> arena;
     std::vector<PrefixSimState> states;

@@ -4,6 +4,7 @@
 #include <limits>
 #include <memory>
 
+#include "obs/instruments.hh"
 #include "sim/makespan.hh"
 #include "support/logging.hh"
 
@@ -316,6 +317,12 @@ iarSchedule(const Workload &w, const std::vector<CandidatePair> &cands,
     }
 
     result.schedule = std::move(cseq);
+    JITSCHED_OBS({
+        obs::SolverMetrics &m = obs::SolverMetrics::get();
+        m.iarRuns.add();
+        m.iarSlackUpgrades.add(result.slackUpgrades);
+        m.iarGapAppends.add(result.gapAppends);
+    });
     return result;
 }
 

@@ -1,8 +1,37 @@
 #include "exec/batch_eval.hh"
 
+#include <chrono>
 #include <unordered_map>
 
+#include "obs/instruments.hh"
 #include "support/logging.hh"
+
+namespace {
+
+/** Time one simulate() into the batch histogram (volatile metric —
+ * never feeds results, so determinism is untouched). */
+jitsched::SimResult
+timedSimulate(const jitsched::Workload &w,
+              const jitsched::Schedule &s,
+              const jitsched::SimOptions &opts)
+{
+#ifndef JITSCHED_OBS_DISABLED
+    // Branch on the runtime switch before touching the clock so a
+    // disabled registry costs one relaxed load, not two syscalls.
+    if (jitsched::obs::MetricsRegistry::enabled()) {
+        const auto t0 = std::chrono::steady_clock::now();
+        jitsched::SimResult result = jitsched::simulate(w, s, opts);
+        jitsched::obs::ExecMetrics::get().batchSimNs.observe(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+        return result;
+    }
+#endif
+    return jitsched::simulate(w, s, opts);
+}
+
+} // anonymous namespace
 
 namespace jitsched {
 
@@ -12,6 +41,7 @@ BatchEvaluator::evaluate(const std::vector<EvalJob> &jobs)
     std::vector<SimResult> results(jobs.size());
     if (jobs.empty())
         return results;
+    JITSCHED_OBS(obs::ExecMetrics::get().batchJobs.add(jobs.size()));
 
     // Phase 1 (sequential, job order): fingerprint every job, probe
     // the cache, and deduplicate within the batch.  `compute` holds
@@ -67,7 +97,8 @@ BatchEvaluator::evaluate(const std::vector<EvalJob> &jobs)
     pool_.parallelFor(compute.size(), [&](std::size_t t) {
         const std::size_t i = compute[t];
         const EvalJob &job = jobs[i];
-        results[i] = simulate(*job.workload, job.schedule, job.opts);
+        results[i] =
+            timedSimulate(*job.workload, job.schedule, job.opts);
     });
 
     // Phase 3 (sequential, job order): publish fresh results to the
@@ -87,15 +118,16 @@ SimResult
 BatchEvaluator::evaluateOne(const Workload &w, const Schedule &s,
                             const SimOptions &opts)
 {
+    JITSCHED_OBS(obs::ExecMetrics::get().batchJobs.add());
     if (cache_ != nullptr) {
         const EvalKey key = makeEvalKey(w, s, opts);
         if (const auto cached = cache_->lookup(key))
             return *cached;
-        const SimResult result = simulate(w, s, opts);
+        const SimResult result = timedSimulate(w, s, opts);
         cache_->insert(key, result);
         return result;
     }
-    return simulate(w, s, opts);
+    return timedSimulate(w, s, opts);
 }
 
 BatchEvaluator &

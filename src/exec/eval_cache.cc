@@ -3,6 +3,8 @@
 #include <bit>
 #include <cstring>
 
+#include "obs/instruments.hh"
+
 namespace jitsched {
 
 namespace {
@@ -141,9 +143,11 @@ EvalCache::lookup(const EvalKey &key)
     const auto it = shard.map.find(key);
     if (it == shard.map.end()) {
         misses_.fetch_add(1, std::memory_order_relaxed);
+        JITSCHED_OBS(obs::ExecMetrics::get().cacheMisses.add());
         return std::nullopt;
     }
     hits_.fetch_add(1, std::memory_order_relaxed);
+    JITSCHED_OBS(obs::ExecMetrics::get().cacheHits.add());
     return it->second;
 }
 

@@ -1,8 +1,10 @@
 #include "exec/thread_pool.hh"
 
+#include <chrono>
 #include <cstdlib>
 #include <string>
 
+#include "obs/instruments.hh"
 #include "support/logging.hh"
 #include "support/strutil.hh"
 
@@ -99,6 +101,36 @@ ThreadPool::parallelFor(std::size_t n,
 {
     if (n == 0)
         return;
+
+    // Batch-granularity accounting only: per-index timing would cost
+    // a clock read on bodies that can be sub-microsecond (A* child
+    // evaluations).  busy_ns is the wall time the calling thread
+    // spends inside the batch; utilization is busy_ns over scrape
+    // interval times concurrency.
+#ifndef JITSCHED_OBS_DISABLED
+    {
+        obs::ExecMetrics &m = obs::ExecMetrics::get();
+        m.poolBatches.add();
+        m.poolTasks.add(n);
+        m.poolConcurrency.set(
+            static_cast<std::int64_t>(concurrency()));
+    }
+    struct BusyScope
+    {
+        std::chrono::steady_clock::time_point start =
+            std::chrono::steady_clock::now();
+        ~BusyScope()
+        {
+            obs::ExecMetrics::get().poolBusyNs.add(
+                static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<
+                        std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count()));
+        }
+    } busy_scope;
+#endif
+
     if (workers_.empty()) {
         for (std::size_t i = 0; i < n; ++i)
             body(i);

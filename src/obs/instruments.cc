@@ -1,0 +1,82 @@
+#include "obs/instruments.hh"
+
+namespace jitsched {
+namespace obs {
+
+ExecMetrics &
+ExecMetrics::get()
+{
+    static MetricsRegistry &r = MetricsRegistry::global();
+    static ExecMetrics m{
+        r.counter("exec.cache.hits"),
+        r.counter("exec.cache.misses"),
+        r.counter("exec.pool.batches"),
+        r.counter("exec.pool.tasks"),
+        r.counter("exec.pool.busy_ns"),
+        r.gauge("exec.pool.concurrency"),
+        r.counter("exec.batch.jobs"),
+        r.histogram("exec.batch.sim_ns", latencyNsBounds()),
+    };
+    return m;
+}
+
+SolverMetrics &
+SolverMetrics::get()
+{
+    static MetricsRegistry &r = MetricsRegistry::global();
+    static SolverMetrics m{
+        r.counter("solver.astar.searches"),
+        r.counter("solver.astar.nodes_expanded"),
+        r.counter("solver.astar.nodes_generated"),
+        r.counter("solver.astar.nodes_pruned"),
+        r.counter("solver.astar.evaluations"),
+        r.gauge("solver.astar.peak_memory_bytes"),
+        r.gauge("solver.astar.peak_arena_bytes"),
+        r.counter("solver.iar.runs"),
+        r.counter("solver.iar.slack_upgrades"),
+        r.counter("solver.iar.gap_appends"),
+    };
+    return m;
+}
+
+ServiceMetrics &
+ServiceMetrics::get()
+{
+    static MetricsRegistry &r = MetricsRegistry::global();
+    static ServiceMetrics m{
+        r.counter("service.connections.accepted"),
+        r.counter("service.connections.dropped"),
+        r.counter("service.frames.served"),
+        r.counter("service.bytes.in"),
+        r.counter("service.bytes.out"),
+        r.counter("service.requests.accepted"),
+        r.counter("service.requests.shed"),
+        r.counter("service.requests.expired"),
+        r.counter("service.requests.processed"),
+        r.counter("service.requests.stats"),
+        r.gauge("service.queue.depth"),
+        r.histogram("service.queue.wait_ns", latencyNsBounds()),
+    };
+    return m;
+}
+
+Histogram &
+ServiceMetrics::solveNsFor(const std::string &policy)
+{
+    return MetricsRegistry::global().histogram(
+        "service.solve_ns." + policy, latencyNsBounds());
+}
+
+void
+registerStandardInstruments(
+    const std::vector<std::string> &policy_names)
+{
+    ExecMetrics::get();
+    SolverMetrics::get();
+    ServiceMetrics::get();
+    for (const std::string &name : policy_names)
+        ServiceMetrics::solveNsFor(name);
+}
+
+} // namespace obs
+} // namespace jitsched

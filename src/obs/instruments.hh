@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The standard jitsched instrument set, grouped per subsystem.
+ *
+ * Each bundle is a struct of references into
+ * MetricsRegistry::global(), built once on first use — hot code pays
+ * one function-local-static check and then raw striped-atomic adds.
+ * Keeping the bundles here (and not in each subsystem) has two
+ * payoffs: the full instrument inventory is one file, and
+ * registerStandardInstruments() can pre-create every instrument so a
+ * STATS snapshot scraped from a fresh daemon already carries the
+ * complete, deterministic key set (scripts/check.sh --obs-smoke
+ * diffs it against bench/expectations/obs_keys.txt).
+ *
+ * This header deliberately depends on nothing outside src/obs and
+ * src/support; the service layer passes its policy names in as
+ * strings.
+ */
+
+#ifndef JITSCHED_OBS_INSTRUMENTS_HH
+#define JITSCHED_OBS_INSTRUMENTS_HH
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hh"
+
+namespace jitsched {
+namespace obs {
+
+/** src/exec — thread pool, eval cache, batch evaluator. */
+struct ExecMetrics
+{
+    Counter &cacheHits;       ///< exec.cache.hits
+    Counter &cacheMisses;     ///< exec.cache.misses
+    Counter &poolBatches;     ///< exec.pool.batches
+    Counter &poolTasks;       ///< exec.pool.tasks
+    Counter &poolBusyNs;      ///< exec.pool.busy_ns (batch wall time)
+    Gauge &poolConcurrency;   ///< exec.pool.concurrency
+    Counter &batchJobs;       ///< exec.batch.jobs
+    Histogram &batchSimNs;    ///< exec.batch.sim_ns (per simulate())
+
+    static ExecMetrics &get();
+};
+
+/** src/core — the exact solvers and IAR. */
+struct SolverMetrics
+{
+    Counter &astarSearches;       ///< solver.astar.searches
+    Counter &astarNodesExpanded;  ///< solver.astar.nodes_expanded
+    Counter &astarNodesGenerated; ///< solver.astar.nodes_generated
+    Counter &astarNodesPruned;    ///< solver.astar.nodes_pruned
+    Counter &astarEvaluations;    ///< solver.astar.evaluations
+    Gauge &astarPeakMemoryBytes;  ///< solver.astar.peak_memory_bytes
+    Gauge &astarPeakArenaBytes;   ///< solver.astar.peak_arena_bytes
+    Counter &iarRuns;             ///< solver.iar.runs
+    Counter &iarSlackUpgrades;    ///< solver.iar.slack_upgrades
+    Counter &iarGapAppends;       ///< solver.iar.gap_appends
+
+    static SolverMetrics &get();
+};
+
+/** src/service — server, admission queue, engine. */
+struct ServiceMetrics
+{
+    Counter &connectionsAccepted; ///< service.connections.accepted
+    Counter &connectionsDropped;  ///< service.connections.dropped
+    Counter &framesServed;        ///< service.frames.served
+    Counter &bytesIn;             ///< service.bytes.in
+    Counter &bytesOut;            ///< service.bytes.out
+    Counter &requestsAccepted;    ///< service.requests.accepted
+    Counter &requestsShed;        ///< service.requests.shed
+    Counter &requestsExpired;     ///< service.requests.expired
+    Counter &requestsProcessed;   ///< service.requests.processed
+    Counter &statsRequests;       ///< service.requests.stats
+    Gauge &queueDepth;            ///< service.queue.depth
+    Histogram &queueWaitNs;       ///< service.queue.wait_ns
+
+    static ServiceMetrics &get();
+
+    /**
+     * Per-policy solve-latency histogram,
+     * `service.solve_ns.<policy>`.  Involves a registry lookup —
+     * resolve once per request, not per sample.
+     */
+    static Histogram &solveNsFor(const std::string &policy);
+};
+
+/**
+ * Pre-create the full standard instrument set (including one solve
+ * histogram per name in @p policy_names) so snapshots expose a
+ * complete key inventory before any traffic.  Idempotent.
+ */
+void registerStandardInstruments(
+    const std::vector<std::string> &policy_names = {});
+
+} // namespace obs
+} // namespace jitsched
+
+#endif // JITSCHED_OBS_INSTRUMENTS_HH

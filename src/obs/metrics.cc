@@ -1,0 +1,222 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace jitsched {
+namespace obs {
+
+namespace detail {
+
+std::atomic<bool> metricsEnabled{true};
+
+std::size_t
+threadStripe()
+{
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t stripe =
+        next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+    return stripe;
+}
+
+namespace {
+
+/** Instrument names are dotted lowercase paths (DESIGN.md 5c). */
+bool
+validName(const std::string &name)
+{
+    if (name.empty() || name.front() == '.' || name.back() == '.')
+        return false;
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= '0' && c <= '9') || c == '_' ||
+                        c == '-' || c == '.';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+} // namespace detail
+
+Histogram::Histogram(std::vector<std::int64_t> bounds)
+    : bounds_(std::move(bounds))
+{
+    if (bounds_.empty())
+        JITSCHED_PANIC("Histogram: needs at least one bucket bound");
+    if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+        std::adjacent_find(bounds_.begin(), bounds_.end()) !=
+            bounds_.end())
+        JITSCHED_PANIC("Histogram: bucket bounds must be strictly "
+                       "increasing");
+    for (auto &cell : cells_) {
+        cell.counts =
+            std::make_unique<std::atomic<std::uint64_t>[]>(
+                bounds_.size() + 1);
+        for (std::size_t b = 0; b <= bounds_.size(); ++b)
+            cell.counts[b].store(0, std::memory_order_relaxed);
+    }
+}
+
+void
+Histogram::observe(std::int64_t v)
+{
+    if (!detail::enabled())
+        return;
+    const std::size_t bucket =
+        std::lower_bound(bounds_.begin(), bounds_.end(), v) -
+        bounds_.begin(); // first bound >= v; bounds_.size() = +inf
+    Cell &cell = cells_[detail::threadStripe()];
+    cell.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+    cell.sum.fetch_add(v, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot
+Histogram::snapshot() const
+{
+    Snapshot s;
+    s.bounds = bounds_;
+    s.counts.assign(bounds_.size() + 1, 0);
+    for (const Cell &cell : cells_) {
+        s.sum += cell.sum.load(std::memory_order_relaxed);
+        for (std::size_t b = 0; b <= bounds_.size(); ++b)
+            s.counts[b] +=
+                cell.counts[b].load(std::memory_order_relaxed);
+    }
+    for (const std::uint64_t c : s.counts)
+        s.count += c;
+    return s;
+}
+
+const std::vector<std::int64_t> &
+latencyNsBounds()
+{
+    // 1us, 10us, 100us, 1ms, 10ms, 100ms, 1s, 10s — decades, in ns.
+    static const std::vector<std::int64_t> bounds{
+        1'000,      10'000,        100'000,       1'000'000,
+        10'000'000, 100'000'000, 1'000'000'000, 10'000'000'000};
+    return bounds;
+}
+
+const std::vector<std::int64_t> &
+bytesBounds()
+{
+    // 64 B .. 16 MiB in x16 steps.
+    static const std::vector<std::int64_t> bounds{
+        64, 1024, 16384, 262144, 4194304, 16777216};
+    return bounds;
+}
+
+MetricsRegistry::Entry &
+MetricsRegistry::findOrCreate(const std::string &name, Kind kind,
+                              const std::vector<std::int64_t> *bounds)
+{
+    if (!detail::validName(name))
+        JITSCHED_PANIC("MetricsRegistry: invalid instrument name '",
+                       name, "' (want lowercase dotted path)");
+    // The instrument is constructed under the registration lock:
+    // concurrent first calls for the same name must resolve to one
+    // object, never two resets racing on the entry's pointer.
+    std::lock_guard<std::mutex> lk(mutex_);
+    auto it = entries_.find(name);
+    if (it != entries_.end()) {
+        if (it->second.kind != kind)
+            JITSCHED_PANIC("MetricsRegistry: '", name,
+                           "' re-registered as a different "
+                           "instrument kind");
+        if (kind == Kind::Histogram &&
+            it->second.histogram->bounds() != *bounds)
+            JITSCHED_PANIC("MetricsRegistry: histogram '", name,
+                           "' re-registered with different bounds");
+        return it->second;
+    }
+    Entry entry;
+    entry.kind = kind;
+    switch (kind) {
+      case Kind::Counter:
+        entry.counter.reset(new Counter());
+        break;
+      case Kind::Gauge:
+        entry.gauge.reset(new Gauge());
+        break;
+      case Kind::Histogram:
+        entry.histogram.reset(new Histogram(*bounds));
+        break;
+    }
+    return entries_.emplace(name, std::move(entry)).first->second;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    return *findOrCreate(name, Kind::Counter).counter;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    return *findOrCreate(name, Kind::Gauge).gauge;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           const std::vector<std::int64_t> &bounds)
+{
+    return *findOrCreate(name, Kind::Histogram, &bounds).histogram;
+}
+
+std::string
+MetricsRegistry::snapshotText() const
+{
+    std::ostringstream os;
+    std::lock_guard<std::mutex> lk(mutex_);
+    for (const auto &[name, entry] : entries_) {
+        switch (entry.kind) {
+          case Kind::Counter:
+            os << "counter " << name << ' '
+               << entry.counter->value() << '\n';
+            break;
+          case Kind::Gauge:
+            os << "gauge " << name << ' ' << entry.gauge->value()
+               << '\n';
+            break;
+          case Kind::Histogram: {
+            const Histogram::Snapshot s = entry.histogram->snapshot();
+            os << "histogram " << name << " count " << s.count
+               << " sum " << s.sum;
+            for (std::size_t b = 0; b < s.bounds.size(); ++b)
+                os << " le_" << s.bounds[b] << ' ' << s.counts[b];
+            os << " le_inf " << s.counts.back() << '\n';
+            break;
+          }
+        }
+    }
+    return os.str();
+}
+
+std::size_t
+MetricsRegistry::size() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    return entries_.size();
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+bool
+MetricsRegistry::setEnabled(bool enabled)
+{
+    return detail::metricsEnabled.exchange(enabled);
+}
+
+} // namespace obs
+} // namespace jitsched

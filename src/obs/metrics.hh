@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Process-wide metrics: counters, gauges, and fixed-bucket
+ * histograms behind a registry with a text snapshot.
+ *
+ * Design constraints (see DESIGN.md Sec. 5c):
+ *  - No locks on the hot path.  Counters and histograms are striped
+ *    over cache-line-aligned cells indexed by a per-thread slot;
+ *    updates are relaxed atomic adds on the thread's own stripe and
+ *    only scrape-time aggregation walks all stripes.
+ *  - Instruments are registered once and never move; hot code holds
+ *    plain references obtained at setup time, so the registry mutex
+ *    guards registration and scraping only.
+ *  - Two kill switches.  Compile-time: building with
+ *    -DJITSCHED_OBS=OFF defines JITSCHED_OBS_DISABLED and the
+ *    JITSCHED_OBS() wiring macro expands to nothing, so hot paths
+ *    carry zero instrumentation code.  Run-time:
+ *    MetricsRegistry::setEnabled(false) turns every update into a
+ *    single relaxed load + branch — what bench_obs measures the
+ *    instrumented build against.
+ *
+ * Naming convention: lowercase dotted paths (hyphens allowed for
+ * embedded identifiers such as policy names),
+ * `<subsystem>.<object>.<metric>` (e.g. `service.queue.depth`,
+ * `solver.astar.nodes_expanded`), units spelled out in the last
+ * segment where they matter (`_ns`, `_bytes`).  The snapshot is one
+ * instrument per line, sorted by name, `<type> <name> <values...>` —
+ * grep- and diff-friendly (scripts/check.sh --obs-smoke diffs the
+ * key set).
+ */
+
+#ifndef JITSCHED_OBS_METRICS_HH
+#define JITSCHED_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace jitsched {
+namespace obs {
+
+/**
+ * Wiring macro: statements that exist only to feed instruments go
+ * through JITSCHED_OBS(...) so a -DJITSCHED_OBS=OFF build compiles
+ * them out entirely (the disabled-build guarantee).
+ */
+#ifdef JITSCHED_OBS_DISABLED
+#define JITSCHED_OBS(...)                                            \
+    do {                                                             \
+    } while (0)
+#else
+#define JITSCHED_OBS(...)                                            \
+    do {                                                             \
+        __VA_ARGS__;                                                 \
+    } while (0)
+#endif
+
+namespace detail {
+
+/** Number of stripes counters/histograms spread their cells over. */
+constexpr std::size_t kStripes = 16;
+
+/** This thread's stripe index (assigned round-robin on first use). */
+std::size_t threadStripe();
+
+/** The process-wide run-time enable flag. */
+extern std::atomic<bool> metricsEnabled;
+
+inline bool
+enabled()
+{
+    return metricsEnabled.load(std::memory_order_relaxed);
+}
+
+/** One cache line of counter state; padding defeats false sharing. */
+struct alignas(64) CounterCell
+{
+    std::atomic<std::uint64_t> value{0};
+};
+
+} // namespace detail
+
+/**
+ * Monotonic counter.  add() is a relaxed fetch_add on the calling
+ * thread's stripe; value() sums the stripes (monotone but not a
+ * point-in-time atomic snapshot — fine for monitoring).
+ */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t n = 1)
+    {
+        if (!detail::enabled())
+            return;
+        cells_[detail::threadStripe()].value.fetch_add(
+            n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        std::uint64_t total = 0;
+        for (const auto &cell : cells_)
+            total += cell.value.load(std::memory_order_relaxed);
+        return total;
+    }
+
+  private:
+    friend class MetricsRegistry;
+    Counter() = default;
+    detail::CounterCell cells_[detail::kStripes];
+};
+
+/**
+ * Instantaneous value with set/add semantics (queue depths, sizes).
+ * A single atomic — gauges are updated at queue/scrape frequency,
+ * not in inner loops, so striping would buy nothing and break set().
+ */
+class Gauge
+{
+  public:
+    void
+    set(std::int64_t v)
+    {
+        if (!detail::enabled())
+            return;
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    void
+    add(std::int64_t delta)
+    {
+        if (!detail::enabled())
+            return;
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    /** set(v) only if v exceeds the current value (races tolerated). */
+    void
+    setMax(std::int64_t v)
+    {
+        if (!detail::enabled())
+            return;
+        std::int64_t cur = value_.load(std::memory_order_relaxed);
+        while (v > cur &&
+               !value_.compare_exchange_weak(
+                   cur, v, std::memory_order_relaxed))
+            ;
+    }
+
+    std::int64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    friend class MetricsRegistry;
+    Gauge() = default;
+    std::atomic<std::int64_t> value_{0};
+};
+
+/**
+ * Fixed-bucket histogram: cumulative-style buckets with inclusive
+ * upper bounds (`le`), an implicit +inf bucket, plus count and sum.
+ * Bucket bounds are fixed at registration; observe() is a binary
+ * search over <= ~16 bounds and three relaxed adds on the calling
+ * thread's stripe.
+ */
+class Histogram
+{
+  public:
+    void observe(std::int64_t v);
+
+    struct Snapshot
+    {
+        std::vector<std::int64_t> bounds;  ///< upper bounds, no +inf
+        std::vector<std::uint64_t> counts; ///< bounds.size() + 1
+        std::uint64_t count = 0;
+        std::int64_t sum = 0;
+    };
+
+    Snapshot snapshot() const;
+
+    const std::vector<std::int64_t> &bounds() const { return bounds_; }
+
+  private:
+    friend class MetricsRegistry;
+    explicit Histogram(std::vector<std::int64_t> bounds);
+
+    struct alignas(64) Cell
+    {
+        std::atomic<std::int64_t> sum{0};
+        /** one count per bucket incl. +inf; sized at construction */
+        std::unique_ptr<std::atomic<std::uint64_t>[]> counts;
+    };
+
+    const std::vector<std::int64_t> bounds_;
+    Cell cells_[detail::kStripes];
+};
+
+/** Default bucket bounds for nanosecond latencies: 1us .. 10s. */
+const std::vector<std::int64_t> &latencyNsBounds();
+
+/** Default bucket bounds for byte sizes: 64 B .. 16 MiB. */
+const std::vector<std::int64_t> &bytesBounds();
+
+/**
+ * Name-keyed instrument registry.
+ *
+ * counter()/gauge()/histogram() get-or-create: the first call for a
+ * name creates the instrument, later calls return the same object
+ * (for histograms the registration-time bounds win; asking for the
+ * same name with different bounds is a caller bug and panics).
+ * Returned references stay valid for the registry's lifetime.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name,
+                         const std::vector<std::int64_t> &bounds);
+
+    /**
+     * Text snapshot, one instrument per line sorted by name:
+     *
+     *   counter <name> <value>
+     *   gauge <name> <value>
+     *   histogram <name> count <n> sum <s> le_<bound> <n>... le_inf <n>
+     */
+    std::string snapshotText() const;
+
+    /** Number of registered instruments. */
+    std::size_t size() const;
+
+    /** The process-wide registry every built-in instrument lives in. */
+    static MetricsRegistry &global();
+
+    /**
+     * Run-time kill switch shared by every instrument (global() or
+     * not).  @return the previous setting.
+     */
+    static bool setEnabled(bool enabled);
+    static bool enabled() { return detail::enabled(); }
+
+  private:
+    enum class Kind
+    {
+        Counter,
+        Gauge,
+        Histogram
+    };
+
+    struct Entry
+    {
+        Kind kind;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    Entry &findOrCreate(const std::string &name, Kind kind,
+                        const std::vector<std::int64_t> *bounds =
+                            nullptr);
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Entry> entries_; ///< ordered => sorted scrape
+};
+
+} // namespace obs
+} // namespace jitsched
+
+#endif // JITSCHED_OBS_METRICS_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * ScheduleTimeline: turn a (workload, schedule) simulation into the
+ * per-core event timeline of the paper's Fig. 1 — compile events on
+ * the compile core(s), calls at their chosen version on the exec
+ * core, and the bubbles where the execution thread waits — and
+ * export it as a Chrome/Perfetto trace (obs/trace_event.hh).
+ *
+ * The timeline is derived from the same simulate() run that prices
+ * the schedule (sim/makespan.hh SimObserver), so what the trace
+ * shows is exactly what the make-span accounting measured: the sum
+ * of bubble slices equals SimResult::totalBubble by construction,
+ * and a property test holds the adapter to it.
+ */
+
+#ifndef JITSCHED_OBS_SCHEDULE_TIMELINE_HH
+#define JITSCHED_OBS_SCHEDULE_TIMELINE_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/schedule.hh"
+#include "sim/makespan.hh"
+#include "support/types.hh"
+#include "trace/workload.hh"
+
+namespace jitsched {
+namespace obs {
+
+/** One slice on the timeline. */
+struct TimelineSlice
+{
+    enum class Kind
+    {
+        Compile, ///< a compile event, on a compile core
+        Call,    ///< a call at its chosen version, on the exec core
+        Bubble   ///< exec-thread wait for a first compilation
+    };
+
+    Kind kind = Kind::Call;
+
+    /** Compile core the event ran on (Compile slices only). */
+    std::size_t core = 0;
+
+    Tick start = 0;
+    Tick dur = 0;
+
+    /** Function involved (all kinds; Bubble waits for this call). */
+    FuncId func = invalidFuncId;
+
+    /** Level compiled (Compile) or executed at (Call). */
+    Level level = 0;
+
+    /** Schedule event index (Compile) or call index (Call/Bubble). */
+    std::size_t index = 0;
+};
+
+/** The full decomposition of one simulated schedule. */
+struct ScheduleTimeline
+{
+    std::vector<TimelineSlice> slices;
+    SimResult sim;
+    std::size_t compileCores = 1;
+
+    /** Sum of Bubble slice durations (== sim.totalBubble). */
+    Tick totalBubbleInSlices() const;
+};
+
+/**
+ * Simulate the schedule and collect its timeline.  The schedule must
+ * be valid for the workload (same contract as simulate()).
+ */
+ScheduleTimeline buildScheduleTimeline(const Workload &w,
+                                       const Schedule &s,
+                                       const SimOptions &opts = {});
+
+/**
+ * Serialize a timeline as a Chrome trace-event JSON document, one
+ * track per compile core plus one exec-core track.
+ */
+void writeTimelineTrace(std::ostream &os, const Workload &w,
+                        const ScheduleTimeline &timeline);
+
+/** Convenience: build + write in one call. */
+void writeScheduleTrace(std::ostream &os, const Workload &w,
+                        const Schedule &s, const SimOptions &opts = {});
+
+/** Convenience: build + write to a file; fatal() on I/O failure. */
+void writeScheduleTraceFile(const std::string &path, const Workload &w,
+                            const Schedule &s,
+                            const SimOptions &opts = {});
+
+} // namespace obs
+} // namespace jitsched
+
+#endif // JITSCHED_OBS_SCHEDULE_TIMELINE_HH

@@ -1,0 +1,158 @@
+#include "obs/trace_event.hh"
+
+#include <fstream>
+#include <ostream>
+
+#include "support/logging.hh"
+#include "support/strutil.hh"
+
+namespace jitsched {
+namespace obs {
+
+namespace {
+
+/** Minimal JSON string escaping (quotes, backslash, control chars). */
+void
+writeJsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                os << strprintf("\\u%04x", c);
+            else
+                os << c;
+        }
+    }
+    os << '"';
+}
+
+} // anonymous namespace
+
+std::string
+TraceEventSink::ticksToMicros(Tick t)
+{
+    // Exact decimal: ticks are integer nanoseconds, the spec wants
+    // microseconds.  Emit the quotient and a trimmed 3-digit
+    // fraction so 1 -> "0.001", 1500 -> "1.5", 2000 -> "2".
+    const bool neg = t < 0;
+    const std::uint64_t abs =
+        neg ? 0ull - static_cast<std::uint64_t>(t)
+            : static_cast<std::uint64_t>(t);
+    std::string out = neg ? "-" : "";
+    out += std::to_string(abs / 1000);
+    std::uint64_t frac = abs % 1000;
+    if (frac != 0) {
+        std::string digits = strprintf("%03llu",
+                                       (unsigned long long)frac);
+        while (!digits.empty() && digits.back() == '0')
+            digits.pop_back();
+        out += '.';
+        out += digits;
+    }
+    return out;
+}
+
+void
+TraceEventSink::slice(
+    std::string name, std::string cat, std::uint32_t pid,
+    std::uint32_t tid, Tick ts, Tick dur,
+    std::vector<std::pair<std::string, std::string>> args)
+{
+    TraceEvent ev;
+    ev.ph = 'X';
+    ev.name = std::move(name);
+    ev.cat = std::move(cat);
+    ev.pid = pid;
+    ev.tid = tid;
+    ev.ts = ts;
+    ev.dur = dur;
+    ev.args = std::move(args);
+    events_.push_back(std::move(ev));
+}
+
+void
+TraceEventSink::processName(std::uint32_t pid, const std::string &name)
+{
+    TraceEvent ev;
+    ev.ph = 'M';
+    ev.name = "process_name";
+    ev.pid = pid;
+    ev.tid = 0;
+    ev.args.emplace_back("name", name);
+    events_.push_back(std::move(ev));
+}
+
+void
+TraceEventSink::threadName(std::uint32_t pid, std::uint32_t tid,
+                           const std::string &name)
+{
+    TraceEvent ev;
+    ev.ph = 'M';
+    ev.name = "thread_name";
+    ev.pid = pid;
+    ev.tid = tid;
+    ev.args.emplace_back("name", name);
+    events_.push_back(std::move(ev));
+}
+
+void
+TraceEventSink::write(std::ostream &os) const
+{
+    os << "{\"displayTimeUnit\": \"ns\",\n\"traceEvents\": [\n";
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        const TraceEvent &ev = events_[i];
+        os << "{\"ph\": \"" << ev.ph << "\", \"pid\": " << ev.pid
+           << ", \"tid\": " << ev.tid << ", \"name\": ";
+        writeJsonString(os, ev.name);
+        if (!ev.cat.empty()) {
+            os << ", \"cat\": ";
+            writeJsonString(os, ev.cat);
+        }
+        if (ev.ph == 'X') {
+            os << ", \"ts\": " << ticksToMicros(ev.ts)
+               << ", \"dur\": " << ticksToMicros(ev.dur);
+        }
+        if (!ev.args.empty()) {
+            os << ", \"args\": {";
+            for (std::size_t a = 0; a < ev.args.size(); ++a) {
+                if (a != 0)
+                    os << ", ";
+                writeJsonString(os, ev.args[a].first);
+                os << ": ";
+                writeJsonString(os, ev.args[a].second);
+            }
+            os << '}';
+        }
+        os << '}' << (i + 1 < events_.size() ? "," : "") << '\n';
+    }
+    os << "]}\n";
+}
+
+void
+TraceEventSink::writeFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        JITSCHED_FATAL("cannot open trace output file '", path, "'");
+    write(os);
+    if (!os.good())
+        JITSCHED_FATAL("write to trace output file '", path,
+                       "' failed");
+}
+
+} // namespace obs
+} // namespace jitsched

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Chrome trace-event JSON emitter.
+ *
+ * Produces the "JSON Object Format" of the Trace Event spec that
+ * chrome://tracing and Perfetto load directly:
+ *
+ *   {"displayTimeUnit": "ns",
+ *    "traceEvents": [
+ *      {"ph": "M", "pid": 1, "tid": 2, "name": "thread_name",
+ *       "args": {"name": "exec core"}},
+ *      {"ph": "X", "pid": 1, "tid": 2, "name": "f1@L0",
+ *       "cat": "call", "ts": 2.0, "dur": 3.0, "args": {...}}, ...]}
+ *
+ * Timestamps (`ts`) and durations (`dur`) are microseconds by spec;
+ * jitsched ticks are nanoseconds, so values are emitted as exact
+ * decimal fractions (1 tick -> "0.001") — no floating-point
+ * round-trip, so golden-file tests can compare bytes.
+ *
+ * The sink buffers events and writes the whole document at once;
+ * schedules worth visualizing are thousands of events, not millions.
+ */
+
+#ifndef JITSCHED_OBS_TRACE_EVENT_HH
+#define JITSCHED_OBS_TRACE_EVENT_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace jitsched {
+namespace obs {
+
+/** One trace event (complete slice or metadata). */
+struct TraceEvent
+{
+    char ph = 'X';       ///< 'X' complete slice, 'M' metadata
+    std::string name;
+    std::string cat;     ///< category; empty omits the field
+    std::uint32_t pid = 1;
+    std::uint32_t tid = 1;
+    Tick ts = 0;         ///< start, in ticks (ns)
+    Tick dur = 0;        ///< duration, in ticks; 'X' events only
+    /** Extra key/value args; values are emitted as JSON strings. */
+    std::vector<std::pair<std::string, std::string>> args;
+};
+
+/**
+ * Collects trace events and serializes them as a Chrome/Perfetto
+ * JSON trace document.
+ */
+class TraceEventSink
+{
+  public:
+    /** Append a complete ('X') slice. */
+    void slice(std::string name, std::string cat, std::uint32_t pid,
+               std::uint32_t tid, Tick ts, Tick dur,
+               std::vector<std::pair<std::string, std::string>>
+                   args = {});
+
+    /** Name a process (Perfetto track grouping). */
+    void processName(std::uint32_t pid, const std::string &name);
+
+    /** Name a thread (one timeline track). */
+    void threadName(std::uint32_t pid, std::uint32_t tid,
+                    const std::string &name);
+
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+    std::size_t size() const { return events_.size(); }
+
+    /** Write the full JSON document. */
+    void write(std::ostream &os) const;
+
+    /** Write to a file; fatal() on I/O failure (user-facing paths). */
+    void writeFile(const std::string &path) const;
+
+    /** Render one tick count as the spec's microsecond decimal. */
+    static std::string ticksToMicros(Tick t);
+
+  private:
+    std::vector<TraceEvent> events_;
+};
+
+} // namespace obs
+} // namespace jitsched
+
+#endif // JITSCHED_OBS_TRACE_EVENT_HH

@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/instruments.hh"
+
 namespace jitsched {
 
 AdmissionQueue::AdmissionQueue(ServiceEngine &engine,
@@ -42,6 +44,8 @@ AdmissionQueue::submit(ServiceRequest req)
         }
         if (queue_.size() >= cfg_.maxDepth) {
             ++shed_;
+            JITSCHED_OBS(
+                obs::ServiceMetrics::get().requestsShed.add());
             p.promise.set_value(makeErrorResponse(
                 p.req.id, errcode::resourceExhausted,
                 "admission queue full (" +
@@ -51,6 +55,12 @@ AdmissionQueue::submit(ServiceRequest req)
         }
         ++accepted_;
         queue_.push_back(std::move(p));
+        JITSCHED_OBS({
+            obs::ServiceMetrics &m = obs::ServiceMetrics::get();
+            m.requestsAccepted.add();
+            m.queueDepth.set(
+                static_cast<std::int64_t>(queue_.size()));
+        });
     }
     wake_cv_.notify_one();
     return future;
@@ -66,6 +76,8 @@ AdmissionQueue::answer(Pending &p, ServiceResponse resp)
         resp.stats.solveNs;
     if (resp.stats.queueNs < 0)
         resp.stats.queueNs = 0;
+    JITSCHED_OBS(obs::ServiceMetrics::get().queueWaitNs.observe(
+        resp.stats.queueNs));
     p.promise.set_value(std::move(resp));
 }
 
@@ -84,6 +96,8 @@ AdmissionQueue::workerLoop()
                 batch.push_back(std::move(queue_.front()));
                 queue_.pop_front();
             }
+            JITSCHED_OBS(obs::ServiceMetrics::get().queueDepth.set(
+                static_cast<std::int64_t>(queue_.size())));
         }
 
         if (cfg_.discipline == AdmissionDiscipline::CachedFirst) {
@@ -103,6 +117,8 @@ AdmissionQueue::workerLoop()
                     std::lock_guard<std::mutex> lk(mutex_);
                     ++expired_;
                 }
+                JITSCHED_OBS(
+                    obs::ServiceMetrics::get().requestsExpired.add());
                 answer(p, makeErrorResponse(
                               p.req.id, errcode::deadlineExceeded,
                               "request waited past its " +
@@ -120,6 +136,8 @@ AdmissionQueue::workerLoop()
                 std::lock_guard<std::mutex> lk(mutex_);
                 ++processed_;
             }
+            JITSCHED_OBS(
+                obs::ServiceMetrics::get().requestsProcessed.add());
             answer(p, std::move(resp));
         }
     }

@@ -68,6 +68,22 @@ ServiceClient::callRaw(const std::string &frame, std::string *error)
     return std::nullopt;
 }
 
+std::optional<StatsResponse>
+ServiceClient::stats(std::uint64_t id, std::string *error)
+{
+    auto raw = callRaw(statsRequestText(StatsRequest{id}), error);
+    if (!raw)
+        return std::nullopt;
+    std::istringstream is(*raw);
+    std::string parse_error;
+    auto resp = tryReadStatsResponse(is, &parse_error);
+    if (!resp) {
+        setError(error, "bad stats-response frame: " + parse_error);
+        return std::nullopt;
+    }
+    return resp;
+}
+
 std::optional<ServiceResponse>
 ServiceClient::call(const ServiceRequest &req, std::string *error)
 {

@@ -50,6 +50,14 @@ class ServiceClient
                                         std::string *error = nullptr);
 
     /**
+     * Scrape the daemon's metrics registry (a `jitsched-stats`
+     * frame).  Transport failures return nullopt with *error set;
+     * server-side refusals arrive as a structured error response.
+     */
+    std::optional<StatsResponse> stats(std::uint64_t id = 0,
+                                       std::string *error = nullptr);
+
+    /**
      * Send raw frame text and read back the raw response frame,
      * byte-for-byte as received (every line up to and including
      * `end`).  The hook the byte-identity tests are built on.

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/instruments.hh"
+
 namespace jitsched {
 
 ServiceResponse
@@ -56,6 +58,10 @@ ServiceEngine::serve(const ServiceRequest &req)
     resp.stats.solveNs =
         std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
             .count();
+    // The per-policy latency histogram; resolved here (one registry
+    // lookup per request) rather than per sample.
+    JITSCHED_OBS(obs::ServiceMetrics::solveNsFor(req.policy)
+                     .observe(resp.stats.solveNs));
     return resp;
 }
 

@@ -10,7 +10,8 @@
  * Usage:
  *   jitsched-cli [--host H] [--port P] [--policy NAME]
  *                [--option K V]... [--id N] [--no-stats]
- *                [<workload-file> | -]
+ *                [--trace-out FILE] [<workload-file> | -]
+ *   jitsched-cli stats [--host H] [--port P] [--id N]
  *   jitsched-cli --list-policies
  */
 
@@ -20,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/schedule_timeline.hh"
 #include "service/client.hh"
 #include "service/policy.hh"
 #include "support/logging.hh"
@@ -35,6 +37,7 @@ usage(int rc)
 {
     std::cerr <<
         "usage: jitsched-cli [options] [<workload-file> | -]\n"
+        "       jitsched-cli stats [--host H] [--port P] [--id N]\n"
         "  --host H             daemon address (default 127.0.0.1)\n"
         "  --port P             daemon port (required)\n"
         "  --policy NAME        scheduling policy (default iar)\n"
@@ -44,10 +47,14 @@ usage(int rc)
         "                       astar-memory-mb, deadline-ms\n"
         "  --id N               request id echoed in the response\n"
         "  --no-stats           omit the volatile stats line\n"
+        "  --trace-out FILE     write the response schedule's timeline\n"
+        "                       as Chrome/Perfetto trace JSON\n"
         "  --list-policies      print the built-in policies and exit\n"
         "  --help               this text\n"
         "With no file argument (or '-') the workload is read from "
-        "stdin.\n";
+        "stdin.\n"
+        "The 'stats' subcommand scrapes the daemon's metrics registry\n"
+        "and prints the snapshot frame.\n";
     std::exit(rc);
 }
 
@@ -71,6 +78,8 @@ main(int argc, char **argv)
     std::vector<std::pair<std::string, std::string>> options;
     std::uint64_t id = 1;
     bool with_stats = true;
+    bool stats_mode = false;
+    std::string trace_out;
     std::string workload_path = "-";
 
     for (int i = 1; i < argc; ++i) {
@@ -105,6 +114,11 @@ main(int argc, char **argv)
             id = static_cast<std::uint64_t>(*v);
         } else if (arg == "--no-stats") {
             with_stats = false;
+        } else if (arg == "--trace-out") {
+            trace_out = next();
+        } else if (arg == "stats" && !stats_mode &&
+                   workload_path == "-") {
+            stats_mode = true;
         } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
             std::cerr << "jitsched-cli: unknown option '" << arg
                       << "'\n";
@@ -116,6 +130,19 @@ main(int argc, char **argv)
     if (port < 0)
         JITSCHED_FATAL("--port is required (see jitschedd's "
                        "'listening on' line)");
+
+    if (stats_mode) {
+        ServiceClient client;
+        std::string error;
+        if (!client.connect(host, static_cast<std::uint16_t>(port),
+                            &error))
+            JITSCHED_FATAL("cannot reach jitschedd: ", error);
+        auto resp = client.stats(id, &error);
+        if (!resp)
+            JITSCHED_FATAL(error);
+        writeStatsResponse(std::cout, *resp);
+        return resp->ok ? 0 : 1;
+    }
 
     // The CLI is a *user* front end: parse the workload and options
     // locally so typos die with a clear message instead of a wire
@@ -156,5 +183,24 @@ main(int argc, char **argv)
         JITSCHED_FATAL(error);
 
     writeResponse(std::cout, *resp, with_stats);
+
+    if (!trace_out.empty()) {
+        // The timeline is rebuilt client-side from the request's
+        // workload and the response's schedule — the same pure
+        // simulate() the daemon ran, so the trace shows exactly what
+        // the response priced.
+        if (!resp->ok || !resp->hasSchedule)
+            JITSCHED_FATAL("--trace-out: the response carries no "
+                           "schedule to trace (policy '",
+                           resp->policy, "')");
+        SimOptions so;
+        so.compileCores = req.options.compileCores;
+        so.execJitterSigma = req.options.jitterSigma;
+        so.jitterSeed = req.options.jitterSeed;
+        obs::writeScheduleTraceFile(trace_out, req.workload,
+                                    Schedule(resp->schedule), so);
+        std::cerr << "jitsched-cli: wrote trace to " << trace_out
+                  << "\n";
+    }
     return resp->ok ? 0 : 1;
 }

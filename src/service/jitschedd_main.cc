@@ -18,6 +18,7 @@
 #include <iostream>
 #include <string>
 
+#include "obs/instruments.hh"
 #include "service/server.hh"
 #include "support/logging.hh"
 #include "support/strutil.hh"
@@ -109,6 +110,9 @@ main(int argc, char **argv)
     pthread_sigmask(SIG_BLOCK, &wait_set, nullptr);
 
     ServiceEngine engine;
+    // Pre-create the standard instrument inventory so a STATS scrape
+    // of a fresh daemon already carries the complete key set.
+    obs::registerStandardInstruments(engine.registry().names());
     ServiceServer server(engine, cfg);
     std::string error;
     if (!server.start(&error))

@@ -546,6 +546,209 @@ makeErrorResponse(std::uint64_t id, const std::string &code,
     return resp;
 }
 
+void
+writeStatsRequest(std::ostream &os, const StatsRequest &req)
+{
+    os << "jitsched-stats " << req.id << "\n";
+    os << "end\n";
+}
+
+std::string
+statsRequestText(const StatsRequest &req)
+{
+    std::ostringstream os;
+    writeStatsRequest(os, req);
+    return os.str();
+}
+
+std::optional<StatsRequest>
+tryReadStatsRequest(std::istream &is, std::string *error)
+{
+    StatsRequest req;
+
+    const auto header = nextLine(is);
+    if (!header) {
+        parseFail(error, "empty stats-request frame");
+        return std::nullopt;
+    }
+    {
+        std::istringstream hs(*header);
+        std::string tag, id_tok;
+        hs >> tag >> id_tok;
+        if (tag != "jitsched-stats") {
+            parseFail(error, "expected 'jitsched-stats <id>', got '" +
+                      *header + "'");
+            return std::nullopt;
+        }
+        const auto id = parseInt(id_tok);
+        if (!id || *id < 0) {
+            parseFail(error, "bad stats-request id '" + id_tok + "'");
+            return std::nullopt;
+        }
+        req.id = static_cast<std::uint64_t>(*id);
+    }
+
+    const auto tail = nextLine(is);
+    if (!tail || *tail != "end") {
+        parseFail(error, "stats request carries a body (expected "
+                  "'end')");
+        return std::nullopt;
+    }
+    return req;
+}
+
+void
+writeStatsResponse(std::ostream &os, const StatsResponse &resp)
+{
+    os << "jitsched-stats-response " << resp.id << "\n";
+    if (resp.ok) {
+        os << "status ok\n";
+        os << "snapshot " << resp.lines.size() << "\n";
+        for (const std::string &line : resp.lines)
+            os << line << "\n";
+    } else {
+        os << "status error "
+           << (resp.code.empty() ? errcode::unavailable : resp.code)
+           << "\n";
+        os << "error " << resp.error << "\n";
+    }
+    os << "end\n";
+}
+
+std::string
+statsResponseText(const StatsResponse &resp)
+{
+    std::ostringstream os;
+    writeStatsResponse(os, resp);
+    return os.str();
+}
+
+std::optional<StatsResponse>
+tryReadStatsResponse(std::istream &is, std::string *error)
+{
+    StatsResponse resp;
+
+    const auto header = nextLine(is);
+    if (!header) {
+        parseFail(error, "empty stats-response frame");
+        return std::nullopt;
+    }
+    {
+        std::istringstream hs(*header);
+        std::string tag, id_tok;
+        hs >> tag >> id_tok;
+        if (tag != "jitsched-stats-response") {
+            parseFail(error,
+                      "expected 'jitsched-stats-response <id>', got '" +
+                      *header + "'");
+            return std::nullopt;
+        }
+        const auto id = parseInt(id_tok);
+        if (!id || *id < 0) {
+            parseFail(error, "bad stats-response id '" + id_tok + "'");
+            return std::nullopt;
+        }
+        resp.id = static_cast<std::uint64_t>(*id);
+    }
+
+    bool saw_status = false;
+    for (;;) {
+        const auto line = nextLine(is);
+        if (!line) {
+            parseFail(error, "stats response truncated (no 'end')");
+            return std::nullopt;
+        }
+        if (*line == "end")
+            break;
+
+        std::istringstream ls(*line);
+        std::string key;
+        ls >> key;
+
+        if (key == "status") {
+            std::string st;
+            ls >> st;
+            if (st == "ok") {
+                resp.ok = true;
+            } else if (st == "error") {
+                resp.ok = false;
+                ls >> resp.code;
+                if (resp.code.empty()) {
+                    parseFail(error, "status error carries no code");
+                    return std::nullopt;
+                }
+            } else {
+                parseFail(error, "bad status '" + st + "'");
+                return std::nullopt;
+            }
+            saw_status = true;
+        } else if (key == "error") {
+            constexpr std::size_t skip = sizeof("error ") - 1;
+            resp.error = line->size() > skip ? line->substr(skip) : "";
+        } else if (key == "snapshot") {
+            std::int64_t v = 0;
+            if (!intField(ls, "snapshot size", &v, error))
+                return std::nullopt;
+            if (v < 0) {
+                parseFail(error, "negative snapshot size");
+                return std::nullopt;
+            }
+            // Snapshot lines carry registry names, which never
+            // contain '#' and never equal 'end', so the cleaning
+            // reader returns them verbatim.
+            resp.lines.reserve(
+                std::min(static_cast<std::size_t>(v),
+                         std::size_t(1) << 16));
+            for (std::int64_t i = 0; i < v; ++i) {
+                const auto snap_line = nextLine(is);
+                if (!snap_line) {
+                    parseFail(error, "snapshot truncated");
+                    return std::nullopt;
+                }
+                resp.lines.push_back(*snap_line);
+            }
+        } else {
+            parseFail(error, "unknown stats-response directive '" +
+                      key + "'");
+            return std::nullopt;
+        }
+    }
+
+    if (!saw_status) {
+        parseFail(error, "stats response carries no status");
+        return std::nullopt;
+    }
+    return resp;
+}
+
+StatsResponse
+makeStatsResponse(std::uint64_t id, const std::string &snapshot_text)
+{
+    StatsResponse resp;
+    resp.id = id;
+    resp.ok = true;
+    std::istringstream is(snapshot_text);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (!line.empty())
+            resp.lines.push_back(line);
+    }
+    return resp;
+}
+
+bool
+isStatsRequestFrame(const std::string &frame)
+{
+    std::istringstream is(frame);
+    const auto first = nextLine(is);
+    if (!first)
+        return false;
+    std::istringstream hs(*first);
+    std::string tag;
+    hs >> tag;
+    return tag == "jitsched-stats";
+}
+
 std::uint64_t
 requestFingerprint(const ServiceRequest &req)
 {

@@ -45,6 +45,25 @@
  * — byte-identical to a direct library call.  The `stats` line is the
  * only volatile part (cache behaviour, queueing, wall time), so
  * clients comparing results strip exactly that line.
+ *
+ * Besides scheduling requests, a connection can scrape the daemon's
+ * metrics registry (obs/metrics.hh) with a STATS frame:
+ *
+ *   jitsched-stats <id>
+ *   end
+ *
+ * answered by
+ *
+ *   jitsched-stats-response <id>
+ *   status ok                   | status error <CODE>
+ *   error <message>             (error frames only)
+ *   snapshot <N>                followed by N raw snapshot lines in
+ *   <type> <name> <values...>   MetricsRegistry::snapshotText() form
+ *   end
+ *
+ * The server answers STATS frames inline on the connection handler,
+ * bypassing the admission queue — scrapes keep working while the
+ * queue is shedding load, which is exactly when they matter.
  */
 
 #ifndef JITSCHED_SERVICE_PROTOCOL_HH
@@ -132,6 +151,29 @@ struct ServiceResponse
     ServiceStats stats;
 };
 
+/** A metrics scrape: no payload, just the echoed id. */
+struct StatsRequest
+{
+    std::uint64_t id = 0;
+};
+
+/** A registry snapshot, one raw snapshotText() line per entry. */
+struct StatsResponse
+{
+    std::uint64_t id = 0;
+
+    bool ok = false;
+
+    /** Error code (errcode::*); empty on ok. */
+    std::string code;
+
+    /** Human-readable error message; empty on ok. */
+    std::string error;
+
+    /** Snapshot lines, e.g. `counter exec.cache.hits 12`. */
+    std::vector<std::string> lines;
+};
+
 /** Serialize a request frame. */
 void writeRequest(std::ostream &os, const ServiceRequest &req);
 
@@ -166,6 +208,37 @@ tryReadResponse(std::istream &is, std::string *error = nullptr);
 ServiceResponse makeErrorResponse(std::uint64_t id,
                                   const std::string &code,
                                   const std::string &message);
+
+/** Serialize a stats-request frame. */
+void writeStatsRequest(std::ostream &os, const StatsRequest &req);
+
+/** Stats-request frame as a string. */
+std::string statsRequestText(const StatsRequest &req);
+
+/** Parse one stats-request frame, consuming through `end`. */
+std::optional<StatsRequest>
+tryReadStatsRequest(std::istream &is, std::string *error = nullptr);
+
+/** Serialize a stats-response frame. */
+void writeStatsResponse(std::ostream &os, const StatsResponse &resp);
+
+/** Stats-response frame as a string. */
+std::string statsResponseText(const StatsResponse &resp);
+
+/** Parse one stats-response frame, consuming through `end`. */
+std::optional<StatsResponse>
+tryReadStatsResponse(std::istream &is, std::string *error = nullptr);
+
+/** Build an ok stats response from snapshotText() output. */
+StatsResponse makeStatsResponse(std::uint64_t id,
+                                const std::string &snapshot_text);
+
+/**
+ * True when the frame's first meaningful line is a `jitsched-stats`
+ * header — how the connection handler routes a frame to the scrape
+ * path without attempting a full request parse.
+ */
+bool isStatsRequestFrame(const std::string &frame);
 
 /**
  * True when @p raw_line (after comment/whitespace stripping) is the

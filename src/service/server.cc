@@ -9,7 +9,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "obs/instruments.hh"
 #include "service/socket_util.hh"
+#include "support/logging.hh"
 
 namespace jitsched {
 
@@ -54,12 +56,29 @@ ServiceServer::acceptLoop()
             // Transient accept failures (EINTR, aborted handshakes)
             // must not kill the daemon; persistent ones (EMFILE,
             // ENFILE) must not busy-spin it at 100% CPU either.
-            if (errno != EINTR && errno != ECONNABORTED)
+            // Every backoff is a client the daemon failed to serve:
+            // count it, and log the first plus every 100th so a
+            // persistent EMFILE is visible without flooding the log
+            // at the backoff rate.
+            if (errno != EINTR && errno != ECONNABORTED) {
+                const int err = errno;
+                const std::uint64_t n =
+                    dropped_.fetch_add(1, std::memory_order_relaxed) +
+                    1;
+                JITSCHED_OBS(obs::ServiceMetrics::get()
+                                 .connectionsDropped.add());
+                if (n == 1 || n % 100 == 0)
+                    warn("jitschedd: accept() failed (errno ", err,
+                         "), backing off — ", n,
+                         " connection(s) dropped since start");
                 std::this_thread::sleep_for(
                     std::chrono::milliseconds(10));
+            }
             continue;
         }
         connections_.fetch_add(1, std::memory_order_relaxed);
+        JITSCHED_OBS(
+            obs::ServiceMetrics::get().connectionsAccepted.add());
         {
             std::lock_guard<std::mutex> lk(conn_mutex_);
             conn_queue_.push_back(fd);
@@ -122,17 +141,24 @@ ServiceServer::handleConnection(int fd)
                 break;
             }
         }
+        JITSCHED_OBS(
+            obs::ServiceMetrics::get().bytesIn.add(frame.size()));
         if (oversized || reader.overflowed()) {
             // No `end` in sight within the budget: resynchronizing
             // would mean reading an unbounded amount, so answer a
             // structured error and drop the connection.
             frames_.fetch_add(1, std::memory_order_relaxed);
-            writeAll(fd,
-                     responseText(makeErrorResponse(
-                         0, errcode::invalidArgument,
-                         "request frame exceeds " +
-                             std::to_string(cfg_.maxFrameBytes) +
-                             " bytes")));
+            JITSCHED_OBS(
+                obs::ServiceMetrics::get().framesServed.add());
+            const std::string err_text =
+                responseText(makeErrorResponse(
+                    0, errcode::invalidArgument,
+                    "request frame exceeds " +
+                        std::to_string(cfg_.maxFrameBytes) +
+                        " bytes"));
+            JITSCHED_OBS(obs::ServiceMetrics::get().bytesOut.add(
+                err_text.size()));
+            writeAll(fd, err_text);
             // Half-close and briefly drain the peer's leftovers so
             // close() ends in FIN, not an RST that could discard the
             // error before the peer reads it.  Both the drained
@@ -159,6 +185,37 @@ ServiceServer::handleConnection(int fd)
         if (stopping_.load(std::memory_order_acquire))
             return;
 
+        // STATS frames are answered right here on the handler,
+        // bypassing the admission queue: a scrape must keep working
+        // while the queue is shedding load — that is when operators
+        // look at it.
+        if (isStatsRequestFrame(frame)) {
+            std::istringstream sis(frame);
+            std::string stats_error;
+            StatsResponse sresp;
+            if (const auto sreq =
+                    tryReadStatsRequest(sis, &stats_error)) {
+                sresp = makeStatsResponse(
+                    sreq->id,
+                    obs::MetricsRegistry::global().snapshotText());
+            } else {
+                sresp.code = errcode::invalidArgument;
+                sresp.error = stats_error;
+            }
+            frames_.fetch_add(1, std::memory_order_relaxed);
+            JITSCHED_OBS({
+                obs::ServiceMetrics &m = obs::ServiceMetrics::get();
+                m.framesServed.add();
+                m.statsRequests.add();
+            });
+            const std::string stats_text = statsResponseText(sresp);
+            JITSCHED_OBS(obs::ServiceMetrics::get().bytesOut.add(
+                stats_text.size()));
+            if (!writeAll(fd, stats_text))
+                return;
+            continue;
+        }
+
         std::istringstream is(frame);
         std::string parse_error;
         auto req = tryReadRequest(is, &parse_error);
@@ -173,7 +230,11 @@ ServiceServer::handleConnection(int fd)
             resp = queue_.submit(*std::move(req)).get();
         }
         frames_.fetch_add(1, std::memory_order_relaxed);
-        if (!writeAll(fd, responseText(resp)))
+        JITSCHED_OBS(obs::ServiceMetrics::get().framesServed.add());
+        const std::string resp_text = responseText(resp);
+        JITSCHED_OBS(obs::ServiceMetrics::get().bytesOut.add(
+            resp_text.size()));
+        if (!writeAll(fd, resp_text))
             return; // peer went away
     }
 }

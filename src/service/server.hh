@@ -99,6 +99,16 @@ class ServiceServer
         return connections_.load(std::memory_order_relaxed);
     }
 
+    /**
+     * Connections dropped since start(): accept() failures that
+     * triggered the backoff path (EMFILE and friends) — each one a
+     * client the daemon turned away without a response.
+     */
+    std::uint64_t connectionsDropped() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
     /** Request frames answered (valid and malformed). */
     std::uint64_t framesServed() const
     {
@@ -133,6 +143,7 @@ class ServiceServer
     std::unordered_set<int> active_fds_;
 
     std::atomic<std::uint64_t> connections_{0};
+    std::atomic<std::uint64_t> dropped_{0};
     std::atomic<std::uint64_t> frames_{0};
 
     std::thread acceptor_;

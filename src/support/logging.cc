@@ -4,11 +4,27 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "support/strutil.hh"
+
 namespace jitsched {
 
 namespace {
 
 std::atomic<bool> loggingEnabled{true};
+
+/**
+ * The level cell, seeded from JITSCHED_LOG_LEVEL on first use.  A
+ * function-local static so the environment is read exactly once, and
+ * before any thread can race on it (the first log call wins the
+ * initialization, guarded by the C++ magic-static lock).
+ */
+std::atomic<int> &
+logLevelCell()
+{
+    static std::atomic<int> level{static_cast<int>(
+        parseLogLevelEnv(std::getenv("JITSCHED_LOG_LEVEL")))};
+    return level;
+}
 
 } // anonymous namespace
 
@@ -16,6 +32,35 @@ bool
 setLoggingEnabled(bool enabled)
 {
     return loggingEnabled.exchange(enabled);
+}
+
+LogLevel
+setLogLevel(LogLevel level)
+{
+    return static_cast<LogLevel>(
+        logLevelCell().exchange(static_cast<int>(level)));
+}
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(logLevelCell().load());
+}
+
+LogLevel
+parseLogLevelEnv(const char *env)
+{
+    if (env == nullptr || *env == '\0')
+        return LogLevel::Info;
+    const std::string value{trim(env)};
+    if (value == "silent")
+        return LogLevel::Silent;
+    if (value == "warn")
+        return LogLevel::Warn;
+    if (value == "info")
+        return LogLevel::Info;
+    JITSCHED_FATAL("JITSCHED_LOG_LEVEL must be 'silent', 'warn', or "
+                   "'info', got '", env, "'");
 }
 
 namespace detail {
@@ -37,14 +82,14 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    if (loggingEnabled.load())
+    if (loggingEnabled.load() && logLevel() >= LogLevel::Warn)
         std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (loggingEnabled.load())
+    if (loggingEnabled.load() && logLevel() >= LogLevel::Info)
         std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 

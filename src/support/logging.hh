@@ -8,6 +8,11 @@
  *             bad configuration); prints and exits with status 1.
  * - warn():   something is suspicious but execution can continue.
  * - inform(): a status message for the user.
+ *
+ * warn()/inform() verbosity is controlled by the JITSCHED_LOG_LEVEL
+ * environment variable — `silent`, `warn`, or `info` (the default),
+ * parsed strictly like JITSCHED_THREADS: anything else is fatal()
+ * rather than silently ignored.  panic()/fatal() always print.
  */
 
 #ifndef JITSCHED_SUPPORT_LOGGING_HH
@@ -84,6 +89,32 @@ inform(const Args &...args)
  * @return the previous setting.
  */
 bool setLoggingEnabled(bool enabled);
+
+/** Verbosity of the non-fatal log channels, most to least quiet. */
+enum class LogLevel
+{
+    Silent = 0, ///< neither warn() nor inform() print
+    Warn = 1,   ///< warn() prints, inform() does not
+    Info = 2,   ///< both print (the default)
+};
+
+/**
+ * Set the log level programmatically (overrides the environment).
+ * @return the previous level.
+ */
+LogLevel setLogLevel(LogLevel level);
+
+/** The current log level. */
+LogLevel logLevel();
+
+/**
+ * Parse a JITSCHED_LOG_LEVEL value.  Mirrors the JITSCHED_THREADS
+ * contract (exec/thread_pool.hh): unset or empty means the default
+ * (Info), and anything that is not exactly `silent`, `warn`, or
+ * `info` after whitespace trimming is fatal() — a typo must not
+ * silently change what gets logged.
+ */
+LogLevel parseLogLevelEnv(const char *env);
 
 } // namespace jitsched
 

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * ScheduleTimeline tests: the golden Fig. 1 trace and the property
+ * that holds the adapter to the simulator's bubble accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/schedule_timeline.hh"
+#include "support/rng.hh"
+#include "trace/paper_examples.hh"
+
+namespace jitsched {
+namespace obs {
+namespace {
+
+/**
+ * The paper's Fig. 1 timeline for scheme s3 (f0/f1/f2 at level 0,
+ * then f1 recompiled at level 1), byte for byte: compiles at ticks
+ * 0-1, 1-2, 2-5, 5-8 on the compile core; the initial bubble while
+ * f0 compiles; calls at 1-2, 2-5, 5-8, and 8-10 — make-span 10, the
+ * figure's best scheme.
+ */
+constexpr const char *kFig1S3Golden =
+    R"json({"displayTimeUnit": "ns",
+"traceEvents": [
+{"ph": "M", "pid": 1, "tid": 0, "name": "process_name", "args": {"name": "jitsched: paper-fig1"}},
+{"ph": "M", "pid": 1, "tid": 1, "name": "thread_name", "args": {"name": "compile core 0"}},
+{"ph": "M", "pid": 1, "tid": 2, "name": "thread_name", "args": {"name": "exec core"}},
+{"ph": "X", "pid": 1, "tid": 1, "name": "C0(f0)", "cat": "compile", "ts": 0, "dur": 0.001, "args": {"func": "f0", "level": "0", "event": "0"}},
+{"ph": "X", "pid": 1, "tid": 1, "name": "C0(f1)", "cat": "compile", "ts": 0.001, "dur": 0.001, "args": {"func": "f1", "level": "0", "event": "1"}},
+{"ph": "X", "pid": 1, "tid": 1, "name": "C0(f2)", "cat": "compile", "ts": 0.002, "dur": 0.003, "args": {"func": "f2", "level": "0", "event": "2"}},
+{"ph": "X", "pid": 1, "tid": 1, "name": "C1(f1)", "cat": "compile", "ts": 0.005, "dur": 0.003, "args": {"func": "f1", "level": "1", "event": "3"}},
+{"ph": "X", "pid": 1, "tid": 2, "name": "bubble(f0)", "cat": "bubble", "ts": 0, "dur": 0.001, "args": {"func": "f0", "call": "0"}},
+{"ph": "X", "pid": 1, "tid": 2, "name": "f0@L0", "cat": "call", "ts": 0.001, "dur": 0.001, "args": {"func": "f0", "level": "0", "call": "0"}},
+{"ph": "X", "pid": 1, "tid": 2, "name": "f1@L0", "cat": "call", "ts": 0.002, "dur": 0.003, "args": {"func": "f1", "level": "0", "call": "1"}},
+{"ph": "X", "pid": 1, "tid": 2, "name": "f2@L0", "cat": "call", "ts": 0.005, "dur": 0.003, "args": {"func": "f2", "level": "0", "call": "2"}},
+{"ph": "X", "pid": 1, "tid": 2, "name": "f1@L1", "cat": "call", "ts": 0.008, "dur": 0.002, "args": {"func": "f1", "level": "1", "call": "3"}}
+]}
+)json";
+
+TEST(Timeline, Fig1SchemeS3GoldenTrace)
+{
+    std::ostringstream os;
+    writeScheduleTrace(os, figure1Workload(), figureSchemeS3(),
+                       SimOptions{});
+    EXPECT_EQ(os.str(), kFig1S3Golden);
+}
+
+TEST(Timeline, Fig1SchemeS3SliceDecomposition)
+{
+    const ScheduleTimeline t = buildScheduleTimeline(
+        figure1Workload(), figureSchemeS3(), SimOptions{});
+    EXPECT_EQ(t.sim.makespan, 10); // the paper's s3 make-span
+    EXPECT_EQ(t.compileCores, 1u);
+
+    std::size_t compiles = 0, calls = 0, bubbles = 0;
+    for (const TimelineSlice &s : t.slices) {
+        switch (s.kind) {
+          case TimelineSlice::Kind::Compile:
+            ++compiles;
+            EXPECT_EQ(s.core, 0u);
+            break;
+          case TimelineSlice::Kind::Call:
+            ++calls;
+            break;
+          case TimelineSlice::Kind::Bubble:
+            ++bubbles;
+            break;
+        }
+    }
+    EXPECT_EQ(compiles, 4u); // s3 has four compile events
+    EXPECT_EQ(calls, 4u);    // f0 f1 f2 f1
+    EXPECT_EQ(bubbles, 1u);  // only the initial wait for f0
+    EXPECT_EQ(t.totalBubbleInSlices(), t.sim.totalBubble);
+}
+
+TEST(Timeline, SchemesS1AndS2MatchThePaperToo)
+{
+    const Workload w = figure1Workload();
+    const ScheduleTimeline s1 =
+        buildScheduleTimeline(w, figureSchemeS1(), SimOptions{});
+    const ScheduleTimeline s2 =
+        buildScheduleTimeline(w, figureSchemeS2(), SimOptions{});
+    EXPECT_EQ(s1.sim.makespan, 11);
+    EXPECT_EQ(s2.sim.makespan, 12);
+    EXPECT_EQ(s1.totalBubbleInSlices(), s1.sim.totalBubble);
+    EXPECT_EQ(s2.totalBubbleInSlices(), s2.sim.totalBubble);
+}
+
+/** Random valid (workload, schedule) pair for the property test. */
+struct RandomCase
+{
+    Workload workload;
+    Schedule schedule;
+};
+
+RandomCase
+randomCase(Rng &rng)
+{
+    const std::size_t num_funcs = 2 + rng.nextBelow(4);
+    const std::size_t num_levels = 2 + rng.nextBelow(2);
+    std::vector<FunctionProfile> funcs;
+    for (std::size_t f = 0; f < num_funcs; ++f) {
+        std::vector<LevelCosts> levels;
+        Tick exec = 2 + static_cast<Tick>(rng.nextBelow(12));
+        Tick compile = 1 + static_cast<Tick>(rng.nextBelow(8));
+        for (std::size_t l = 0; l < num_levels; ++l) {
+            levels.push_back({compile, exec});
+            // Higher levels compile slower and run faster.
+            compile += 1 + static_cast<Tick>(rng.nextBelow(6));
+            exec = std::max<Tick>(1, exec - 1 -
+                                  static_cast<Tick>(rng.nextBelow(3)));
+        }
+        funcs.emplace_back("f" + std::to_string(f), 1,
+                           std::move(levels));
+    }
+
+    std::vector<FuncId> calls;
+    const std::size_t num_calls = 4 + rng.nextBelow(12);
+    for (std::size_t c = 0; c < num_calls; ++c)
+        calls.push_back(
+            static_cast<FuncId>(rng.nextBelow(num_funcs)));
+
+    RandomCase out;
+    out.workload = Workload("random", std::move(funcs), calls);
+
+    // Level-0 compiles for every called function in first-appearance
+    // order, then a random subset upgraded to level 1.
+    for (const FuncId f : out.workload.firstAppearanceOrder())
+        out.schedule.append(f, 0);
+    for (const FuncId f : out.workload.firstAppearanceOrder())
+        if (rng.nextBool(0.5))
+            out.schedule.append(f, 1);
+    return out;
+}
+
+TEST(Timeline, BubbleSlicesSumToSimulatorBubbleCost)
+{
+    // The property satellite: across random workloads, schedules,
+    // core counts, and jitter, the trace's bubble slices sum to
+    // exactly what the simulator booked as bubble cost, and the
+    // compile-core replay never diverges (it panics if it does).
+    Rng rng(20260806);
+    for (int iter = 0; iter < 60; ++iter) {
+        const RandomCase rc = randomCase(rng);
+        SimOptions opts;
+        opts.compileCores = 1 + rng.nextBelow(3);
+        if (iter % 3 == 0) {
+            opts.execJitterSigma = 0.2;
+            opts.jitterSeed = 7 + iter;
+        }
+        const ScheduleTimeline t =
+            buildScheduleTimeline(rc.workload, rc.schedule, opts);
+        EXPECT_EQ(t.totalBubbleInSlices(), t.sim.totalBubble)
+            << "iteration " << iter;
+
+        // Call + bubble slices tile the exec core: no overlaps, no
+        // unexplained gaps, ending at the exec end.
+        Tick exec_now = 0;
+        for (const TimelineSlice &s : t.slices) {
+            if (s.kind == TimelineSlice::Kind::Compile)
+                continue;
+            EXPECT_EQ(s.start, exec_now) << "iteration " << iter;
+            exec_now = s.start + s.dur;
+        }
+        EXPECT_EQ(exec_now, t.sim.execEnd) << "iteration " << iter;
+    }
+}
+
+TEST(Timeline, MultiCoreCompileReplayAssignsAllCores)
+{
+    // Two compile cores: the first two compiles of s3 start at tick
+    // 0 on different cores.
+    SimOptions opts;
+    opts.compileCores = 2;
+    const ScheduleTimeline t = buildScheduleTimeline(
+        figure1Workload(), figureSchemeS3(), opts);
+    std::vector<bool> used(2, false);
+    for (const TimelineSlice &s : t.slices)
+        if (s.kind == TimelineSlice::Kind::Compile)
+            used[s.core] = true;
+    EXPECT_TRUE(used[0]);
+    EXPECT_TRUE(used[1]);
+    EXPECT_EQ(t.totalBubbleInSlices(), t.sim.totalBubble);
+}
+
+} // anonymous namespace
+} // namespace obs
+} // namespace jitsched

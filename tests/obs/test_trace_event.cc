@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the Chrome trace-event JSON emitter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/trace_event.hh"
+
+namespace jitsched {
+namespace obs {
+namespace {
+
+TEST(TraceEvent, TicksToMicrosIsExact)
+{
+    // Ticks are nanoseconds; the spec wants microseconds.  The
+    // conversion is exact decimal, never a floating-point format.
+    EXPECT_EQ(TraceEventSink::ticksToMicros(0), "0");
+    EXPECT_EQ(TraceEventSink::ticksToMicros(1), "0.001");
+    EXPECT_EQ(TraceEventSink::ticksToMicros(10), "0.01");
+    EXPECT_EQ(TraceEventSink::ticksToMicros(100), "0.1");
+    EXPECT_EQ(TraceEventSink::ticksToMicros(1000), "1");
+    EXPECT_EQ(TraceEventSink::ticksToMicros(1500), "1.5");
+    EXPECT_EQ(TraceEventSink::ticksToMicros(2000), "2");
+    EXPECT_EQ(TraceEventSink::ticksToMicros(123456789), "123456.789");
+    EXPECT_EQ(TraceEventSink::ticksToMicros(-1), "-0.001");
+    EXPECT_EQ(TraceEventSink::ticksToMicros(-2500), "-2.5");
+}
+
+TEST(TraceEvent, EmptySinkIsStillAValidDocument)
+{
+    TraceEventSink sink;
+    std::ostringstream os;
+    sink.write(os);
+    EXPECT_EQ(os.str(),
+              "{\"displayTimeUnit\": \"ns\",\n\"traceEvents\": [\n"
+              "]}\n");
+}
+
+TEST(TraceEvent, SliceAndMetadataSerialization)
+{
+    TraceEventSink sink;
+    sink.threadName(1, 2, "exec core");
+    sink.slice("f1@L0", "call", 1, 2, 2000, 3000,
+               {{"func", "f1"}, {"level", "0"}});
+    ASSERT_EQ(sink.size(), 2u);
+
+    std::ostringstream os;
+    sink.write(os);
+    EXPECT_EQ(os.str(),
+              "{\"displayTimeUnit\": \"ns\",\n\"traceEvents\": [\n"
+              "{\"ph\": \"M\", \"pid\": 1, \"tid\": 2, \"name\": "
+              "\"thread_name\", \"args\": {\"name\": \"exec core\"}},\n"
+              "{\"ph\": \"X\", \"pid\": 1, \"tid\": 2, \"name\": "
+              "\"f1@L0\", \"cat\": \"call\", \"ts\": 2, \"dur\": 3, "
+              "\"args\": {\"func\": \"f1\", \"level\": \"0\"}}\n"
+              "]}\n");
+}
+
+TEST(TraceEvent, StringsAreJsonEscaped)
+{
+    TraceEventSink sink;
+    sink.slice("quote\"back\\slash", "", 1, 1, 0, 1);
+    std::ostringstream os;
+    sink.write(os);
+    EXPECT_NE(os.str().find("quote\\\"back\\\\slash"),
+              std::string::npos);
+    // Control characters become \u escapes.
+    TraceEventSink sink2;
+    sink2.slice(std::string("a\x01") + "b", "", 1, 1, 0, 1);
+    std::ostringstream os2;
+    sink2.write(os2);
+    EXPECT_NE(os2.str().find("a\\u0001b"), std::string::npos);
+}
+
+TEST(TraceEvent, MetadataEventsCarryNoTimestamps)
+{
+    TraceEventSink sink;
+    sink.processName(1, "jitsched");
+    std::ostringstream os;
+    sink.write(os);
+    EXPECT_EQ(os.str().find("\"ts\""), std::string::npos);
+    EXPECT_EQ(os.str().find("\"dur\""), std::string::npos);
+}
+
+} // anonymous namespace
+} // namespace obs
+} // namespace jitsched

@@ -204,6 +204,80 @@ TEST(ServiceProtocol, StatsLineIsTheOnlyVolatilePart)
     EXPECT_EQ(stripped, without);
 }
 
+TEST(ServiceProtocol, StatsRequestRoundTrip)
+{
+    StatsRequest req;
+    req.id = 99;
+    const std::string text = statsRequestText(req);
+    EXPECT_EQ(text, "jitsched-stats 99\nend\n");
+    EXPECT_TRUE(isStatsRequestFrame(text));
+    EXPECT_FALSE(isStatsRequestFrame("jitsched-request 99\nend\n"));
+
+    std::istringstream is(text);
+    std::string error;
+    const auto back = tryReadStatsRequest(is, &error);
+    ASSERT_TRUE(back.has_value()) << error;
+    EXPECT_EQ(back->id, 99u);
+}
+
+TEST(ServiceProtocol, StatsRequestRejectsABody)
+{
+    std::istringstream is("jitsched-stats 1\npayload\nend\n");
+    std::string error;
+    EXPECT_FALSE(tryReadStatsRequest(is, &error).has_value());
+    EXPECT_NE(error.find("carries a body"), std::string::npos)
+        << error;
+}
+
+TEST(ServiceProtocol, StatsResponseOkRoundTrip)
+{
+    const StatsResponse resp = makeStatsResponse(
+        7,
+        "counter service.frames_served 3\n"
+        "gauge service.queue.depth 0\n");
+    ASSERT_EQ(resp.lines.size(), 2u);
+
+    std::istringstream is(statsResponseText(resp));
+    std::string error;
+    const auto back = tryReadStatsResponse(is, &error);
+    ASSERT_TRUE(back.has_value()) << error;
+    EXPECT_EQ(back->id, 7u);
+    EXPECT_TRUE(back->ok);
+    ASSERT_EQ(back->lines.size(), 2u);
+    EXPECT_EQ(back->lines[0], "counter service.frames_served 3");
+    EXPECT_EQ(back->lines[1], "gauge service.queue.depth 0");
+}
+
+TEST(ServiceProtocol, StatsResponseErrorRoundTrip)
+{
+    StatsResponse resp;
+    resp.id = 8;
+    resp.ok = false;
+    resp.code = errcode::invalidArgument;
+    resp.error = "bad stats request";
+    std::istringstream is(statsResponseText(resp));
+    std::string error;
+    const auto back = tryReadStatsResponse(is, &error);
+    ASSERT_TRUE(back.has_value()) << error;
+    EXPECT_FALSE(back->ok);
+    EXPECT_EQ(back->code, errcode::invalidArgument);
+    EXPECT_EQ(back->error, "bad stats request");
+    EXPECT_TRUE(back->lines.empty());
+}
+
+TEST(ServiceProtocol, StatsResponseTruncatedSnapshotFails)
+{
+    std::istringstream is("jitsched-stats-response 1\n"
+                          "status ok\n"
+                          "snapshot 5\n"
+                          "counter a.b 1\n"
+                          "end\n");
+    std::string error;
+    EXPECT_FALSE(tryReadStatsResponse(is, &error).has_value());
+    EXPECT_NE(error.find("snapshot truncated"), std::string::npos)
+        << error;
+}
+
 TEST(ServiceProtocol, FrameEndDetection)
 {
     EXPECT_TRUE(isFrameEnd("end"));

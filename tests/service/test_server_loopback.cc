@@ -20,6 +20,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/instruments.hh"
 #include "service/client.hh"
 #include "service/engine.hh"
 #include "service/server.hh"
@@ -101,6 +102,54 @@ TEST_F(LoopbackTest, SingleRequestMatchesDirectLibraryCall)
     const auto raw = client.callRaw(requestText(req), &error);
     ASSERT_TRUE(raw.has_value()) << error;
     EXPECT_EQ(stripStats(*raw), directAnswer(req));
+}
+
+TEST_F(LoopbackTest, StatsScrapeReturnsTheRegistrySnapshot)
+{
+    // Prime the registry key set the way jitschedd does at startup,
+    // then serve one real request so the service counters move.
+    obs::registerStandardInstruments(engine_.registry().names());
+    EXPECT_EQ(server_.connectionsDropped(), 0u);
+
+    ServiceClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", server_.port(), &error))
+        << error;
+    const auto raw = client.callRaw(
+        requestText(makeRequest(21, "iar", figure1Workload())),
+        &error);
+    ASSERT_TRUE(raw.has_value()) << error;
+
+    // STATS rides the same connection, after the solve.
+    const auto stats = client.stats(22, &error);
+    ASSERT_TRUE(stats.has_value()) << error;
+    EXPECT_TRUE(stats->ok) << stats->code << " " << stats->error;
+    EXPECT_EQ(stats->id, 22u);
+    ASSERT_FALSE(stats->lines.empty());
+
+    bool saw_frames = false, saw_solve_hist = false;
+    std::uint64_t frames_served = 0;
+    for (const std::string &line : stats->lines) {
+        std::istringstream ls(line);
+        std::string type, name;
+        ls >> type >> name;
+        if (name == "service.frames.served") {
+            saw_frames = true;
+            ls >> frames_served;
+        }
+        if (name == "service.solve_ns.iar")
+            saw_solve_hist = true;
+    }
+    EXPECT_TRUE(saw_frames);
+    EXPECT_TRUE(saw_solve_hist);
+    // The registry is process-global, so other suites may have
+    // contributed; this connection alone served at least one frame.
+    EXPECT_GE(frames_served, 1u);
+
+    // A second scrape still works — the connection survives STATS.
+    const auto again = client.stats(23, &error);
+    ASSERT_TRUE(again.has_value()) << error;
+    EXPECT_TRUE(again->ok);
 }
 
 TEST_F(LoopbackTest, MalformedFrameGetsStructuredErrorAndKeepsConnection)

@@ -41,5 +41,42 @@ TEST(Logging, WarnAndInformDoNotThrow)
     setLoggingEnabled(was);
 }
 
+TEST(Logging, ParseLogLevelEnvAcceptsTheThreeLevels)
+{
+    EXPECT_EQ(parseLogLevelEnv("silent"), LogLevel::Silent);
+    EXPECT_EQ(parseLogLevelEnv("warn"), LogLevel::Warn);
+    EXPECT_EQ(parseLogLevelEnv("info"), LogLevel::Info);
+    // Whitespace is trimmed, as with JITSCHED_THREADS.
+    EXPECT_EQ(parseLogLevelEnv("  warn "), LogLevel::Warn);
+}
+
+TEST(Logging, ParseLogLevelEnvDefaultsWhenUnset)
+{
+    EXPECT_EQ(parseLogLevelEnv(nullptr), LogLevel::Info);
+    EXPECT_EQ(parseLogLevelEnv(""), LogLevel::Info);
+}
+
+TEST(LoggingDeath, ParseLogLevelEnvRejectsUnknownValues)
+{
+    EXPECT_EXIT(parseLogLevelEnv("verbose"),
+                ::testing::ExitedWithCode(1),
+                "JITSCHED_LOG_LEVEL must be");
+    EXPECT_EXIT(parseLogLevelEnv("WARN"),
+                ::testing::ExitedWithCode(1),
+                "JITSCHED_LOG_LEVEL must be");
+    EXPECT_EXIT(parseLogLevelEnv("2"), ::testing::ExitedWithCode(1),
+                "JITSCHED_LOG_LEVEL must be");
+}
+
+TEST(Logging, SetLogLevelRoundTrips)
+{
+    const LogLevel was = setLogLevel(LogLevel::Silent);
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+    // Silent gates warn() even with logging enabled.
+    warn("must not print");
+    inform("must not print");
+    EXPECT_EQ(setLogLevel(was), LogLevel::Silent);
+}
+
 } // anonymous namespace
 } // namespace jitsched
