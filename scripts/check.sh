@@ -25,6 +25,20 @@
 #                              # then scrape STATS and diff the
 #                              # instrument key set against
 #                              # bench/expectations/obs_keys.txt
+#   scripts/check.sh --fuzz-smoke
+#                              # also run the differential fuzzer:
+#                              # ~20s of jitsched-fuzz solvers and
+#                              # ~10s of jitsched-fuzz protocol, plus
+#                              # the broken-oracle canary (a run with
+#                              # the lower-bound oracle deliberately
+#                              # inverted MUST fail — proves the
+#                              # harness can still detect a broken
+#                              # oracle)
+#   scripts/check.sh --asan    # also build the tree with
+#                              # -fsanitize=address,undefined in
+#                              # build-asan/ and run the `qa` and
+#                              # `service` test labels plus a short
+#                              # fuzz smoke under the sanitizers
 #
 set -euo pipefail
 
@@ -33,14 +47,18 @@ cd "$(dirname "$0")/.."
 run_tsan=0
 run_bench_smoke=0
 run_obs_smoke=0
+run_fuzz_smoke=0
+run_asan=0
 for arg in "$@"; do
     case "$arg" in
         --tsan) run_tsan=1 ;;
         --bench-smoke) run_bench_smoke=1 ;;
         --obs-smoke) run_obs_smoke=1 ;;
+        --fuzz-smoke) run_fuzz_smoke=1 ;;
+        --asan) run_asan=1 ;;
         *)
             echo "usage: scripts/check.sh [--tsan] [--bench-smoke]" \
-                 "[--obs-smoke]" >&2
+                 "[--obs-smoke] [--fuzz-smoke] [--asan]" >&2
             exit 2
             ;;
     esac
@@ -122,13 +140,55 @@ EOF
     echo "obs smoke: trace valid, STATS keys match"
 fi
 
+if [ "$run_fuzz_smoke" -eq 1 ]; then
+    echo "== Fuzz smoke (solvers 20s + protocol 10s + canary) =="
+    fuzz_corpus="$(mktemp -d)"
+    trap 'rm -rf "$fuzz_corpus"' EXIT
+    ./build/bin/jitsched-fuzz solvers --seconds 20 --seed 1 \
+        --corpus-dir "$fuzz_corpus"
+    ./build/bin/jitsched-fuzz protocol --seconds 10 --seed 1 \
+        --corpus-dir "$fuzz_corpus"
+    # Test the tester: with the lower-bound oracle inverted the run
+    # must FAIL, fast.  A canary that passes means the fuzz loop can
+    # no longer see a broken oracle — itself a gate failure.
+    if ./build/bin/jitsched-fuzz solvers --seconds 20 --seed 1 \
+        --break-oracle lower-bound --corpus-dir "$fuzz_corpus" \
+        > /dev/null 2>&1; then
+        echo "fuzz smoke: the broken-oracle canary PASSED — the" \
+             "harness failed to detect a deliberately inverted" \
+             "lower-bound oracle" >&2
+        exit 1
+    fi
+    echo "fuzz smoke: clean run + canary fired"
+fi
+
+if [ "$run_asan" -eq 1 ]; then
+    echo "== ASan+UBSan pass (qa + service labels, fuzz smoke) =="
+    cmake -B build-asan -S . -DJITSCHED_ASAN=ON \
+        -DJITSCHED_BUILD_BENCH=OFF -DJITSCHED_BUILD_EXAMPLES=OFF \
+        >/dev/null
+    cmake --build build-asan --target test_qa test_service \
+        jitsched-fuzz -j
+    # Run the binaries directly (as the TSan pass does): only these
+    # targets exist in build-asan/, so ctest's discovery files for
+    # the rest of the suite would be missing.
+    ./build-asan/tests/test_qa
+    ./build-asan/tests/test_service
+    asan_corpus="$(mktemp -d)"
+    ./build-asan/bin/jitsched-fuzz solvers --seconds 10 --seed 2 \
+        --corpus-dir "$asan_corpus"
+    ./build-asan/bin/jitsched-fuzz protocol --seconds 5 --seed 2 \
+        --corpus-dir "$asan_corpus"
+    rm -rf "$asan_corpus"
+fi
+
 if [ "$run_tsan" -eq 1 ]; then
-    echo "== ThreadSanitizer pass (exec + service + obs tests) =="
+    echo "== ThreadSanitizer pass (exec + service + obs + qa) =="
     cmake -B build-tsan -S . -DJITSCHED_TSAN=ON \
         -DJITSCHED_BUILD_BENCH=OFF -DJITSCHED_BUILD_EXAMPLES=OFF \
         >/dev/null
     cmake --build build-tsan --target test_exec test_service \
-        test_obs -j
+        test_obs test_qa -j
     # More than one executor thread, so the pool and the sharded
     # cache actually race if they can.
     JITSCHED_THREADS=4 ./build-tsan/tests/test_exec \
@@ -140,6 +200,10 @@ if [ "$run_tsan" -eq 1 ]; then
     # hammer (the satellite concurrency suites).
     JITSCHED_THREADS=4 ./build-tsan/tests/test_obs \
         --gtest_filter='MetricsConcurrency*'
+    # The corpus replay drives the protocol frames through the
+    # loopback server's full thread stack; the reproducers must stay
+    # race-free too.
+    JITSCHED_THREADS=4 ./build-tsan/tests/test_qa
 fi
 
 echo "check.sh: all green"

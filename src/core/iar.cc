@@ -124,8 +124,12 @@ iarSchedule(const Workload &w, const std::vector<CandidatePair> &cands,
     const std::size_t init_len = cseq.size();
 
     // Time the initial schedule; n1 = calls before its compile end.
+    // Keep the schedule and its make-span: step 2 has no simulation
+    // guard, so the refined result is checked against this baseline
+    // at the end.
+    const Schedule init_seq = cseq;
     TimelineObserver *t0 = nullptr;
-    timeSchedule(w, cseq, t0, observers);
+    const SimResult init_res = timeSchedule(w, cseq, t0, observers);
 
     // ---------------------------------------------------------------
     // Step 2 (append & replace): classify by Formulas 1 and 2.
@@ -313,6 +317,19 @@ iarSchedule(const Workload &w, const std::vector<CandidatePair> &cands,
                 gap -= ch;
                 ++result.gapAppends;
             }
+        }
+    }
+
+    // Final guard: Formulas 1 and 2 classify each function in
+    // isolation, so a Replace decision can delay another function's
+    // first call by more than the upgrade saves.  One simulation
+    // against the untouched init schedule turns "never worse than
+    // base-only" from an empirical tendency into an invariant.
+    if (cseq != init_seq) {
+        const SimResult final_res = simulate(w, cseq, SimOptions{});
+        if (final_res.makespan > init_res.makespan) {
+            cseq = init_seq;
+            result.refinementDiscarded = true;
         }
     }
 

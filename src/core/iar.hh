@@ -67,6 +67,17 @@ struct IarResult
     std::size_t numReplace = 0; ///< functions classified R
     std::size_t slackUpgrades = 0; ///< step-3 replacements applied
     std::size_t gapAppends = 0;    ///< step-4 compiles appended
+
+    /**
+     * The step-2 refinement simulated worse than the plain init
+     * schedule and was discarded.  Formulas 1 and 2 reason per
+     * function; an up-front high-level compile can delay *another*
+     * function's first call by more than it saves, so the final
+     * schedule is guarded by one simulation against the baseline —
+     * which is what makes "IAR never loses to base-only" a real
+     * invariant rather than a tendency.
+     */
+    bool refinementDiscarded = false;
 };
 
 /**

@@ -1,0 +1,111 @@
+#include "qa/corpus.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "qa/proto_fuzz.hh"
+#include "trace/trace_io.hh"
+
+namespace jitsched {
+namespace qa {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Turn free-form provenance text into `#`-prefixed header lines. */
+std::string
+commentHeader(const std::string &comment)
+{
+    if (comment.empty())
+        return {};
+    std::string out;
+    std::istringstream is(comment);
+    for (std::string line; std::getline(is, line);)
+        out += "# " + line + "\n";
+    return out;
+}
+
+std::string
+writeCase(const std::string &dir, const std::string &file_name,
+          const std::string &content, std::string *error)
+{
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+        if (error != nullptr)
+            *error = "cannot create " + dir + ": " + ec.message();
+        return {};
+    }
+    const std::string path = dir + "/" + file_name;
+    std::ofstream os(path, std::ios::binary);
+    os << content;
+    os.flush();
+    if (!os) {
+        if (error != nullptr)
+            *error = "cannot write " + path;
+        return {};
+    }
+    return path;
+}
+
+} // anonymous namespace
+
+std::string
+writeWorkloadCase(const std::string &dir, const std::string &name,
+                  const Workload &w, const std::string &comment,
+                  std::string *error)
+{
+    std::ostringstream os;
+    os << commentHeader(comment);
+    writeWorkload(os, w);
+    return writeCase(dir, name + ".workload", os.str(), error);
+}
+
+std::string
+writeFrameCase(const std::string &dir, const std::string &name,
+               const std::string &frame_bytes,
+               const std::string &comment, std::string *error)
+{
+    return writeCase(dir, name + ".frame",
+                     commentHeader(comment) + frame_bytes, error);
+}
+
+ReplayResult
+replayFile(const std::string &path, const OracleConfig &cfg)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        return {false, "cannot open " + path};
+    }
+
+    const fs::path p(path);
+    if (p.extension() == ".workload") {
+        std::string error;
+        const auto w = tryReadWorkload(is, &error);
+        if (!w.has_value())
+            return {false, path + ": workload parse: " + error};
+        const std::vector<Violation> violations = checkAll(*w, cfg);
+        if (!violations.empty())
+            return {false, path + ":\n" +
+                               describeViolations(violations)};
+        return {true, {}};
+    }
+    if (p.extension() == ".frame") {
+        std::ostringstream buf;
+        buf << is.rdbuf();
+        std::vector<Violation> violations;
+        checkProtocolBytes(buf.str(), violations,
+                           /*serve_parsed=*/true);
+        if (!violations.empty())
+            return {false, path + ":\n" +
+                               describeViolations(violations)};
+        return {true, {}};
+    }
+    return {false, "unknown corpus extension on " + path +
+                       " (expected .workload or .frame)"};
+}
+
+} // namespace qa
+} // namespace jitsched

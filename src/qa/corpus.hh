@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Reproducer corpus: failing (or interesting) fuzz cases as files.
+ *
+ * Two kinds of case, told apart by extension:
+ *
+ *   *.workload   an OCSP instance in the trace/trace_io.hh text
+ *                grammar; replay runs the full solver oracle chain
+ *                (qa/oracles.hh) on it
+ *   *.frame      raw wire-protocol bytes; replay pushes them through
+ *                the non-fatal protocol parsers and, when they parse
+ *                as a request, through an in-process ServiceEngine —
+ *                asserting graceful handling either way
+ *
+ * Files start with `#` comment lines recording provenance (seed,
+ * case id, the oracle that fired) — both grammars tolerate comments,
+ * so a reproducer is also directly replayable with
+ * `jitsched-fuzz replay <file>` or loadable by any trace tool.
+ */
+
+#ifndef JITSCHED_QA_CORPUS_HH
+#define JITSCHED_QA_CORPUS_HH
+
+#include <string>
+
+#include "qa/oracles.hh"
+#include "trace/workload.hh"
+
+namespace jitsched {
+namespace qa {
+
+/** Outcome of replaying one corpus file. */
+struct ReplayResult
+{
+    bool ok = false;
+
+    /** Violations or I/O problems; empty when ok. */
+    std::string detail;
+};
+
+/**
+ * Write a workload reproducer.
+ * @param comment provenance, embedded as `#` lines (may be multi-line)
+ * @return the path written, empty on I/O failure (with *error set)
+ */
+std::string writeWorkloadCase(const std::string &dir,
+                              const std::string &name,
+                              const Workload &w,
+                              const std::string &comment,
+                              std::string *error = nullptr);
+
+/** Write a protocol-frame reproducer (raw bytes, comment prefixed). */
+std::string writeFrameCase(const std::string &dir,
+                           const std::string &name,
+                           const std::string &frame_bytes,
+                           const std::string &comment,
+                           std::string *error = nullptr);
+
+/**
+ * Replay one corpus file through the oracles appropriate to its
+ * extension.  Unknown extensions and unreadable files are failures —
+ * a corpus directory must never silently skip a case.
+ */
+ReplayResult replayFile(const std::string &path,
+                        const OracleConfig &cfg = {});
+
+} // namespace qa
+} // namespace jitsched
+
+#endif // JITSCHED_QA_CORPUS_HH

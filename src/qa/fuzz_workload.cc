@@ -1,0 +1,270 @@
+#include "qa/fuzz_workload.hh"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "support/logging.hh"
+#include "trace/function_profile.hh"
+
+namespace jitsched {
+namespace qa {
+
+namespace {
+
+/** Random per-level costs satisfying c non-decreasing, e non-increasing. */
+std::vector<LevelCosts>
+randomLevels(Rng &rng, const FuzzDomain &domain, bool interpreter)
+{
+    const std::size_t n =
+        1 + static_cast<std::size_t>(rng.nextBelow(domain.maxLevels));
+    std::vector<LevelCosts> levels(n);
+
+    // Compile times grow from the base level up...
+    Tick c = interpreter
+                 ? 0
+                 : static_cast<Tick>(rng.nextBelow(
+                       static_cast<std::uint64_t>(domain.maxCompile)));
+    for (std::size_t j = 0; j < n; ++j) {
+        levels[j].compile = c;
+        c += static_cast<Tick>(rng.nextBelow(
+            static_cast<std::uint64_t>(domain.maxCompile) + 1));
+    }
+
+    // ...execution times grow from the top level down.
+    Tick e = 1 + static_cast<Tick>(rng.nextBelow(
+                     static_cast<std::uint64_t>(domain.maxExec)));
+    for (std::size_t j = n; j-- > 0;) {
+        levels[j].exec = e;
+        e += static_cast<Tick>(rng.nextBelow(
+            static_cast<std::uint64_t>(domain.maxExec) + 1));
+    }
+    return levels;
+}
+
+std::vector<FunctionProfile>
+copyProfiles(const Workload &w)
+{
+    return w.functions();
+}
+
+std::vector<LevelCosts>
+copyLevels(const FunctionProfile &p)
+{
+    std::vector<LevelCosts> levels(p.numLevels());
+    for (std::size_t j = 0; j < p.numLevels(); ++j)
+        levels[j] = p.level(static_cast<Level>(j));
+    return levels;
+}
+
+Workload
+rebuild(const Workload &w, std::vector<FunctionProfile> functions,
+        std::vector<FuncId> calls)
+{
+    return Workload(w.name(), std::move(functions), std::move(calls));
+}
+
+/** Clamp scaled costs back onto the monotone lattice. */
+std::vector<LevelCosts>
+remonotonize(std::vector<LevelCosts> levels)
+{
+    for (std::size_t j = 1; j < levels.size(); ++j)
+        levels[j].compile =
+            std::max(levels[j].compile, levels[j - 1].compile);
+    for (std::size_t j = levels.size() - 1; j-- > 0;)
+        levels[j].exec = std::max(levels[j].exec, levels[j + 1].exec);
+    return levels;
+}
+
+} // anonymous namespace
+
+Workload
+randomWorkload(Rng &rng, const FuzzDomain &domain)
+{
+    const std::size_t called =
+        1 + static_cast<std::size_t>(
+                rng.nextBelow(domain.maxFunctions));
+    const bool extra_uncalled = rng.nextBool(domain.uncalledProb);
+    const std::size_t total = called + (extra_uncalled ? 1 : 0);
+
+    std::vector<FunctionProfile> functions;
+    functions.reserve(total);
+    for (std::size_t f = 0; f < total; ++f) {
+        const bool interp = rng.nextBool(domain.interpreterProb);
+        functions.emplace_back("f" + std::to_string(f),
+                               static_cast<std::uint32_t>(
+                                   1 + rng.nextBelow(256)),
+                               randomLevels(rng, domain, interp));
+    }
+
+    const std::size_t n_calls =
+        1 + static_cast<std::size_t>(rng.nextBelow(domain.maxCalls));
+    std::vector<FuncId> calls(n_calls);
+    for (std::size_t i = 0; i < n_calls; ++i)
+        calls[i] = static_cast<FuncId>(rng.nextBelow(called));
+
+    return Workload("fuzz", std::move(functions), std::move(calls));
+}
+
+Workload
+mutateWorkload(const Workload &w, Rng &rng, const FuzzDomain &domain)
+{
+    const std::vector<FuncId> &calls = w.calls();
+    switch (rng.nextBelow(6)) {
+    case 0: { // splice: copy a call range to a random position
+        if (calls.empty())
+            return w;
+        std::vector<FuncId> out = calls;
+        const std::size_t a = rng.nextBelow(calls.size());
+        const std::size_t b =
+            a + 1 + rng.nextBelow(std::min<std::uint64_t>(
+                        calls.size() - a, 6));
+        const std::size_t at = rng.nextBelow(out.size() + 1);
+        out.insert(out.begin() + at, calls.begin() + a,
+                   calls.begin() + b);
+        if (out.size() > domain.maxCalls * 2)
+            out.resize(domain.maxCalls * 2);
+        return rebuild(w, copyProfiles(w), std::move(out));
+    }
+    case 1: { // duplicate one call in place
+        if (calls.empty())
+            return w;
+        std::vector<FuncId> out = calls;
+        const std::size_t i = rng.nextBelow(calls.size());
+        out.insert(out.begin() + i, calls[i]);
+        return rebuild(w, copyProfiles(w), std::move(out));
+    }
+    case 2: { // drop one call
+        if (calls.size() <= 1)
+            return w;
+        return dropCall(
+            w, static_cast<std::size_t>(rng.nextBelow(calls.size())));
+    }
+    case 3: { // insert an interpolated level into one function
+        const FuncId f =
+            static_cast<FuncId>(rng.nextBelow(w.numFunctions()));
+        const FunctionProfile &p = w.function(f);
+        std::vector<LevelCosts> levels = copyLevels(p);
+        const std::size_t at = rng.nextBelow(levels.size() + 1);
+        LevelCosts nl;
+        const Tick c_lo = at == 0 ? 0 : levels[at - 1].compile;
+        const Tick c_hi = at == levels.size()
+                              ? levels.back().compile + domain.maxCompile
+                              : levels[at].compile;
+        const Tick e_hi = at == 0 ? levels.front().exec + domain.maxExec
+                                  : levels[at - 1].exec;
+        const Tick e_lo = at == levels.size() ? 1 : levels[at].exec;
+        nl.compile = static_cast<Tick>(
+            rng.nextRange(c_lo, std::max(c_lo, c_hi)));
+        nl.exec = static_cast<Tick>(
+            rng.nextRange(std::min(e_lo, e_hi), std::max(e_lo, e_hi)));
+        levels.insert(levels.begin() + at, nl);
+        std::vector<FunctionProfile> functions = copyProfiles(w);
+        functions[f] =
+            FunctionProfile(p.name(), p.size(), std::move(levels));
+        return rebuild(w, std::move(functions),
+                       std::vector<FuncId>(calls));
+    }
+    case 4: { // drop one level of one function
+        const FuncId f =
+            static_cast<FuncId>(rng.nextBelow(w.numFunctions()));
+        const FunctionProfile &p = w.function(f);
+        if (p.numLevels() <= 1)
+            return w;
+        return dropLevel(w, f,
+                         static_cast<Level>(
+                             rng.nextBelow(p.numLevels())));
+    }
+    default: { // perturb one function's costs, re-monotonized
+        const FuncId f =
+            static_cast<FuncId>(rng.nextBelow(w.numFunctions()));
+        const FunctionProfile &p = w.function(f);
+        std::vector<LevelCosts> levels = copyLevels(p);
+        const double factor = rng.nextDouble(0.5, 2.0);
+        for (LevelCosts &lc : levels) {
+            lc.compile = static_cast<Tick>(
+                static_cast<double>(lc.compile) * factor);
+            lc.exec = std::max<Tick>(
+                1, static_cast<Tick>(
+                       static_cast<double>(lc.exec) * factor));
+        }
+        std::vector<FunctionProfile> functions = copyProfiles(w);
+        functions[f] = FunctionProfile(p.name(), p.size(),
+                                       remonotonize(std::move(levels)));
+        return rebuild(w, std::move(functions),
+                       std::vector<FuncId>(calls));
+    }
+    }
+}
+
+Workload
+appendCalls(const Workload &w, std::size_t extra)
+{
+    if (w.numCalls() == 0)
+        JITSCHED_PANIC("appendCalls: empty call sequence");
+    std::vector<FuncId> calls = w.calls();
+    for (std::size_t i = 0; i < extra; ++i)
+        calls.push_back(w.calls()[i % w.numCalls()]);
+    return rebuild(w, copyProfiles(w), std::move(calls));
+}
+
+Workload
+scaleCosts(const Workload &w, Tick k)
+{
+    if (k < 1)
+        JITSCHED_PANIC("scaleCosts: k must be >= 1");
+    std::vector<FunctionProfile> functions;
+    functions.reserve(w.numFunctions());
+    for (const FunctionProfile &p : w.functions()) {
+        std::vector<LevelCosts> levels = copyLevels(p);
+        for (LevelCosts &lc : levels) {
+            lc.compile *= k;
+            lc.exec *= k;
+        }
+        functions.emplace_back(p.name(), p.size(), std::move(levels));
+    }
+    return rebuild(w, std::move(functions),
+                   std::vector<FuncId>(w.calls()));
+}
+
+Workload
+dropCall(const Workload &w, std::size_t index)
+{
+    if (w.numCalls() <= 1)
+        JITSCHED_PANIC("dropCall: would empty the call sequence");
+    std::vector<FuncId> calls = w.calls();
+    calls.erase(calls.begin() + index);
+    return rebuild(w, copyProfiles(w), std::move(calls));
+}
+
+Workload
+dropFunction(const Workload &w, FuncId f)
+{
+    if (w.callCount(f) != 0)
+        JITSCHED_PANIC("dropFunction: function is called");
+    std::vector<FunctionProfile> functions = copyProfiles(w);
+    functions.erase(functions.begin() + f);
+    std::vector<FuncId> calls = w.calls();
+    for (FuncId &c : calls) {
+        if (c > f)
+            --c;
+    }
+    return rebuild(w, std::move(functions), std::move(calls));
+}
+
+Workload
+dropLevel(const Workload &w, FuncId f, Level l)
+{
+    const FunctionProfile &p = w.function(f);
+    if (p.numLevels() <= 1)
+        JITSCHED_PANIC("dropLevel: function has a single level");
+    std::vector<LevelCosts> levels = copyLevels(p);
+    levels.erase(levels.begin() + l);
+    std::vector<FunctionProfile> functions = copyProfiles(w);
+    functions[f] = FunctionProfile(p.name(), p.size(), std::move(levels));
+    return rebuild(w, std::move(functions),
+                   std::vector<FuncId>(w.calls()));
+}
+
+} // namespace qa
+} // namespace jitsched

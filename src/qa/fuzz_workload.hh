@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Seeded workload fuzzer: random generation over the trace grammar
+ * plus structure-preserving mutators.
+ *
+ * Every generated or mutated instance is a *legal* OCSP input by
+ * construction — the paper's monotonicity assumptions (Definition 1:
+ * j1 < j2 implies c(i,j1) <= c(i,j2) and e(i,j1) >= e(i,j2)) are
+ * maintained by every transform, so a fuzz failure is always a bug in
+ * a solver/simulator, never a malformed instance.  FunctionProfile
+ * re-checks the invariants on construction regardless; the fuzzer
+ * panicking there would itself be a finding.
+ *
+ * Reproducibility: drive everything from Rng::caseStream(seed, case)
+ * (support/rng.hh) — the draw sequence is a pure function of the
+ * (seed, case) pair, so any failure replays from those two numbers.
+ */
+
+#ifndef JITSCHED_QA_FUZZ_WORKLOAD_HH
+#define JITSCHED_QA_FUZZ_WORKLOAD_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "support/rng.hh"
+#include "support/types.hh"
+#include "trace/workload.hh"
+
+namespace jitsched {
+namespace qa {
+
+/**
+ * Bounds of the random instance space.  The defaults keep instances
+ * small enough that the exact solvers (brute force, A*) finish in
+ * microseconds-to-milliseconds, which is what lets the fuzzer run
+ * the full cross-solver oracle chain thousands of times per second.
+ */
+struct FuzzDomain
+{
+    /** Max distinct functions (exact solvers cap out near 6). */
+    std::size_t maxFunctions = 5;
+
+    /** Max call-sequence length. */
+    std::size_t maxCalls = 28;
+
+    /** Max optimization levels per function. */
+    std::size_t maxLevels = 3;
+
+    /** Max single-level compile time, in ticks. */
+    Tick maxCompile = 400;
+
+    /** Max single-invocation execution time, in ticks. */
+    Tick maxExec = 120;
+
+    /** Probability that level 0 compiles for free (interpreter tier). */
+    double interpreterProb = 0.2;
+
+    /** Probability of carrying a never-called function in the table. */
+    double uncalledProb = 0.15;
+};
+
+/**
+ * Draw a random workload from the domain.  At least one call is
+ * always present (the solvers treat an empty call sequence as a
+ * caller bug).
+ */
+Workload randomWorkload(Rng &rng, const FuzzDomain &domain);
+
+/**
+ * Apply one randomly chosen structure-preserving mutation: call
+ * splice (copy a range elsewhere), call duplication, call drop,
+ * level insertion (a new level wedged between two existing ones,
+ * costs interpolated so monotonicity holds), level drop, or cost
+ * perturbation (re-monotonized after scaling).
+ */
+Workload mutateWorkload(const Workload &w, Rng &rng,
+                        const FuzzDomain &domain);
+
+// --- Deterministic transforms -------------------------------------
+//
+// Shared by the metamorphic oracles (qa/oracles.hh) and the case
+// minimizer (qa/minimize.hh); deterministic so oracle failures
+// involving them replay exactly.
+
+/**
+ * Append `extra` calls to the sequence, cycling through the calls
+ * already present (so no new function becomes called and existing
+ * schedules stay valid).
+ */
+Workload appendCalls(const Workload &w, std::size_t extra);
+
+/**
+ * Multiply every compile and execution time by k (k >= 1).  The
+ * simulator is integer-exact, so make-spans of fixed schedules scale
+ * by exactly k (the metamorphic relation the oracle checks).
+ */
+Workload scaleCosts(const Workload &w, Tick k);
+
+/** Remove call at `index` (sequence must keep at least one call). */
+Workload dropCall(const Workload &w, std::size_t index);
+
+/**
+ * Remove function `f` from the table (must be uncalled), remapping
+ * the ids above it down by one.
+ */
+Workload dropFunction(const Workload &w, FuncId f);
+
+/**
+ * Remove level `l` of function `f` (the function must keep at least
+ * one level).
+ */
+Workload dropLevel(const Workload &w, FuncId f, Level l);
+
+} // namespace qa
+} // namespace jitsched
+
+#endif // JITSCHED_QA_FUZZ_WORKLOAD_HH

@@ -1,0 +1,104 @@
+#include "qa/minimize.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "qa/fuzz_workload.hh"
+#include "support/logging.hh"
+
+namespace jitsched {
+namespace qa {
+
+namespace {
+
+/** Drop calls [begin, begin+len) in one step. */
+Workload
+dropCallRange(const Workload &w, std::size_t begin, std::size_t len)
+{
+    std::vector<FuncId> calls = w.calls();
+    calls.erase(calls.begin() + begin, calls.begin() + begin + len);
+    return Workload(w.name(),
+                    std::vector<FunctionProfile>(w.functions()),
+                    std::move(calls));
+}
+
+} // anonymous namespace
+
+Workload
+minimizeWorkload(Workload w, const FailPredicate &still_fails,
+                 std::uint64_t max_probes, MinimizeStats *stats)
+{
+    MinimizeStats local;
+    local.callsBefore = w.numCalls();
+    local.functionsBefore = w.numFunctions();
+
+    const auto probe = [&](const Workload &candidate) {
+        ++local.probes;
+        return still_fails(candidate);
+    };
+    const auto budget_left = [&] {
+        return local.probes < max_probes;
+    };
+
+    // Phase 1: remove call chunks, halving the chunk size down to 1.
+    for (std::size_t chunk = std::max<std::size_t>(w.numCalls() / 2, 1);
+         chunk >= 1; chunk /= 2) {
+        bool shrunk = true;
+        while (shrunk && budget_left()) {
+            shrunk = false;
+            for (std::size_t begin = 0;
+                 begin + chunk <= w.numCalls() && budget_left();) {
+                if (w.numCalls() - chunk < 1)
+                    break; // keep at least one call
+                Workload candidate = dropCallRange(w, begin, chunk);
+                if (probe(candidate)) {
+                    w = std::move(candidate);
+                    shrunk = true;
+                } else {
+                    begin += chunk;
+                }
+            }
+        }
+        if (chunk == 1)
+            break;
+    }
+
+    // Phase 2: drop functions that lost all their calls.
+    for (FuncId f = 0; f < w.numFunctions() && budget_left();) {
+        if (w.numFunctions() > 1 && w.callCount(f) == 0) {
+            Workload candidate = dropFunction(w, f);
+            if (probe(candidate)) {
+                w = std::move(candidate);
+                continue; // same index now names the next function
+            }
+        }
+        ++f;
+    }
+
+    // Phase 3: drop optimization levels, highest first.
+    bool level_dropped = true;
+    while (level_dropped && budget_left()) {
+        level_dropped = false;
+        for (FuncId f = 0; f < w.numFunctions() && budget_left();
+             ++f) {
+            while (w.function(f).numLevels() > 1 && budget_left()) {
+                Workload candidate = dropLevel(
+                    w, f,
+                    static_cast<Level>(w.function(f).numLevels() - 1));
+                if (!probe(candidate))
+                    break;
+                w = std::move(candidate);
+                level_dropped = true;
+            }
+        }
+    }
+
+    local.callsAfter = w.numCalls();
+    local.functionsAfter = w.numFunctions();
+    if (stats != nullptr)
+        *stats = local;
+    return w;
+}
+
+} // namespace qa
+} // namespace jitsched

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Greedy reduction of a failing fuzz case to a minimal reproducer.
+ *
+ * Delta-debugging in miniature: repeatedly try structure-preserving
+ * shrink steps (drop call chunks, drop now-uncalled functions, drop
+ * optimization levels) and keep any step after which the failure
+ * predicate still fires.  The result is 1-minimal with respect to
+ * the step set — no single remaining call, function, or level can be
+ * removed — which in practice turns 30-call instances into the 3-5
+ * call kernels humans can reason about.
+ */
+
+#ifndef JITSCHED_QA_MINIMIZE_HH
+#define JITSCHED_QA_MINIMIZE_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "trace/workload.hh"
+
+namespace jitsched {
+namespace qa {
+
+/**
+ * True when the candidate workload still reproduces the failure
+ * (e.g. "qa::checkAll() is non-empty").  Must be deterministic.
+ */
+using FailPredicate = std::function<bool(const Workload &)>;
+
+/** What the minimizer did. */
+struct MinimizeStats
+{
+    std::uint64_t probes = 0; ///< predicate evaluations
+    std::size_t callsBefore = 0;
+    std::size_t callsAfter = 0;
+    std::size_t functionsBefore = 0;
+    std::size_t functionsAfter = 0;
+};
+
+/**
+ * Shrink @p w while @p still_fails keeps returning true.  @p w must
+ * itself satisfy the predicate.  @p max_probes bounds the work (the
+ * predicate typically runs every solver).
+ */
+Workload minimizeWorkload(Workload w, const FailPredicate &still_fails,
+                          std::uint64_t max_probes = 2000,
+                          MinimizeStats *stats = nullptr);
+
+} // namespace qa
+} // namespace jitsched
+
+#endif // JITSCHED_QA_MINIMIZE_HH

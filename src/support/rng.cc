@@ -128,6 +128,20 @@ Rng::split()
     return Rng(next());
 }
 
+Rng
+Rng::caseStream(std::uint64_t seed, std::uint64_t case_index)
+{
+    // Avalanche each word independently, then combine.  The odd
+    // constant on the index keeps caseStream(s, 0) distinct from
+    // Rng(s) (whose constructor also starts from a SplitMix64 walk
+    // of s alone).
+    std::uint64_t a = seed;
+    std::uint64_t b = case_index ^ 0xa0761d6478bd642full;
+    const std::uint64_t ha = splitMix64(a);
+    const std::uint64_t hb = splitMix64(b);
+    return Rng(ha ^ rotl(hb, 32));
+}
+
 ZipfSampler::ZipfSampler(std::size_t n, double s)
 {
     if (n == 0)

@@ -7,6 +7,7 @@
 
 #include "core/astar.hh"
 #include "core/brute_force.hh"
+#include "qa/oracles.hh"
 #include "sim/makespan.hh"
 #include "trace/paper_examples.hh"
 #include "trace/synthetic.hh"
@@ -37,7 +38,13 @@ TEST(AStar, ResultMatchesSimulator)
     EXPECT_EQ(simulate(w, res.schedule).makespan, res.makespan);
 }
 
-/** A* must agree with exhaustive search on random tiny instances. */
+/**
+ * A* must agree with exhaustive search on random tiny instances.
+ * The shared exactness oracle (qa/oracles.hh) checks brute force
+ * against *both* A* variants — incremental and from-scratch — plus
+ * schedule validity and simulator agreement, so this sweep guards
+ * the same invariant the fuzzer does.
+ */
 class AStarVsBruteTest
     : public ::testing::TestWithParam<std::uint64_t>
 {
@@ -52,11 +59,16 @@ TEST_P(AStarVsBruteTest, SameOptimalMakespan)
     cfg.seed = GetParam();
     const Workload w = generateSynthetic(cfg);
 
-    const BruteForceResult bf = bruteForceOptimal(w);
-    ASSERT_TRUE(bf.complete);
-    const AStarResult as = aStarOptimal(w);
-    ASSERT_EQ(as.status, AStarStatus::Optimal);
-    EXPECT_EQ(as.makespan, bf.makespan) << "seed " << GetParam();
+    qa::OracleConfig ocfg;
+    ocfg.checkMetamorphic = false; // exactness is the point here
+    qa::OracleStats stats;
+    const std::vector<qa::Violation> violations =
+        qa::checkAll(w, ocfg, &stats);
+    EXPECT_TRUE(violations.empty())
+        << "seed " << GetParam() << "\n"
+        << qa::describeViolations(violations);
+    ASSERT_EQ(stats.exactRuns, 1u)
+        << "instance too large for the exact oracles";
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AStarVsBruteTest,

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Replay every checked-in reproducer through the oracles appropriate
+ * to its extension (qa/corpus.hh).  Each file here is a bug that
+ * once existed or an input shape that once looked risky; the suite
+ * is the ratchet that keeps them fixed.
+ *
+ * The corpus directory is compiled in as JITSCHED_QA_CORPUS_DIR (set
+ * in tests/CMakeLists.txt), so the suite runs from any build
+ * directory.
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "qa/corpus.hh"
+#include "qa/fuzz_workload.hh"
+#include "support/rng.hh"
+
+namespace jitsched {
+namespace qa {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string>
+corpusFiles()
+{
+    std::vector<std::string> files;
+    for (const auto &entry :
+         fs::directory_iterator(JITSCHED_QA_CORPUS_DIR)) {
+        if (entry.is_regular_file())
+            files.push_back(entry.path().string());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+TEST(CorpusReplay, EveryCheckedInCasePasses)
+{
+    const std::vector<std::string> files = corpusFiles();
+    ASSERT_GE(files.size(), 10u)
+        << "starter corpus went missing from "
+        << JITSCHED_QA_CORPUS_DIR;
+    for (const std::string &file : files) {
+        const ReplayResult result = replayFile(file);
+        EXPECT_TRUE(result.ok) << result.detail;
+    }
+}
+
+TEST(CorpusReplay, BothExtensionsArePresent)
+{
+    // The corpus must keep exercising both replay paths; losing one
+    // silently halves the ratchet.
+    bool workload = false, frame = false;
+    for (const std::string &file : corpusFiles()) {
+        workload |= file.ends_with(".workload");
+        frame |= file.ends_with(".frame");
+    }
+    EXPECT_TRUE(workload);
+    EXPECT_TRUE(frame);
+}
+
+TEST(CorpusReplay, UnknownExtensionIsAFailure)
+{
+    const ReplayResult result =
+        replayFile(std::string(JITSCHED_QA_CORPUS_DIR) +
+                   "/no-such-file.txt");
+    EXPECT_FALSE(result.ok);
+}
+
+TEST(CorpusReplay, WrittenCasesRoundTrip)
+{
+    // writeWorkloadCase -> replayFile is the fuzzer's reproducer
+    // path; a comment-laden file must come back clean.
+    Rng rng = Rng::caseStream(41, 0);
+    const Workload w = randomWorkload(rng, FuzzDomain{});
+    const std::string dir = ::testing::TempDir() + "qa-corpus-test";
+    std::string error;
+    const std::string path = writeWorkloadCase(
+        dir, "roundtrip", w, "seed 41 case 0\nwritten by tests",
+        &error);
+    ASSERT_FALSE(path.empty()) << error;
+    const ReplayResult result = replayFile(path);
+    EXPECT_TRUE(result.ok) << result.detail;
+}
+
+} // anonymous namespace
+} // namespace qa
+} // namespace jitsched

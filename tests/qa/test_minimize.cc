@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for the greedy case minimizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "qa/fuzz_workload.hh"
+#include "qa/minimize.hh"
+#include "support/rng.hh"
+
+namespace jitsched {
+namespace qa {
+namespace {
+
+TEST(Minimize, AlwaysTruePredicateShrinksToTheFloor)
+{
+    Rng rng = Rng::caseStream(31, 0);
+    FuzzDomain domain;
+    domain.maxCalls = 28;
+    const Workload w = randomWorkload(rng, domain);
+
+    MinimizeStats stats;
+    const Workload minimal = minimizeWorkload(
+        w, [](const Workload &) { return true; }, 2000, &stats);
+    EXPECT_EQ(minimal.numCalls(), 1u);
+    EXPECT_EQ(minimal.numFunctions(), 1u);
+    for (std::size_t i = 0; i < minimal.numFunctions(); ++i)
+        EXPECT_EQ(minimal.function(static_cast<FuncId>(i)).numLevels(),
+                  1u);
+    EXPECT_EQ(stats.callsBefore, w.numCalls());
+    EXPECT_EQ(stats.callsAfter, 1u);
+}
+
+TEST(Minimize, PreservesThePropertyItMinimizesFor)
+{
+    // Predicate: the workload still calls its hottest function at
+    // least twice.  The result must be 1-minimal (dropping any one
+    // more call breaks it) and still satisfy the predicate.
+    Rng rng = Rng::caseStream(31, 7);
+    const Workload w = randomWorkload(rng, FuzzDomain{});
+    FuncId hottest = 0;
+    for (std::size_t i = 1; i < w.numFunctions(); ++i)
+        if (w.callCount(static_cast<FuncId>(i)) >
+            w.callCount(hottest))
+            hottest = static_cast<FuncId>(i);
+    if (w.callCount(hottest) < 2)
+        GTEST_SKIP() << "instance too small for this predicate";
+
+    const auto pred = [&](const Workload &c) {
+        // Function ids shift when uncalled functions are dropped, so
+        // identify the hottest function by its name.
+        for (std::size_t i = 0; i < c.numFunctions(); ++i) {
+            const auto f = static_cast<FuncId>(i);
+            if (c.function(f).name() == w.function(hottest).name())
+                return c.callCount(f) >= 2;
+        }
+        return false;
+    };
+    MinimizeStats stats;
+    const Workload minimal = minimizeWorkload(w, pred, 2000, &stats);
+    EXPECT_TRUE(pred(minimal));
+    EXPECT_EQ(minimal.numCalls(), 2u);
+    EXPECT_EQ(minimal.numFunctions(), 1u);
+    EXPECT_GT(stats.probes, 0u);
+}
+
+TEST(Minimize, RespectsTheProbeBudget)
+{
+    Rng rng = Rng::caseStream(31, 2);
+    const Workload w = randomWorkload(rng, FuzzDomain{});
+    MinimizeStats stats;
+    minimizeWorkload(
+        w, [](const Workload &) { return true; }, 3, &stats);
+    EXPECT_LE(stats.probes, 4u); // one in-flight probe may finish
+}
+
+} // anonymous namespace
+} // namespace qa
+} // namespace jitsched

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests of the oracle library itself: clean instances pass, corrupt
+ * schedules and deliberately-inverted invariants are caught.  An
+ * oracle that cannot fail protects nothing, so half of this file is
+ * negative tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/candidate_levels.hh"
+#include "core/single_level.hh"
+#include "qa/fuzz_workload.hh"
+#include "qa/oracles.hh"
+#include "sim/makespan.hh"
+#include "support/rng.hh"
+#include "trace/paper_examples.hh"
+
+namespace jitsched {
+namespace qa {
+namespace {
+
+TEST(Oracles, PaperExamplesAreClean)
+{
+    for (const Workload &w : {figure1Workload(), figure2Workload()}) {
+        OracleStats stats;
+        const std::vector<Violation> violations =
+            checkAll(w, {}, &stats);
+        EXPECT_TRUE(violations.empty())
+            << describeViolations(violations);
+        EXPECT_EQ(stats.exactRuns, 1u);
+    }
+}
+
+TEST(Oracles, ReferenceMakespanMatchesSimulator)
+{
+    // The whole point of the reference replay is that it shares no
+    // code with sim/makespan.cc; agreeing on random instances is the
+    // simulator's independent audit.
+    const FuzzDomain domain;
+    for (std::uint64_t c = 0; c < 100; ++c) {
+        Rng rng = Rng::caseStream(21, c);
+        const Workload w = randomWorkload(rng, domain);
+        const auto cands = oracleCandidateLevels(w);
+        const Schedule s = baseLevelSchedule(w, cands);
+        EXPECT_EQ(referenceMakespan(w, s),
+                  simulate(w, s).makespan);
+    }
+}
+
+TEST(Oracles, InvertedLowerBoundFires)
+{
+    // The --break-oracle canary: with the comparison flipped, a
+    // healthy stack must violate "lb >= make-span" essentially
+    // always.  If this stops firing, the fuzzer has gone blind.
+    OracleConfig cfg;
+    cfg.invertLowerBound = true;
+    const std::vector<Violation> violations =
+        checkAll(figure1Workload(), cfg);
+    ASSERT_FALSE(violations.empty());
+    EXPECT_EQ(violations.front().oracle, "lower-bound");
+}
+
+TEST(Oracles, CorruptScheduleIsCaught)
+{
+    const Workload w = figure1Workload();
+    // Skip one called function entirely: invalid by Definition 2.
+    Schedule missing;
+    const FuncId first = w.calls().front();
+    missing.append(first, static_cast<Level>(
+                              w.function(first).numLevels() - 1));
+    bool only_one_callee = true;
+    for (const FuncId f : w.calls())
+        if (f != first)
+            only_one_callee = false;
+    ASSERT_FALSE(only_one_callee)
+        << "example unexpectedly calls a single function";
+
+    std::vector<Violation> violations;
+    checkScheduleSemantics(w, missing, "corrupt", violations);
+    ASSERT_FALSE(violations.empty());
+}
+
+TEST(Oracles, EmptyCallSequenceIsVacuouslyClean)
+{
+    const Workload w("empty", {}, {});
+    EXPECT_TRUE(checkAll(w).empty());
+}
+
+TEST(Oracles, FuzzSweepIsCleanOnRandomInstances)
+{
+    // A miniature in-process copy of `jitsched-fuzz solvers`: the
+    // first 60 cases of a fixed seed, full oracle chain.  Keeps the
+    // fuzz loop's health under the plain tier-1 gate even where the
+    // binary is never run.
+    const FuzzDomain domain;
+    OracleConfig cfg;
+    OracleStats stats;
+    for (std::uint64_t c = 0; c < 60; ++c) {
+        Rng rng = Rng::caseStream(1, c);
+        Workload w = randomWorkload(rng, domain);
+        const std::uint64_t mutations = rng.nextBelow(4);
+        for (std::uint64_t m = 0; m < mutations; ++m)
+            w = mutateWorkload(w, rng, domain);
+        const std::vector<Violation> violations =
+            checkAll(w, cfg, &stats);
+        EXPECT_TRUE(violations.empty())
+            << "case " << c << "\n"
+            << describeViolations(violations);
+    }
+    EXPECT_GT(stats.exactRuns, 0u);
+}
+
+} // anonymous namespace
+} // namespace qa
+} // namespace jitsched
