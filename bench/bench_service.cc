@@ -15,6 +15,7 @@
  */
 
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <mutex>
 #include <string>
@@ -154,22 +155,76 @@ main()
               << kRequestsPerClient << " requests, policy iar, "
               << "loopback port " << server.port() << "\n\n";
 
+    struct Scenario
+    {
+        std::string label;
+        ScenarioResult result;
+    };
+    std::vector<Scenario> scenarios;
+    scenarios.push_back(
+        {"cold (all distinct)",
+         runScenario(server.port(), "iar", pickCold)});
+    scenarios.push_back(
+        {"warm (all duplicate)",
+         runScenario(server.port(), "iar", pickWarm)});
+    scenarios.push_back(
+        {"mixed (80% repeat)",
+         runScenario(server.port(), "iar", pickMixed)});
+
     std::vector<LatencyRow> rows;
-    rows.push_back(
-        toRow("cold (all distinct)",
-              runScenario(server.port(), "iar", pickCold)));
-    rows.push_back(
-        toRow("warm (all duplicate)",
-              runScenario(server.port(), "iar", pickWarm)));
-    rows.push_back(
-        toRow("mixed (80% repeat)",
-              runScenario(server.port(), "iar", pickMixed)));
+    for (const Scenario &s : scenarios)
+        rows.push_back(toRow(s.label, s.result));
     printLatencyTable("scheduling service latency", rows);
 
-    std::cout << "cache: " << engine.cache().hits() << " hits / "
-              << engine.cache().misses() << " misses  |  admission: "
+    const std::uint64_t hits = engine.cache().hits();
+    const std::uint64_t misses = engine.cache().misses();
+    std::cout << "cache: " << hits << " hits / " << misses
+              << " misses  |  admission: "
               << server.admission().processed() << " processed, "
               << server.admission().shed() << " shed\n";
+
+    // The machine-readable artifact next to the table.
+    const char *json_path = "BENCH_service.json";
+    std::ofstream out(json_path);
+    JsonWriter j(out);
+    j.beginObject();
+    j.member("bench", "service");
+    j.member("policy", "iar");
+    j.member("clients", std::uint64_t(kClients));
+    j.member("requestsPerClient",
+             std::uint64_t(kRequestsPerClient));
+    j.key("scenarios").beginArray();
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        const LatencySummary &l = rows[i].latency;
+        j.beginObject();
+        j.member("label", scenarios[i].label);
+        j.member("requests", std::uint64_t(l.count));
+        j.member("errors", scenarios[i].result.errors);
+        j.member("p50Ms", l.p50Ms);
+        j.member("p95Ms", l.p95Ms);
+        j.member("p99Ms", l.p99Ms);
+        j.member("meanMs", l.meanMs);
+        j.member("throughputPerSec", rows[i].throughputPerSec);
+        j.endObject();
+    }
+    j.endArray();
+    j.key("cache").beginObject();
+    j.member("hits", hits);
+    j.member("misses", misses);
+    j.member("hitRate",
+             hits + misses > 0
+                 ? static_cast<double>(hits) /
+                       static_cast<double>(hits + misses)
+                 : 0.0);
+    j.endObject();
+    j.key("admission").beginObject();
+    j.member("processed", server.admission().processed());
+    j.member("shed", server.admission().shed());
+    j.endObject();
+    j.endObject();
+    out << "\n";
+    std::cout << "Wrote " << json_path << "\n";
+
     server.stop();
     return 0;
 }

@@ -5,11 +5,12 @@
 #
 #   scripts/check.sh           # build + ctest -L tier1
 #   scripts/check.sh --tsan    # also build the thread-heavy tests
-#                              # (`exec` and `service` ctest labels)
-#                              # with -fsanitize=thread in build-tsan/
-#                              # and run them (thread pool, eval
-#                              # cache, batch determinism, admission
-#                              # queue, loopback server)
+#                              # (`exec`, `service` and `cluster`
+#                              # ctest labels) with -fsanitize=thread
+#                              # in build-tsan/ and run them (thread
+#                              # pool, eval cache, batch determinism,
+#                              # admission queue, loopback server,
+#                              # cluster router + health prober)
 #   scripts/check.sh --bench-smoke
 #                              # also run bench_astar --smoke and diff
 #                              # its deterministic search counters
@@ -39,6 +40,14 @@
 #                              # build-asan/ and run the `qa` and
 #                              # `service` test labels plus a short
 #                              # fuzz smoke under the sanitizers
+#   scripts/check.sh --cluster-smoke
+#                              # also drive the real cluster binaries
+#                              # end to end: two jitschedd backends +
+#                              # jitsched-router on ephemeral ports,
+#                              # byte-compare routed responses against
+#                              # a direct daemon, kill one backend
+#                              # mid-run (answers must keep coming),
+#                              # and scrape the router's STATS
 #
 set -euo pipefail
 
@@ -49,6 +58,7 @@ run_bench_smoke=0
 run_obs_smoke=0
 run_fuzz_smoke=0
 run_asan=0
+run_cluster_smoke=0
 for arg in "$@"; do
     case "$arg" in
         --tsan) run_tsan=1 ;;
@@ -56,9 +66,11 @@ for arg in "$@"; do
         --obs-smoke) run_obs_smoke=1 ;;
         --fuzz-smoke) run_fuzz_smoke=1 ;;
         --asan) run_asan=1 ;;
+        --cluster-smoke) run_cluster_smoke=1 ;;
         *)
             echo "usage: scripts/check.sh [--tsan] [--bench-smoke]" \
-                 "[--obs-smoke] [--fuzz-smoke] [--asan]" >&2
+                 "[--obs-smoke] [--fuzz-smoke] [--asan]" \
+                 "[--cluster-smoke]" >&2
             exit 2
             ;;
     esac
@@ -140,6 +152,101 @@ EOF
     echo "obs smoke: trace valid, STATS keys match"
 fi
 
+if [ "$run_cluster_smoke" -eq 1 ]; then
+    echo "== Cluster smoke (2 jitschedd + jitsched-router) =="
+    cs_dir="$(mktemp -d)"
+    cs_pids=()
+    cleanup_cluster() {
+        for pid in "${cs_pids[@]:-}"; do
+            kill "$pid" 2>/dev/null || true
+            wait "$pid" 2>/dev/null || true
+        done
+        rm -rf "$cs_dir"
+    }
+    trap cleanup_cluster EXIT
+    # The paper's Fig. 1 instance (trace/paper_examples.hh).
+    cat > "$cs_dir/workload" <<'EOF'
+# jitsched workload trace
+workload paper-fig1
+levels 2
+func 0 f0 1 1 1 1 1
+func 1 f1 1 1 3 3 2
+func 2 f2 1 3 3 5 1
+calls 4
+0 1 2 1
+EOF
+    scrape_port() { # logfile binary-name
+        local port="" i
+        for i in $(seq 1 50); do
+            port="$(sed -n \
+                "s/^$2 listening on .*:\([0-9]*\)$/\1/p" "$1")"
+            [ -n "$port" ] && break
+            sleep 0.1
+        done
+        if [ -z "$port" ]; then
+            echo "cluster smoke: $2 did not come up:" >&2
+            cat "$1" >&2
+            exit 1
+        fi
+        echo "$port"
+    }
+    ./build/bin/jitschedd --port 0 > "$cs_dir/a.log" &
+    cs_pids+=($!)
+    ./build/bin/jitschedd --port 0 > "$cs_dir/b.log" &
+    cs_pids+=($!)
+    port_a="$(scrape_port "$cs_dir/a.log" jitschedd)"
+    port_b="$(scrape_port "$cs_dir/b.log" jitschedd)"
+    ./build/bin/jitsched-router --port 0 \
+        --backend "127.0.0.1:$port_a" \
+        --backend "127.0.0.1:$port_b" > "$cs_dir/router.log" &
+    router_pid=$!
+    cs_pids+=("$router_pid")
+    port_r="$(scrape_port "$cs_dir/router.log" jitsched-router)"
+
+    # Byte-identity: the same request through the router and against
+    # a daemon directly must print the same response (--no-stats
+    # drops the one volatile line).
+    ./build/bin/jitsched-cli --port "$port_r" --policy iar --id 1 \
+        --no-stats --timeout-ms 10000 "$cs_dir/workload" \
+        > "$cs_dir/via-router.out"
+    ./build/bin/jitsched-cli --port "$port_a" --policy iar --id 1 \
+        --no-stats --timeout-ms 10000 "$cs_dir/workload" \
+        > "$cs_dir/direct.out"
+    if ! diff -u "$cs_dir/direct.out" "$cs_dir/via-router.out"; then
+        echo "cluster smoke: routed response diverged from the" \
+             "direct daemon" >&2
+        exit 1
+    fi
+
+    # Fault tolerance: kill backend A; requests must keep being
+    # answered, and still byte-identically, by the survivor.  (The
+    # request id is kept at 1 so the reference bytes stay valid.)
+    kill "${cs_pids[0]}" 2>/dev/null || true
+    wait "${cs_pids[0]}" 2>/dev/null || true
+    for shot in 1 2 3; do
+        ./build/bin/jitsched-cli --port "$port_r" --policy iar \
+            --id 1 --no-stats --timeout-ms 10000 \
+            "$cs_dir/workload" > "$cs_dir/after-kill.$shot.out"
+        if ! diff -u "$cs_dir/direct.out" \
+                "$cs_dir/after-kill.$shot.out"; then
+            echo "cluster smoke: response $shot after the backend" \
+                 "kill diverged" >&2
+            exit 1
+        fi
+    done
+
+    # The router's own STATS surface.
+    ./build/bin/jitsched-cli --port "$port_r" --timeout-ms 10000 \
+        stats > "$cs_dir/stats.out"
+    if ! grep -q "cluster.frames.served" "$cs_dir/stats.out"; then
+        echo "cluster smoke: router STATS is missing cluster.*" \
+             "instruments" >&2
+        cat "$cs_dir/stats.out" >&2
+        exit 1
+    fi
+    echo "cluster smoke: byte-identical routing, failover, STATS ok"
+fi
+
 if [ "$run_fuzz_smoke" -eq 1 ]; then
     echo "== Fuzz smoke (solvers 20s + protocol 10s + canary) =="
     fuzz_corpus="$(mktemp -d)"
@@ -183,12 +290,13 @@ if [ "$run_asan" -eq 1 ]; then
 fi
 
 if [ "$run_tsan" -eq 1 ]; then
-    echo "== ThreadSanitizer pass (exec + service + obs + qa) =="
+    echo "== ThreadSanitizer pass (exec + service + cluster + obs" \
+         "+ qa) =="
     cmake -B build-tsan -S . -DJITSCHED_TSAN=ON \
         -DJITSCHED_BUILD_BENCH=OFF -DJITSCHED_BUILD_EXAMPLES=OFF \
         >/dev/null
     cmake --build build-tsan --target test_exec test_service \
-        test_obs test_qa -j
+        test_cluster test_obs test_qa -j
     # More than one executor thread, so the pool and the sharded
     # cache actually race if they can.
     JITSCHED_THREADS=4 ./build-tsan/tests/test_exec \
@@ -196,6 +304,9 @@ if [ "$run_tsan" -eq 1 ]; then
     # The whole service stack is concurrent: acceptor + handler
     # threads, admission worker, evaluation pool, parallel clients.
     JITSCHED_THREADS=4 ./build-tsan/tests/test_service
+    # The cluster layer on top of it: router handlers, the health
+    # prober, and a backend bouncing while requests route.
+    JITSCHED_THREADS=4 ./build-tsan/tests/test_cluster
     # The striped metrics instruments under a deliberate thread
     # hammer (the satellite concurrency suites).
     JITSCHED_THREADS=4 ./build-tsan/tests/test_obs \

@@ -1,0 +1,197 @@
+#include "cluster/backend.hh"
+
+#include "support/logging.hh"
+
+namespace jitsched {
+namespace cluster {
+
+std::string
+BackendEndpoint::label() const
+{
+    return address + ":" + std::to_string(port);
+}
+
+const char *
+healthStateName(HealthState s)
+{
+    switch (s) {
+    case HealthState::Healthy:
+        return "healthy";
+    case HealthState::Suspect:
+        return "suspect";
+    case HealthState::Down:
+        return "down";
+    case HealthState::Probing:
+        return "probing";
+    }
+    return "?";
+}
+
+RollingWindow::RollingWindow(int window_ms, std::size_t buckets,
+                             Clock::time_point now)
+    : bucketWidth_(std::chrono::milliseconds(
+          window_ms / static_cast<int>(buckets) > 0
+              ? window_ms / static_cast<int>(buckets)
+              : 1)),
+      buckets_(buckets > 0 ? buckets : 1), currentStart_(now)
+{
+}
+
+void
+RollingWindow::advance(Clock::time_point now)
+{
+    // Rotate one bucket per elapsed width; cap the walk at one full
+    // revolution (everything is stale after that).
+    std::size_t steps = 0;
+    while (now - currentStart_ >= bucketWidth_ &&
+           steps < buckets_.size()) {
+        current_ = (current_ + 1) % buckets_.size();
+        buckets_[current_] = {};
+        currentStart_ += bucketWidth_;
+        ++steps;
+    }
+    if (now - currentStart_ >= bucketWidth_) {
+        // Idle longer than the whole window: every bucket was
+        // cleared above; just resynchronize the epoch.
+        currentStart_ = now;
+    }
+}
+
+void
+RollingWindow::record(bool ok, Clock::time_point now)
+{
+    advance(now);
+    if (ok)
+        ++buckets_[current_].ok;
+    else
+        ++buckets_[current_].fail;
+}
+
+std::uint64_t
+RollingWindow::total(Clock::time_point now)
+{
+    advance(now);
+    std::uint64_t n = 0;
+    for (const Bucket &b : buckets_)
+        n += b.ok + b.fail;
+    return n;
+}
+
+std::uint64_t
+RollingWindow::failures(Clock::time_point now)
+{
+    advance(now);
+    std::uint64_t n = 0;
+    for (const Bucket &b : buckets_)
+        n += b.fail;
+    return n;
+}
+
+double
+RollingWindow::errorRate(Clock::time_point now)
+{
+    const std::uint64_t all = total(now);
+    if (all == 0)
+        return 0.0;
+    return static_cast<double>(failures(now)) /
+           static_cast<double>(all);
+}
+
+void
+RollingWindow::reset(Clock::time_point now)
+{
+    for (Bucket &b : buckets_)
+        b = {};
+    current_ = 0;
+    currentStart_ = now;
+}
+
+HealthMachine::HealthMachine(HealthConfig cfg, Clock::time_point now)
+    : cfg_(cfg),
+      window_(cfg.windowMs, cfg.windowBuckets, now),
+      probeDelayMs_(cfg.probeDelayMs), nextProbeAt_(now)
+{
+}
+
+void
+HealthMachine::eject(Clock::time_point now)
+{
+    state_ = HealthState::Down;
+    ++ejections_;
+    consecutiveFailures_ = 0;
+    probeStreak_ = 0;
+    probeDelayMs_ = cfg_.probeDelayMs;
+    nextProbeAt_ = now + std::chrono::milliseconds(probeDelayMs_);
+}
+
+void
+HealthMachine::onResult(bool ok, Clock::time_point now)
+{
+    if (state_ == HealthState::Down ||
+        state_ == HealthState::Probing) {
+        // Stragglers from requests in flight when the backend was
+        // ejected; the probe cycle owns the state now.
+        return;
+    }
+    window_.record(ok, now);
+    if (ok) {
+        consecutiveFailures_ = 0;
+        state_ = HealthState::Healthy;
+        return;
+    }
+    ++consecutiveFailures_;
+    const bool breakerTripped =
+        window_.total(now) >= cfg_.breakerMinSamples &&
+        window_.errorRate(now) >= cfg_.breakerMaxErrorRate;
+    if (state_ == HealthState::Healthy) {
+        if (breakerTripped) {
+            eject(now);
+            return;
+        }
+        if (consecutiveFailures_ >= cfg_.suspectAfter)
+            state_ = HealthState::Suspect;
+        return;
+    }
+    // Suspect.
+    if (breakerTripped || consecutiveFailures_ >= cfg_.downAfter)
+        eject(now);
+}
+
+bool
+HealthMachine::wantsProbe(Clock::time_point now)
+{
+    if (state_ != HealthState::Down || now < nextProbeAt_)
+        return false;
+    state_ = HealthState::Probing;
+    return true;
+}
+
+void
+HealthMachine::onProbe(bool ok, Clock::time_point now)
+{
+    if (state_ != HealthState::Probing)
+        return;
+    if (!ok) {
+        probeStreak_ = 0;
+        probeDelayMs_ = std::min(probeDelayMs_ * 2,
+                                 cfg_.probeDelayMaxMs);
+        state_ = HealthState::Down;
+        nextProbeAt_ =
+            now + std::chrono::milliseconds(probeDelayMs_);
+        return;
+    }
+    if (++probeStreak_ >= cfg_.probeSuccesses) {
+        state_ = HealthState::Healthy;
+        ++readmissions_;
+        consecutiveFailures_ = 0;
+        probeStreak_ = 0;
+        probeDelayMs_ = cfg_.probeDelayMs;
+        window_.reset(now);
+        return;
+    }
+    // Partial streak: stay Probing; the prober sends the next PING
+    // immediately (wantsProbe only gates Down -> Probing).
+}
+
+} // namespace cluster
+} // namespace jitsched

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Per-backend health bookkeeping for the cluster router: a rolling
+ * error-rate window (the circuit breaker) and the four-state health
+ * machine it drives.
+ *
+ *            consecutive failures            breaker trips or
+ *            reach suspectAfter              more failures
+ *   Healthy ---------------------> Suspect ------------------> Down
+ *      ^                             |                          |
+ *      |        any success         |                          | probe
+ *      +<----------------------------+                          | timer
+ *      |                                                        v
+ *      +<------------- probeSuccesses ok PINGs ------------- Probing
+ *                         (probe failure -> Down, backoff)
+ *
+ * Healthy and Suspect are routable; Down and Probing are not — a
+ * Down backend costs zero client requests while the prober decides
+ * when it may return.  The machine is a pure value: every transition
+ * takes the current time as an argument, so the unit tests drive it
+ * through a whole outage on a fake clock, and the router's pool
+ * wraps it in a mutex.
+ *
+ * The breaker is a bucketed rolling window rather than consecutive
+ * counts alone so that a backend failing, say, 60% of requests under
+ * concurrent load gets ejected even though successes keep
+ * interrupting the failure streaks.
+ */
+
+#ifndef JITSCHED_CLUSTER_BACKEND_HH
+#define JITSCHED_CLUSTER_BACKEND_HH
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jitsched {
+namespace cluster {
+
+/** One backend endpoint (a jitschedd instance). */
+struct BackendEndpoint
+{
+    std::string address = "127.0.0.1";
+    std::uint16_t port = 0;
+
+    /** "address:port" — the metrics / log label. */
+    std::string label() const;
+};
+
+enum class HealthState
+{
+    Healthy, ///< routable, no recent trouble
+    Suspect, ///< routable, but failures are accumulating
+    Down,    ///< ejected; no client traffic
+    Probing, ///< ejected; a PING probe is deciding re-admission
+};
+
+/** Printable state name (tests and the router's log lines). */
+const char *healthStateName(HealthState s);
+
+/** Rolling success/failure counts over the last windowMs. */
+class RollingWindow
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    RollingWindow(int window_ms, std::size_t buckets,
+                  Clock::time_point now);
+
+    void record(bool ok, Clock::time_point now);
+
+    std::uint64_t total(Clock::time_point now);
+    std::uint64_t failures(Clock::time_point now);
+
+    /** Failure fraction in [0,1]; 0 when the window is empty. */
+    double errorRate(Clock::time_point now);
+
+    void reset(Clock::time_point now);
+
+  private:
+    struct Bucket
+    {
+        std::uint64_t ok = 0;
+        std::uint64_t fail = 0;
+    };
+
+    /** Rotate stale buckets out so reads see only the window. */
+    void advance(Clock::time_point now);
+
+    std::chrono::milliseconds bucketWidth_;
+    std::vector<Bucket> buckets_;
+    std::size_t current_ = 0;
+    Clock::time_point currentStart_;
+};
+
+/** Knobs of the health machine + breaker. */
+struct HealthConfig
+{
+    /** Consecutive failures that turn Healthy into Suspect. */
+    std::uint32_t suspectAfter = 1;
+
+    /** Consecutive failures that turn Suspect into Down. */
+    std::uint32_t downAfter = 3;
+
+    /** Breaker window length and resolution. */
+    int windowMs = 2000;
+    std::size_t windowBuckets = 10;
+
+    /** Breaker: minimum samples before the error rate can trip. */
+    std::uint64_t breakerMinSamples = 8;
+
+    /** Breaker: error rate in the window that ejects the backend. */
+    double breakerMaxErrorRate = 0.5;
+
+    /** Down -> Probing delay after ejection (first probe). */
+    int probeDelayMs = 100;
+
+    /** Probe-failure backoff: delay doubles up to this cap. */
+    int probeDelayMaxMs = 2000;
+
+    /** Ok probes required to re-admit a Probing backend. */
+    std::uint32_t probeSuccesses = 2;
+};
+
+class HealthMachine
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    HealthMachine(HealthConfig cfg, Clock::time_point now);
+
+    HealthState state() const { return state_; }
+
+    /** Healthy or Suspect — may receive client traffic. */
+    bool routable() const
+    {
+        return state_ == HealthState::Healthy ||
+               state_ == HealthState::Suspect;
+    }
+
+    /** Record the outcome of one client-request try. */
+    void onResult(bool ok, Clock::time_point now);
+
+    /**
+     * True when a Down backend's probe timer has expired; the
+     * transition to Probing happens here, so exactly one caller wins
+     * the probe.
+     */
+    bool wantsProbe(Clock::time_point now);
+
+    /** Record a PING outcome for a Probing backend. */
+    void onProbe(bool ok, Clock::time_point now);
+
+    /** Ejections so far (Healthy/Suspect -> Down transitions). */
+    std::uint64_t ejections() const { return ejections_; }
+
+    /** Re-admissions so far (Probing -> Healthy transitions). */
+    std::uint64_t readmissions() const { return readmissions_; }
+
+  private:
+    void eject(Clock::time_point now);
+
+    HealthConfig cfg_;
+    HealthState state_ = HealthState::Healthy;
+    RollingWindow window_;
+    std::uint32_t consecutiveFailures_ = 0;
+    std::uint32_t probeStreak_ = 0;
+    int probeDelayMs_;
+    Clock::time_point nextProbeAt_;
+    std::uint64_t ejections_ = 0;
+    std::uint64_t readmissions_ = 0;
+};
+
+} // namespace cluster
+} // namespace jitsched
+
+#endif // JITSCHED_CLUSTER_BACKEND_HH

@@ -1,0 +1,78 @@
+#include "cluster/harness.hh"
+
+#include <utility>
+
+#include "support/logging.hh"
+
+namespace jitsched {
+namespace cluster {
+
+ClusterHarness::ClusterHarness(ClusterHarnessConfig cfg)
+    : cfg_(std::move(cfg))
+{
+    if (cfg_.backends == 0)
+        JITSCHED_PANIC("a cluster harness needs >= 1 backend");
+    if (cfg_.backend.port != 0)
+        JITSCHED_PANIC(
+            "harness backends must use ephemeral ports (port 0)");
+    nodes_.reserve(cfg_.backends);
+    for (std::size_t i = 0; i < cfg_.backends; ++i)
+        nodes_.push_back(std::make_unique<Node>(cfg_.backend));
+}
+
+ClusterHarness::~ClusterHarness() { stop(); }
+
+bool
+ClusterHarness::start(std::string *error)
+{
+    if (started_)
+        return true;
+    std::vector<BackendEndpoint> endpoints;
+    endpoints.reserve(nodes_.size());
+    for (auto &node : nodes_) {
+        if (!node->server.start(error)) {
+            for (auto &up : nodes_)
+                up->server.stop();
+            return false;
+        }
+        endpoints.push_back(
+            {node->server.bindAddress(), node->server.port()});
+    }
+    router_ = std::make_unique<Router>(std::move(endpoints),
+                                       cfg_.router);
+    if (!router_->start(error)) {
+        for (auto &node : nodes_)
+            node->server.stop();
+        router_.reset();
+        return false;
+    }
+    started_ = true;
+    return true;
+}
+
+void
+ClusterHarness::stop()
+{
+    if (!started_)
+        return;
+    if (router_ != nullptr)
+        router_->stop();
+    for (auto &node : nodes_)
+        node->server.stop();
+    started_ = false;
+}
+
+void
+ClusterHarness::killBackend(std::size_t i)
+{
+    nodes_[i]->server.stop();
+}
+
+bool
+ClusterHarness::restartBackend(std::size_t i, std::string *error)
+{
+    return nodes_[i]->server.start(error);
+}
+
+} // namespace cluster
+} // namespace jitsched

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * jitsched-router — the cluster front end.
+ *
+ * Binds a loopback TCP port, prints the bound address, and routes
+ * scheduling requests over a set of jitschedd backends until
+ * SIGINT/SIGTERM.  Speaks the same wire protocol as jitschedd on
+ * both sides, so existing clients (jitsched-cli included) work
+ * unchanged.  All the interesting machinery lives in the library
+ * (cluster/router.hh); this file is argument parsing and signal
+ * plumbing.
+ *
+ * Usage:
+ *   jitsched-router --backend HOST:PORT [--backend HOST:PORT ...]
+ *                   [--address A] [--port P] [--handlers N]
+ *                   [--mode affinity|round-robin] [--tries N]
+ *                   [--try-timeout-ms T] [--hedge-ms T]
+ *                   [--max-inflight N]
+ */
+
+#include <signal.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cluster/router.hh"
+#include "obs/instruments.hh"
+#include "support/logging.hh"
+#include "support/strutil.hh"
+
+using namespace jitsched;
+using namespace jitsched::cluster;
+
+namespace {
+
+[[noreturn]] void
+usage(int rc)
+{
+    std::cerr <<
+        "usage: jitsched-router --backend HOST:PORT [...] [options]\n"
+        "  --backend H:P        a jitschedd backend (repeatable,\n"
+        "                       at least one required)\n"
+        "  --address A          bind address (default 127.0.0.1)\n"
+        "  --port P             bind port; 0 = ephemeral (default 0)\n"
+        "  --handlers N         connection handler threads (default 4)\n"
+        "  --mode M             affinity | round-robin (default affinity)\n"
+        "  --tries N            tries per request (default 3)\n"
+        "  --try-timeout-ms T   per-try response deadline (default 5000)\n"
+        "  --hedge-ms T         hedge delay; negative disables (default -1)\n"
+        "  --max-inflight N     per-backend in-flight bound; 0 = none\n"
+        "  --help               this text\n";
+    std::exit(rc);
+}
+
+std::int64_t
+intArg(const std::string &flag, const std::string &value,
+       std::int64_t min)
+{
+    const auto v = parseInt(value);
+    if (!v || *v < min)
+        JITSCHED_FATAL(flag, " needs an integer >= ", min,
+                       ", got '", value, "'");
+    return *v;
+}
+
+BackendEndpoint
+parseBackend(const std::string &spec)
+{
+    const auto colon = spec.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == spec.size())
+        JITSCHED_FATAL("--backend needs HOST:PORT, got '", spec,
+                       "'");
+    BackendEndpoint ep;
+    ep.address = spec.substr(0, colon);
+    const auto port = parseInt(spec.substr(colon + 1));
+    if (!port || *port <= 0 || *port > 65535)
+        JITSCHED_FATAL("--backend port out of range in '", spec,
+                       "'");
+    ep.port = static_cast<std::uint16_t>(*port);
+    return ep;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    RouterConfig cfg;
+    std::vector<BackendEndpoint> backends;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                JITSCHED_FATAL(arg, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else if (arg == "--backend") {
+            backends.push_back(parseBackend(next()));
+        } else if (arg == "--address") {
+            cfg.bindAddress = next();
+        } else if (arg == "--port") {
+            cfg.port = static_cast<std::uint16_t>(
+                intArg(arg, next(), 0));
+        } else if (arg == "--handlers") {
+            cfg.handlerThreads = static_cast<std::size_t>(
+                intArg(arg, next(), 1));
+        } else if (arg == "--mode") {
+            const std::string m = next();
+            if (m == "affinity")
+                cfg.mode = RoutingMode::Affinity;
+            else if (m == "round-robin")
+                cfg.mode = RoutingMode::RoundRobin;
+            else
+                JITSCHED_FATAL("--mode must be affinity or "
+                               "round-robin, got '", m, "'");
+        } else if (arg == "--tries") {
+            cfg.maxTries =
+                static_cast<int>(intArg(arg, next(), 1));
+        } else if (arg == "--try-timeout-ms") {
+            cfg.tryTimeoutMs =
+                static_cast<int>(intArg(arg, next(), 1));
+        } else if (arg == "--hedge-ms") {
+            const auto v = parseInt(next());
+            if (!v)
+                JITSCHED_FATAL("--hedge-ms needs an integer");
+            cfg.hedgeDelayMs = static_cast<int>(*v);
+        } else if (arg == "--max-inflight") {
+            cfg.maxInflightPerBackend = static_cast<std::size_t>(
+                intArg(arg, next(), 0));
+        } else {
+            std::cerr << "jitsched-router: unknown option '" << arg
+                      << "'\n";
+            usage(2);
+        }
+    }
+    if (backends.empty()) {
+        std::cerr << "jitsched-router: at least one --backend is "
+                     "required\n";
+        usage(2);
+    }
+
+    sigset_t wait_set;
+    sigemptyset(&wait_set);
+    sigaddset(&wait_set, SIGINT);
+    sigaddset(&wait_set, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &wait_set, nullptr);
+
+    // Pre-create the cluster instrument inventory so a STATS scrape
+    // of a fresh router already carries the complete key set.
+    {
+        std::vector<std::string> labels;
+        labels.reserve(backends.size());
+        for (const BackendEndpoint &ep : backends)
+            labels.push_back(ep.label());
+        obs::registerClusterInstruments(labels);
+    }
+
+    Router router(backends, cfg);
+    std::string error;
+    if (!router.start(&error))
+        JITSCHED_FATAL("cannot start: ", error);
+
+    // One line on stdout so scripts can scrape the ephemeral port.
+    std::cout << "jitsched-router listening on "
+              << router.bindAddress() << ":" << router.port()
+              << std::endl;
+    {
+        std::cout << "backends:";
+        for (const BackendEndpoint &ep : backends)
+            std::cout << " " << ep.label();
+        std::cout << std::endl;
+    }
+
+    int sig = 0;
+    while (sigwait(&wait_set, &sig) != 0) {
+    }
+
+    std::cout << "jitsched-router: shutting down ("
+              << router.framesServed() << " frames, "
+              << router.requestsSpilled() << " spilled, "
+              << router.requestsFailed() << " failed)" << std::endl;
+    router.stop();
+    return 0;
+}

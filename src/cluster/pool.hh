@@ -1,0 +1,201 @@
+/**
+ * @file
+ * BackendPool: the router's registry of jitschedd backends.
+ *
+ * Per backend it owns (1) the health machine + circuit breaker of
+ * backend.hh, wrapped in a mutex so handler threads and the prober
+ * can feed it concurrently, (2) a small stack of idle, already
+ * connected sockets so repeat requests skip the TCP handshake, and
+ * (3) the probe schedule: one background prober thread PINGs Down
+ * backends on their backoff timer and walks them through
+ * Probing -> Healthy re-admission.
+ *
+ * The pool never decides *where* a request goes — that is the
+ * ring's and the router's job.  It answers "is backend b routable",
+ * hands out connections, and digests try outcomes.
+ */
+
+#ifndef JITSCHED_CLUSTER_POOL_HH
+#define JITSCHED_CLUSTER_POOL_HH
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/backend.hh"
+#include "service/socket_util.hh"
+
+namespace jitsched {
+namespace cluster {
+
+/** Knobs of the pool and its prober. */
+struct BackendPoolConfig
+{
+    HealthConfig health;
+
+    /** connect(2) deadline for backend sockets. */
+    int connectTimeoutMs = 500;
+
+    /** PING round-trip deadline for probes. */
+    int probeTimeoutMs = 500;
+
+    /** Prober thread tick; probes fire on each backend's own timer. */
+    int probeIntervalMs = 25;
+
+    /** Idle connections kept per backend. */
+    std::size_t maxIdleConns = 8;
+};
+
+/**
+ * One pooled backend connection: a connected fd plus its line
+ * reader.  The reader must live as long as the connection (it may
+ * have buffered bytes), so the pair travels together.  Not
+ * thread-safe; at most one handler uses a connection at a time.
+ */
+class BackendConn
+{
+  public:
+    ~BackendConn() { close(); }
+
+    BackendConn() = default;
+    BackendConn(const BackendConn &) = delete;
+    BackendConn &operator=(const BackendConn &) = delete;
+
+    bool open(const BackendEndpoint &ep, int connect_timeout_ms,
+              std::string *error);
+
+    bool isOpen() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    void close();
+
+    /** Arm the read deadline for the next readFrame(). */
+    void setReadTimeout(int ms);
+
+    bool sendFrame(const std::string &frame);
+
+    /**
+     * One whole frame (through `end`), or nullopt on EOF, error or
+     * read-deadline expiry (timedOut() distinguishes).  After a
+     * timeout the connection must be discarded — a late response
+     * would desynchronize framing.
+     */
+    std::optional<std::string> readFrame();
+
+    bool timedOut() const
+    {
+        return reader_ != nullptr && reader_->timedOut();
+    }
+
+    /**
+     * True when this conn came from the idle pool.  An instant EOF
+     * on a reused conn usually means the backend closed it while it
+     * sat idle (a bounce) — the router retries such a failure on a
+     * fresh connection before blaming the backend's health.
+     */
+    bool reused() const { return reused_; }
+    void markReused() { reused_ = true; }
+
+  private:
+    int fd_ = -1;
+    bool reused_ = false;
+    std::unique_ptr<LineReader> reader_;
+};
+
+class BackendPool
+{
+  public:
+    BackendPool(std::vector<BackendEndpoint> backends,
+                BackendPoolConfig cfg = {});
+
+    /** Stops the prober and closes every pooled connection. */
+    ~BackendPool();
+
+    BackendPool(const BackendPool &) = delete;
+    BackendPool &operator=(const BackendPool &) = delete;
+
+    /** Spawn the prober thread; idempotent. */
+    void start();
+
+    /** Join the prober; idempotent. */
+    void stop();
+
+    std::size_t size() const { return slots_.size(); }
+
+    const BackendEndpoint &
+    endpoint(std::size_t b) const
+    {
+        return slots_[b]->endpoint;
+    }
+
+    HealthState state(std::size_t b);
+
+    /** May backend @p b receive client traffic right now? */
+    bool routable(std::size_t b);
+
+    /**
+     * A connection to backend @p b: pooled if one is idle, freshly
+     * connected otherwise.  nullptr with *error set on connect
+     * failure (which is also recorded against the backend's
+     * health).
+     */
+    std::unique_ptr<BackendConn> acquire(std::size_t b,
+                                         std::string *error);
+
+    /**
+     * Return a connection after use.  @p reusable only when the
+     * exchange completed cleanly — a conn that timed out or died
+     * mid-frame is closed instead.
+     */
+    void release(std::size_t b, std::unique_ptr<BackendConn> conn,
+                 bool reusable);
+
+    /** Digest the outcome of one client-request try on @p b. */
+    void recordResult(std::size_t b, bool ok);
+
+    std::uint64_t ejections(std::size_t b);
+    std::uint64_t readmissions(std::size_t b);
+
+    /**
+     * Run one probe pass synchronously (what the prober thread does
+     * every tick).  Exposed so tests can step re-admission without
+     * sleeping on the wall clock.
+     */
+    void probeOnce();
+
+  private:
+    struct Slot
+    {
+        BackendEndpoint endpoint;
+        std::mutex mutex; ///< guards health and idle
+        HealthMachine health;
+        std::vector<std::unique_ptr<BackendConn>> idle;
+
+        Slot(BackendEndpoint ep, const HealthConfig &hc)
+            : endpoint(std::move(ep)),
+              health(hc, HealthMachine::Clock::now())
+        {
+        }
+    };
+
+    void proberLoop();
+
+    /** PING @p slot once; true on an ok pong within the deadline. */
+    bool probeBackend(Slot &slot);
+
+    const BackendPoolConfig cfg_;
+    std::vector<std::unique_ptr<Slot>> slots_;
+    std::atomic<bool> stopping_{false};
+    std::thread prober_;
+    bool started_ = false;
+    std::mutex lifecycle_mutex_;
+};
+
+} // namespace cluster
+} // namespace jitsched
+
+#endif // JITSCHED_CLUSTER_POOL_HH

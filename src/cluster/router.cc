@@ -1,0 +1,639 @@
+#include "cluster/router.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <climits>
+#include <sstream>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/instruments.hh"
+#include "service/socket_util.hh"
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace jitsched {
+namespace cluster {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+/** Milliseconds until @p deadline, clamped at 0. */
+int
+msUntil(SteadyClock::time_point deadline)
+{
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - SteadyClock::now())
+            .count();
+    if (left <= 0)
+        return 0;
+    if (left > INT_MAX)
+        return INT_MAX;
+    return static_cast<int>(left);
+}
+
+} // anonymous namespace
+
+Router::Router(std::vector<BackendEndpoint> backends,
+               RouterConfig cfg)
+    : cfg_(std::move(cfg)), ring_(backends.size(), cfg_.vnodes),
+      pool_(std::move(backends), cfg_.pool)
+{
+    inflight_.reserve(pool_.size());
+    for (std::size_t b = 0; b < pool_.size(); ++b)
+        inflight_.push_back(
+            std::make_unique<std::atomic<std::size_t>>(0));
+}
+
+Router::~Router() { stop(); }
+
+bool
+Router::start(std::string *error)
+{
+    if (started_) {
+        if (error != nullptr)
+            *error = "router is already running";
+        return false;
+    }
+    // Same restart contract as ServiceServer: a bounced router comes
+    // back on the port its first start() landed on.
+    const std::uint16_t bind_port = port_ != 0 ? port_ : cfg_.port;
+    listen_fd_ = listenTcp(cfg_.bindAddress, bind_port,
+                           cfg_.acceptBacklog, error);
+    if (listen_fd_ < 0)
+        return false;
+    port_ = boundPort(listen_fd_);
+
+    pool_.start();
+    stopping_.store(false, std::memory_order_release);
+    started_ = true;
+    acceptor_ = std::thread([this] { acceptLoop(); });
+    const std::size_t handlers =
+        cfg_.handlerThreads > 0 ? cfg_.handlerThreads : 1;
+    handlers_.reserve(handlers);
+    for (std::size_t i = 0; i < handlers; ++i)
+        handlers_.emplace_back([this] { handlerLoop(); });
+    return true;
+}
+
+void
+Router::stop()
+{
+    if (!started_)
+        return;
+    if (stopping_.exchange(true, std::memory_order_acq_rel))
+        return;
+
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    closeFd(listen_fd_);
+    if (acceptor_.joinable())
+        acceptor_.join();
+
+    {
+        std::lock_guard<std::mutex> lk(conn_mutex_);
+        for (const int fd : active_fds_)
+            ::shutdown(fd, SHUT_RDWR);
+    }
+    conn_cv_.notify_all();
+    for (std::thread &t : handlers_)
+        if (t.joinable())
+            t.join();
+
+    for (const int fd : conn_queue_)
+        closeFd(fd);
+    conn_queue_.clear();
+
+    pool_.stop();
+
+    handlers_.clear();
+    listen_fd_ = -1;
+    started_ = false;
+}
+
+void
+Router::acceptLoop()
+{
+    for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (stopping_.load(std::memory_order_acquire))
+                return;
+            if (errno != EINTR && errno != ECONNABORTED)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+            continue;
+        }
+        JITSCHED_OBS(
+            obs::ClusterMetrics::get().connectionsAccepted.add());
+        {
+            std::lock_guard<std::mutex> lk(conn_mutex_);
+            conn_queue_.push_back(fd);
+        }
+        conn_cv_.notify_one();
+    }
+}
+
+void
+Router::handlerLoop()
+{
+    for (;;) {
+        int fd = -1;
+        {
+            std::unique_lock<std::mutex> lk(conn_mutex_);
+            conn_cv_.wait(lk, [&] {
+                return stopping_.load(std::memory_order_acquire) ||
+                       !conn_queue_.empty();
+            });
+            if (stopping_.load(std::memory_order_acquire))
+                return;
+            fd = conn_queue_.front();
+            conn_queue_.pop_front();
+            active_fds_.insert(fd);
+        }
+        handleConnection(fd);
+        {
+            std::lock_guard<std::mutex> lk(conn_mutex_);
+            active_fds_.erase(fd);
+        }
+        closeFd(fd);
+    }
+}
+
+void
+Router::handleConnection(int fd)
+{
+    // The framing loop is ServiceServer::handleConnection's: a
+    // malformed frame body must not desynchronize the connection,
+    // and an unbounded frame must not pin the handler.
+    LineReader reader(fd, cfg_.maxFrameBytes);
+    for (;;) {
+        std::string frame;
+        bool got_end = false;
+        bool oversized = false;
+        while (auto line = reader.readLine()) {
+            if (frame.size() + line->size() + 1 > cfg_.maxFrameBytes) {
+                oversized = true;
+                break;
+            }
+            frame += *line;
+            frame += '\n';
+            if (isFrameEnd(*line)) {
+                got_end = true;
+                break;
+            }
+        }
+        if (oversized || reader.overflowed()) {
+            frames_.fetch_add(1, std::memory_order_relaxed);
+            JITSCHED_OBS({
+                obs::ClusterMetrics &m = obs::ClusterMetrics::get();
+                m.framesServed.add();
+                m.badFrames.add();
+            });
+            writeAll(fd, responseText(makeErrorResponse(
+                             0, errcode::invalidArgument,
+                             "request frame exceeds " +
+                                 std::to_string(cfg_.maxFrameBytes) +
+                                 " bytes")));
+            ::shutdown(fd, SHUT_WR);
+            char discard[4096];
+            pollfd pfd{fd, POLLIN, 0};
+            std::size_t drained = 0;
+            while (drained < (std::size_t(64) << 10)) {
+                if (::poll(&pfd, 1, 100) <= 0)
+                    break;
+                const ssize_t n =
+                    ::read(fd, discard, sizeof(discard));
+                if (n <= 0)
+                    break;
+                drained += static_cast<std::size_t>(n);
+            }
+            return;
+        }
+        if (!got_end)
+            return; // EOF
+
+        if (stopping_.load(std::memory_order_acquire))
+            return;
+
+        // PING asks about the *router's* liveness; answered locally.
+        if (isPingRequestFrame(frame)) {
+            std::istringstream pis(frame);
+            std::string ping_error;
+            PongResponse pong;
+            if (const auto preq =
+                    tryReadPingRequest(pis, &ping_error)) {
+                pong = makePongResponse(preq->id);
+            } else {
+                pong.code = errcode::invalidArgument;
+                pong.error = ping_error;
+            }
+            frames_.fetch_add(1, std::memory_order_relaxed);
+            JITSCHED_OBS({
+                obs::ClusterMetrics &m = obs::ClusterMetrics::get();
+                m.framesServed.add();
+                m.pingsServed.add();
+            });
+            if (!writeAll(fd, pongResponseText(pong)))
+                return;
+            continue;
+        }
+
+        // STATS scrapes the router's own registry (cluster.* keys).
+        if (isStatsRequestFrame(frame)) {
+            std::istringstream sis(frame);
+            std::string stats_error;
+            StatsResponse sresp;
+            if (const auto sreq =
+                    tryReadStatsRequest(sis, &stats_error)) {
+                sresp = makeStatsResponse(
+                    sreq->id,
+                    obs::MetricsRegistry::global().snapshotText());
+            } else {
+                sresp.code = errcode::invalidArgument;
+                sresp.error = stats_error;
+            }
+            frames_.fetch_add(1, std::memory_order_relaxed);
+            JITSCHED_OBS({
+                obs::ClusterMetrics &m = obs::ClusterMetrics::get();
+                m.framesServed.add();
+                m.statsServed.add();
+            });
+            if (!writeAll(fd, statsResponseText(sresp)))
+                return;
+            continue;
+        }
+
+        std::istringstream is(frame);
+        std::string parse_error;
+        const auto req = tryReadRequest(is, &parse_error);
+
+        std::string resp_text;
+        if (!req) {
+            // Same parser, same error string, same builder as the
+            // daemon: a malformed frame's answer is byte-identical
+            // whether it hits a router or a backend.
+            JITSCHED_OBS(obs::ClusterMetrics::get().badFrames.add());
+            resp_text = responseText(makeErrorResponse(
+                0, errcode::invalidArgument, parse_error));
+        } else {
+            resp_text = route(*req);
+        }
+        frames_.fetch_add(1, std::memory_order_relaxed);
+        JITSCHED_OBS(obs::ClusterMetrics::get().framesServed.add());
+        if (!writeAll(fd, resp_text))
+            return; // peer went away
+    }
+}
+
+std::vector<std::size_t>
+Router::chainFor(std::uint64_t fingerprint)
+{
+    if (cfg_.mode == RoutingMode::Affinity)
+        return ring_.ownerChain(fingerprint);
+    // Round-robin: rotate the first choice, keep the rest in index
+    // order — every request still has a full failover chain.
+    std::vector<std::size_t> chain;
+    chain.reserve(pool_.size());
+    const std::size_t start =
+        rr_next_.fetch_add(1, std::memory_order_relaxed) %
+        pool_.size();
+    for (std::size_t i = 0; i < pool_.size(); ++i)
+        chain.push_back((start + i) % pool_.size());
+    return chain;
+}
+
+std::optional<std::size_t>
+Router::pickBackend(const std::vector<std::size_t> &chain,
+                    const std::vector<bool> &tried, bool *over_bound)
+{
+    *over_bound = false;
+    std::optional<std::size_t> saturated;
+    for (const std::size_t b : chain) {
+        if (tried[b] || !pool_.routable(b))
+            continue;
+        const std::size_t load =
+            inflight_[b]->load(std::memory_order_relaxed);
+        if (cfg_.maxInflightPerBackend == 0 ||
+            load < cfg_.maxInflightPerBackend)
+            return b;
+        if (!saturated.has_value())
+            saturated = b; // fallback: over bound beats nothing
+    }
+    if (saturated.has_value())
+        *over_bound = true;
+    return saturated;
+}
+
+int
+Router::backoffMs(int attempt)
+{
+    long long ms = cfg_.backoffBaseMs;
+    for (int i = 0; i < attempt && ms < cfg_.backoffMaxMs; ++i)
+        ms *= 2;
+    ms = std::min<long long>(ms, cfg_.backoffMaxMs);
+    if (ms <= 1)
+        return static_cast<int>(ms);
+    // Jitter into [ms/2, ms] so synchronized clients fan out.
+    Rng rng = Rng::caseStream(
+        cfg_.jitterSeed,
+        jitter_case_.fetch_add(1, std::memory_order_relaxed));
+    const long long half = ms / 2;
+    return static_cast<int>(half +
+                            static_cast<long long>(rng.nextBelow(
+                                static_cast<std::uint64_t>(ms - half +
+                                                           1))));
+}
+
+Router::Exchange
+Router::tryExchange(std::size_t backend,
+                    const std::string &canonical, int try_ms)
+{
+    Exchange result;
+    // A pooled conn may have died while idle (backend bounce): an
+    // instant EOF on a reused conn is retried on a fresh connection
+    // without blaming the backend.  Bounded by the idle-stack depth.
+    for (std::size_t i = 0; i <= cfg_.pool.maxIdleConns; ++i) {
+        std::string error;
+        std::unique_ptr<BackendConn> conn =
+            pool_.acquire(backend, &error);
+        if (conn == nullptr)
+            return result; // acquire recorded the failure
+        const bool reused = conn->reused();
+        conn->setReadTimeout(try_ms);
+        if (!conn->sendFrame(canonical)) {
+            if (reused)
+                continue; // stale; fresh conn next round
+            pool_.recordResult(backend, false);
+            return result;
+        }
+        std::optional<std::string> frame = conn->readFrame();
+        if (!frame.has_value()) {
+            if (reused && !conn->timedOut())
+                continue; // stale; fresh conn next round
+            result.timedOut = conn->timedOut();
+            pool_.recordResult(backend, false);
+            return result;
+        }
+        pool_.recordResult(backend, true);
+        pool_.release(backend, std::move(conn), /*reusable=*/true);
+        result.frame = *std::move(frame);
+        result.ok = true;
+        return result;
+    }
+    pool_.recordResult(backend, false);
+    return result;
+}
+
+Router::Exchange
+Router::hedgedExchange(std::size_t primary, std::size_t secondary,
+                       const std::string &canonical, int try_ms)
+{
+    Exchange result;
+    const auto deadline =
+        SteadyClock::now() + std::chrono::milliseconds(try_ms);
+
+    std::string error;
+    std::unique_ptr<BackendConn> a = pool_.acquire(primary, &error);
+    if (a == nullptr || !a->sendFrame(canonical)) {
+        if (a != nullptr)
+            pool_.recordResult(primary, false);
+        // Primary unreachable: plain try on the secondary.
+        result = tryExchange(secondary, canonical,
+                             msUntil(deadline));
+        return result;
+    }
+
+    // Give the owner hedgeDelayMs of silence before spending a
+    // second backend's cache on this request.
+    pollfd pa{a->fd(), POLLIN, 0};
+    const int wait_ms =
+        std::min(cfg_.hedgeDelayMs, msUntil(deadline));
+    if (::poll(&pa, 1, wait_ms) > 0) {
+        a->setReadTimeout(msUntil(deadline));
+        std::optional<std::string> frame = a->readFrame();
+        if (frame.has_value()) {
+            pool_.recordResult(primary, true);
+            pool_.release(primary, std::move(a), true);
+            result.frame = *std::move(frame);
+            result.ok = true;
+            return result;
+        }
+        pool_.recordResult(primary, false);
+        result = tryExchange(secondary, canonical,
+                             msUntil(deadline));
+        return result;
+    }
+
+    // Hedge fires.
+    result.hedged = true;
+    JITSCHED_OBS(obs::ClusterMetrics::get().requestsHedged.add());
+    std::unique_ptr<BackendConn> b =
+        pool_.acquire(secondary, &error);
+    if (b != nullptr && !b->sendFrame(canonical)) {
+        pool_.recordResult(secondary, false);
+        b.reset();
+    }
+    if (b == nullptr) {
+        // No second lane after all; keep waiting on the primary.
+        a->setReadTimeout(msUntil(deadline));
+        std::optional<std::string> frame = a->readFrame();
+        if (frame.has_value()) {
+            pool_.recordResult(primary, true);
+            pool_.release(primary, std::move(a), true);
+            result.frame = *std::move(frame);
+            result.ok = true;
+        } else {
+            result.timedOut = a->timedOut();
+            pool_.recordResult(primary, false);
+        }
+        return result;
+    }
+
+    // First lane to turn readable commits us to its full frame; the
+    // loser is closed mid-flight (its response is a duplicate of a
+    // pure function's value anyway).
+    pollfd lanes[2] = {{a->fd(), POLLIN, 0}, {b->fd(), POLLIN, 0}};
+    const int both_ms = msUntil(deadline);
+    const int ready = ::poll(lanes, 2, both_ms);
+    const bool a_ready = ready > 0 && (lanes[0].revents & POLLIN);
+    const bool b_ready = ready > 0 && (lanes[1].revents & POLLIN);
+
+    auto finish = [&](std::size_t backend,
+                      std::unique_ptr<BackendConn> winner,
+                      std::unique_ptr<BackendConn> loser,
+                      bool won_by_hedge) -> bool {
+        winner->setReadTimeout(msUntil(deadline));
+        std::optional<std::string> frame = winner->readFrame();
+        if (!frame.has_value()) {
+            result.timedOut = winner->timedOut();
+            pool_.recordResult(backend, false);
+            return false;
+        }
+        pool_.recordResult(backend, true);
+        pool_.release(backend, std::move(winner), true);
+        loser.reset(); // closed; never recorded — slow is not down
+        result.frame = *std::move(frame);
+        result.ok = true;
+        result.hedgeWon = won_by_hedge;
+        if (won_by_hedge)
+            JITSCHED_OBS(obs::ClusterMetrics::get().hedgeWins.add());
+        return true;
+    };
+
+    if (a_ready || (!b_ready && ready > 0)) {
+        if (finish(primary, std::move(a), std::move(b), false))
+            return result;
+        // Primary produced garbage after all; try the hedge lane
+        // with what time is left (b may be gone if finish consumed
+        // it — it did not: finish only took a).
+        result = Exchange{};
+        result.hedged = true;
+        return result;
+    }
+    if (b_ready) {
+        if (finish(secondary, std::move(b), std::move(a), true))
+            return result;
+        result = Exchange{};
+        result.hedged = true;
+        return result;
+    }
+    // Neither answered within the try budget.
+    result.timedOut = true;
+    pool_.recordResult(primary, false);
+    pool_.recordResult(secondary, false);
+    return result;
+}
+
+std::string
+Router::route(const ServiceRequest &req)
+{
+    // The canonical re-serialization parses to the same request the
+    // client sent, so the backend's answer is the answer.
+    const std::string canonical = requestText(req);
+    const std::uint64_t fingerprint = requestFingerprint(req);
+    const std::vector<std::size_t> chain = chainFor(fingerprint);
+
+    const bool has_deadline = req.options.deadlineMs >= 0;
+    const auto overall =
+        SteadyClock::now() +
+        std::chrono::milliseconds(
+            has_deadline ? req.options.deadlineMs : 0);
+
+    std::vector<bool> tried(pool_.size(), false);
+    const int max_tries = std::max(cfg_.maxTries, 1);
+    bool any_timeout = false;
+
+    for (int attempt = 0; attempt < max_tries; ++attempt) {
+        if (has_deadline && msUntil(overall) <= 0)
+            break;
+        bool over_bound = false;
+        const std::optional<std::size_t> picked =
+            pickBackend(chain, tried, &over_bound);
+        if (!picked.has_value())
+            break; // nothing routable
+        const std::size_t backend = *picked;
+        tried[backend] = true;
+
+        int try_ms = cfg_.tryTimeoutMs;
+        if (has_deadline)
+            try_ms = std::min(try_ms, msUntil(overall));
+        if (try_ms <= 0)
+            break;
+
+        // Hedge only on the first, un-saturated try: retries already
+        // have a fallback, and a saturated cluster should not double
+        // its own load.
+        std::optional<std::size_t> hedge_mate;
+        if (cfg_.hedgeDelayMs >= 0 && attempt == 0 && !over_bound) {
+            for (const std::size_t b : chain) {
+                if (b != backend && !tried[b] && pool_.routable(b)) {
+                    hedge_mate = b;
+                    break;
+                }
+            }
+        }
+
+        if (attempt > 0)
+            JITSCHED_OBS(
+                obs::ClusterMetrics::get().requestsRetried.add());
+
+        inflight_[backend]->fetch_add(1, std::memory_order_relaxed);
+        if (hedge_mate.has_value())
+            inflight_[*hedge_mate]->fetch_add(
+                1, std::memory_order_relaxed);
+        const auto t0 = SteadyClock::now();
+        Exchange ex =
+            hedge_mate.has_value()
+                ? hedgedExchange(backend, *hedge_mate, canonical,
+                                 try_ms)
+                : tryExchange(backend, canonical, try_ms);
+        const auto elapsed_ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                SteadyClock::now() - t0)
+                .count();
+        inflight_[backend]->fetch_sub(1, std::memory_order_relaxed);
+        if (hedge_mate.has_value())
+            inflight_[*hedge_mate]->fetch_sub(
+                1, std::memory_order_relaxed);
+
+        const std::size_t served_by =
+            ex.hedgeWon && hedge_mate.has_value() ? *hedge_mate
+                                                  : backend;
+        JITSCHED_OBS(obs::ClusterMetrics::tryNsFor(
+                         pool_.endpoint(served_by).label())
+                         .observe(elapsed_ns));
+        if (ex.ok) {
+            if (ex.hedgeWon && hedge_mate.has_value())
+                tried[*hedge_mate] = true;
+            JITSCHED_OBS({
+                obs::ClusterMetrics &m = obs::ClusterMetrics::get();
+                m.requestsRouted.add();
+                obs::ClusterMetrics::routedToFor(
+                    pool_.endpoint(served_by).label())
+                    .add();
+            });
+            if (served_by != chain[0]) {
+                spilled_.fetch_add(1, std::memory_order_relaxed);
+                JITSCHED_OBS(obs::ClusterMetrics::get()
+                                 .requestsSpilled.add());
+            }
+            return ex.frame;
+        }
+        any_timeout = any_timeout || ex.timedOut;
+        if (ex.hedged && hedge_mate.has_value())
+            tried[*hedge_mate] = true;
+
+        // Jittered backoff before the next lane, clipped to the
+        // deadline: better to try late than to answer late.
+        if (attempt + 1 < max_tries) {
+            int sleep_ms = backoffMs(attempt);
+            if (has_deadline)
+                sleep_ms = std::min(sleep_ms, msUntil(overall));
+            if (sleep_ms > 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(sleep_ms));
+        }
+    }
+
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    JITSCHED_OBS(obs::ClusterMetrics::get().requestsFailed.add());
+    if (has_deadline && msUntil(overall) <= 0) {
+        return responseText(makeErrorResponse(
+            req.id, errcode::deadlineExceeded,
+            "deadline-ms budget exhausted before any backend "
+            "answered"));
+    }
+    return responseText(makeErrorResponse(
+        req.id, errcode::unavailable,
+        any_timeout ? "no backend answered within the try budget"
+                    : "no routable backend"));
+}
+
+} // namespace cluster
+} // namespace jitsched

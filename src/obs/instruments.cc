@@ -54,6 +54,7 @@ ServiceMetrics::get()
         r.counter("service.requests.expired"),
         r.counter("service.requests.processed"),
         r.counter("service.requests.stats"),
+        r.counter("service.requests.ping"),
         r.gauge("service.queue.depth"),
         r.histogram("service.queue.wait_ns", latencyNsBounds()),
     };
@@ -65,6 +66,78 @@ ServiceMetrics::solveNsFor(const std::string &policy)
 {
     return MetricsRegistry::global().histogram(
         "service.solve_ns." + policy, latencyNsBounds());
+}
+
+ClusterMetrics &
+ClusterMetrics::get()
+{
+    static MetricsRegistry &r = MetricsRegistry::global();
+    static ClusterMetrics m{
+        r.counter("cluster.connections.accepted"),
+        r.counter("cluster.frames.served"),
+        r.counter("cluster.frames.bad"),
+        r.counter("cluster.requests.routed"),
+        r.counter("cluster.requests.spilled"),
+        r.counter("cluster.requests.retried"),
+        r.counter("cluster.requests.hedged"),
+        r.counter("cluster.requests.failed"),
+        r.counter("cluster.hedge.wins"),
+        r.counter("cluster.backend.ejections"),
+        r.counter("cluster.backend.readmissions"),
+        r.counter("cluster.probes.sent"),
+        r.counter("cluster.probes.failed"),
+        r.counter("cluster.pings.served"),
+        r.counter("cluster.stats.served"),
+    };
+    return m;
+}
+
+namespace {
+
+/**
+ * An endpoint label ("127.0.0.1:8420") as an instrument-name
+ * segment: the registry wants a lowercase dotted path, so the port
+ * separator becomes an underscore.
+ */
+std::string
+metricSegment(const std::string &backend_label)
+{
+    std::string out = backend_label;
+    for (char &c : out) {
+        if (c >= 'A' && c <= 'Z')
+            c = static_cast<char>(c - 'A' + 'a');
+        else if (c == ':')
+            c = '_';
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+Histogram &
+ClusterMetrics::tryNsFor(const std::string &backend_label)
+{
+    return MetricsRegistry::global().histogram(
+        "cluster.try_ns." + metricSegment(backend_label),
+        latencyNsBounds());
+}
+
+Counter &
+ClusterMetrics::routedToFor(const std::string &backend_label)
+{
+    return MetricsRegistry::global().counter(
+        "cluster.routed_to." + metricSegment(backend_label));
+}
+
+void
+registerClusterInstruments(
+    const std::vector<std::string> &backend_labels)
+{
+    ClusterMetrics::get();
+    for (const std::string &label : backend_labels) {
+        ClusterMetrics::tryNsFor(label);
+        ClusterMetrics::routedToFor(label);
+    }
 }
 
 void

@@ -73,6 +73,7 @@ struct ServiceMetrics
     Counter &requestsExpired;     ///< service.requests.expired
     Counter &requestsProcessed;   ///< service.requests.processed
     Counter &statsRequests;       ///< service.requests.stats
+    Counter &pingRequests;        ///< service.requests.ping
     Gauge &queueDepth;            ///< service.queue.depth
     Histogram &queueWaitNs;       ///< service.queue.wait_ns
 
@@ -86,6 +87,39 @@ struct ServiceMetrics
     static Histogram &solveNsFor(const std::string &policy);
 };
 
+/** src/cluster — router, backend pool, health prober. */
+struct ClusterMetrics
+{
+    Counter &connectionsAccepted; ///< cluster.connections.accepted
+    Counter &framesServed;        ///< cluster.frames.served
+    Counter &badFrames;           ///< cluster.frames.bad
+    Counter &requestsRouted;      ///< cluster.requests.routed
+    Counter &requestsSpilled;     ///< cluster.requests.spilled
+    Counter &requestsRetried;     ///< cluster.requests.retried
+    Counter &requestsHedged;      ///< cluster.requests.hedged
+    Counter &requestsFailed;      ///< cluster.requests.failed
+    Counter &hedgeWins;           ///< cluster.hedge.wins
+    Counter &backendEjections;    ///< cluster.backend.ejections
+    Counter &backendReadmissions; ///< cluster.backend.readmissions
+    Counter &probesSent;          ///< cluster.probes.sent
+    Counter &probesFailed;        ///< cluster.probes.failed
+    Counter &pingsServed;         ///< cluster.pings.served
+    Counter &statsServed;         ///< cluster.stats.served
+
+    static ClusterMetrics &get();
+
+    /**
+     * Per-backend try-latency histogram,
+     * `cluster.try_ns.<address:port>`.  Registry lookup — resolve
+     * once per exchange, not per sample.
+     */
+    static Histogram &tryNsFor(const std::string &backend_label);
+
+    /** Per-backend routed-request counter,
+     * `cluster.routed_to.<address:port>`. */
+    static Counter &routedToFor(const std::string &backend_label);
+};
+
 /**
  * Pre-create the full standard instrument set (including one solve
  * histogram per name in @p policy_names) so snapshots expose a
@@ -93,6 +127,15 @@ struct ServiceMetrics
  */
 void registerStandardInstruments(
     const std::vector<std::string> &policy_names = {});
+
+/**
+ * Pre-create the cluster instrument set (including the per-backend
+ * instruments for each label in @p backend_labels).  Separate from
+ * registerStandardInstruments so jitschedd's STATS key inventory
+ * stays free of router-only keys.  Idempotent.
+ */
+void registerClusterInstruments(
+    const std::vector<std::string> &backend_labels = {});
 
 } // namespace obs
 } // namespace jitsched

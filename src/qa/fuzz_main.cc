@@ -8,6 +8,9 @@
  *              cross-solver oracle chain (qa/oracles.hh)
  *   protocol   byte-level parser fuzzing plus the loopback fault
  *              injector against a live in-process daemon
+ *   cluster    fault injection against a live in-process cluster
+ *              (backends + tarpit + router): kills, hangs, mangled
+ *              frames — see qa/cluster_fuzz.hh
  *   replay     re-run corpus files (*.workload / *.frame) through
  *              the oracles appropriate to their extension
  *
@@ -23,6 +26,8 @@
  *                          [--break-oracle lower-bound]
  *   jitsched-fuzz protocol [--seconds S] [--iterations N] [--seed K]
  *                          [--corpus-dir D]
+ *   jitsched-fuzz cluster  [--seconds S] [--iterations N] [--seed K]
+ *                          [--corpus-dir D]
  *   jitsched-fuzz replay <case-file>...
  */
 
@@ -33,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "qa/cluster_fuzz.hh"
 #include "qa/corpus.hh"
 #include "qa/fuzz_workload.hh"
 #include "qa/minimize.hh"
@@ -51,7 +57,8 @@ namespace {
 usage(int rc)
 {
     std::cerr <<
-        "usage: jitsched-fuzz <solvers|protocol|replay> [options]\n"
+        "usage: jitsched-fuzz <solvers|protocol|cluster|replay> "
+        "[options]\n"
         "  --seconds S        wall-clock budget (default 10)\n"
         "  --iterations N     case budget; 0 = until time runs out\n"
         "                     (default 0)\n"
@@ -346,6 +353,45 @@ runProtocol(const FuzzArgs &args)
 }
 
 int
+runCluster(const FuzzArgs &args)
+{
+    const FuzzDomain domain;
+    ClusterFuzzer injector;
+    if (!injector.ok())
+        JITSCHED_FATAL("cluster failed to start: ",
+                       injector.error());
+    const Budget budget(args.seconds, args.iterations);
+    ClusterFuzzStats stats;
+    std::uint64_t cases = 0;
+
+    for (; budget.more(cases); ++cases) {
+        Rng rng = Rng::caseStream(args.seed, cases);
+        std::vector<Violation> violations;
+        injector.runCase(rng, domain, violations, &stats);
+        if (violations.empty())
+            continue;
+
+        std::cerr << "jitsched-fuzz: cluster case " << cases
+                  << " (seed " << args.seed << ") FAILED:\n"
+                  << describeViolations(violations);
+        // Cluster scenarios are stateful (kills, health machines);
+        // the reproducer is the (seed, case) pair, not a byte file.
+        std::cerr << "replay with: jitsched-fuzz cluster --seed "
+                  << args.seed << " --iterations " << (cases + 1)
+                  << "\n";
+        return 1;
+    }
+
+    std::cout << "jitsched-fuzz cluster: " << cases
+              << " cases clean (seed " << args.seed << ", "
+              << stats.served << " served, " << stats.kills
+              << " kills, " << stats.readmissions
+              << " re-admissions, " << stats.mangled
+              << " mangled frames)\n";
+    return 0;
+}
+
+int
 runReplay(const FuzzArgs &args)
 {
     if (args.files.empty())
@@ -379,6 +425,8 @@ main(int argc, char **argv)
         return runSolvers(args);
     if (args.command == "protocol")
         return runProtocol(args);
+    if (args.command == "cluster")
+        return runCluster(args);
     if (args.command == "replay")
         return runReplay(args);
     std::cerr << "jitsched-fuzz: unknown command '" << args.command

@@ -180,6 +180,39 @@ checkProtocolBytes(const std::string &bytes,
                        "fixpoint");
         }
     }
+
+    // Ping frames (probe request and pong response).
+    {
+        std::istringstream is(bytes);
+        auto preq = tryReadPingRequest(is, &err);
+        if (preq.has_value()) {
+            const std::string t1 = pingRequestText(*preq);
+            std::istringstream is2(t1);
+            if (!tryReadPingRequest(is2, &err).has_value())
+                report(out, "proto-roundtrip",
+                       "serialized ping request failed to "
+                       "reparse: " +
+                           err);
+        }
+    }
+    {
+        std::istringstream is(bytes);
+        auto pong = tryReadPongResponse(is, &err);
+        if (pong.has_value()) {
+            const std::string t1 = pongResponseText(*pong);
+            std::istringstream is2(t1);
+            auto pong2 = tryReadPongResponse(is2, &err);
+            if (!pong2.has_value())
+                report(out, "proto-roundtrip",
+                       "serialized pong response failed to "
+                       "reparse: " +
+                           err);
+            else if (pongResponseText(*pong2) != t1)
+                report(out, "proto-roundtrip",
+                       "pong response serialization is not a "
+                       "fixpoint");
+        }
+    }
 }
 
 std::string
@@ -258,6 +291,7 @@ mutateFrameBytes(const std::string &frame, Rng &rng)
             "\x01\x02\x03\xff",
             "payload",
             "jitsched-request 7",
+            "jitsched-ping 7",
         };
         lines.insert(lines.begin() + rng.nextBelow(lines.size() + 1),
                      kGarbage[rng.nextBelow(std::size(kGarbage))]);

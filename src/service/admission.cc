@@ -163,6 +163,20 @@ AdmissionQueue::stop()
             "service stopped before the request was served"));
 }
 
+void
+AdmissionQueue::restart()
+{
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        if (!stop_)
+            return; // never stopped (or already restarted)
+        stop_ = false;
+    }
+    // stop() joined the old worker before clearing any path here, so
+    // the thread object is safe to reuse.
+    worker_ = std::thread([this] { workerLoop(); });
+}
+
 std::uint64_t
 AdmissionQueue::accepted() const
 {

@@ -103,6 +103,13 @@ class AdmissionQueue
     /** Stop accepting and drain; idempotent. */
     void stop();
 
+    /**
+     * Restart the worker after a stop(); idempotent while running.
+     * Counters are preserved across the bounce — what the restart
+     * lifecycle tests assert on.
+     */
+    void restart();
+
     std::uint64_t accepted() const;  ///< requests queued
     std::uint64_t shed() const;      ///< rejected: queue full
     std::uint64_t expired() const;   ///< rejected: deadline passed

@@ -29,8 +29,15 @@ ServiceClient::connect(const std::string &address, std::uint16_t port,
                        std::string *error)
 {
     disconnect();
-    fd_ = connectTcp(address, port, error);
-    return fd_ >= 0;
+    fd_ = connectTcpTimeout(address, port, cfg_.connectTimeoutMs,
+                            error);
+    if (fd_ < 0) {
+        last_failure_ = TransportFailure::Connect;
+        return false;
+    }
+    setIoTimeouts(fd_, cfg_.readTimeoutMs, cfg_.writeTimeoutMs);
+    last_failure_ = TransportFailure::None;
+    return true;
 }
 
 void
@@ -44,11 +51,14 @@ std::optional<std::string>
 ServiceClient::callRaw(const std::string &frame, std::string *error)
 {
     if (fd_ < 0) {
+        last_failure_ = TransportFailure::Connect;
         setError(error, "not connected");
         return std::nullopt;
     }
     if (!writeAll(fd_, frame)) {
-        setError(error, "write failed (connection lost?)");
+        last_failure_ = TransportFailure::Write;
+        setError(error, "write failed (connection lost or send "
+                        "timeout)");
         return std::nullopt;
     }
 
@@ -61,11 +71,41 @@ ServiceClient::callRaw(const std::string &frame, std::string *error)
     while (auto line = reader.readLine()) {
         out += *line;
         out += '\n';
-        if (isFrameEnd(*line))
+        if (isFrameEnd(*line)) {
+            last_failure_ = TransportFailure::None;
             return out;
+        }
     }
-    setError(error, "connection closed mid-response");
+    if (reader.timedOut()) {
+        last_failure_ = TransportFailure::Timeout;
+        setError(error, "read timed out after " +
+                            std::to_string(cfg_.readTimeoutMs) +
+                            " ms (server hung?)");
+    } else {
+        last_failure_ = TransportFailure::Disconnect;
+        setError(error, "connection closed mid-response");
+    }
     return std::nullopt;
+}
+
+bool
+ServiceClient::ping(std::uint64_t id, std::string *error)
+{
+    auto raw = callRaw(pingRequestText(PingRequest{id}), error);
+    if (!raw)
+        return false;
+    std::istringstream is(*raw);
+    std::string parse_error;
+    auto pong = tryReadPongResponse(is, &parse_error);
+    if (!pong) {
+        setError(error, "bad pong frame: " + parse_error);
+        return false;
+    }
+    if (!pong->ok) {
+        setError(error, "ping refused: " + pong->error);
+        return false;
+    }
+    return true;
 }
 
 std::optional<StatsResponse>

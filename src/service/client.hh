@@ -18,10 +18,37 @@
 
 namespace jitsched {
 
+/**
+ * Transport deadlines for one client connection.  The defaults (-1)
+ * block indefinitely — the historical behaviour, right for trusted
+ * loopback tools.  Anything that must survive a hung peer (the
+ * cluster router's per-try deadlines, jitsched-cli --timeout-ms)
+ * arms all three.
+ */
+struct ClientConfig
+{
+    int connectTimeoutMs = -1; ///< connect(2) deadline; < 0 = none
+    int readTimeoutMs = -1;    ///< per-read SO_RCVTIMEO; < 0 = none
+    int writeTimeoutMs = -1;   ///< per-write SO_SNDTIMEO; < 0 = none
+};
+
+/** Why the last transport operation failed (for retry decisions). */
+enum class TransportFailure
+{
+    None,       ///< last operation succeeded
+    Connect,    ///< could not connect (refused, unreachable, timeout)
+    Write,      ///< send failed or timed out mid-frame
+    Timeout,    ///< read deadline expired — the peer is hung
+    Disconnect, ///< the peer closed mid-response
+};
+
 class ServiceClient
 {
   public:
     ServiceClient() = default;
+
+    /** A client with transport deadlines armed on every socket. */
+    explicit ServiceClient(ClientConfig cfg) : cfg_(cfg) {}
 
     /** Disconnects if still connected. */
     ~ServiceClient();
@@ -58,6 +85,16 @@ class ServiceClient
                                        std::string *error = nullptr);
 
     /**
+     * Probe liveness with a `jitsched-ping` frame.  True only when a
+     * well-formed ok pong came back within the read deadline — the
+     * predicate the cluster health prober is built on.
+     */
+    bool ping(std::uint64_t id = 0, std::string *error = nullptr);
+
+    /** Classification of the last call/stats/ping transport error. */
+    TransportFailure lastFailure() const { return last_failure_; }
+
+    /**
      * Send raw frame text and read back the raw response frame,
      * byte-for-byte as received (every line up to and including
      * `end`).  The hook the byte-identity tests are built on.
@@ -67,6 +104,8 @@ class ServiceClient
 
   private:
     int fd_ = -1;
+    ClientConfig cfg_;
+    TransportFailure last_failure_ = TransportFailure::None;
 };
 
 } // namespace jitsched

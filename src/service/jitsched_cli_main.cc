@@ -38,8 +38,12 @@ usage(int rc)
     std::cerr <<
         "usage: jitsched-cli [options] [<workload-file> | -]\n"
         "       jitsched-cli stats [--host H] [--port P] [--id N]\n"
+        "       jitsched-cli ping  [--host H] [--port P] [--id N]\n"
         "  --host H             daemon address (default 127.0.0.1)\n"
         "  --port P             daemon port (required)\n"
+        "  --timeout-ms T       connect/read/write deadline; a hung\n"
+        "                       daemon fails the call instead of\n"
+        "                       blocking forever (default: block)\n"
         "  --policy NAME        scheduling policy (default iar)\n"
         "  --option K V         request option (repeatable); keys:\n"
         "                       compile-cores, model, jitter-sigma,\n"
@@ -54,7 +58,8 @@ usage(int rc)
         "With no file argument (or '-') the workload is read from "
         "stdin.\n"
         "The 'stats' subcommand scrapes the daemon's metrics registry\n"
-        "and prints the snapshot frame.\n";
+        "and prints the snapshot frame.  The 'ping' subcommand sends\n"
+        "one liveness probe and exits 0 iff an ok pong came back.\n";
     std::exit(rc);
 }
 
@@ -79,6 +84,8 @@ main(int argc, char **argv)
     std::uint64_t id = 1;
     bool with_stats = true;
     bool stats_mode = false;
+    bool ping_mode = false;
+    int timeout_ms = -1;
     std::string trace_out;
     std::string workload_path = "-";
 
@@ -114,11 +121,20 @@ main(int argc, char **argv)
             id = static_cast<std::uint64_t>(*v);
         } else if (arg == "--no-stats") {
             with_stats = false;
+        } else if (arg == "--timeout-ms") {
+            const auto v = parseInt(next());
+            if (!v || *v < 0)
+                JITSCHED_FATAL("--timeout-ms needs a non-negative "
+                               "integer");
+            timeout_ms = static_cast<int>(*v);
         } else if (arg == "--trace-out") {
             trace_out = next();
-        } else if (arg == "stats" && !stats_mode &&
+        } else if (arg == "stats" && !stats_mode && !ping_mode &&
                    workload_path == "-") {
             stats_mode = true;
+        } else if (arg == "ping" && !stats_mode && !ping_mode &&
+                   workload_path == "-") {
+            ping_mode = true;
         } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
             std::cerr << "jitsched-cli: unknown option '" << arg
                       << "'\n";
@@ -131,8 +147,23 @@ main(int argc, char **argv)
         JITSCHED_FATAL("--port is required (see jitschedd's "
                        "'listening on' line)");
 
+    const ClientConfig client_cfg{timeout_ms, timeout_ms,
+                                  timeout_ms};
+
+    if (ping_mode) {
+        ServiceClient client(client_cfg);
+        std::string error;
+        if (!client.connect(host, static_cast<std::uint16_t>(port),
+                            &error))
+            JITSCHED_FATAL("cannot reach daemon: ", error);
+        if (!client.ping(id, &error))
+            JITSCHED_FATAL("ping failed: ", error);
+        std::cout << "pong " << id << "\n";
+        return 0;
+    }
+
     if (stats_mode) {
-        ServiceClient client;
+        ServiceClient client(client_cfg);
         std::string error;
         if (!client.connect(host, static_cast<std::uint16_t>(port),
                             &error))
@@ -173,7 +204,7 @@ main(int argc, char **argv)
         req = *std::move(parsed);
     }
 
-    ServiceClient client;
+    ServiceClient client(client_cfg);
     std::string error;
     if (!client.connect(host, static_cast<std::uint16_t>(port),
                         &error))

@@ -736,17 +736,190 @@ makeStatsResponse(std::uint64_t id, const std::string &snapshot_text)
     return resp;
 }
 
-bool
-isStatsRequestFrame(const std::string &frame)
+void
+writePingRequest(std::ostream &os, const PingRequest &req)
+{
+    os << "jitsched-ping " << req.id << "\n";
+    os << "end\n";
+}
+
+std::string
+pingRequestText(const PingRequest &req)
+{
+    std::ostringstream os;
+    writePingRequest(os, req);
+    return os.str();
+}
+
+std::optional<PingRequest>
+tryReadPingRequest(std::istream &is, std::string *error)
+{
+    PingRequest req;
+
+    const auto header = nextLine(is);
+    if (!header) {
+        parseFail(error, "empty ping frame");
+        return std::nullopt;
+    }
+    {
+        std::istringstream hs(*header);
+        std::string tag, id_tok;
+        hs >> tag >> id_tok;
+        if (tag != "jitsched-ping") {
+            parseFail(error, "expected 'jitsched-ping <id>', got '" +
+                      *header + "'");
+            return std::nullopt;
+        }
+        const auto id = parseInt(id_tok);
+        if (!id || *id < 0) {
+            parseFail(error, "bad ping id '" + id_tok + "'");
+            return std::nullopt;
+        }
+        req.id = static_cast<std::uint64_t>(*id);
+    }
+
+    const auto tail = nextLine(is);
+    if (!tail || *tail != "end") {
+        parseFail(error, "ping carries a body (expected 'end')");
+        return std::nullopt;
+    }
+    return req;
+}
+
+void
+writePongResponse(std::ostream &os, const PongResponse &resp)
+{
+    os << "jitsched-pong " << resp.id << "\n";
+    if (resp.ok) {
+        os << "status ok\n";
+    } else {
+        os << "status error "
+           << (resp.code.empty() ? errcode::unavailable : resp.code)
+           << "\n";
+        os << "error " << resp.error << "\n";
+    }
+    os << "end\n";
+}
+
+std::string
+pongResponseText(const PongResponse &resp)
+{
+    std::ostringstream os;
+    writePongResponse(os, resp);
+    return os.str();
+}
+
+std::optional<PongResponse>
+tryReadPongResponse(std::istream &is, std::string *error)
+{
+    PongResponse resp;
+
+    const auto header = nextLine(is);
+    if (!header) {
+        parseFail(error, "empty pong frame");
+        return std::nullopt;
+    }
+    {
+        std::istringstream hs(*header);
+        std::string tag, id_tok;
+        hs >> tag >> id_tok;
+        if (tag != "jitsched-pong") {
+            parseFail(error, "expected 'jitsched-pong <id>', got '" +
+                      *header + "'");
+            return std::nullopt;
+        }
+        const auto id = parseInt(id_tok);
+        if (!id || *id < 0) {
+            parseFail(error, "bad pong id '" + id_tok + "'");
+            return std::nullopt;
+        }
+        resp.id = static_cast<std::uint64_t>(*id);
+    }
+
+    bool saw_status = false;
+    for (;;) {
+        const auto line = nextLine(is);
+        if (!line) {
+            parseFail(error, "pong truncated (no 'end')");
+            return std::nullopt;
+        }
+        if (*line == "end")
+            break;
+
+        std::istringstream ls(*line);
+        std::string key;
+        ls >> key;
+
+        if (key == "status") {
+            std::string st;
+            ls >> st;
+            if (st == "ok") {
+                resp.ok = true;
+            } else if (st == "error") {
+                resp.ok = false;
+                ls >> resp.code;
+                if (resp.code.empty()) {
+                    parseFail(error, "status error carries no code");
+                    return std::nullopt;
+                }
+            } else {
+                parseFail(error, "bad status '" + st + "'");
+                return std::nullopt;
+            }
+            saw_status = true;
+        } else if (key == "error") {
+            constexpr std::size_t skip = sizeof("error ") - 1;
+            resp.error = line->size() > skip ? line->substr(skip) : "";
+        } else {
+            parseFail(error, "unknown pong directive '" + key + "'");
+            return std::nullopt;
+        }
+    }
+
+    if (!saw_status) {
+        parseFail(error, "pong carries no status");
+        return std::nullopt;
+    }
+    return resp;
+}
+
+PongResponse
+makePongResponse(std::uint64_t id)
+{
+    PongResponse resp;
+    resp.id = id;
+    resp.ok = true;
+    return resp;
+}
+
+namespace {
+
+/** First whitespace token of a frame's first meaningful line. */
+std::string
+frameTag(const std::string &frame)
 {
     std::istringstream is(frame);
     const auto first = nextLine(is);
     if (!first)
-        return false;
+        return {};
     std::istringstream hs(*first);
     std::string tag;
     hs >> tag;
-    return tag == "jitsched-stats";
+    return tag;
+}
+
+} // anonymous namespace
+
+bool
+isStatsRequestFrame(const std::string &frame)
+{
+    return frameTag(frame) == "jitsched-stats";
+}
+
+bool
+isPingRequestFrame(const std::string &frame)
+{
+    return frameTag(frame) == "jitsched-ping";
 }
 
 std::uint64_t

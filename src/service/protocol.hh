@@ -64,6 +64,24 @@
  * The server answers STATS frames inline on the connection handler,
  * bypassing the admission queue — scrapes keep working while the
  * queue is shedding load, which is exactly when they matter.
+ *
+ * Liveness is probed with a PING frame:
+ *
+ *   jitsched-ping <id>
+ *   end
+ *
+ * answered by
+ *
+ *   jitsched-pong <id>
+ *   status ok                   | status error <CODE>
+ *   error <message>             (error frames only)
+ *   end
+ *
+ * Like STATS, PING is answered inline on the connection handler and
+ * bypasses the admission queue: a health check must answer while the
+ * daemon is shedding load — a loaded backend is still a live
+ * backend.  The cluster router's health-state machine
+ * (cluster/backend.hh) is driven entirely by this verb.
  */
 
 #ifndef JITSCHED_SERVICE_PROTOCOL_HH
@@ -209,6 +227,26 @@ ServiceResponse makeErrorResponse(std::uint64_t id,
                                   const std::string &code,
                                   const std::string &message);
 
+/** A liveness probe: no payload, just the echoed id. */
+struct PingRequest
+{
+    std::uint64_t id = 0;
+};
+
+/** The probe's answer. */
+struct PongResponse
+{
+    std::uint64_t id = 0;
+
+    bool ok = false;
+
+    /** Error code (errcode::*); empty on ok. */
+    std::string code;
+
+    /** Human-readable error message; empty on ok. */
+    std::string error;
+};
+
 /** Serialize a stats-request frame. */
 void writeStatsRequest(std::ostream &os, const StatsRequest &req);
 
@@ -233,12 +271,38 @@ tryReadStatsResponse(std::istream &is, std::string *error = nullptr);
 StatsResponse makeStatsResponse(std::uint64_t id,
                                 const std::string &snapshot_text);
 
+/** Serialize a ping frame. */
+void writePingRequest(std::ostream &os, const PingRequest &req);
+
+/** Ping frame as a string. */
+std::string pingRequestText(const PingRequest &req);
+
+/** Parse one ping frame, consuming through `end`. */
+std::optional<PingRequest>
+tryReadPingRequest(std::istream &is, std::string *error = nullptr);
+
+/** Serialize a pong frame. */
+void writePongResponse(std::ostream &os, const PongResponse &resp);
+
+/** Pong frame as a string. */
+std::string pongResponseText(const PongResponse &resp);
+
+/** Parse one pong frame, consuming through `end`. */
+std::optional<PongResponse>
+tryReadPongResponse(std::istream &is, std::string *error = nullptr);
+
+/** Build an ok pong for @p id. */
+PongResponse makePongResponse(std::uint64_t id);
+
 /**
  * True when the frame's first meaningful line is a `jitsched-stats`
  * header — how the connection handler routes a frame to the scrape
  * path without attempting a full request parse.
  */
 bool isStatsRequestFrame(const std::string &frame);
+
+/** Same routing test for `jitsched-ping` frames. */
+bool isPingRequestFrame(const std::string &frame);
 
 /**
  * True when @p raw_line (after comment/whitespace stripping) is the

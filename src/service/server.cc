@@ -29,12 +29,23 @@ ServiceServer::~ServiceServer()
 bool
 ServiceServer::start(std::string *error)
 {
-    listen_fd_ = listenTcp(cfg_.bindAddress, cfg_.port,
+    if (started_) {
+        if (error != nullptr)
+            *error = "server is already running";
+        return false;
+    }
+    // Restarts stick to the first bind's port: an ephemeral-port
+    // server that bounces must come back where its clients (and the
+    // cluster router's backend table) expect it.
+    const std::uint16_t bind_port = port_ != 0 ? port_ : cfg_.port;
+    listen_fd_ = listenTcp(cfg_.bindAddress, bind_port,
                            cfg_.acceptBacklog, error);
     if (listen_fd_ < 0)
         return false;
     port_ = boundPort(listen_fd_);
 
+    queue_.restart();
+    stopping_.store(false, std::memory_order_release);
     started_ = true;
     acceptor_ = std::thread([this] { acceptLoop(); });
     const std::size_t handlers =
@@ -185,6 +196,36 @@ ServiceServer::handleConnection(int fd)
         if (stopping_.load(std::memory_order_acquire))
             return;
 
+        // PING frames are answered right here on the handler, like
+        // STATS: a health probe must keep answering while the
+        // admission queue is shedding load — a loaded backend is
+        // still a live backend, and the cluster router must not
+        // eject it for being busy.
+        if (isPingRequestFrame(frame)) {
+            std::istringstream pis(frame);
+            std::string ping_error;
+            PongResponse pong;
+            if (const auto preq =
+                    tryReadPingRequest(pis, &ping_error)) {
+                pong = makePongResponse(preq->id);
+            } else {
+                pong.code = errcode::invalidArgument;
+                pong.error = ping_error;
+            }
+            frames_.fetch_add(1, std::memory_order_relaxed);
+            JITSCHED_OBS({
+                obs::ServiceMetrics &m = obs::ServiceMetrics::get();
+                m.framesServed.add();
+                m.pingRequests.add();
+            });
+            const std::string pong_text = pongResponseText(pong);
+            JITSCHED_OBS(obs::ServiceMetrics::get().bytesOut.add(
+                pong_text.size()));
+            if (!writeAll(fd, pong_text))
+                return;
+            continue;
+        }
+
         // STATS frames are answered right here on the handler,
         // bypassing the admission queue: a scrape must keep working
         // while the queue is shedding load — that is when operators
@@ -272,6 +313,12 @@ ServiceServer::stop()
     conn_queue_.clear();
 
     queue_.stop();
+
+    // Leave the object restartable: everything joined and closed,
+    // port_ remembered so the next start() rebinds it.
+    handlers_.clear();
+    listen_fd_ = -1;
+    started_ = false;
 }
 
 } // namespace jitsched

@@ -78,11 +78,20 @@ class ServiceServer
 
     /**
      * Bind, listen, and spawn the acceptor + handlers.
+     *
+     * A stopped server can be started again: the second start()
+     * rebinds the port the first one landed on (even when cfg.port
+     * was 0), so a bounced backend comes back on the address its
+     * cluster router knows.  Counters survive the bounce.
+     *
      * @return true on success; false with *error set otherwise
      */
     bool start(std::string *error = nullptr);
 
-    /** Stop accepting, close connections, join threads; idempotent. */
+    /**
+     * Stop accepting, close connections, join threads; idempotent.
+     * The server may be start()ed again afterwards.
+     */
     void stop();
 
     /** The port actually bound (valid after start()). */

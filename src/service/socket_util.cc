@@ -4,9 +4,12 @@
 #include <cstring>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 namespace jitsched {
@@ -78,6 +81,101 @@ boundPort(int fd)
                       &len) != 0)
         return 0;
     return ntohs(addr.sin_port);
+}
+
+int
+connectTcpTimeout(const std::string &address, std::uint16_t port,
+                  int timeout_ms, std::string *error)
+{
+    if (timeout_ms < 0)
+        return connectTcp(address, port, error);
+
+    sockaddr_in addr;
+    if (!makeAddr(address, port, &addr, error))
+        return -1;
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        sockFail(error, "socket()");
+        return -1;
+    }
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 ||
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+        sockFail(error, "fcntl(O_NONBLOCK)");
+        closeFd(fd);
+        return -1;
+    }
+
+    int rc;
+    do {
+        rc = ::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                       sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0 && errno != EINPROGRESS) {
+        sockFail(error, "connect(" + address + ":" +
+                 std::to_string(port) + ")");
+        closeFd(fd);
+        return -1;
+    }
+    if (rc != 0) {
+        // Handshake in flight: await writability within the deadline,
+        // then read the real outcome from SO_ERROR.
+        pollfd pfd{fd, POLLOUT, 0};
+        int pr;
+        do {
+            pr = ::poll(&pfd, 1, timeout_ms);
+        } while (pr < 0 && errno == EINTR);
+        if (pr == 0) {
+            if (error != nullptr)
+                *error = "connect(" + address + ":" +
+                         std::to_string(port) + ") timed out after " +
+                         std::to_string(timeout_ms) + " ms";
+            closeFd(fd);
+            return -1;
+        }
+        int so_error = 0;
+        socklen_t len = sizeof(so_error);
+        if (pr < 0 ||
+            ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error,
+                         &len) != 0 ||
+            so_error != 0) {
+            if (so_error != 0)
+                errno = so_error;
+            sockFail(error, "connect(" + address + ":" +
+                     std::to_string(port) + ")");
+            closeFd(fd);
+            return -1;
+        }
+    }
+
+    if (::fcntl(fd, F_SETFL, flags) != 0) {
+        sockFail(error, "fcntl(restore flags)");
+        closeFd(fd);
+        return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+}
+
+void
+setIoTimeouts(int fd, int recv_timeout_ms, int send_timeout_ms)
+{
+    const auto toTimeval = [](int ms) {
+        timeval tv{};
+        tv.tv_sec = ms / 1000;
+        tv.tv_usec = (ms % 1000) * 1000;
+        return tv;
+    };
+    if (recv_timeout_ms >= 0) {
+        const timeval tv = toTimeval(recv_timeout_ms);
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    }
+    if (send_timeout_ms >= 0) {
+        const timeval tv = toTimeval(send_timeout_ms);
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
 }
 
 int
@@ -170,6 +268,13 @@ LineReader::readLine()
         do {
             n = ::read(fd_, chunk, sizeof(chunk));
         } while (n < 0 && errno == EINTR);
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            // SO_RCVTIMEO expired (setIoTimeouts): the peer is hung,
+            // not gone.  Surface it distinctly so a client can retry
+            // elsewhere instead of mistaking it for a clean close.
+            timed_out_ = true;
+            return std::nullopt;
+        }
         if (n <= 0) {
             eof_ = true;
             continue;

@@ -38,6 +38,29 @@ std::uint16_t boundPort(int fd);
 int connectTcp(const std::string &address, std::uint16_t port,
                std::string *error);
 
+/**
+ * Connect with a deadline: the socket is put into non-blocking mode,
+ * the three-way handshake is awaited with poll(2), and the socket is
+ * returned to blocking mode on success.  A peer that silently drops
+ * SYNs (a hung or firewalled backend) fails in @p timeout_ms instead
+ * of the kernel's minutes-long default.
+ *
+ * @param timeout_ms connect deadline; < 0 means block indefinitely
+ *        (identical to connectTcp)
+ * @return the connected fd, or -1 on failure/timeout
+ */
+int connectTcpTimeout(const std::string &address, std::uint16_t port,
+                      int timeout_ms, std::string *error);
+
+/**
+ * Arm SO_RCVTIMEO / SO_SNDTIMEO on a connected socket.  A value < 0
+ * leaves that direction untouched; 0 disables the timeout.  With a
+ * receive timeout armed, LineReader::readLine() returns nullopt on
+ * expiry with timedOut() set — how a client tells a hung server from
+ * a closed one.
+ */
+void setIoTimeouts(int fd, int recv_timeout_ms, int send_timeout_ms);
+
 /** Write the whole buffer, retrying on partial writes and EINTR. */
 bool writeAll(int fd, std::string_view data);
 
@@ -71,6 +94,13 @@ class LineReader
     /** True once a line exceeded the construction-time cap. */
     bool overflowed() const { return overflowed_; }
 
+    /**
+     * True once a read expired against the socket's SO_RCVTIMEO
+     * (see setIoTimeouts).  Distinguishes "the peer is hung" from
+     * "the peer hung up" after a nullopt readLine().
+     */
+    bool timedOut() const { return timed_out_; }
+
   private:
     int fd_;
     std::size_t max_line_;
@@ -78,6 +108,7 @@ class LineReader
     std::size_t pos_ = 0;
     bool eof_ = false;
     bool overflowed_ = false;
+    bool timed_out_ = false;
 };
 
 } // namespace jitsched

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Fake-clock tests for the backend health machinery: the rolling
+ * error window, the circuit breaker, and the
+ * Healthy -> Suspect -> Down -> Probing -> Healthy walk with
+ * probe-failure backoff.  Every transition takes the current time as
+ * an argument, so a whole outage runs in microseconds here.
+ */
+
+#include <chrono>
+
+#include <gtest/gtest.h>
+
+#include "cluster/backend.hh"
+
+namespace jitsched {
+namespace cluster {
+namespace {
+
+using Clock = HealthMachine::Clock;
+
+Clock::time_point
+t0()
+{
+    return Clock::time_point(std::chrono::milliseconds(1000000));
+}
+
+std::chrono::milliseconds
+ms(int n)
+{
+    return std::chrono::milliseconds(n);
+}
+
+TEST(RollingWindow, CountsWithinTheWindow)
+{
+    auto now = t0();
+    RollingWindow w(/*window_ms=*/1000, /*buckets=*/10, now);
+    EXPECT_EQ(w.total(now), 0u);
+    EXPECT_DOUBLE_EQ(w.errorRate(now), 0.0);
+
+    w.record(true, now);
+    w.record(false, now + ms(50));
+    w.record(false, now + ms(150));
+    now += ms(200);
+    EXPECT_EQ(w.total(now), 3u);
+    EXPECT_EQ(w.failures(now), 2u);
+    EXPECT_DOUBLE_EQ(w.errorRate(now), 2.0 / 3.0);
+}
+
+TEST(RollingWindow, OldSamplesExpire)
+{
+    auto now = t0();
+    RollingWindow w(1000, 10, now);
+    for (int i = 0; i < 5; ++i)
+        w.record(false, now);
+    EXPECT_DOUBLE_EQ(w.errorRate(now), 1.0);
+
+    // A window-and-a-bucket later everything has rotated out.
+    now += ms(1100);
+    EXPECT_EQ(w.total(now), 0u);
+    EXPECT_DOUBLE_EQ(w.errorRate(now), 0.0);
+}
+
+TEST(RollingWindow, ResetClearsEverything)
+{
+    auto now = t0();
+    RollingWindow w(1000, 10, now);
+    w.record(false, now);
+    w.reset(now);
+    EXPECT_EQ(w.total(now), 0u);
+}
+
+HealthConfig
+fastConfig()
+{
+    HealthConfig cfg;
+    cfg.suspectAfter = 1;
+    cfg.downAfter = 3;
+    cfg.probeDelayMs = 100;
+    cfg.probeDelayMaxMs = 400;
+    cfg.probeSuccesses = 2;
+    return cfg;
+}
+
+TEST(HealthMachine, StartsHealthyAndRoutable)
+{
+    HealthMachine hm(fastConfig(), t0());
+    EXPECT_EQ(hm.state(), HealthState::Healthy);
+    EXPECT_TRUE(hm.routable());
+    EXPECT_EQ(hm.ejections(), 0u);
+}
+
+TEST(HealthMachine, ConsecutiveFailuresWalkToDown)
+{
+    auto now = t0();
+    HealthMachine hm(fastConfig(), now);
+
+    hm.onResult(false, now);
+    EXPECT_EQ(hm.state(), HealthState::Suspect);
+    EXPECT_TRUE(hm.routable()) << "Suspect still takes traffic";
+
+    hm.onResult(false, now += ms(10));
+    EXPECT_EQ(hm.state(), HealthState::Suspect);
+
+    hm.onResult(false, now += ms(10));
+    EXPECT_EQ(hm.state(), HealthState::Down);
+    EXPECT_FALSE(hm.routable());
+    EXPECT_EQ(hm.ejections(), 1u);
+}
+
+TEST(HealthMachine, ASuccessResetsTheStreak)
+{
+    auto now = t0();
+    HealthMachine hm(fastConfig(), now);
+    hm.onResult(false, now);
+    hm.onResult(false, now += ms(10));
+    EXPECT_EQ(hm.state(), HealthState::Suspect);
+
+    hm.onResult(true, now += ms(10));
+    EXPECT_EQ(hm.state(), HealthState::Healthy);
+
+    // The streak restarted: two more failures only reach Suspect.
+    hm.onResult(false, now += ms(10));
+    hm.onResult(false, now += ms(10));
+    EXPECT_EQ(hm.state(), HealthState::Suspect);
+    EXPECT_EQ(hm.ejections(), 0u);
+}
+
+TEST(HealthMachine, BreakerTripsOnErrorRateDespiteSuccesses)
+{
+    // Alternating ok/fail never builds a downAfter streak, but the
+    // windowed error rate reaches 50% at the minimum sample count —
+    // the case the breaker exists for.
+    HealthConfig cfg = fastConfig();
+    cfg.downAfter = 100; // keep the consecutive path out of the way
+    cfg.breakerMinSamples = 8;
+    cfg.breakerMaxErrorRate = 0.5;
+
+    auto now = t0();
+    HealthMachine hm(cfg, now);
+    for (int i = 0; i < 3; ++i) {
+        hm.onResult(true, now += ms(10));
+        hm.onResult(false, now += ms(10));
+        EXPECT_TRUE(hm.routable());
+    }
+    hm.onResult(true, now += ms(10));
+    EXPECT_TRUE(hm.routable()) << "7 samples: below minSamples";
+    hm.onResult(false, now += ms(10));
+    EXPECT_EQ(hm.state(), HealthState::Down)
+        << "8th sample reaches 4/8 = 50% error rate";
+    EXPECT_EQ(hm.ejections(), 1u);
+}
+
+TEST(HealthMachine, DownIgnoresStragglerResults)
+{
+    auto now = t0();
+    HealthMachine hm(fastConfig(), now);
+    for (int i = 0; i < 3; ++i)
+        hm.onResult(false, now += ms(10));
+    ASSERT_EQ(hm.state(), HealthState::Down);
+
+    // Requests in flight at ejection time report late; the probe
+    // cycle owns the state now.
+    hm.onResult(true, now += ms(10));
+    EXPECT_EQ(hm.state(), HealthState::Down);
+}
+
+TEST(HealthMachine, ProbeTimerGatesDownToProbing)
+{
+    auto now = t0();
+    HealthMachine hm(fastConfig(), now);
+    for (int i = 0; i < 3; ++i)
+        hm.onResult(false, now);
+    ASSERT_EQ(hm.state(), HealthState::Down);
+
+    EXPECT_FALSE(hm.wantsProbe(now + ms(99)));
+    EXPECT_EQ(hm.state(), HealthState::Down);
+
+    EXPECT_TRUE(hm.wantsProbe(now + ms(100)));
+    EXPECT_EQ(hm.state(), HealthState::Probing);
+    EXPECT_FALSE(hm.routable());
+
+    // Exactly one caller wins the probe.
+    EXPECT_FALSE(hm.wantsProbe(now + ms(100)));
+}
+
+TEST(HealthMachine, FailedProbesBackOffWithDoublingDelay)
+{
+    auto now = t0();
+    HealthMachine hm(fastConfig(), now);
+    for (int i = 0; i < 3; ++i)
+        hm.onResult(false, now);
+    ASSERT_TRUE(hm.wantsProbe(now += ms(100)));
+
+    // 1st failure: delay doubles to 200ms.
+    hm.onProbe(false, now);
+    EXPECT_EQ(hm.state(), HealthState::Down);
+    EXPECT_FALSE(hm.wantsProbe(now + ms(199)));
+    ASSERT_TRUE(hm.wantsProbe(now += ms(200)));
+
+    // 2nd failure: 400ms, the configured cap.
+    hm.onProbe(false, now);
+    EXPECT_FALSE(hm.wantsProbe(now + ms(399)));
+    ASSERT_TRUE(hm.wantsProbe(now += ms(400)));
+
+    // 3rd failure: still capped at 400ms.
+    hm.onProbe(false, now);
+    EXPECT_FALSE(hm.wantsProbe(now + ms(399)));
+    EXPECT_TRUE(hm.wantsProbe(now += ms(400)));
+}
+
+TEST(HealthMachine, ReadmissionNeedsTheFullProbeStreak)
+{
+    auto now = t0();
+    HealthMachine hm(fastConfig(), now);
+    for (int i = 0; i < 3; ++i)
+        hm.onResult(false, now);
+    ASSERT_TRUE(hm.wantsProbe(now += ms(100)));
+
+    hm.onProbe(true, now += ms(5));
+    EXPECT_EQ(hm.state(), HealthState::Probing)
+        << "one ok probe of two: not yet re-admitted";
+    EXPECT_FALSE(hm.routable());
+
+    hm.onProbe(true, now += ms(5));
+    EXPECT_EQ(hm.state(), HealthState::Healthy);
+    EXPECT_TRUE(hm.routable());
+    EXPECT_EQ(hm.readmissions(), 1u);
+
+    // Re-admission resets the books: the breaker window and the
+    // failure streak start clean, so one failure is only Suspect.
+    hm.onResult(false, now += ms(5));
+    EXPECT_EQ(hm.state(), HealthState::Suspect);
+}
+
+TEST(HealthMachine, ProbeFailureRestartsTheStreak)
+{
+    HealthConfig cfg = fastConfig();
+    cfg.probeSuccesses = 2;
+    auto now = t0();
+    HealthMachine hm(cfg, now);
+    for (int i = 0; i < 3; ++i)
+        hm.onResult(false, now);
+    ASSERT_TRUE(hm.wantsProbe(now += ms(100)));
+
+    hm.onProbe(true, now += ms(5));
+    hm.onProbe(false, now += ms(5));
+    ASSERT_EQ(hm.state(), HealthState::Down);
+
+    // Back to Probing after the backoff; the old partial streak must
+    // not count toward re-admission.
+    ASSERT_TRUE(hm.wantsProbe(now += ms(200)));
+    hm.onProbe(true, now += ms(5));
+    EXPECT_EQ(hm.state(), HealthState::Probing);
+    hm.onProbe(true, now += ms(5));
+    EXPECT_EQ(hm.state(), HealthState::Healthy);
+}
+
+} // anonymous namespace
+} // namespace cluster
+} // namespace jitsched

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Consistent-hash ring tests: deterministic ownership, full spill
+ * chains, balance across backends, and the stability property the
+ * cluster's cache affinity rests on — removing a backend remaps only
+ * the keys that backend owned.
+ */
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/ring.hh"
+
+namespace jitsched {
+namespace cluster {
+namespace {
+
+/** splitmix64: a cheap deterministic key stream for the tests. */
+std::uint64_t
+keyStream(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+TEST(HashRing, SingleBackendOwnsEverything)
+{
+    const HashRing ring(1);
+    std::uint64_t s = 1;
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(ring.ownerOf(keyStream(s)), 0u);
+}
+
+TEST(HashRing, OwnershipIsDeterministicAcrossInstances)
+{
+    // Two routers built from the same backend list must agree on
+    // every key — affinity only works if the ring is a pure function
+    // of (backends, vnodes).
+    const HashRing a(5), b(5);
+    std::uint64_t s = 2;
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t key = keyStream(s);
+        EXPECT_EQ(a.ownerOf(key), b.ownerOf(key));
+        EXPECT_EQ(a.ownerChain(key), b.ownerChain(key));
+    }
+}
+
+TEST(HashRing, ChainListsEveryBackendOnceOwnerFirst)
+{
+    const HashRing ring(6);
+    std::uint64_t s = 3;
+    for (int i = 0; i < 500; ++i) {
+        const std::uint64_t key = keyStream(s);
+        const auto chain = ring.ownerChain(key);
+        ASSERT_EQ(chain.size(), 6u);
+        EXPECT_EQ(chain.front(), ring.ownerOf(key));
+        const std::set<std::size_t> unique(chain.begin(),
+                                           chain.end());
+        EXPECT_EQ(unique.size(), 6u);
+    }
+}
+
+TEST(HashRing, RemovingABackendOnlyRemapsItsOwnKeys)
+{
+    // The cache-affinity argument: shrinking the cluster from 4 to 3
+    // backends must leave every key owned by a surviving backend
+    // exactly where it was.  Backends 0..2 place identical points in
+    // both rings, so only keys owned by backend 3 may move.
+    const HashRing four(4), three(3);
+    std::uint64_t s = 4;
+    std::size_t moved = 0, owned_by_removed = 0;
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t key = keyStream(s);
+        const std::size_t before = four.ownerOf(key);
+        const std::size_t after = three.ownerOf(key);
+        if (before == 3) {
+            ++owned_by_removed;
+            EXPECT_LT(after, 3u);
+        } else {
+            EXPECT_EQ(after, before);
+            moved += (after != before) ? 1 : 0;
+        }
+    }
+    EXPECT_EQ(moved, 0u);
+    // Sanity: the removed backend actually owned a real share.
+    EXPECT_GT(owned_by_removed, 500u);
+}
+
+TEST(HashRing, SharesAreRoughlyBalanced)
+{
+    const std::size_t backends = 4;
+    const HashRing ring(backends);
+    std::vector<std::size_t> owned(backends, 0);
+    std::uint64_t s = 5;
+    const std::size_t keys = 20000;
+    for (std::size_t i = 0; i < keys; ++i)
+        ++owned[ring.ownerOf(keyStream(s))];
+    // 64 vnodes keeps small clusters well within 2x of fair share.
+    for (std::size_t b = 0; b < backends; ++b) {
+        const double share =
+            static_cast<double>(owned[b]) / keys;
+        EXPECT_GT(share, 0.125) << "backend " << b;
+        EXPECT_LT(share, 0.5) << "backend " << b;
+    }
+}
+
+TEST(HashRing, MoreVnodesTightenTheBalance)
+{
+    // Not a strict monotonicity claim — just that the configured
+    // default (64) beats a deliberately coarse ring (1 vnode).
+    auto spread = [](const HashRing &ring, std::size_t backends) {
+        std::vector<std::size_t> owned(backends, 0);
+        std::uint64_t s = 6;
+        for (int i = 0; i < 20000; ++i)
+            ++owned[ring.ownerOf(keyStream(s))];
+        std::size_t lo = owned[0], hi = owned[0];
+        for (const std::size_t n : owned) {
+            lo = std::min(lo, n);
+            hi = std::max(hi, n);
+        }
+        return static_cast<double>(hi) /
+               static_cast<double>(lo > 0 ? lo : 1);
+    };
+    const double coarse = spread(HashRing(4, 1), 4);
+    const double fine = spread(HashRing(4, 64), 4);
+    EXPECT_LT(fine, coarse);
+}
+
+} // anonymous namespace
+} // namespace cluster
+} // namespace jitsched

@@ -316,5 +316,61 @@ TEST(ServiceProtocol, FingerprintSeesPolicyOptionsAndWorkload)
               requestFingerprint(other_workload));
 }
 
+TEST(ServiceProtocol, PingRequestRoundTrip)
+{
+    PingRequest req;
+    req.id = 77;
+    const std::string text = pingRequestText(req);
+    EXPECT_TRUE(isPingRequestFrame(text));
+    EXPECT_FALSE(isPingRequestFrame("jitsched-request 77\nend\n"));
+    EXPECT_FALSE(isStatsRequestFrame(text));
+
+    std::istringstream is(text);
+    std::string error;
+    const auto back = tryReadPingRequest(is, &error);
+    ASSERT_TRUE(back.has_value()) << error;
+    EXPECT_EQ(back->id, 77u);
+}
+
+TEST(ServiceProtocol, PingRequestRejectsABody)
+{
+    std::istringstream is("jitsched-ping 3\npayload\nend\n");
+    std::string error;
+    EXPECT_FALSE(tryReadPingRequest(is, &error).has_value());
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(ServiceProtocol, PongOkRoundTrip)
+{
+    const PongResponse resp = makePongResponse(77);
+    EXPECT_TRUE(resp.ok);
+
+    std::istringstream is(pongResponseText(resp));
+    std::string error;
+    const auto back = tryReadPongResponse(is, &error);
+    ASSERT_TRUE(back.has_value()) << error;
+    EXPECT_TRUE(back->ok);
+    EXPECT_EQ(back->id, 77u);
+    EXPECT_TRUE(back->code.empty());
+}
+
+TEST(ServiceProtocol, PongErrorRoundTrip)
+{
+    PongResponse resp;
+    resp.id = 9;
+    resp.ok = false;
+    resp.code = errcode::unavailable;
+    resp.error = "shutting down";
+
+    std::istringstream is(pongResponseText(resp));
+    std::string error;
+    const auto back = tryReadPongResponse(is, &error);
+    ASSERT_TRUE(back.has_value()) << error;
+    EXPECT_FALSE(back->ok);
+    EXPECT_EQ(back->id, 9u);
+    EXPECT_EQ(back->code, errcode::unavailable);
+    EXPECT_EQ(back->error, "shutting down");
+}
+
 } // anonymous namespace
 } // namespace jitsched

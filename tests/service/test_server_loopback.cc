@@ -419,5 +419,91 @@ TEST(ServiceServerLimits, NewlineFreeStreamIsBounded)
     server.stop();
 }
 
+TEST_F(LoopbackTest, PingIsAnsweredInline)
+{
+    ServiceClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", server_.port(), &error))
+        << error;
+    EXPECT_TRUE(client.ping(7, &error)) << error;
+
+    // A ping is a framing no-op: scheduling requests on the same
+    // connection keep working around it.
+    const ServiceRequest req =
+        makeRequest(8, "iar", figure1Workload());
+    const auto raw = client.callRaw(requestText(req), &error);
+    ASSERT_TRUE(raw.has_value()) << error;
+    EXPECT_EQ(stripStats(*raw), directAnswer(req));
+    EXPECT_TRUE(client.ping(9, &error)) << error;
+}
+
+TEST(ServiceServerLifecycle, RestartComesBackOnTheSamePort)
+{
+    // The contract the cluster layer's backend bounce rests on: a
+    // stopped server restarts on the port its first bind chose, with
+    // its counters intact.
+    ServiceEngine engine;
+    ServiceServer server(engine);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+    const std::uint16_t port = server.port();
+    ASSERT_NE(port, 0);
+
+    EXPECT_FALSE(server.start(&error))
+        << "second start while running must refuse";
+
+    {
+        ServiceClient client;
+        ASSERT_TRUE(client.connect("127.0.0.1", port, &error))
+            << error;
+        EXPECT_TRUE(client.ping(1, &error)) << error;
+    }
+    const std::uint64_t frames_before_stop = server.framesServed();
+    EXPECT_GE(frames_before_stop, 1u);
+
+    server.stop();
+    {
+        ClientConfig cfg;
+        cfg.connectTimeoutMs = 500;
+        ServiceClient down(cfg);
+        EXPECT_FALSE(down.connect("127.0.0.1", port, &error))
+            << "stopped server still accepts connections";
+    }
+
+    ASSERT_TRUE(server.start(&error)) << error;
+    EXPECT_EQ(server.port(), port);
+
+    ServiceClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", port, &error)) << error;
+    const auto raw = client.callRaw(
+        requestText(makeRequest(2, "iar", figure1Workload())),
+        &error);
+    ASSERT_TRUE(raw.has_value()) << error;
+    EXPECT_GE(server.framesServed(), frames_before_stop + 1);
+    server.stop();
+}
+
+TEST(ServiceServerLifecycle, RestartSurvivesRepeatedBounces)
+{
+    ServiceEngine engine;
+    ServiceServer server(engine);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+    const std::uint16_t port = server.port();
+
+    for (int round = 0; round < 3; ++round) {
+        server.stop();
+        ASSERT_TRUE(server.start(&error))
+            << "round " << round << ": " << error;
+        ASSERT_EQ(server.port(), port) << "round " << round;
+
+        ServiceClient client;
+        ASSERT_TRUE(client.connect("127.0.0.1", port, &error))
+            << error;
+        EXPECT_TRUE(client.ping(100 + round, &error)) << error;
+    }
+    server.stop();
+}
+
 } // anonymous namespace
 } // namespace jitsched
