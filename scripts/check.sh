@@ -17,6 +17,12 @@
 #                              # against bench/expectations/ — catches
 #                              # unintended changes to A* expansion
 #                              # order, pruning, or evaluation totals
+#   scripts/check.sh --par-smoke
+#                              # also run bench_astar_par --smoke and
+#                              # diff its deterministic counters
+#                              # (single-worker parallel A*, incumbent
+#                              # pruning, cross-mode cost agreement)
+#                              # against bench/expectations/
 #   scripts/check.sh --obs-smoke
 #                              # also exercise the observability
 #                              # surface end to end: start jitschedd,
@@ -55,6 +61,7 @@ cd "$(dirname "$0")/.."
 
 run_tsan=0
 run_bench_smoke=0
+run_par_smoke=0
 run_obs_smoke=0
 run_fuzz_smoke=0
 run_asan=0
@@ -63,14 +70,15 @@ for arg in "$@"; do
     case "$arg" in
         --tsan) run_tsan=1 ;;
         --bench-smoke) run_bench_smoke=1 ;;
+        --par-smoke) run_par_smoke=1 ;;
         --obs-smoke) run_obs_smoke=1 ;;
         --fuzz-smoke) run_fuzz_smoke=1 ;;
         --asan) run_asan=1 ;;
         --cluster-smoke) run_cluster_smoke=1 ;;
         *)
             echo "usage: scripts/check.sh [--tsan] [--bench-smoke]" \
-                 "[--obs-smoke] [--fuzz-smoke] [--asan]" \
-                 "[--cluster-smoke]" >&2
+                 "[--par-smoke] [--obs-smoke] [--fuzz-smoke]" \
+                 "[--asan] [--cluster-smoke]" >&2
             exit 2
             ;;
     esac
@@ -93,6 +101,21 @@ if [ "$run_bench_smoke" -eq 1 ]; then
         exit 1
     fi
     echo "bench smoke: counters match"
+fi
+
+if [ "$run_par_smoke" -eq 1 ]; then
+    echo "== Parallel A* smoke (deterministic astar-par counters) =="
+    ./build/bench/bench_astar_par --smoke > build/astar_par_smoke.out
+    if ! diff -u bench/expectations/astar_par_smoke.txt \
+            build/astar_par_smoke.out; then
+        echo "par smoke: astar-par counters diverged from" \
+             "bench/expectations/astar_par_smoke.txt" >&2
+        echo "(if the change is intentional, regenerate with:" \
+             "./build/bench/bench_astar_par --smoke >" \
+             "bench/expectations/astar_par_smoke.txt)" >&2
+        exit 1
+    fi
+    echo "par smoke: counters match"
 fi
 
 if [ "$run_obs_smoke" -eq 1 ]; then
@@ -266,7 +289,17 @@ if [ "$run_fuzz_smoke" -eq 1 ]; then
              "lower-bound oracle" >&2
         exit 1
     fi
-    echo "fuzz smoke: clean run + canary fired"
+    # Same self-check for the parallel-A* differential: a perturbed
+    # astar-par cost must be flagged against the sequential solvers.
+    if ./build/bin/jitsched-fuzz solvers --seconds 20 --seed 1 \
+        --break-oracle astar-par --corpus-dir "$fuzz_corpus" \
+        > /dev/null 2>&1; then
+        echo "fuzz smoke: the broken-oracle canary PASSED — the" \
+             "harness failed to detect a deliberately perturbed" \
+             "astar-par cost" >&2
+        exit 1
+    fi
+    echo "fuzz smoke: clean run + canaries fired"
 fi
 
 if [ "$run_asan" -eq 1 ]; then
@@ -291,16 +324,20 @@ fi
 
 if [ "$run_tsan" -eq 1 ]; then
     echo "== ThreadSanitizer pass (exec + service + cluster + obs" \
-         "+ qa) =="
+         "+ qa + core_par) =="
     cmake -B build-tsan -S . -DJITSCHED_TSAN=ON \
         -DJITSCHED_BUILD_BENCH=OFF -DJITSCHED_BUILD_EXAMPLES=OFF \
         >/dev/null
     cmake --build build-tsan --target test_exec test_service \
-        test_cluster test_obs test_qa -j
+        test_cluster test_obs test_qa test_core_par -j
     # More than one executor thread, so the pool and the sharded
     # cache actually race if they can.
     JITSCHED_THREADS=4 ./build-tsan/tests/test_exec \
         --gtest_filter='ThreadPool*:EvalCache*:Batch*'
+    # The hash-distributed parallel A* (the `core_par` ctest label):
+    # MPSC inboxes, the atomic incumbent, the live-node terminator,
+    # and per-worker memory accounting, all under real concurrency.
+    JITSCHED_THREADS=4 ./build-tsan/tests/test_core_par
     # The whole service stack is concurrent: acceptor + handler
     # threads, admission worker, evaluation pool, parallel clients.
     JITSCHED_THREADS=4 ./build-tsan/tests/test_service

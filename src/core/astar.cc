@@ -4,6 +4,7 @@
 #include <queue>
 #include <vector>
 
+#include "core/iar.hh"
 #include "core/prefix_sim.hh"
 #include "core/search_util.hh"
 #include "exec/thread_pool.hh"
@@ -103,6 +104,26 @@ aStarOptimal(const Workload &w, const AStarConfig &cfg)
                        w.numFunctions() <= cfg.duplicateMaxFunctions;
     DuplicateTable table(dedup ? w.numFunctions() : 0);
 
+    // Incumbent upper bound: the IAR schedule is feasible, so its
+    // cost (in f units: makespan - lb) bounds the optimum from above.
+    // Any generated node with f >= incumbent can be dropped — all of
+    // its completions cost at least incumbent, which the retained
+    // incumbent schedule already achieves.  Closing leaves below the
+    // bound tighten it as the search runs.
+    const bool inc_prune = cfg.incumbentPruning;
+    Tick incumbent_f = maxTick;
+    std::int64_t incumbent_node = -1; // arena leaf, -1 = IAR seed
+    Schedule incumbent_schedule;
+    if (inc_prune) {
+        IarBound bound = iarUpperBound(w);
+        // Price the seed through the search's own cost model so the
+        // f units are exactly comparable.
+        incumbent_f =
+            evalComplete(w, bound.schedule.events(), best_exec);
+        incumbent_schedule = std::move(bound.schedule);
+        ++res.evaluations;
+    }
+
     // Reconstruct the event prefix of a node by walking parents —
     // off the hot path now, used once to emit the winning schedule.
     auto prefix_of = [&](std::int64_t idx) {
@@ -150,6 +171,19 @@ aStarOptimal(const Workload &w, const AStarConfig &cfg)
         open.pop();
         const std::int64_t idx = top.index;
 
+        // Nothing alive can beat the incumbent: the incumbent *is*
+        // optimal.  (Generated nodes were pruned at f >= incumbent,
+        // so this triggers only after a later incumbent improvement,
+        // or when the pop is the incumbent leaf itself.)
+        if (inc_prune && top.f >= incumbent_f) {
+            res.status = AStarStatus::Optimal;
+            res.schedule = incumbent_node >= 0
+                               ? Schedule(prefix_of(incumbent_node))
+                               : incumbent_schedule;
+            res.makespan = lb + incumbent_f;
+            return res;
+        }
+
         // Is this a goal? A popped node marked closed with full
         // coverage is a complete schedule with minimal cost.
         if (arena[idx].closed && idx != 0) {
@@ -193,12 +227,23 @@ aStarOptimal(const Workload &w, const AStarConfig &cfg)
             const Tick total =
                 incremental ? evaluator.complete(pstate, sig.data())
                             : evalComplete(w, events, best_exec);
-            arena.push_back(Node{idx, CompileEvent{}, total, true});
-            states.push_back(pstate);
-            open.push({total, static_cast<std::int64_t>(
-                                  arena.size() - 1)});
-            ++res.nodesGenerated;
-            oom = !account();
+            if (inc_prune && total >= incumbent_f) {
+                ++res.nodesPrunedIncumbent;
+            } else {
+                if (inc_prune) {
+                    incumbent_f = total;
+                    incumbent_node =
+                        static_cast<std::int64_t>(arena.size());
+                    ++res.incumbentImprovements;
+                }
+                arena.push_back(
+                    Node{idx, CompileEvent{}, total, true});
+                states.push_back(pstate);
+                open.push({total, static_cast<std::int64_t>(
+                                      arena.size() - 1)});
+                ++res.nodesGenerated;
+                oom = !account();
+            }
         }
 
         // Children: append any (function, level) with level strictly
@@ -257,6 +302,10 @@ aStarOptimal(const Workload &w, const AStarConfig &cfg)
         }
 
         for (std::size_t c = 0; !oom && c < children.size(); ++c) {
+            if (inc_prune && steps[c].f >= incumbent_f) {
+                ++res.nodesPrunedIncumbent;
+                continue;
+            }
             if (dedup) {
                 // Probe with the child's signature (event applied),
                 // then restore the expansion's scratch.
@@ -287,6 +336,18 @@ aStarOptimal(const Workload &w, const AStarConfig &cfg)
             res.status = AStarStatus::OutOfMemory;
             return res;
         }
+    }
+
+    // Under incumbent pruning the open list can legitimately drain:
+    // every surviving completion was cut at generation because it
+    // could not beat the incumbent — which is therefore optimal.
+    if (inc_prune) {
+        res.status = AStarStatus::Optimal;
+        res.schedule = incumbent_node >= 0
+                           ? Schedule(prefix_of(incumbent_node))
+                           : incumbent_schedule;
+        res.makespan = lb + incumbent_f;
+        return res;
     }
 
     // Exhausted the space without a goal: cannot happen for workloads

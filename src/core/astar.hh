@@ -22,6 +22,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "core/schedule.hh"
 #include "support/types.hh"
@@ -85,6 +86,38 @@ struct AStarConfig
      * O(#functions) bytes — so very wide workloads skip the table.
      */
     std::size_t duplicateMaxFunctions = 64;
+
+    /**
+     * Seed the search with the IAR schedule's cost as an incumbent
+     * upper bound and discard any generated node whose f already
+     * meets it (f >= incumbent implies every completion under the
+     * node costs at least what the incumbent achieves).  The final
+     * cost is bit-identical with or without the bound — when the
+     * bound is tight the search simply returns the incumbent
+     * schedule itself — but the explored node count can shrink by
+     * orders of magnitude.  Off by default in aStarOptimal() so the
+     * checked-in deterministic node-count expectations keep meaning
+     * "plain A*"; aStarParallel() and the astar-par service policy
+     * turn it on.
+     */
+    bool incumbentPruning = false;
+
+    /**
+     * Worker count for aStarParallel() (HDA*-style hash-distributed
+     * expansion); 0 = one worker per hardware thread.  Ignored by
+     * aStarOptimal().
+     */
+    std::size_t threads = 1;
+
+    /**
+     * Anytime deadline for aStarParallel(), in wall-clock
+     * milliseconds; 0 = none.  When the deadline (or the memory
+     * budget, or the expansion cap) trips, the parallel search
+     * returns the best incumbent schedule found so far plus an
+     * optimality-gap bound (AStarStatus::Incumbent) instead of
+     * returning empty-handed.  Ignored by aStarOptimal().
+     */
+    std::int64_t anytimeDeadlineMs = 0;
 };
 
 /** Why the search stopped. */
@@ -92,7 +125,23 @@ enum class AStarStatus
 {
     Optimal,     ///< a provably optimal schedule was found
     OutOfMemory, ///< the node store exceeded the memory budget
-    ExpansionCap ///< maxExpansions was hit
+    ExpansionCap, ///< maxExpansions was hit
+    /**
+     * Anytime stop (parallel search only): a budget tripped before
+     * optimality was proven.  `schedule`, `makespan` and `gapBound`
+     * are valid — the schedule is the best incumbent found, and the
+     * true optimum lies within [makespan - gapBound, makespan].
+     */
+    Incumbent
+};
+
+/** Which budget ended an anytime (Incumbent) run. */
+enum class AStarStop
+{
+    None,      ///< ran to completion (status != Incumbent)
+    Deadline,  ///< anytimeDeadlineMs elapsed
+    Memory,    ///< node store exceeded the memory budget
+    Expansions ///< maxExpansions was hit
 };
 
 /** Outcome of the search. */
@@ -142,6 +191,49 @@ struct AStarResult
      * the memory budget actually metered.
      */
     std::uint64_t bytesPerNode = 0;
+
+    // ---- Incumbent / anytime fields (see AStarConfig) ----
+
+    /** Generated nodes discarded because f >= the incumbent bound. */
+    std::uint64_t nodesPrunedIncumbent = 0;
+
+    /** Times a closed leaf improved on the incumbent. */
+    std::uint64_t incumbentImprovements = 0;
+
+    /**
+     * Upper bound on `makespan - optimum` (0 when status == Optimal).
+     * Derived from the smallest f still alive when an anytime run
+     * stopped: no remaining node could complete below lb + minAliveF.
+     */
+    Tick gapBound = 0;
+
+    /** Which budget ended an Incumbent run (None otherwise). */
+    AStarStop stopCause = AStarStop::None;
+
+    // ---- Parallel-search diagnostics (aStarParallel only) ----
+
+    /** Nodes expanded by each worker (size == worker count). */
+    std::vector<std::uint64_t> workerExpansions;
+
+    /** High-water mark of any worker's inbox depth. */
+    std::uint64_t maxInboxDepth = 0;
+
+    /** Nodes routed across workers (excludes same-worker children). */
+    std::uint64_t nodesRouted = 0;
+
+    /**
+     * Incumbent-improvement trail: wall-clock seconds from search
+     * start, the improved make-span, and the worker that closed the
+     * improving leaf.  Entry 0 is the IAR seed.  Feeds the trace
+     * timeline (bench_astar_par --trace-out).
+     */
+    struct IncumbentEvent
+    {
+        double seconds = 0.0;
+        Tick makespan = 0;
+        std::uint32_t worker = 0;
+    };
+    std::vector<IncumbentEvent> incumbentTrail;
 };
 
 /**

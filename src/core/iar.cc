@@ -349,4 +349,13 @@ iarScheduleOracle(const Workload &w, const IarConfig &cfg)
     return iarSchedule(w, oracleCandidateLevels(w), cfg);
 }
 
+IarBound
+iarUpperBound(const Workload &w, const IarConfig &cfg)
+{
+    IarBound bound;
+    bound.schedule = iarScheduleOracle(w, cfg).schedule;
+    bound.makespan = simulate(w, bound.schedule, SimOptions{}).makespan;
+    return bound;
+}
+
 } // namespace jitsched

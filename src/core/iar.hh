@@ -98,6 +98,29 @@ IarResult iarSchedule(const Workload &w,
 IarResult iarScheduleOracle(const Workload &w,
                             const IarConfig &cfg = {});
 
+/**
+ * A feasible schedule plus its simulated make-span, used as an
+ * incumbent upper bound by the exact searches (core/astar.cc,
+ * core/astar_par.cc).
+ */
+struct IarBound
+{
+    /** The IAR schedule — valid for the workload, full coverage. */
+    Schedule schedule;
+
+    /** simulate(w, schedule).makespan — an upper bound on optimal. */
+    Tick makespan = 0;
+};
+
+/**
+ * Run IAR under oracle candidate levels and price the result: a
+ * polynomial-time upper bound on the optimal make-span.  Any search
+ * node whose f-value implies a completion at or above this bound can
+ * be pruned without affecting the optimum, because the returned
+ * schedule already achieves it.
+ */
+IarBound iarUpperBound(const Workload &w, const IarConfig &cfg = {});
+
 } // namespace jitsched
 
 #endif // JITSCHED_CORE_IAR_HH

@@ -120,10 +120,13 @@ DuplicateTable::DuplicateTable(std::size_t num_functions)
 {
 }
 
-std::size_t
-DuplicateTable::EntryHash::operator()(const Entry &e) const
+namespace {
+
+/** FNV-1a over the dedup-key fields; shared by table and router. */
+std::uint64_t
+dedupKeyHash(std::uint32_t resume_call, Tick clock, Tick compile_end,
+             const LevelSig *sig, std::size_t num_functions)
 {
-    // FNV-1a over the scalar fields and the signature bytes.
     std::uint64_t h = 1469598103934665603ull;
     const auto mix = [&h](std::uint64_t v) {
         for (int i = 0; i < 8; ++i) {
@@ -131,12 +134,30 @@ DuplicateTable::EntryHash::operator()(const Entry &e) const
             h *= 1099511628211ull;
         }
     };
-    mix(e.resumeCall);
-    mix(static_cast<std::uint64_t>(e.clock));
-    mix(static_cast<std::uint64_t>(e.compileEnd));
-    for (const LevelSig s : e.sig)
-        mix(static_cast<std::uint16_t>(s));
-    return static_cast<std::size_t>(h);
+    mix(resume_call);
+    mix(static_cast<std::uint64_t>(clock));
+    mix(static_cast<std::uint64_t>(compile_end));
+    for (std::size_t i = 0; i < num_functions; ++i)
+        mix(static_cast<std::uint16_t>(sig[i]));
+    return h;
+}
+
+} // anonymous namespace
+
+std::size_t
+DuplicateTable::EntryHash::operator()(const Entry &e) const
+{
+    return static_cast<std::size_t>(
+        dedupKeyHash(e.resumeCall, e.clock, e.compileEnd,
+                     e.sig.data(), e.sig.size()));
+}
+
+std::uint64_t
+DuplicateTable::stateHash(const PrefixSimState &s, const LevelSig *sig,
+                          std::size_t num_functions)
+{
+    return dedupKeyHash(s.resumeCall, s.nextStart, s.compileEnd, sig,
+                        num_functions);
 }
 
 bool

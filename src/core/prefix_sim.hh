@@ -187,6 +187,18 @@ class DuplicateTable
      */
     bool seen(const PrefixSimState &s, const LevelSig *sig);
 
+    /**
+     * Hash of the exact dedup key (signature, resume call, pinned
+     * resume clock, compile end) — the same function the table uses
+     * internally.  The parallel search (core/astar_par.cc) routes
+     * each generated node to the worker owning this hash, which is
+     * what makes per-worker duplicate tables exact: two duplicates
+     * always hash to, and are deduplicated by, the same worker.
+     */
+    static std::uint64_t stateHash(const PrefixSimState &s,
+                                   const LevelSig *sig,
+                                   std::size_t num_functions);
+
     /** Number of distinct states recorded. */
     std::size_t size() const { return entries_.size(); }
 

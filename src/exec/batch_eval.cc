@@ -91,15 +91,19 @@ BatchEvaluator::evaluate(const std::vector<EvalJob> &jobs)
             alias[i] = static_cast<std::int64_t>(it->second);
     }
 
-    // Phase 2 (parallel): run the outstanding simulations.  Each
-    // task writes only its own slot, so results are independent of
-    // the pool's concurrency.
-    pool_.parallelFor(compute.size(), [&](std::size_t t) {
-        const std::size_t i = compute[t];
-        const EvalJob &job = jobs[i];
-        results[i] =
-            timedSimulate(*job.workload, job.schedule, job.opts);
-    });
+    // Phase 2 (parallel): run the outstanding simulations as one
+    // bulk submission.  Each task writes only its own slot, so
+    // results are independent of the pool's concurrency.
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(compute.size());
+    for (const std::size_t i : compute) {
+        tasks.push_back([&results, &jobs, i] {
+            const EvalJob &job = jobs[i];
+            results[i] =
+                timedSimulate(*job.workload, job.schedule, job.opts);
+        });
+    }
+    pool_.submitBatch(tasks);
 
     // Phase 3 (sequential, job order): publish fresh results to the
     // cache and fill in the intra-batch duplicates.

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * A multi-producer single-consumer lock-free queue (Vyukov's
+ * intrusive design, non-intrusive here: nodes are heap-allocated per
+ * push).  Used as the per-worker inbox of the hash-distributed A*
+ * (core/astar_par.cc): any worker pushes, only the owner pops.
+ *
+ * Progress: push() is wait-free apart from the allocator; pop() is
+ * lock-free.  A push is visible to pop() once the producer's
+ * release-store of `next` lands; a pop that races with a half-linked
+ * push simply returns false and the consumer retries on its next
+ * sweep — the parallel search never relies on queue emptiness for
+ * termination (it keeps an external live-node count), so the
+ * transient "empty" answer is harmless.
+ *
+ * depth() is a relaxed approximation for metrics (inbox high-water
+ * marks), never for control flow.
+ */
+
+#ifndef JITSCHED_EXEC_MPSC_QUEUE_HH
+#define JITSCHED_EXEC_MPSC_QUEUE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace jitsched {
+
+template <typename T>
+class MpscQueue
+{
+  public:
+    MpscQueue()
+    {
+        auto *stub = new QNode();
+        head_.store(stub, std::memory_order_relaxed);
+        tail_ = stub;
+    }
+
+    MpscQueue(const MpscQueue &) = delete;
+    MpscQueue &operator=(const MpscQueue &) = delete;
+
+    ~MpscQueue()
+    {
+        // Single-threaded by the time we get here: drain and free.
+        QNode *n = tail_;
+        while (n != nullptr) {
+            QNode *next = n->next.load(std::memory_order_relaxed);
+            delete n;
+            n = next;
+        }
+    }
+
+    /** Enqueue (any thread). */
+    void
+    push(T value)
+    {
+        auto *n = new QNode(std::move(value));
+        // Publish the node as the new head, then link the previous
+        // head to it.  Between the exchange and the store the chain
+        // is briefly broken; the consumer sees next == nullptr and
+        // stops the sweep there — it can never skip past the gap.
+        QNode *prev = head_.exchange(n, std::memory_order_acq_rel);
+        prev->next.store(n, std::memory_order_release);
+        depth_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /**
+     * Dequeue (owner thread only).  Returns false when the queue is
+     * empty or the front push is not fully linked yet.
+     */
+    bool
+    pop(T &out)
+    {
+        QNode *tail = tail_;
+        QNode *next = tail->next.load(std::memory_order_acquire);
+        if (next == nullptr)
+            return false;
+        out = std::move(next->value);
+        tail_ = next;
+        delete tail;
+        depth_.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+    }
+
+    /** Approximate depth, metrics only. */
+    std::size_t
+    depth() const
+    {
+        const std::int64_t d = depth_.load(std::memory_order_relaxed);
+        return d > 0 ? static_cast<std::size_t>(d) : 0;
+    }
+
+  private:
+    struct QNode
+    {
+        QNode() = default;
+        explicit QNode(T v) : value(std::move(v)) {}
+
+        std::atomic<QNode *> next{nullptr};
+        T value{};
+    };
+
+    /** Producer end (last pushed node). */
+    std::atomic<QNode *> head_;
+
+    /** Consumer end (stub / last popped node). */
+    QNode *tail_;
+
+    std::atomic<std::int64_t> depth_{0};
+};
+
+} // namespace jitsched
+
+#endif // JITSCHED_EXEC_MPSC_QUEUE_HH

@@ -161,6 +161,19 @@ ThreadPool::parallelFor(std::size_t n,
     body_ = nullptr;
 }
 
+void
+ThreadPool::submitBatch(
+    const std::vector<std::function<void()>> &tasks)
+{
+    if (tasks.empty())
+        return;
+    // One publish through the parallel-for machinery: the batch body
+    // is the index -> closure dispatch, claimed from the shared
+    // atomic counter like any other batch.
+    parallelFor(tasks.size(),
+                [&tasks](std::size_t i) { tasks[i](); });
+}
+
 std::size_t
 ThreadPool::parseThreadsEnv(const char *env)
 {

@@ -69,6 +69,20 @@ class ThreadPool
                      const std::function<void(std::size_t)> &body);
 
     /**
+     * Run a batch of heterogeneous closures through one fork-join
+     * publish: tasks[0] ... tasks[n - 1] execute distributed over
+     * all executors, and the call returns once every one has
+     * completed.  Same contract as parallelFor (one caller at a
+     * time, non-reentrant, tasks must not throw and must confine
+     * writes to per-task state); same determinism guarantee —
+     * which task runs on which thread never changes what is
+     * computed.  Bulk callers (exec/batch_eval.cc phase 2, parallel
+     * search drivers) use this instead of hand-rolling an index ->
+     * closure dispatch body.
+     */
+    void submitBatch(const std::vector<std::function<void()>> &tasks);
+
+    /**
      * Process-wide pool at hardware concurrency (or the value of the
      * JITSCHED_THREADS environment variable when set), lazily
      * constructed.  Shared by the benches and the global

@@ -32,6 +32,17 @@ SolverMetrics::get()
         r.counter("solver.astar.evaluations"),
         r.gauge("solver.astar.peak_memory_bytes"),
         r.gauge("solver.astar.peak_arena_bytes"),
+        r.counter("solver.astar_par.searches"),
+        r.counter("solver.astar_par.nodes_expanded"),
+        r.counter("solver.astar_par.nodes_generated"),
+        r.counter("solver.astar_par.nodes_pruned"),
+        r.counter("solver.astar_par.nodes_pruned_incumbent"),
+        r.counter("solver.astar_par.nodes_routed"),
+        r.counter("solver.astar_par.incumbent_improvements"),
+        r.counter("solver.astar_par.evaluations"),
+        r.gauge("solver.astar_par.peak_memory_bytes"),
+        r.gauge("solver.astar_par.max_inbox_depth"),
+        r.gauge("solver.astar_par.workers"),
         r.counter("solver.iar.runs"),
         r.counter("solver.iar.slack_upgrades"),
         r.counter("solver.iar.gap_appends"),

@@ -23,7 +23,7 @@
  * Usage:
  *   jitsched-fuzz solvers  [--seconds S] [--iterations N] [--seed K]
  *                          [--corpus-dir D] [--no-exact]
- *                          [--break-oracle lower-bound]
+ *                          [--break-oracle lower-bound|astar-par]
  *   jitsched-fuzz protocol [--seconds S] [--iterations N] [--seed K]
  *                          [--corpus-dir D]
  *   jitsched-fuzz cluster  [--seconds S] [--iterations N] [--seed K]
@@ -71,6 +71,10 @@ usage(int rc)
         "                     solvers: deliberately invert the\n"
         "                     lower-bound oracle; the run must FAIL\n"
         "                     (harness self-check)\n"
+        "  --break-oracle astar-par\n"
+        "                     solvers: deliberately perturb the\n"
+        "                     parallel A*'s reported cost; the run\n"
+        "                     must FAIL (harness self-check)\n"
         "  replay <file>...   re-run corpus files; nonzero on any\n"
         "                     failure\n";
     std::exit(rc);
@@ -85,6 +89,7 @@ struct FuzzArgs
     std::string corpusDir = "fuzz-corpus";
     bool noExact = false;
     bool breakLowerBound = false;
+    bool breakAstarPar = false;
     std::vector<std::string> files;
 };
 
@@ -129,10 +134,13 @@ parseArgs(int argc, char **argv)
             args.noExact = true;
         } else if (arg == "--break-oracle") {
             const std::string which = next();
-            if (which != "lower-bound")
-                JITSCHED_FATAL("--break-oracle knows only "
-                               "'lower-bound', got '", which, "'");
-            args.breakLowerBound = true;
+            if (which == "lower-bound")
+                args.breakLowerBound = true;
+            else if (which == "astar-par")
+                args.breakAstarPar = true;
+            else
+                JITSCHED_FATAL("--break-oracle knows 'lower-bound' "
+                               "and 'astar-par', got '", which, "'");
         } else if (!arg.empty() && arg[0] == '-') {
             std::cerr << "jitsched-fuzz: unknown option '" << arg
                       << "'\n";
@@ -187,6 +195,7 @@ runSolvers(const FuzzArgs &args)
     OracleConfig cfg;
     cfg.runExact = !args.noExact;
     cfg.invertLowerBound = args.breakLowerBound;
+    cfg.perturbAstarPar = args.breakAstarPar;
     const FuzzDomain domain;
     const Budget budget(args.seconds, args.iterations);
     OracleStats ostats;

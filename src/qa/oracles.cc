@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/astar.hh"
+#include "core/astar_par.hh"
 #include "core/brute_force.hh"
 #include "core/candidate_levels.hh"
 #include "core/iar.hh"
@@ -308,6 +309,35 @@ checkQualityChain(const Workload &w, const OracleConfig &cfg,
                "astar incremental " + std::to_string(as.makespan) +
                    " != astar from-scratch " +
                    std::to_string(as_scratch.makespan));
+
+    // The hash-distributed parallel search finds the same cost at
+    // every worker count — HDA* sharding, per-worker duplicate
+    // tables and incumbent pruning must all be cost-preserving.
+    if (cfg.runParallel) {
+        for (const std::size_t threads : {1u, 2u, 8u}) {
+            AStarConfig pcfg;
+            pcfg.memoryBudget = cfg.astarMemoryBudget;
+            pcfg.maxExpansions = cfg.astarMaxExpansions;
+            pcfg.threads = threads;
+            const AStarResult par = aStarParallel(w, pcfg);
+            if (par.status != AStarStatus::Optimal)
+                continue; // anytime stop: budget, not correctness
+            const std::string who =
+                "astar-par(" + std::to_string(threads) + ")";
+            const Tick reported =
+                par.makespan + (cfg.perturbAstarPar ? 1 : 0);
+            checkScheduleSemantics(w, par.schedule, who, out);
+            if (simulate(w, par.schedule).makespan != reported)
+                report(out, "solver-accounting",
+                       who + " reported " + std::to_string(reported) +
+                           ", simulator disagrees");
+            if (reported != as.makespan)
+                report(out, "exactness",
+                       who + " " + std::to_string(reported) +
+                           " != astar " +
+                           std::to_string(as.makespan));
+        }
+    }
 
     const auto checkOptLb = [&](Tick m) {
         const bool ok = cfg.invertLowerBound ? lb >= m : lb <= m;

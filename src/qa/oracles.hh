@@ -85,6 +85,15 @@ struct OracleConfig
     std::uint64_t astarMemoryBudget = 256ull << 20;
 
     /**
+     * Also run the parallel search (core/astar_par.cc) at 1, 2 and
+     * 8 workers and require its cost to match the sequential A* and
+     * brute force bit for bit — the determinism contract of the
+     * hash-distributed decomposition.  Runs only when the exact
+     * oracles run (same function-count and budget guards).
+     */
+    bool runParallel = true;
+
+    /**
      * Also require IAR <= opt-only.  The paper's advantage over the
      * optimizing-only scheme is an *empirical* claim for its
      * Jikes-like two-candidate setting, not a theorem; enable only
@@ -103,6 +112,16 @@ struct OracleConfig
      * harness self-checks.
      */
     bool invertLowerBound = false;
+
+    /**
+     * Deliberately shift the parallel search's reported make-span by
+     * one tick before the differential comparison.  The astar-par
+     * counterpart of invertLowerBound: a healthy stack must flag the
+     * perturbed cost against both the sequential A* and the
+     * simulator, proving the parallel differential has teeth.  Never
+     * set outside harness self-checks.
+     */
+    bool perturbAstarPar = false;
 };
 
 /** Counters describing what one oracle pass actually exercised. */

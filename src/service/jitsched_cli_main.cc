@@ -48,7 +48,9 @@ usage(int rc)
         "  --option K V         request option (repeatable); keys:\n"
         "                       compile-cores, model, jitter-sigma,\n"
         "                       jitter-seed, astar-max-expansions,\n"
-        "                       astar-memory-mb, deadline-ms\n"
+        "                       astar-memory-mb, threads, deadline-ms\n"
+        "  --threads N          worker count for --policy astar-par\n"
+        "                       (shorthand for --option threads N)\n"
         "  --id N               request id echoed in the response\n"
         "  --no-stats           omit the volatile stats line\n"
         "  --trace-out FILE     write the response schedule's timeline\n"
@@ -114,6 +116,9 @@ main(int argc, char **argv)
             const std::string k = next();
             const std::string v = next();
             options.emplace_back(k, v);
+        } else if (arg == "--threads") {
+            // Validated by the wire parser below, like any option.
+            options.emplace_back("threads", next());
         } else if (arg == "--id") {
             const auto v = parseInt(next());
             if (!v || *v < 0)

@@ -2,11 +2,15 @@
 
 #include <utility>
 
+#include <cstdlib>
+
 #include "core/astar.hh"
+#include "core/astar_par.hh"
 #include "core/iar.hh"
 #include "core/lower_bound.hh"
 #include "core/single_level.hh"
 #include "exec/batch_eval.hh"
+#include "exec/thread_pool.hh"
 #include "support/logging.hh"
 #include "vm/adaptive_runtime.hh"
 #include "vm/v8_policy.hh"
@@ -181,6 +185,53 @@ class AStarPolicy final : public SchedulerPolicy
     }
 };
 
+class AStarParPolicy final : public SchedulerPolicy
+{
+  public:
+    const char *name() const override { return "astar-par"; }
+    const char *
+    describe() const override
+    {
+        return "hash-distributed parallel anytime A* "
+               "(core/astar_par.hh); optimal when it finishes, best "
+               "incumbent when a budget trips";
+    }
+
+    PolicyOutcome
+    run(const Workload &w, const ServiceOptions &opts,
+        BatchEvaluator &eval) const override
+    {
+        AStarConfig cfg;
+        cfg.memoryBudget = opts.astarMemoryMb << 20;
+        cfg.maxExpansions = opts.astarMaxExpansions;
+        // Worker-count precedence: explicit request option, then
+        // JITSCHED_THREADS (strict-parse: non-numeric or < 1 is a
+        // configuration error), then hardware concurrency (0).
+        cfg.threads =
+            opts.astarThreads != 0
+                ? opts.astarThreads
+                : ThreadPool::parseThreadsEnv(
+                      std::getenv("JITSCHED_THREADS"));
+        // A request deadline doubles as the anytime budget: a client
+        // that bounded its wait gets the best incumbent by then
+        // instead of a refusal.
+        if (opts.deadlineMs > 0)
+            cfg.anytimeDeadlineMs = opts.deadlineMs;
+        const AStarResult res = aStarParallel(w, cfg);
+
+        // Anytime contract: both Optimal and Incumbent carry a valid
+        // schedule, so this policy never refuses.
+        PolicyOutcome out;
+        out.lowerBound = lowerBoundCandidates(
+            w, modelCandidateLevels(w, modelConfig(opts)));
+        out.schedule = res.schedule;
+        out.hasSchedule = true;
+        out.sim = eval.evaluateOne(w, out.schedule, simOptions(opts));
+        out.hasSim = true;
+        return out;
+    }
+};
+
 class JikesPolicy final : public SchedulerPolicy
 {
   public:
@@ -282,6 +333,7 @@ registerBuiltinPolicies(PolicyRegistry &reg)
 {
     reg.registerPolicy(std::make_unique<IarPolicy>());
     reg.registerPolicy(std::make_unique<AStarPolicy>());
+    reg.registerPolicy(std::make_unique<AStarParPolicy>());
     reg.registerPolicy(std::make_unique<BaseOnlyPolicy>());
     reg.registerPolicy(std::make_unique<OptOnlyPolicy>());
     reg.registerPolicy(std::make_unique<LowerBoundPolicy>());

@@ -10,6 +10,9 @@
  *
  *   iar          the IAR heuristic (Sec. 5.1) — the near-optimal one
  *   astar        A* search (Sec. 5.3); optimal or an explicit refusal
+ *   astar-par    hash-distributed parallel anytime A*
+ *                (core/astar_par.hh); optimal when it finishes, best
+ *                incumbent + gap when a budget trips — never refuses
  *   base-only    single-level approximation, most responsive level
  *   opt-only     single-level approximation, cost-effective level
  *   lower-bound  the make-span lower bound only (Sec. 5.2)
@@ -70,6 +73,14 @@ struct ServiceOptions
 
     /** Node-store budget for the astar policy, in MiB. */
     std::uint64_t astarMemoryMb = 256;
+
+    /**
+     * Worker threads for the astar-par policy (`option threads N`,
+     * jitsched-cli --threads).  0 = unset: fall back to the
+     * JITSCHED_THREADS environment variable (strict-parse rules of
+     * ThreadPool::parseThreadsEnv), then to hardware concurrency.
+     */
+    std::size_t astarThreads = 0;
 
     /**
      * Request deadline in milliseconds from admission; -1 = none.
@@ -135,7 +146,7 @@ class SchedulerPolicy
 };
 
 /**
- * Name -> policy table.  The built-in instance holds the seven
+ * Name -> policy table.  The built-in instance holds the eight
  * standard policies; tests can build registries of their own.
  */
 class PolicyRegistry
@@ -157,14 +168,14 @@ class PolicyRegistry
 
     std::size_t size() const { return policies_.size(); }
 
-    /** The process-wide registry with the seven built-in policies. */
+    /** The process-wide registry with the eight built-in policies. */
     static const PolicyRegistry &builtin();
 
   private:
     std::map<std::string, std::unique_ptr<SchedulerPolicy>> policies_;
 };
 
-/** Register the seven built-in policies into @p reg. */
+/** Register the eight built-in policies into @p reg. */
 void registerBuiltinPolicies(PolicyRegistry &reg);
 
 } // namespace jitsched

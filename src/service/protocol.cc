@@ -105,6 +105,10 @@ writeRequest(std::ostream &os, const ServiceRequest &req)
     os << "option astar-max-expansions " << o.astarMaxExpansions
        << "\n";
     os << "option astar-memory-mb " << o.astarMemoryMb << "\n";
+    // Serialized only when set: requests that never mention threads
+    // stay byte-identical to what pre-astar-par builds emitted.
+    if (o.astarThreads != 0)
+        os << "option threads " << o.astarThreads << "\n";
     if (o.deadlineMs >= 0)
         os << "option deadline-ms " << o.deadlineMs << "\n";
     os << "payload\n";
@@ -180,6 +184,14 @@ applyOption(ServiceRequest &req, const std::string &key,
             return parseFail(error, "option astar-memory-mb must be "
                              "an integer >= 1, got '" + value + "'");
         o.astarMemoryMb = static_cast<std::uint64_t>(*v);
+        return true;
+    }
+    if (key == "threads") {
+        const auto v = asInt();
+        if (!v || *v < 1)
+            return parseFail(error, "option threads must be an "
+                             "integer >= 1, got '" + value + "'");
+        o.astarThreads = static_cast<std::size_t>(*v);
         return true;
     }
     if (key == "deadline-ms") {

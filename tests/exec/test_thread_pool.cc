@@ -71,6 +71,47 @@ TEST(ThreadPool, RepeatedBatchesReuseTheWorkers)
     EXPECT_EQ(total, expect);
 }
 
+TEST(ThreadPool, SubmitBatchRunsEveryClosureExactlyOnce)
+{
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+        ThreadPool pool(threads);
+        constexpr std::size_t n = 500;
+        std::vector<std::atomic<int>> counts(n);
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            tasks.push_back([&counts, i] { ++counts[i]; });
+        pool.submitBatch(tasks);
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(counts[i].load(), 1)
+                << "task " << i << " at " << threads << " threads";
+    }
+}
+
+TEST(ThreadPool, SubmitBatchHandlesHeterogeneousClosures)
+{
+    // The point of the bulk path: one publish may carry closures of
+    // entirely different shapes.  Each writes its own slot, so the
+    // result is concurrency-independent.
+    ThreadPool pool(4);
+    std::vector<std::int64_t> out(3, 0);
+    std::vector<std::function<void()>> tasks;
+    tasks.push_back([&out] { out[0] = 7; });
+    tasks.push_back([&out] {
+        for (int i = 1; i <= 10; ++i)
+            out[1] += i;
+    });
+    tasks.push_back([&out] { out[2] = -1; });
+    pool.submitBatch(tasks);
+    EXPECT_EQ(out, (std::vector<std::int64_t>{7, 55, -1}));
+}
+
+TEST(ThreadPool, SubmitBatchEmptyIsANoop)
+{
+    ThreadPool pool(4);
+    pool.submitBatch({});
+}
+
 TEST(ThreadPool, ResultsIndependentOfConcurrency)
 {
     constexpr std::size_t n = 512;

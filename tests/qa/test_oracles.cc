@@ -61,6 +61,24 @@ TEST(Oracles, InvertedLowerBoundFires)
     EXPECT_EQ(violations.front().oracle, "lower-bound");
 }
 
+TEST(Oracles, PerturbedAstarParFires)
+{
+    // The --break-oracle astar-par canary: shifting the parallel
+    // search's reported cost by one tick must trip the differential
+    // against the sequential A* (and the simulator).  If this stops
+    // firing, the parallel differential has gone blind.
+    OracleConfig cfg;
+    cfg.perturbAstarPar = true;
+    const std::vector<Violation> violations =
+        checkAll(figure1Workload(), cfg);
+    ASSERT_FALSE(violations.empty());
+    bool flagged_par = false;
+    for (const Violation &v : violations)
+        if (v.detail.find("astar-par") != std::string::npos)
+            flagged_par = true;
+    EXPECT_TRUE(flagged_par) << describeViolations(violations);
+}
+
 TEST(Oracles, CorruptScheduleIsCaught)
 {
     const Workload w = figure1Workload();

@@ -1,6 +1,6 @@
 /**
  * @file
- * Policy-registry tests: the seven built-in policies resolve by name
+ * Policy-registry tests: the eight built-in policies resolve by name
  * and produce sane outcomes on the paper's worked example — schedules
  * whose make-spans respect the lower bound, an A* that is at least as
  * good as IAR, and explicit refusals when A*'s budget is tiny.
@@ -35,13 +35,13 @@ class PolicyTest : public ::testing::Test
     BatchEvaluator eval_{pool_, &cache_};
 };
 
-TEST_F(PolicyTest, BuiltinRegistryHoldsTheSevenPolicies)
+TEST_F(PolicyTest, BuiltinRegistryHoldsTheEightPolicies)
 {
     const PolicyRegistry &reg = PolicyRegistry::builtin();
-    EXPECT_EQ(reg.size(), 7u);
+    EXPECT_EQ(reg.size(), 8u);
     const std::vector<std::string> expected = {
-        "astar", "base-only", "iar",      "jikes",
-        "lower-bound", "opt-only", "v8"};
+        "astar", "astar-par", "base-only", "iar",
+        "jikes", "lower-bound", "opt-only", "v8"};
     EXPECT_EQ(reg.names(), expected);
     for (const std::string &name : expected) {
         const SchedulerPolicy *p = reg.find(name);
@@ -94,6 +94,41 @@ TEST_F(PolicyTest, AStarRefusesExplicitlyWhenBudgetIsTiny)
         run("astar", figure2Workload(), opts);
     EXPECT_FALSE(out.ok);
     EXPECT_FALSE(out.error.empty());
+}
+
+TEST_F(PolicyTest, AStarParMatchesAStarAtEveryWorkerCount)
+{
+    const Workload w = figure2Workload();
+    const PolicyOutcome seq = run("astar", w);
+    ASSERT_TRUE(seq.ok) << seq.error;
+    ASSERT_TRUE(seq.hasSim);
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        SCOPED_TRACE(threads);
+        ServiceOptions opts;
+        opts.astarThreads = threads;
+        const PolicyOutcome par = run("astar-par", w, opts);
+        ASSERT_TRUE(par.ok) << par.error;
+        ASSERT_TRUE(par.hasSchedule);
+        ASSERT_TRUE(par.hasSim);
+        EXPECT_EQ(par.sim.makespan, seq.sim.makespan);
+        EXPECT_EQ(par.lowerBound, seq.lowerBound);
+    }
+}
+
+TEST_F(PolicyTest, AStarParNeverRefusesUnderATinyBudget)
+{
+    // Where the sequential policy refuses, the anytime policy
+    // answers with its incumbent (the IAR seed or better) — a valid
+    // schedule whose make-span still respects the lower bound.
+    ServiceOptions opts;
+    opts.astarMaxExpansions = 1;
+    opts.astarThreads = 2;
+    const PolicyOutcome out =
+        run("astar-par", figure2Workload(), opts);
+    ASSERT_TRUE(out.ok) << out.error;
+    ASSERT_TRUE(out.hasSchedule);
+    ASSERT_TRUE(out.hasSim);
+    EXPECT_GE(out.sim.makespan, out.lowerBound);
 }
 
 TEST_F(PolicyTest, OnlinePoliciesProduceInducedSchedules)

@@ -29,6 +29,7 @@ exampleRequest()
     req.options.jitterSeed = 7;
     req.options.astarMaxExpansions = 1000;
     req.options.astarMemoryMb = 32;
+    req.options.astarThreads = 4;
     req.options.deadlineMs = 500;
     req.workload = figure1Workload();
     return req;
@@ -91,6 +92,45 @@ TEST(ServiceProtocol, BadOptionValueIsRejected)
     EXPECT_FALSE(tryReadRequest(is, &error).has_value());
     EXPECT_NE(error.find("compile-cores"), std::string::npos)
         << error;
+}
+
+TEST(ServiceProtocol, ThreadsOptionParsesAndStaysOffTheWireByDefault)
+{
+    // Parse: `option threads N` lands in astarThreads.
+    std::istringstream is("jitsched-request 1\n"
+                          "policy astar-par\n"
+                          "option threads 8\n"
+                          "payload\n" +
+                          workloadText(figure1Workload()) + "end\n");
+    const auto back = tryReadRequest(is);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->options.astarThreads, 8u);
+
+    // Serialize: a default (unset) threads option emits no line, so
+    // frames from clients that never mention threads are
+    // byte-identical to what pre-astar-par builds produced.
+    ServiceRequest req;
+    req.id = 1;
+    req.policy = "iar";
+    req.workload = figure1Workload();
+    EXPECT_EQ(requestText(req).find("option threads"),
+              std::string::npos);
+}
+
+TEST(ServiceProtocol, ThreadsOptionRejectsZeroAndGarbage)
+{
+    for (const std::string bad : {"0", "-2", "4x", "many"}) {
+        SCOPED_TRACE(bad);
+        std::istringstream is("jitsched-request 1\n"
+                              "policy astar-par\n"
+                              "option threads " + bad + "\n"
+                              "payload\n" +
+                              workloadText(figure1Workload()) +
+                              "end\n");
+        std::string error;
+        EXPECT_FALSE(tryReadRequest(is, &error).has_value());
+        EXPECT_NE(error.find("threads"), std::string::npos) << error;
+    }
 }
 
 TEST(ServiceProtocol, EndBeforePayloadIsRejected)
