@@ -1,7 +1,9 @@
 /**
  * @file
  * Overhead of the metrics instrumentation on the batch-evaluation
- * throughput path (the acceptance gate for src/obs/: < 2% expected).
+ * throughput path, and of request tracing (spans + flight recorder)
+ * on the request-serving path (the acceptance gates for src/obs/:
+ * < 2% expected each).
  *
  * Two measurements over the bench_batch_eval job grid, interleaved
  * and best-of-N to shake scheduler noise:
@@ -17,10 +19,19 @@
  * baseline's load+branch; that difference is not measurable from a
  * single binary, so this bench bounds the larger of the two gaps.
  *
- * Also reports raw ns/op for Counter::add and Histogram::observe so
- * regressions in the instruments themselves show up directly.
+ * The tracing section runs the same shape over ServiceEngine::serve
+ * plus response serialization — every request fully traced (span
+ * records + one flight-recorder slot write) against every request
+ * untraced — which is exactly the delta a client opting into
+ * `option trace-id` pays on a live daemon.
  *
- * Exit status: 0 when the measured overhead is below the generous
+ * Also reports raw ns/op for Counter::add, Histogram::observe,
+ * ScopedSpan record and FlightRecorder::record so regressions in the
+ * instruments themselves show up directly.
+ *
+ * Everything lands in BENCH_obs.json.
+ *
+ * Exit status: 0 when each measured overhead is below the generous
  * failure threshold (8%, far above the expected <2% but below
  * anything that signals an accidental lock or false sharing on the
  * hot path), 1 otherwise.
@@ -28,13 +39,19 @@
 
 #include <algorithm>
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <vector>
 
 #include "core/iar.hh"
 #include "core/single_level.hh"
 #include "exec/batch_eval.hh"
+#include "harness.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/metrics.hh"
+#include "obs/span.hh"
+#include "service/engine.hh"
+#include "service/protocol.hh"
 #include "sim/makespan.hh"
 #include "support/strutil.hh"
 #include "support/table.hh"
@@ -164,19 +181,135 @@ main()
         return 1;
     }
 
-    std::cout << "\nReading: the enabled-vs-disabled delta is the "
-                 "full cost of the wired instruments on this path; "
-                 "the acceptance target is <2%, and anything near "
+    // ---- Request tracing on the serving path. ----
+    std::cout << "\n== Tracing overhead on the request-serving path "
+                 "==\n(engine.serve + responseText per request; "
+                 "traced = solve span + trace-id line + one flight-"
+                 "recorder slot)\n\n";
+
+    ServiceEngine engine;
+    ServiceRequest req;
+    req.id = 1;
+    req.policy = "iar";
+    req.workload = makeDacapoWorkload(dacapoSpecs()[0].name,
+                                      std::min<std::size_t>(scale, 8));
+
+    std::size_t byte_sink = 0;
+    auto runServe = [&](bool traced, std::size_t iters) {
+        const auto start = std::chrono::steady_clock::now();
+        for (std::size_t i = 0; i < iters; ++i) {
+            req.traceId =
+                traced ? (0x1000 + static_cast<std::uint64_t>(i)) : 0;
+            const ServiceResponse resp = engine.serve(req);
+            const std::string text = responseText(resp);
+            byte_sink += text.size();
+            if (traced) {
+                obs::FlightRecord fr;
+                fr.traceId = req.traceId;
+                fr.requestId = resp.id;
+                fr.policy = req.policy;
+                fr.status = "ok";
+                fr.solveNs = resp.stats.solveNs;
+                fr.bytes = text.size();
+                obs::FlightRecorder::global().record(fr);
+            }
+        }
+        return secondsSince(start);
+    };
+
+    // Calibrate the iteration count to ~0.2s per rep, then interleave
+    // traced/untraced best-of-kReps like the section above.
+    obs::SpanCollector::setEnabled(true);
+    const double probe = runServe(false, 32);
+    const std::size_t serve_iters = std::max<std::size_t>(
+        64, static_cast<std::size_t>(32 * 0.2 / std::max(probe, 1e-9)));
+    std::cout << "request loop: " << serve_iters
+              << " serves per rep\n\n";
+
+    double best_traced = 1e30, best_untraced = 1e30;
+    for (int rep = 0; rep < kReps; ++rep) {
+        best_traced =
+            std::min(best_traced, runServe(true, serve_iters));
+        best_untraced =
+            std::min(best_untraced, runServe(false, serve_iters));
+    }
+    const double trace_pct =
+        (best_traced - best_untraced) / best_untraced * 100.0;
+
+    AsciiTable tt({"configuration", "best time", "overhead"});
+    tt.addRow({"untraced requests",
+               strprintf("%.3fs", best_untraced), "(baseline)"});
+    tt.addRow({"traced requests (spans + flight recorder)",
+               strprintf("%.3fs", best_traced),
+               strprintf("%+.2f%%", trace_pct)});
+    tt.print(std::cout);
+
+    // Raw tracing-primitive costs, for when the table regresses.
+    constexpr std::size_t kTraceOps = 2'000'000;
+    const double span_ns = nsPerOp(kTraceOps, [](std::size_t i) {
+        obs::ScopedSpan span(0x1234 + (i & 0xff), "bench.span");
+    });
+    obs::FlightRecorder bench_recorder(256);
+    const double flight_ns =
+        nsPerOp(kTraceOps, [&bench_recorder](std::size_t i) {
+            obs::FlightRecord fr;
+            fr.traceId = i + 1;
+            fr.requestId = i;
+            fr.status = "ok";
+            bench_recorder.record(std::move(fr));
+        });
+    std::cout << "\nmicro: scoped-span record "
+              << strprintf("%.1f", span_ns)
+              << " ns/op, flight-recorder record "
+              << strprintf("%.1f", flight_ns) << " ns/op ("
+              << kTraceOps / 1'000'000
+              << "M ops each, single thread)\n";
+    if (bench_recorder.recorded() != kTraceOps || byte_sink == 0) {
+        std::cout << "ERROR: tracing loops lost updates\n";
+        return 1;
+    }
+
+    std::cout << "\nReading: each enabled-vs-disabled delta is the "
+                 "full cost of that subsystem on its path; the "
+                 "acceptance target is <2%, and anything near "
               << strprintf("%.0f", kFailThresholdPct)
               << "% means an accidental lock or false sharing.\n";
 
+    // ---- Machine-readable artifact. ----
+    const char *json_path = "BENCH_obs.json";
+    {
+        std::ofstream out(json_path);
+        JsonWriter j(out);
+        j.beginObject();
+        j.member("bench", "obs");
+        j.member("scale", static_cast<std::uint64_t>(scale));
+        j.member("metrics_overhead_pct", overhead_pct);
+        j.member("trace_overhead_pct", trace_pct);
+        j.member("counter_add_ns", counter_ns);
+        j.member("histogram_observe_ns", hist_ns);
+        j.member("scoped_span_ns", span_ns);
+        j.member("flight_record_ns", flight_ns);
+        j.member("fail_threshold_pct", kFailThresholdPct);
+        j.endObject();
+        out << "\n";
+    }
+    std::cout << "\nwrote " << json_path << "\n";
+
+    bool failed = false;
     if (overhead_pct > kFailThresholdPct) {
         std::cout << "ERROR: instrumentation overhead "
                   << strprintf("%.2f", overhead_pct)
                   << "% exceeds the " << kFailThresholdPct
                   << "% threshold\n";
-        return 1;
+        failed = true;
     }
-    return 0;
+    if (trace_pct > kFailThresholdPct) {
+        std::cout << "ERROR: tracing overhead "
+                  << strprintf("%.2f", trace_pct)
+                  << "% exceeds the " << kFailThresholdPct
+                  << "% threshold\n";
+        failed = true;
+    }
+    return failed ? 1 : 0;
 #endif
 }

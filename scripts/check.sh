@@ -54,6 +54,16 @@
 #                              # a direct daemon, kill one backend
 #                              # mid-run (answers must keep coming),
 #                              # and scrape the router's STATS
+#   scripts/check.sh --trace-smoke
+#                              # also exercise distributed tracing end
+#                              # to end: 2 jitschedd + jitsched-router,
+#                              # all with --trace-out, drive traced
+#                              # requests through the router, scrape
+#                              # the flight recorder with DUMP,
+#                              # validate every written trace with
+#                              # jitsched-trace-check, and diff the
+#                              # observed span-name set against
+#                              # bench/expectations/span_keys.txt
 #
 set -euo pipefail
 
@@ -66,6 +76,7 @@ run_obs_smoke=0
 run_fuzz_smoke=0
 run_asan=0
 run_cluster_smoke=0
+run_trace_smoke=0
 for arg in "$@"; do
     case "$arg" in
         --tsan) run_tsan=1 ;;
@@ -75,10 +86,11 @@ for arg in "$@"; do
         --fuzz-smoke) run_fuzz_smoke=1 ;;
         --asan) run_asan=1 ;;
         --cluster-smoke) run_cluster_smoke=1 ;;
+        --trace-smoke) run_trace_smoke=1 ;;
         *)
             echo "usage: scripts/check.sh [--tsan] [--bench-smoke]" \
                  "[--par-smoke] [--obs-smoke] [--fuzz-smoke]" \
-                 "[--asan] [--cluster-smoke]" >&2
+                 "[--asan] [--cluster-smoke] [--trace-smoke]" >&2
             exit 2
             ;;
     esac
@@ -270,6 +282,111 @@ EOF
     echo "cluster smoke: byte-identical routing, failover, STATS ok"
 fi
 
+if [ "$run_trace_smoke" -eq 1 ]; then
+    echo "== Trace smoke (distributed tracing through the router) =="
+    tr_dir="$(mktemp -d)"
+    tr_pids=()
+    cleanup_trace_smoke() {
+        for pid in "${tr_pids[@]:-}"; do
+            kill "$pid" 2>/dev/null || true
+            wait "$pid" 2>/dev/null || true
+        done
+        rm -rf "$tr_dir"
+    }
+    trap cleanup_trace_smoke EXIT
+    # The paper's Fig. 1 instance (trace/paper_examples.hh).
+    cat > "$tr_dir/workload" <<'EOF'
+# jitsched workload trace
+workload paper-fig1
+levels 2
+func 0 f0 1 1 1 1 1
+func 1 f1 1 1 3 3 2
+func 2 f2 1 3 3 5 1
+calls 4
+0 1 2 1
+EOF
+    tr_scrape_port() { # logfile binary-name
+        local port="" i
+        for i in $(seq 1 50); do
+            port="$(sed -n \
+                "s/^$2 listening on .*:\([0-9]*\)$/\1/p" "$1")"
+            [ -n "$port" ] && break
+            sleep 0.1
+        done
+        if [ -z "$port" ]; then
+            echo "trace smoke: $2 did not come up:" >&2
+            cat "$1" >&2
+            exit 1
+        fi
+        echo "$port"
+    }
+    ./build/bin/jitschedd --port 0 --trace-out "$tr_dir/a.json" \
+        > "$tr_dir/a.log" &
+    tr_pids+=($!)
+    ./build/bin/jitschedd --port 0 --trace-out "$tr_dir/b.json" \
+        > "$tr_dir/b.log" &
+    tr_pids+=($!)
+    port_a="$(tr_scrape_port "$tr_dir/a.log" jitschedd)"
+    port_b="$(tr_scrape_port "$tr_dir/b.log" jitschedd)"
+    ./build/bin/jitsched-router --port 0 \
+        --backend "127.0.0.1:$port_a" \
+        --backend "127.0.0.1:$port_b" \
+        --trace-out "$tr_dir/router.json" > "$tr_dir/router.log" &
+    tr_pids+=($!)
+    port_r="$(tr_scrape_port "$tr_dir/router.log" jitsched-router)"
+
+    # One request with a caller-chosen trace id, one where the CLI
+    # mints its own; both must be answered and traced.
+    ./build/bin/jitsched-cli --port "$port_r" --policy iar --id 1 \
+        --trace-id deadbeef --timeout-ms 10000 \
+        "$tr_dir/workload" > /dev/null
+    ./build/bin/jitsched-cli --port "$port_r" --policy iar --id 2 \
+        --timeout-ms 10000 "$tr_dir/workload" > /dev/null
+
+    # The router's flight recorder must remember the traced request,
+    # scrapeable over the wire with the DUMP verb.
+    ./build/bin/jitsched-cli --port "$port_r" --timeout-ms 10000 \
+        dump > "$tr_dir/dump.out"
+    if ! grep -q "trace deadbeef " "$tr_dir/dump.out"; then
+        echo "trace smoke: DUMP through the router is missing the" \
+             "deadbeef flight record" >&2
+        cat "$tr_dir/dump.out" >&2
+        exit 1
+    fi
+
+    # Graceful SIGTERM so every process writes its trace file.
+    for pid in "${tr_pids[@]}"; do
+        kill "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+    done
+    tr_pids=()
+
+    # Every trace file actually written must validate (an idle
+    # backend skips its file), and the union of span names across
+    # them is the checked-in taxonomy.
+    wrote=0
+    for f in a.json b.json router.json; do
+        [ -f "$tr_dir/$f" ] || continue
+        ./build/bin/jitsched-trace-check "$tr_dir/$f"
+        wrote=$((wrote + 1))
+    done
+    if [ "$wrote" -lt 2 ]; then
+        echo "trace smoke: expected at least the router and one" \
+             "backend to write traces, got $wrote file(s)" >&2
+        exit 1
+    fi
+    if ! sed -n 's/.*"name": "\([^"]*\)", "cat": "span".*/\1/p' \
+            "$tr_dir"/*.json | sort -u \
+            | diff -u bench/expectations/span_keys.txt -; then
+        echo "trace smoke: observed span names diverged from" \
+             "bench/expectations/span_keys.txt" >&2
+        echo "(if the taxonomy change is intentional, regenerate" \
+             "the expectation from the sed output above)" >&2
+        exit 1
+    fi
+    echo "trace smoke: traces valid, DUMP ok, span names match"
+fi
+
 if [ "$run_fuzz_smoke" -eq 1 ]; then
     echo "== Fuzz smoke (solvers 20s + protocol 10s + canary) =="
     fuzz_corpus="$(mktemp -d)"
@@ -344,10 +461,11 @@ if [ "$run_tsan" -eq 1 ]; then
     # The cluster layer on top of it: router handlers, the health
     # prober, and a backend bouncing while requests route.
     JITSCHED_THREADS=4 ./build-tsan/tests/test_cluster
-    # The striped metrics instruments under a deliberate thread
-    # hammer (the satellite concurrency suites).
+    # The striped metrics instruments, the span collector and the
+    # flight recorder under a deliberate thread hammer (the
+    # satellite concurrency suites).
     JITSCHED_THREADS=4 ./build-tsan/tests/test_obs \
-        --gtest_filter='MetricsConcurrency*'
+        --gtest_filter='MetricsConcurrency*:SpanConcurrency*:FlightRecorderConcurrency*'
     # The corpus replay drives the protocol frames through the
     # loopback server's full thread stack; the reproducers must stay
     # race-free too.

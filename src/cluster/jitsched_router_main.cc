@@ -15,7 +15,7 @@
  *                   [--address A] [--port P] [--handlers N]
  *                   [--mode affinity|round-robin] [--tries N]
  *                   [--try-timeout-ms T] [--hedge-ms T]
- *                   [--max-inflight N]
+ *                   [--max-inflight N] [--trace-out FILE]
  */
 
 #include <signal.h>
@@ -27,6 +27,8 @@
 
 #include "cluster/router.hh"
 #include "obs/instruments.hh"
+#include "obs/span.hh"
+#include "obs/trace_event.hh"
 #include "support/logging.hh"
 #include "support/strutil.hh"
 
@@ -50,6 +52,8 @@ usage(int rc)
         "  --try-timeout-ms T   per-try response deadline (default 5000)\n"
         "  --hedge-ms T         hedge delay; negative disables (default -1)\n"
         "  --max-inflight N     per-backend in-flight bound; 0 = none\n"
+        "  --trace-out FILE     at shutdown, write collected route\n"
+        "                       spans as Chrome/Perfetto trace JSON\n"
         "  --help               this text\n";
     std::exit(rc);
 }
@@ -89,6 +93,7 @@ int
 main(int argc, char **argv)
 {
     RouterConfig cfg;
+    std::string trace_out;
     std::vector<BackendEndpoint> backends;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -132,6 +137,8 @@ main(int argc, char **argv)
         } else if (arg == "--max-inflight") {
             cfg.maxInflightPerBackend = static_cast<std::size_t>(
                 intArg(arg, next(), 0));
+        } else if (arg == "--trace-out") {
+            trace_out = next();
         } else {
             std::cerr << "jitsched-router: unknown option '" << arg
                       << "'\n";
@@ -185,5 +192,23 @@ main(int argc, char **argv)
               << router.requestsSpilled() << " spilled, "
               << router.requestsFailed() << " failed)" << std::endl;
     router.stop();
+
+    if (!trace_out.empty()) {
+        // Stopped first, so every in-flight route's spans landed.
+        // An idle router writes nothing: --trace-smoke only checks
+        // files that exist.
+        obs::SpanCollector &spans = obs::SpanCollector::global();
+        if (spans.snapshot().empty()) {
+            std::cout << "jitsched-router: no spans collected; "
+                         "skipping " << trace_out << std::endl;
+        } else {
+            obs::TraceEventSink sink;
+            spans.exportTo(sink);
+            sink.writeFile(trace_out);
+            std::cout << "jitsched-router: wrote " << sink.size()
+                      << " trace events to " << trace_out
+                      << std::endl;
+        }
+    }
     return 0;
 }

@@ -11,7 +11,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "obs/flight_recorder.hh"
 #include "obs/instruments.hh"
+#include "obs/span.hh"
 #include "service/socket_util.hh"
 #include "support/logging.hh"
 #include "support/rng.hh"
@@ -45,6 +47,9 @@ Router::Router(std::vector<BackendEndpoint> backends,
     : cfg_(std::move(cfg)), ring_(backends.size(), cfg_.vnodes),
       pool_(std::move(backends), cfg_.pool)
 {
+    // A panicking router dumps its flight recorder too — the last N
+    // routed requests are usually the story of why it died.
+    obs::installPanicDump();
     inflight_.reserve(pool_.size());
     for (std::size_t b = 0; b < pool_.size(); ++b)
         inflight_.push_back(
@@ -253,7 +258,12 @@ Router::handleConnection(int fd)
                     tryReadStatsRequest(sis, &stats_error)) {
                 sresp = makeStatsResponse(
                     sreq->id,
-                    obs::MetricsRegistry::global().snapshotText());
+                    sreq->prom
+                        ? obs::MetricsRegistry::global()
+                              .snapshotProm()
+                        : obs::MetricsRegistry::global()
+                              .snapshotText(),
+                    sreq->prom);
             } else {
                 sresp.code = errcode::invalidArgument;
                 sresp.error = stats_error;
@@ -265,6 +275,30 @@ Router::handleConnection(int fd)
                 m.statsServed.add();
             });
             if (!writeAll(fd, statsResponseText(sresp)))
+                return;
+            continue;
+        }
+
+        // DUMP scrapes the router's own flight recorder, inline like
+        // STATS: when no backend answers, the router's record of the
+        // last N routed requests is the evidence.
+        if (isDumpRequestFrame(frame)) {
+            std::istringstream dis(frame);
+            std::string dump_error;
+            DumpResponse dresp;
+            if (const auto dreq =
+                    tryReadDumpRequest(dis, &dump_error)) {
+                dresp = makeDumpResponse(
+                    dreq->id,
+                    obs::FlightRecorder::global().snapshot());
+            } else {
+                dresp.code = errcode::invalidArgument;
+                dresp.error = dump_error;
+            }
+            frames_.fetch_add(1, std::memory_order_relaxed);
+            JITSCHED_OBS(
+                obs::ClusterMetrics::get().framesServed.add());
+            if (!writeAll(fd, dumpResponseText(dresp)))
                 return;
             continue;
         }
@@ -513,10 +547,24 @@ Router::hedgedExchange(std::size_t primary, std::size_t secondary,
 std::string
 Router::route(const ServiceRequest &req)
 {
+    // First contact mints the trace id when the client did not; the
+    // canonical frame below then carries it to every backend try, so
+    // one id names the whole fan-out.  Fingerprinting ignores it, so
+    // affinity is unchanged by tracing.
+    ServiceRequest traced;
+    const ServiceRequest *rp = &req;
+    if (req.traceId == 0) {
+        traced = req;
+        traced.traceId = obs::mintTraceId();
+        rp = &traced;
+    }
+    const std::uint64_t trace_id = rp->traceId;
+    const auto route_t0 = SteadyClock::now();
+
     // The canonical re-serialization parses to the same request the
     // client sent, so the backend's answer is the answer.
-    const std::string canonical = requestText(req);
-    const std::uint64_t fingerprint = requestFingerprint(req);
+    const std::string canonical = requestText(*rp);
+    const std::uint64_t fingerprint = requestFingerprint(*rp);
     const std::vector<std::size_t> chain = chainFor(fingerprint);
 
     const bool has_deadline = req.options.deadlineMs >= 0;
@@ -528,6 +576,28 @@ Router::route(const ServiceRequest &req)
     std::vector<bool> tried(pool_.size(), false);
     const int max_tries = std::max(cfg_.maxTries, 1);
     bool any_timeout = false;
+    int attempts_made = 0;
+
+    // Router-side flight record: one slot per routed request, written
+    // whether the fan-out succeeded or not.  hops counts the tries
+    // actually spent.
+    auto recordFlight = [&](const std::string &status,
+                            std::size_t bytes) {
+        obs::FlightRecord fr;
+        fr.traceId = trace_id;
+        fr.requestId = req.id;
+        fr.policy = req.policy;
+        fr.status = status;
+        fr.bytes = bytes;
+        fr.hops = attempts_made;
+        obs::FlightRecorder::global().record(fr);
+        obs::noteRequestLatency(
+            trace_id,
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                SteadyClock::now() - route_t0)
+                .count(),
+            "cluster");
+    };
 
     for (int attempt = 0; attempt < max_tries; ++attempt) {
         if (has_deadline && msUntil(overall) <= 0)
@@ -563,6 +633,7 @@ Router::route(const ServiceRequest &req)
             JITSCHED_OBS(
                 obs::ClusterMetrics::get().requestsRetried.add());
 
+        ++attempts_made;
         inflight_[backend]->fetch_add(1, std::memory_order_relaxed);
         if (hedge_mate.has_value())
             inflight_[*hedge_mate]->fetch_add(
@@ -588,6 +659,31 @@ Router::route(const ServiceRequest &req)
         JITSCHED_OBS(obs::ClusterMetrics::tryNsFor(
                          pool_.endpoint(served_by).label())
                          .observe(elapsed_ns));
+
+        // One route_attempt span per try, anchored on the exchange
+        // window.  The outcome tag tells the trace reader what this
+        // hop meant: ok / retry (failed, chain continues) / spill
+        // (answered off-owner) / hedge-won / hedge-lost.
+        {
+            std::string outcome;
+            if (!ex.ok)
+                outcome = "retry";
+            else if (ex.hedged && ex.hedgeWon)
+                outcome = "hedge-won";
+            else if (ex.hedged)
+                outcome = "hedge-lost";
+            else if (served_by != chain[0])
+                outcome = "spill";
+            else
+                outcome = "ok";
+            obs::SpanCollector::global().recordBetween(
+                trace_id, "cluster.route_attempt", t0,
+                t0 + std::chrono::nanoseconds(elapsed_ns),
+                {{"backend", pool_.endpoint(served_by).label()},
+                 {"outcome", std::move(outcome)},
+                 {"attempt", std::to_string(attempt)}});
+        }
+
         if (ex.ok) {
             if (ex.hedgeWon && hedge_mate.has_value())
                 tried[*hedge_mate] = true;
@@ -603,6 +699,7 @@ Router::route(const ServiceRequest &req)
                 JITSCHED_OBS(obs::ClusterMetrics::get()
                                  .requestsSpilled.add());
             }
+            recordFlight("ok", ex.frame.size());
             return ex.frame;
         }
         any_timeout = any_timeout || ex.timedOut;
@@ -623,16 +720,22 @@ Router::route(const ServiceRequest &req)
 
     failed_.fetch_add(1, std::memory_order_relaxed);
     JITSCHED_OBS(obs::ClusterMetrics::get().requestsFailed.add());
+    ServiceResponse err;
     if (has_deadline && msUntil(overall) <= 0) {
-        return responseText(makeErrorResponse(
+        err = makeErrorResponse(
             req.id, errcode::deadlineExceeded,
             "deadline-ms budget exhausted before any backend "
-            "answered"));
+            "answered");
+    } else {
+        err = makeErrorResponse(
+            req.id, errcode::unavailable,
+            any_timeout ? "no backend answered within the try budget"
+                        : "no routable backend");
     }
-    return responseText(makeErrorResponse(
-        req.id, errcode::unavailable,
-        any_timeout ? "no backend answered within the try budget"
-                    : "no routable backend"));
+    err.stats.traceId = trace_id;
+    const std::string err_text = responseText(err);
+    recordFlight(err.code, err_text.size());
+    return err_text;
 }
 
 } // namespace cluster

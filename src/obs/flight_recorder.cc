@@ -1,0 +1,164 @@
+#include "obs/flight_recorder.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/span.hh"
+#include "support/logging.hh"
+#include "support/strutil.hh"
+
+namespace jitsched {
+namespace obs {
+
+namespace {
+
+void
+panicDumpHook()
+{
+    const std::string dump = FlightRecorder::global().dumpText();
+    std::fprintf(stderr,
+                 "flight recorder (last %zu of %llu requests):\n%s",
+                 FlightRecorder::global().snapshot().size(),
+                 static_cast<unsigned long long>(
+                     FlightRecorder::global().recorded()),
+                 dump.c_str());
+}
+
+} // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, kStripes)),
+      per_stripe_((capacity_ + kStripes - 1) / kStripes)
+{
+    for (Stripe &stripe : stripes_)
+        stripe.slots.resize(per_stripe_);
+}
+
+void
+FlightRecorder::record(FlightRecord r)
+{
+    // seq starts at 1 so an empty slot (seq == 0) is recognizable.
+    const std::uint64_t seq =
+        seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    r.seq = seq;
+    Stripe &stripe = stripes_[seq % kStripes];
+    const std::size_t slot = (seq / kStripes) % per_stripe_;
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    stripe.slots[slot] = std::move(r);
+}
+
+std::vector<FlightRecord>
+FlightRecorder::snapshot() const
+{
+    std::vector<FlightRecord> out;
+    out.reserve(capacity_);
+    for (const Stripe &stripe : stripes_) {
+        std::lock_guard<std::mutex> lock(stripe.mutex);
+        for (const FlightRecord &r : stripe.slots)
+            if (r.seq != 0)
+                out.push_back(r);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const FlightRecord &a, const FlightRecord &b) {
+                  return a.seq < b.seq;
+              });
+    return out;
+}
+
+std::string
+FlightRecorder::recordLine(const FlightRecord &r)
+{
+    std::ostringstream os;
+    os << "trace " << traceIdHex(r.traceId) << " request "
+       << r.requestId << " policy "
+       << (r.policy.empty() ? "-" : r.policy) << " status "
+       << (r.status.empty() ? "-" : r.status) << " queue-ns "
+       << r.queueNs << " solve-ns " << r.solveNs << " bytes "
+       << r.bytes << " hops " << r.hops;
+    return os.str();
+}
+
+std::string
+FlightRecorder::dumpText() const
+{
+    std::string out;
+    for (const FlightRecord &r : snapshot()) {
+        out += recordLine(r);
+        out += '\n';
+    }
+    return out;
+}
+
+void
+FlightRecorder::clear()
+{
+    for (Stripe &stripe : stripes_) {
+        std::lock_guard<std::mutex> lock(stripe.mutex);
+        for (FlightRecord &r : stripe.slots)
+            r = FlightRecord{};
+    }
+    seq_.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t
+FlightRecorder::recorded() const
+{
+    return seq_.load(std::memory_order_relaxed);
+}
+
+FlightRecorder &
+FlightRecorder::global()
+{
+    static FlightRecorder recorder;
+    return recorder;
+}
+
+void
+installPanicDump()
+{
+    setPanicHook(&panicDumpHook);
+}
+
+std::int64_t
+parseSlowMsEnv(const char *env)
+{
+    if (env == nullptr || *env == '\0')
+        return -1;
+    const auto n = parseInt(trim(env));
+    if (!n.has_value() || *n < 0)
+        JITSCHED_FATAL("JITSCHED_SLOW_MS must be a non-negative "
+                       "integer (milliseconds), got '", env, "'");
+    return *n;
+}
+
+std::int64_t
+slowThresholdNs()
+{
+    static const std::int64_t ns = [] {
+        const std::int64_t ms =
+            parseSlowMsEnv(std::getenv("JITSCHED_SLOW_MS"));
+        return ms < 0 ? ms : ms * 1000000;
+    }();
+    return ns;
+}
+
+void
+noteRequestLatency(std::uint64_t traceId, std::int64_t totalNs,
+                   const char *layer)
+{
+    const std::int64_t threshold = slowThresholdNs();
+    if (threshold < 0 || totalNs <= threshold)
+        return;
+    std::fprintf(stderr,
+                 "slow request: trace %s took %lld ms "
+                 "(JITSCHED_SLOW_MS=%lld) at %s layer\n%s",
+                 traceIdHex(traceId).c_str(),
+                 static_cast<long long>(totalNs / 1000000),
+                 static_cast<long long>(threshold / 1000000), layer,
+                 FlightRecorder::global().dumpText().c_str());
+}
+
+} // namespace obs
+} // namespace jitsched

@@ -103,27 +103,31 @@ ClusterMetrics::get()
     return m;
 }
 
-namespace {
-
-/**
- * An endpoint label ("127.0.0.1:8420") as an instrument-name
- * segment: the registry wants a lowercase dotted path, so the port
- * separator becomes an underscore.
- */
 std::string
-metricSegment(const std::string &backend_label)
+metricSegment(const std::string &label)
 {
-    std::string out = backend_label;
+    if (label.empty())
+        return "_";
+    std::string out = label;
     for (char &c : out) {
-        if (c >= 'A' && c <= 'Z')
+        if (c >= 'A' && c <= 'Z') {
             c = static_cast<char>(c - 'A' + 'a');
-        else if (c == ':')
+            continue;
+        }
+        const bool valid = (c >= 'a' && c <= 'z') ||
+                           (c >= '0' && c <= '9') || c == '_' ||
+                           c == '.' || c == '-';
+        if (!valid)
             c = '_';
     }
+    // A segment composes into a dotted path; a '.' at either edge
+    // would create a leading/trailing dot the registry rejects.
+    if (out.front() == '.')
+        out.front() = '_';
+    if (out.back() == '.')
+        out.back() = '_';
     return out;
 }
-
-} // anonymous namespace
 
 Histogram &
 ClusterMetrics::tryNsFor(const std::string &backend_label)

@@ -140,6 +140,19 @@ struct ClusterMetrics
 };
 
 /**
+ * Sanitize an arbitrary label (host:port, policy name, anything
+ * user-supplied) into a valid instrument-name segment: A-Z is
+ * lowercased, [a-z0-9_.-] pass through, every other byte (including
+ * ':' and non-ASCII/UTF-8 bytes) becomes '_', leading/trailing '.'
+ * become '_' (a segment must compose into a valid dotted name), and
+ * an empty label yields "_".  Lossy by design: distinct labels may
+ * collide (e.g. "HOST:1" and "host_1"), in which case they share one
+ * instrument — acceptable for monitoring, tested in
+ * tests/obs/test_instrument_names.cc.
+ */
+std::string metricSegment(const std::string &label);
+
+/**
  * Pre-create the full standard instrument set (including one solve
  * histogram per name in @p policy_names) so snapshots expose a
  * complete key inventory before any traffic.  Idempotent.

@@ -198,6 +198,59 @@ MetricsRegistry::snapshotText() const
     return os.str();
 }
 
+namespace {
+
+/** An instrument name as a Prometheus metric name. */
+std::string
+promName(const std::string &name)
+{
+    std::string out = "jitsched_";
+    for (const char c : name)
+        out.push_back(c == '.' || c == '-' ? '_' : c);
+    return out;
+}
+
+} // anonymous namespace
+
+std::string
+MetricsRegistry::snapshotProm() const
+{
+    std::ostringstream os;
+    std::lock_guard<std::mutex> lk(mutex_);
+    for (const auto &[name, entry] : entries_) {
+        const std::string pname = promName(name);
+        switch (entry.kind) {
+          case Kind::Counter:
+            os << "# TYPE " << pname << " counter\n"
+               << pname << ' ' << entry.counter->value() << '\n';
+            break;
+          case Kind::Gauge:
+            os << "# TYPE " << pname << " gauge\n"
+               << pname << ' ' << entry.gauge->value() << '\n';
+            break;
+          case Kind::Histogram: {
+            const Histogram::Snapshot s = entry.histogram->snapshot();
+            os << "# TYPE " << pname << " histogram\n";
+            // The exposition format wants cumulative bucket counts;
+            // the internal snapshot is per-bucket.
+            std::uint64_t cumulative = 0;
+            for (std::size_t b = 0; b < s.bounds.size(); ++b) {
+                cumulative += s.counts[b];
+                os << pname << "_bucket{le=\"" << s.bounds[b]
+                   << "\"} " << cumulative << '\n';
+            }
+            cumulative += s.counts.back();
+            os << pname << "_bucket{le=\"+Inf\"} " << cumulative
+               << '\n';
+            os << pname << "_sum " << s.sum << '\n';
+            os << pname << "_count " << s.count << '\n';
+            break;
+          }
+        }
+    }
+    return os.str();
+}
+
 std::size_t
 MetricsRegistry::size() const
 {

@@ -240,6 +240,17 @@ class MetricsRegistry
      */
     std::string snapshotText() const;
 
+    /**
+     * Prometheus text-exposition snapshot (scraped via the
+     * `jitsched-stats <id> prom` wire form and `jitsched-cli stats
+     * --prom`).  Instrument names gain a `jitsched_` prefix and have
+     * '.'/'-' mapped to '_'; counters and gauges emit a `# TYPE`
+     * line plus one sample; histograms emit the spec's cumulative
+     * `le`-labelled `_bucket` series (including `le="+Inf"`) plus
+     * `_sum` and `_count`.
+     */
+    std::string snapshotProm() const;
+
     /** Number of registered instruments. */
     std::size_t size() const;
 

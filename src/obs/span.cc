@@ -1,0 +1,254 @@
+#include "obs/span.hh"
+
+#include <atomic>
+#include <algorithm>
+#include <unordered_map>
+
+#include <unistd.h>
+
+#include "obs/trace_event.hh"
+
+namespace jitsched {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> spansEnabled{true};
+
+/** splitmix64 finalizer — well-mixed 64-bit ids from weak seeds. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+int
+hexDigit(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+} // namespace
+
+std::uint64_t
+mintTraceId()
+{
+    static std::atomic<std::uint64_t> counter{0};
+    const auto now = std::chrono::steady_clock::now()
+                         .time_since_epoch()
+                         .count();
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(now) ^
+        (static_cast<std::uint64_t>(::getpid()) << 32) ^
+        counter.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t id = mix64(seed);
+    // Zero means "untraced"; re-mix until nonzero (astronomically
+    // rare, but the contract is a nonzero id).
+    while (id == 0)
+        id = mix64(id + counter.fetch_add(1, std::memory_order_relaxed) + 1);
+    return id;
+}
+
+std::string
+traceIdHex(std::uint64_t id)
+{
+    static const char *digits = "0123456789abcdef";
+    std::string out;
+    do {
+        out.push_back(digits[id & 0xf]);
+        id >>= 4;
+    } while (id != 0);
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+std::optional<std::uint64_t>
+parseTraceIdHex(std::string_view s)
+{
+    if (s.empty() || s.size() > 16)
+        return std::nullopt;
+    std::uint64_t v = 0;
+    for (char c : s) {
+        const int d = hexDigit(c);
+        if (d < 0)
+            return std::nullopt;
+        v = (v << 4) | static_cast<std::uint64_t>(d);
+    }
+    if (v == 0)
+        return std::nullopt;
+    return v;
+}
+
+SpanCollector::SpanCollector(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      epoch_(std::chrono::steady_clock::now())
+{
+}
+
+void
+SpanCollector::record(Span s)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (ring_.size() < capacity_) {
+        ring_.push_back(std::move(s));
+    } else {
+        ring_[next_] = std::move(s);
+        next_ = (next_ + 1) % capacity_;
+    }
+    ++recorded_;
+}
+
+void
+SpanCollector::recordBetween(
+    std::uint64_t traceId, std::string name,
+    std::chrono::steady_clock::time_point t0,
+    std::chrono::steady_clock::time_point t1,
+    std::vector<std::pair<std::string, std::string>> tags)
+{
+    if (traceId == 0 || !enabled())
+        return;
+    Span s;
+    s.traceId = traceId;
+    s.name = std::move(name);
+    s.startNs = sinceEpochNs(t0);
+    s.durNs = std::max<std::int64_t>(0, sinceEpochNs(t1) - s.startNs);
+    s.tags = std::move(tags);
+    record(std::move(s));
+}
+
+std::vector<Span>
+SpanCollector::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<Span> out;
+    out.reserve(ring_.size());
+    // Oldest first: [next_, end) wrapped around, then [0, next_).
+    if (ring_.size() == capacity_) {
+        for (std::size_t i = next_; i < ring_.size(); ++i)
+            out.push_back(ring_[i]);
+        for (std::size_t i = 0; i < next_; ++i)
+            out.push_back(ring_[i]);
+    } else {
+        out = ring_;
+    }
+    return out;
+}
+
+void
+SpanCollector::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ring_.clear();
+    next_ = 0;
+    recorded_ = 0;
+}
+
+std::uint64_t
+SpanCollector::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+}
+
+void
+SpanCollector::exportTo(TraceEventSink &sink) const
+{
+    const std::vector<Span> spans = snapshot();
+    sink.processName(1, "jitsched spans");
+    // One virtual thread track per trace id, assigned in first-seen
+    // order — keeps one request's slices strictly nested even when
+    // worker threads interleave several requests.
+    std::unordered_map<std::uint64_t, std::uint32_t> tids;
+    for (const Span &s : spans) {
+        auto it = tids.find(s.traceId);
+        std::uint32_t tid;
+        if (it == tids.end()) {
+            tid = static_cast<std::uint32_t>(tids.size() + 1);
+            tids.emplace(s.traceId, tid);
+            sink.threadName(1, tid, "trace " + traceIdHex(s.traceId));
+        } else {
+            tid = it->second;
+        }
+        auto args = s.tags;
+        args.emplace_back("trace", traceIdHex(s.traceId));
+        sink.slice(s.name, "span", 1, tid, s.startNs, s.durNs,
+                   std::move(args));
+    }
+}
+
+std::int64_t
+SpanCollector::nowNs() const
+{
+    return sinceEpochNs(std::chrono::steady_clock::now());
+}
+
+std::int64_t
+SpanCollector::sinceEpochNs(
+    std::chrono::steady_clock::time_point tp) const
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               tp - epoch_)
+        .count();
+}
+
+SpanCollector &
+SpanCollector::global()
+{
+    static SpanCollector collector;
+    return collector;
+}
+
+bool
+SpanCollector::setEnabled(bool enabled)
+{
+    return spansEnabled.exchange(enabled, std::memory_order_relaxed);
+}
+
+bool
+SpanCollector::enabled()
+{
+    return spansEnabled.load(std::memory_order_relaxed);
+}
+
+ScopedSpan::ScopedSpan(std::uint64_t traceId, std::string name)
+    : active_(traceId != 0 && SpanCollector::enabled()),
+      trace_id_(traceId), name_(std::move(name))
+{
+    if (active_)
+        start_ns_ = SpanCollector::global().nowNs();
+}
+
+ScopedSpan::~ScopedSpan()
+{
+    if (!active_)
+        return;
+    Span s;
+    s.traceId = trace_id_;
+    s.name = std::move(name_);
+    s.startNs = start_ns_;
+    s.durNs = std::max<std::int64_t>(
+        0, SpanCollector::global().nowNs() - start_ns_);
+    s.tags = std::move(tags_);
+    SpanCollector::global().record(std::move(s));
+}
+
+void
+ScopedSpan::tag(std::string key, std::string value)
+{
+    if (active_)
+        tags_.emplace_back(std::move(key), std::move(value));
+}
+
+} // namespace obs
+} // namespace jitsched

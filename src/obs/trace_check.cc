@@ -1,0 +1,402 @@
+#include "obs/trace_check.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace jitsched {
+namespace obs {
+
+namespace {
+
+/** A parsed JSON value — just enough structure for the checks. */
+struct Value
+{
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Type type = Type::Null;
+    std::string str;   ///< String payload
+    double num = 0.0;  ///< Number payload
+    std::vector<Value> array;
+    std::map<std::string, Value> object;
+
+    const Value *
+    field(const std::string &key) const
+    {
+        const auto it = object.find(key);
+        return it == object.end() ? nullptr : &it->second;
+    }
+};
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    bool
+    parse(Value *out, std::string *error)
+    {
+        if (!value(out, error))
+            return false;
+        skipSpace();
+        if (pos_ != text_.size())
+            return fail(error, "trailing data after JSON document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(std::string *error, const std::string &msg)
+    {
+        std::size_t line = 1;
+        for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i)
+            if (text_[i] == '\n')
+                ++line;
+        *error = msg + " (line " + std::to_string(line) + ")";
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word, std::string *error)
+    {
+        for (const char *p = word; *p != '\0'; ++p, ++pos_)
+            if (pos_ >= text_.size() || text_[pos_] != *p)
+                return fail(error, std::string("bad literal, "
+                                               "expected '") +
+                                       word + "'");
+        return true;
+    }
+
+    bool
+    string(std::string *out, std::string *error)
+    {
+        if (!consume('"'))
+            return fail(error, "expected string");
+        out->clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail(error, "raw control character in string");
+            if (c != '\\') {
+                out->push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out->push_back('"'); break;
+              case '\\': out->push_back('\\'); break;
+              case '/': out->push_back('/'); break;
+              case 'b': out->push_back('\b'); break;
+              case 'f': out->push_back('\f'); break;
+              case 'n': out->push_back('\n'); break;
+              case 'r': out->push_back('\r'); break;
+              case 't': out->push_back('\t'); break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail(error, "truncated \\u escape");
+                for (int i = 0; i < 4; ++i)
+                    if (!std::isxdigit(static_cast<unsigned char>(
+                            text_[pos_ + i])))
+                        return fail(error, "bad \\u escape");
+                // The checker only validates; the decoded code
+                // point's exact bytes do not matter here.
+                out->push_back('?');
+                pos_ += 4;
+                break;
+              }
+              default:
+                return fail(error, "unknown escape in string");
+            }
+        }
+        return fail(error, "unterminated string");
+    }
+
+    bool
+    value(Value *out, std::string *error)
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            return fail(error, "unexpected end of input");
+        const char c = text_[pos_];
+        if (c == '{') {
+            ++pos_;
+            out->type = Value::Type::Object;
+            skipSpace();
+            if (consume('}'))
+                return true;
+            for (;;) {
+                std::string key;
+                if (!string(&key, error))
+                    return false;
+                if (!consume(':'))
+                    return fail(error, "expected ':' in object");
+                Value v;
+                if (!value(&v, error))
+                    return false;
+                out->object.emplace(std::move(key), std::move(v));
+                if (consume(','))
+                    continue;
+                if (consume('}'))
+                    return true;
+                return fail(error, "expected ',' or '}' in object");
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            out->type = Value::Type::Array;
+            skipSpace();
+            if (consume(']'))
+                return true;
+            for (;;) {
+                Value v;
+                if (!value(&v, error))
+                    return false;
+                out->array.push_back(std::move(v));
+                if (consume(','))
+                    continue;
+                if (consume(']'))
+                    return true;
+                return fail(error, "expected ',' or ']' in array");
+            }
+        }
+        if (c == '"') {
+            out->type = Value::Type::String;
+            return string(&out->str, error);
+        }
+        if (c == 't') {
+            out->type = Value::Type::Bool;
+            out->num = 1;
+            return literal("true", error);
+        }
+        if (c == 'f') {
+            out->type = Value::Type::Bool;
+            return literal("false", error);
+        }
+        if (c == 'n')
+            return literal("null", error);
+        // Number.
+        const std::size_t start = pos_;
+        if (c == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start || (pos_ == start + 1 && c == '-'))
+            return fail(error, "unexpected character");
+        out->type = Value::Type::Number;
+        try {
+            out->num = std::stod(text_.substr(start, pos_ - start));
+        } catch (...) {
+            return fail(error, "malformed number");
+        }
+        return true;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+bool
+isNumber(const Value *v)
+{
+    return v != nullptr && v->type == Value::Type::Number;
+}
+
+bool
+isString(const Value *v)
+{
+    return v != nullptr && v->type == Value::Type::String;
+}
+
+bool
+fail(std::string *error, std::string msg)
+{
+    if (error != nullptr)
+        *error = std::move(msg);
+    return false;
+}
+
+/** A track is one (pid, tid) timeline. */
+using TrackKey = std::pair<double, double>;
+
+/** One 'X' slice prepared for the nesting check. */
+struct SliceInterval
+{
+    double ts;
+    double end;
+    std::size_t index; ///< traceEvents index, for diagnostics
+};
+
+/**
+ * Floating-point slack for boundary comparisons: ts/dur come from
+ * exact nanosecond ticks rendered as microsecond decimals, so any
+ * representation error is far below a nanosecond (1e-3 us).
+ */
+constexpr double kEps = 1e-6;
+
+bool
+checkSliceNesting(const std::map<TrackKey, std::vector<SliceInterval>>
+                      &tracks,
+                  std::string *error)
+{
+    for (const auto &track : tracks) {
+        std::vector<SliceInterval> slices = track.second;
+        // Earlier start first; on ties the longer slice is the
+        // container and must be pushed first.
+        std::sort(slices.begin(), slices.end(),
+                  [](const SliceInterval &a, const SliceInterval &b) {
+                      if (a.ts != b.ts)
+                          return a.ts < b.ts;
+                      return a.end > b.end;
+                  });
+        std::vector<const SliceInterval *> stack;
+        for (const SliceInterval &s : slices) {
+            while (!stack.empty() &&
+                   s.ts >= stack.back()->end - kEps)
+                stack.pop_back();
+            if (!stack.empty() && s.end > stack.back()->end + kEps)
+                return fail(
+                    error,
+                    "traceEvents[" + std::to_string(s.index) +
+                        "] partially overlaps traceEvents[" +
+                        std::to_string(stack.back()->index) +
+                        "] on the same (pid, tid) track — slices "
+                        "must nest or be disjoint");
+            stack.push_back(&s);
+        }
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+bool
+checkTraceText(const std::string &text, TraceCheckResult *result,
+               std::string *error)
+{
+    Value doc;
+    std::string perror;
+    if (!Parser(text).parse(&doc, &perror))
+        return fail(error, "invalid JSON: " + perror);
+    if (doc.type != Value::Type::Object)
+        return fail(error, "top level is not an object");
+    const Value *events = doc.field("traceEvents");
+    if (events == nullptr || events->type != Value::Type::Array)
+        return fail(error, "missing 'traceEvents' array");
+
+    std::size_t slices = 0;
+    std::map<TrackKey, std::vector<SliceInterval>> tracks;
+    // Per-track stack of open 'B' events: (name, traceEvents index).
+    std::map<TrackKey, std::vector<std::pair<std::string, std::size_t>>>
+        open;
+    for (std::size_t i = 0; i < events->array.size(); ++i) {
+        const Value &ev = events->array[i];
+        const std::string where =
+            "traceEvents[" + std::to_string(i) + "]";
+        if (ev.type != Value::Type::Object)
+            return fail(error, where + " is not an object");
+        const Value *ph = ev.field("ph");
+        if (!isString(ph) || ph->str.size() != 1)
+            return fail(error, where + " has no one-char 'ph'");
+        if (!isString(ev.field("name")))
+            return fail(error, where + " has no 'name'");
+        const Value *pid = ev.field("pid");
+        const Value *tid = ev.field("tid");
+        if (!isNumber(pid) || !isNumber(tid))
+            return fail(error, where + " needs numeric 'pid'/'tid'");
+        const TrackKey track{pid->num, tid->num};
+        if (ph->str == "X") {
+            const Value *ts = ev.field("ts");
+            const Value *dur = ev.field("dur");
+            if (!isNumber(ts) || !isNumber(dur))
+                return fail(
+                    error, where + " ('X') needs numeric 'ts'/'dur'");
+            if (dur->num < 0)
+                return fail(error, where + " has negative 'dur'");
+            tracks[track].push_back(
+                SliceInterval{ts->num, ts->num + dur->num, i});
+            ++slices;
+        } else if (ph->str == "B") {
+            if (!isNumber(ev.field("ts")))
+                return fail(error,
+                            where + " ('B') needs numeric 'ts'");
+            open[track].emplace_back(ev.field("name")->str, i);
+        } else if (ph->str == "E") {
+            if (!isNumber(ev.field("ts")))
+                return fail(error,
+                            where + " ('E') needs numeric 'ts'");
+            auto &stack = open[track];
+            if (stack.empty())
+                return fail(error,
+                            where + " ('E') has no open 'B' on its "
+                                    "(pid, tid) track");
+            if (stack.back().first != ev.field("name")->str)
+                return fail(
+                    error,
+                    where + " ('E' \"" + ev.field("name")->str +
+                        "\") does not match the innermost open 'B' "
+                        "(\"" + stack.back().first +
+                        "\" at traceEvents[" +
+                        std::to_string(stack.back().second) + "])");
+            stack.pop_back();
+        }
+    }
+    for (const auto &track : open)
+        if (!track.second.empty())
+            return fail(error,
+                        "torn trace: 'B' at traceEvents[" +
+                            std::to_string(
+                                track.second.back().second) +
+                            "] (\"" + track.second.back().first +
+                            "\") is never closed by an 'E'");
+    if (slices == 0)
+        return fail(error, "trace contains no 'X' slices");
+    if (!checkSliceNesting(tracks, error))
+        return false;
+
+    if (result != nullptr) {
+        result->events = events->array.size();
+        result->slices = slices;
+    }
+    return true;
+}
+
+} // namespace obs
+} // namespace jitsched

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Trace-document validator library behind jitsched-trace-check.
+ *
+ * Validates Chrome trace-event JSON the way Perfetto and
+ * chrome://tracing consume it, plus two jitsched-specific span
+ * invariants that catch torn traces from live traffic:
+ *
+ *  - begin/end pairing: every 'E' event closes the most recent open
+ *    'B' with the same name on its (pid, tid) track; an 'E' with no
+ *    open 'B', a name mismatch, or a 'B' left open at end-of-trace
+ *    is an error;
+ *  - strict nesting of 'X' slices per (pid, tid): two slices on one
+ *    track either nest (one contains the other) or are disjoint —
+ *    partial overlap means the emitter attributed one interval to
+ *    two spans, which is exactly what per-trace virtual tids
+ *    (SpanCollector::exportTo) are supposed to prevent.  Shared
+ *    boundaries and zero-duration slices are legal.
+ *
+ * Used by the jitsched-trace-check binary and directly by tests (no
+ * subprocess needed to validate an in-memory trace).
+ */
+
+#ifndef JITSCHED_OBS_TRACE_CHECK_HH
+#define JITSCHED_OBS_TRACE_CHECK_HH
+
+#include <cstddef>
+#include <string>
+
+namespace jitsched {
+namespace obs {
+
+/** What a successful validation saw. */
+struct TraceCheckResult
+{
+    std::size_t events = 0; ///< all traceEvents entries
+    std::size_t slices = 0; ///< 'X' complete slices
+};
+
+/**
+ * Validate a full trace document.  @return true when valid; on
+ * failure *error describes the first problem found.  @p result and
+ * @p error may be nullptr.
+ */
+bool checkTraceText(const std::string &text, TraceCheckResult *result,
+                    std::string *error);
+
+} // namespace obs
+} // namespace jitsched
+
+#endif // JITSCHED_OBS_TRACE_CHECK_HH

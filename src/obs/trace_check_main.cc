@@ -1,262 +1,25 @@
 /**
  * @file
- * jitsched-trace-check — tiny validator for Chrome trace-event JSON.
+ * jitsched-trace-check — validator for Chrome trace-event JSON.
  *
- * Parses the whole document with a minimal recursive-descent JSON
- * parser (no external dependency) and checks the structure Perfetto
- * and chrome://tracing rely on: a top-level object carrying a
- * `traceEvents` array whose elements are objects with `ph`, `pid`,
- * `tid` and `name`, where every complete ('X') slice also carries
- * numeric `ts` and `dur`.  Exit 0 when valid; exit 1 with a
- * diagnostic otherwise.  The smoke gate (scripts/check.sh
- * --obs-smoke) runs it over jitsched-cli --trace-out output.
+ * Thin wrapper over obs/trace_check.hh: reads the file, runs
+ * checkTraceText() (structural checks, 'B'/'E' pairing, strict 'X'
+ * nesting per (pid, tid) track), exit 0 when valid, exit 1 with a
+ * diagnostic otherwise.  The smoke gates (scripts/check.sh
+ * --obs-smoke and --trace-smoke) run it over jitsched-cli
+ * --trace-out output and live daemon traces.
  *
  * Usage: jitsched-trace-check <trace.json>
  */
 
-#include <cctype>
 #include <cstdio>
 #include <fstream>
-#include <map>
-#include <memory>
 #include <sstream>
 #include <string>
-#include <vector>
+
+#include "obs/trace_check.hh"
 
 namespace {
-
-/** A parsed JSON value — just enough structure for the checks. */
-struct Value
-{
-    enum class Type
-    {
-        Null,
-        Bool,
-        Number,
-        String,
-        Array,
-        Object
-    };
-
-    Type type = Type::Null;
-    std::string str;   ///< String payload
-    double num = 0.0;  ///< Number payload
-    std::vector<Value> array;
-    std::map<std::string, Value> object;
-
-    const Value *
-    field(const std::string &key) const
-    {
-        const auto it = object.find(key);
-        return it == object.end() ? nullptr : &it->second;
-    }
-};
-
-class Parser
-{
-  public:
-    explicit Parser(const std::string &text) : text_(text) {}
-
-    bool
-    parse(Value *out, std::string *error)
-    {
-        if (!value(out, error))
-            return false;
-        skipSpace();
-        if (pos_ != text_.size())
-            return fail(error, "trailing data after JSON document");
-        return true;
-    }
-
-  private:
-    bool
-    fail(std::string *error, const std::string &msg)
-    {
-        std::size_t line = 1;
-        for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i)
-            if (text_[i] == '\n')
-                ++line;
-        *error = msg + " (line " + std::to_string(line) + ")";
-        return false;
-    }
-
-    void
-    skipSpace()
-    {
-        while (pos_ < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[pos_])))
-            ++pos_;
-    }
-
-    bool
-    consume(char c)
-    {
-        skipSpace();
-        if (pos_ < text_.size() && text_[pos_] == c) {
-            ++pos_;
-            return true;
-        }
-        return false;
-    }
-
-    bool
-    literal(const char *word, std::string *error)
-    {
-        for (const char *p = word; *p != '\0'; ++p, ++pos_)
-            if (pos_ >= text_.size() || text_[pos_] != *p)
-                return fail(error, std::string("bad literal, "
-                                               "expected '") +
-                                       word + "'");
-        return true;
-    }
-
-    bool
-    string(std::string *out, std::string *error)
-    {
-        if (!consume('"'))
-            return fail(error, "expected string");
-        out->clear();
-        while (pos_ < text_.size()) {
-            const char c = text_[pos_++];
-            if (c == '"')
-                return true;
-            if (static_cast<unsigned char>(c) < 0x20)
-                return fail(error, "raw control character in string");
-            if (c != '\\') {
-                out->push_back(c);
-                continue;
-            }
-            if (pos_ >= text_.size())
-                break;
-            const char esc = text_[pos_++];
-            switch (esc) {
-              case '"': out->push_back('"'); break;
-              case '\\': out->push_back('\\'); break;
-              case '/': out->push_back('/'); break;
-              case 'b': out->push_back('\b'); break;
-              case 'f': out->push_back('\f'); break;
-              case 'n': out->push_back('\n'); break;
-              case 'r': out->push_back('\r'); break;
-              case 't': out->push_back('\t'); break;
-              case 'u': {
-                if (pos_ + 4 > text_.size())
-                    return fail(error, "truncated \\u escape");
-                for (int i = 0; i < 4; ++i)
-                    if (!std::isxdigit(static_cast<unsigned char>(
-                            text_[pos_ + i])))
-                        return fail(error, "bad \\u escape");
-                // The checker only validates; the decoded code
-                // point's exact bytes do not matter here.
-                out->push_back('?');
-                pos_ += 4;
-                break;
-              }
-              default:
-                return fail(error, "unknown escape in string");
-            }
-        }
-        return fail(error, "unterminated string");
-    }
-
-    bool
-    value(Value *out, std::string *error)
-    {
-        skipSpace();
-        if (pos_ >= text_.size())
-            return fail(error, "unexpected end of input");
-        const char c = text_[pos_];
-        if (c == '{') {
-            ++pos_;
-            out->type = Value::Type::Object;
-            skipSpace();
-            if (consume('}'))
-                return true;
-            for (;;) {
-                std::string key;
-                if (!string(&key, error))
-                    return false;
-                if (!consume(':'))
-                    return fail(error, "expected ':' in object");
-                Value v;
-                if (!value(&v, error))
-                    return false;
-                out->object.emplace(std::move(key), std::move(v));
-                if (consume(','))
-                    continue;
-                if (consume('}'))
-                    return true;
-                return fail(error, "expected ',' or '}' in object");
-            }
-        }
-        if (c == '[') {
-            ++pos_;
-            out->type = Value::Type::Array;
-            skipSpace();
-            if (consume(']'))
-                return true;
-            for (;;) {
-                Value v;
-                if (!value(&v, error))
-                    return false;
-                out->array.push_back(std::move(v));
-                if (consume(','))
-                    continue;
-                if (consume(']'))
-                    return true;
-                return fail(error, "expected ',' or ']' in array");
-            }
-        }
-        if (c == '"') {
-            out->type = Value::Type::String;
-            return string(&out->str, error);
-        }
-        if (c == 't') {
-            out->type = Value::Type::Bool;
-            out->num = 1;
-            return literal("true", error);
-        }
-        if (c == 'f') {
-            out->type = Value::Type::Bool;
-            return literal("false", error);
-        }
-        if (c == 'n')
-            return literal("null", error);
-        // Number.
-        const std::size_t start = pos_;
-        if (c == '-')
-            ++pos_;
-        while (pos_ < text_.size() &&
-               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-                text_[pos_] == '.' || text_[pos_] == 'e' ||
-                text_[pos_] == 'E' || text_[pos_] == '+' ||
-                text_[pos_] == '-'))
-            ++pos_;
-        if (pos_ == start || (pos_ == start + 1 && c == '-'))
-            return fail(error, "unexpected character");
-        out->type = Value::Type::Number;
-        try {
-            out->num = std::stod(text_.substr(start, pos_ - start));
-        } catch (...) {
-            return fail(error, "malformed number");
-        }
-        return true;
-    }
-
-    const std::string &text_;
-    std::size_t pos_ = 0;
-};
-
-bool
-isNumber(const Value *v)
-{
-    return v != nullptr && v->type == Value::Type::Number;
-}
-
-bool
-isString(const Value *v)
-{
-    return v != nullptr && v->type == Value::Type::String;
-}
 
 int
 complain(const std::string &path, const std::string &msg)
@@ -282,49 +45,14 @@ main(int argc, char **argv)
         return complain(path, "cannot open file");
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    const std::string text = buffer.str();
 
-    Value doc;
+    jitsched::obs::TraceCheckResult result;
     std::string error;
-    if (!Parser(text).parse(&doc, &error))
-        return complain(path, "invalid JSON: " + error);
-    if (doc.type != Value::Type::Object)
-        return complain(path, "top level is not an object");
-    const Value *events = doc.field("traceEvents");
-    if (events == nullptr || events->type != Value::Type::Array)
-        return complain(path, "missing 'traceEvents' array");
-
-    std::size_t slices = 0;
-    for (std::size_t i = 0; i < events->array.size(); ++i) {
-        const Value &ev = events->array[i];
-        const std::string where =
-            "traceEvents[" + std::to_string(i) + "]";
-        if (ev.type != Value::Type::Object)
-            return complain(path, where + " is not an object");
-        const Value *ph = ev.field("ph");
-        if (!isString(ph) || ph->str.size() != 1)
-            return complain(path, where + " has no one-char 'ph'");
-        if (!isString(ev.field("name")))
-            return complain(path, where + " has no 'name'");
-        if (!isNumber(ev.field("pid")) || !isNumber(ev.field("tid")))
-            return complain(path,
-                            where + " needs numeric 'pid'/'tid'");
-        if (ph->str == "X") {
-            const Value *ts = ev.field("ts");
-            const Value *dur = ev.field("dur");
-            if (!isNumber(ts) || !isNumber(dur))
-                return complain(
-                    path, where + " ('X') needs numeric 'ts'/'dur'");
-            if (dur->num < 0)
-                return complain(path, where + " has negative 'dur'");
-            ++slices;
-        }
-    }
-    if (slices == 0)
-        return complain(path, "trace contains no 'X' slices");
+    if (!jitsched::obs::checkTraceText(buffer.str(), &result, &error))
+        return complain(path, error);
 
     std::printf("jitsched-trace-check: %s: ok (%zu events, %zu "
                 "slices)\n",
-                path.c_str(), events->array.size(), slices);
+                path.c_str(), result.events, result.slices);
     return 0;
 }

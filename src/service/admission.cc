@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "obs/instruments.hh"
+#include "obs/span.hh"
 
 namespace jitsched {
 
@@ -37,20 +38,24 @@ AdmissionQueue::submit(ServiceRequest req)
     {
         std::lock_guard<std::mutex> lk(mutex_);
         if (stop_) {
-            p.promise.set_value(makeErrorResponse(
+            ServiceResponse resp = makeErrorResponse(
                 p.req.id, errcode::unavailable,
-                "service is shutting down"));
+                "service is shutting down");
+            resp.stats.traceId = p.req.traceId;
+            p.promise.set_value(std::move(resp));
             return future;
         }
         if (queue_.size() >= cfg_.maxDepth) {
             ++shed_;
             JITSCHED_OBS(
                 obs::ServiceMetrics::get().requestsShed.add());
-            p.promise.set_value(makeErrorResponse(
+            ServiceResponse resp = makeErrorResponse(
                 p.req.id, errcode::resourceExhausted,
                 "admission queue full (" +
                     std::to_string(cfg_.maxDepth) +
-                    " pending requests); retry later"));
+                    " pending requests); retry later");
+            resp.stats.traceId = p.req.traceId;
+            p.promise.set_value(std::move(resp));
             return future;
         }
         ++accepted_;
@@ -69,6 +74,9 @@ AdmissionQueue::submit(ServiceRequest req)
 void
 AdmissionQueue::answer(Pending &p, ServiceResponse resp)
 {
+    // Error paths (shed, expired, shutdown) build their response via
+    // makeErrorResponse, which never saw the request's trace id.
+    resp.stats.traceId = p.req.traceId;
     resp.stats.queueNs =
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             Clock::now() - p.admitted)
@@ -127,6 +135,11 @@ AdmissionQueue::workerLoop()
                                   " ms deadline"));
                 continue;
             }
+            // The admission-wait span covers submit() -> this moment;
+            // the solve span nests inside engine_.serve().
+            obs::SpanCollector::global().recordBetween(
+                p.req.traceId, "service.admission_wait", p.admitted,
+                Clock::now());
             ServiceResponse resp = engine_.serve(p.req);
             if (served_fingerprints_.size() >=
                 cfg_.maxServedFingerprints)

@@ -109,9 +109,12 @@ ServiceClient::ping(std::uint64_t id, std::string *error)
 }
 
 std::optional<StatsResponse>
-ServiceClient::stats(std::uint64_t id, std::string *error)
+ServiceClient::stats(std::uint64_t id, std::string *error, bool prom)
 {
-    auto raw = callRaw(statsRequestText(StatsRequest{id}), error);
+    StatsRequest sreq;
+    sreq.id = id;
+    sreq.prom = prom;
+    auto raw = callRaw(statsRequestText(sreq), error);
     if (!raw)
         return std::nullopt;
     std::istringstream is(*raw);
@@ -119,6 +122,24 @@ ServiceClient::stats(std::uint64_t id, std::string *error)
     auto resp = tryReadStatsResponse(is, &parse_error);
     if (!resp) {
         setError(error, "bad stats-response frame: " + parse_error);
+        return std::nullopt;
+    }
+    return resp;
+}
+
+std::optional<DumpResponse>
+ServiceClient::dump(std::uint64_t id, std::string *error)
+{
+    DumpRequest dreq;
+    dreq.id = id;
+    auto raw = callRaw(dumpRequestText(dreq), error);
+    if (!raw)
+        return std::nullopt;
+    std::istringstream is(*raw);
+    std::string parse_error;
+    auto resp = tryReadDumpResponse(is, &parse_error);
+    if (!resp) {
+        setError(error, "bad dump-response frame: " + parse_error);
         return std::nullopt;
     }
     return resp;

@@ -80,9 +80,20 @@ class ServiceClient
      * Scrape the daemon's metrics registry (a `jitsched-stats`
      * frame).  Transport failures return nullopt with *error set;
      * server-side refusals arrive as a structured error response.
+     * With @p prom true the snapshot comes back in Prometheus
+     * exposition format (`jitsched-stats <id> prom`).
      */
     std::optional<StatsResponse> stats(std::uint64_t id = 0,
-                                       std::string *error = nullptr);
+                                       std::string *error = nullptr,
+                                       bool prom = false);
+
+    /**
+     * Scrape the peer's flight recorder (a `jitsched-dump` frame):
+     * the last N completed requests it remembers.  Transport failures
+     * return nullopt with *error set.
+     */
+    std::optional<DumpResponse> dump(std::uint64_t id = 0,
+                                     std::string *error = nullptr);
 
     /**
      * Probe liveness with a `jitsched-ping` frame.  True only when a

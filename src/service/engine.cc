@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "obs/instruments.hh"
+#include "obs/span.hh"
 
 namespace jitsched {
 
@@ -19,22 +20,32 @@ ServiceEngine::serve(const ServiceRequest &req)
                 known += ", ";
             known += n;
         }
-        return makeErrorResponse(
+        ServiceResponse resp = makeErrorResponse(
             req.id, errcode::invalidArgument,
             "unknown policy '" + req.policy + "' (known: " + known +
                 ")");
+        resp.stats.traceId = req.traceId;
+        return resp;
     }
-    if (req.workload.numCalls() == 0)
-        return makeErrorResponse(req.id, errcode::invalidArgument,
-                                 "workload has no calls — nothing to "
-                                 "schedule");
+    if (req.workload.numCalls() == 0) {
+        ServiceResponse resp =
+            makeErrorResponse(req.id, errcode::invalidArgument,
+                              "workload has no calls — nothing to "
+                              "schedule");
+        resp.stats.traceId = req.traceId;
+        return resp;
+    }
 
     const std::uint64_t hits0 = cache_.hits();
     const std::uint64_t misses0 = cache_.misses();
     const auto t0 = std::chrono::steady_clock::now();
 
-    const PolicyOutcome outcome =
-        policy->run(req.workload, req.options, evaluator_);
+    PolicyOutcome outcome;
+    {
+        obs::ScopedSpan span(req.traceId, "service.solve");
+        span.tag("policy", req.policy);
+        outcome = policy->run(req.workload, req.options, evaluator_);
+    }
 
     const auto t1 = std::chrono::steady_clock::now();
 
@@ -55,6 +66,7 @@ ServiceEngine::serve(const ServiceRequest &req)
     }
     resp.stats.cacheHits = cache_.hits() - hits0;
     resp.stats.cacheMisses = cache_.misses() - misses0;
+    resp.stats.traceId = req.traceId;
     resp.stats.solveNs =
         std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
             .count();

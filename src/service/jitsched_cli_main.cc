@@ -10,9 +10,15 @@
  * Usage:
  *   jitsched-cli [--host H] [--port P] [--policy NAME]
  *                [--option K V]... [--id N] [--no-stats]
- *                [--trace-out FILE] [<workload-file> | -]
- *   jitsched-cli stats [--host H] [--port P] [--id N]
+ *                [--trace-id HEX] [--trace-out FILE]
+ *                [<workload-file> | -]
+ *   jitsched-cli stats [--host H] [--port P] [--id N] [--prom]
+ *   jitsched-cli dump  [--host H] [--port P] [--id N]
  *   jitsched-cli --list-policies
+ *
+ * Every request the CLI submits carries a trace id: minted here (the
+ * CLI is the first contact) unless --trace-id pins one, so a request
+ * followed through the router and a backend is one trace end to end.
  */
 
 #include <iostream>
@@ -21,7 +27,9 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flight_recorder.hh"
 #include "obs/schedule_timeline.hh"
+#include "obs/span.hh"
 #include "service/client.hh"
 #include "service/policy.hh"
 #include "support/logging.hh"
@@ -37,8 +45,10 @@ usage(int rc)
 {
     std::cerr <<
         "usage: jitsched-cli [options] [<workload-file> | -]\n"
-        "       jitsched-cli stats [--host H] [--port P] [--id N]\n"
+        "       jitsched-cli stats [--host H] [--port P] [--id N]"
+        " [--prom]\n"
         "       jitsched-cli ping  [--host H] [--port P] [--id N]\n"
+        "       jitsched-cli dump  [--host H] [--port P] [--id N]\n"
         "  --host H             daemon address (default 127.0.0.1)\n"
         "  --port P             daemon port (required)\n"
         "  --timeout-ms T       connect/read/write deadline; a hung\n"
@@ -53,6 +63,9 @@ usage(int rc)
         "                       (shorthand for --option threads N)\n"
         "  --id N               request id echoed in the response\n"
         "  --no-stats           omit the volatile stats line\n"
+        "  --trace-id HEX       pin the request's trace id (1..16 hex\n"
+        "                       digits, nonzero); default: mint one\n"
+        "  --prom               (stats) Prometheus text exposition\n"
         "  --trace-out FILE     write the response schedule's timeline\n"
         "                       as Chrome/Perfetto trace JSON\n"
         "  --list-policies      print the built-in policies and exit\n"
@@ -60,8 +73,11 @@ usage(int rc)
         "With no file argument (or '-') the workload is read from "
         "stdin.\n"
         "The 'stats' subcommand scrapes the daemon's metrics registry\n"
-        "and prints the snapshot frame.  The 'ping' subcommand sends\n"
-        "one liveness probe and exits 0 iff an ok pong came back.\n";
+        "and prints the snapshot frame (--prom prints the bare\n"
+        "Prometheus exposition).  The 'ping' subcommand sends one\n"
+        "liveness probe and exits 0 iff an ok pong came back.  The\n"
+        "'dump' subcommand scrapes the peer's in-memory flight\n"
+        "recorder: one line per remembered request.\n";
     std::exit(rc);
 }
 
@@ -87,7 +103,10 @@ main(int argc, char **argv)
     bool with_stats = true;
     bool stats_mode = false;
     bool ping_mode = false;
+    bool dump_mode = false;
+    bool prom = false;
     int timeout_ms = -1;
+    std::uint64_t trace_id = 0;
     std::string trace_out;
     std::string workload_path = "-";
 
@@ -134,12 +153,23 @@ main(int argc, char **argv)
             timeout_ms = static_cast<int>(*v);
         } else if (arg == "--trace-out") {
             trace_out = next();
+        } else if (arg == "--trace-id") {
+            const auto v = obs::parseTraceIdHex(next());
+            if (!v)
+                JITSCHED_FATAL("--trace-id needs 1..16 hex digits, "
+                               "nonzero");
+            trace_id = *v;
+        } else if (arg == "--prom") {
+            prom = true;
         } else if (arg == "stats" && !stats_mode && !ping_mode &&
-                   workload_path == "-") {
+                   !dump_mode && workload_path == "-") {
             stats_mode = true;
         } else if (arg == "ping" && !stats_mode && !ping_mode &&
-                   workload_path == "-") {
+                   !dump_mode && workload_path == "-") {
             ping_mode = true;
+        } else if (arg == "dump" && !stats_mode && !ping_mode &&
+                   !dump_mode && workload_path == "-") {
+            dump_mode = true;
         } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
             std::cerr << "jitsched-cli: unknown option '" << arg
                       << "'\n";
@@ -173,11 +203,34 @@ main(int argc, char **argv)
         if (!client.connect(host, static_cast<std::uint16_t>(port),
                             &error))
             JITSCHED_FATAL("cannot reach jitschedd: ", error);
-        auto resp = client.stats(id, &error);
+        auto resp = client.stats(id, &error, prom);
         if (!resp)
             JITSCHED_FATAL(error);
-        writeStatsResponse(std::cout, *resp);
+        if (prom && resp->ok) {
+            // Bare exposition: what a scraper pastes into Prometheus,
+            // no frame wrapper.
+            for (const std::string &line : resp->lines)
+                std::cout << line << "\n";
+        } else {
+            writeStatsResponse(std::cout, *resp);
+        }
         return resp->ok ? 0 : 1;
+    }
+
+    if (dump_mode) {
+        ServiceClient client(client_cfg);
+        std::string error;
+        if (!client.connect(host, static_cast<std::uint16_t>(port),
+                            &error))
+            JITSCHED_FATAL("cannot reach peer: ", error);
+        auto resp = client.dump(id, &error);
+        if (!resp)
+            JITSCHED_FATAL(error);
+        if (!resp->ok)
+            JITSCHED_FATAL("dump refused: ", resp->error);
+        for (const obs::FlightRecord &r : resp->records)
+            std::cout << obs::FlightRecorder::recordLine(r) << "\n";
+        return 0;
     }
 
     // The CLI is a *user* front end: parse the workload and options
@@ -189,7 +242,10 @@ main(int argc, char **argv)
         return readWorkloadFile(workload_path);
     }();
 
-    ServiceRequest req{id, policy, ServiceOptions{}, std::move(w)};
+    ServiceRequest req;
+    req.id = id;
+    req.policy = policy;
+    req.workload = std::move(w);
     {
         // Round-trip the option pairs through the wire parser so the
         // CLI accepts exactly the keys the daemon does.
@@ -208,6 +264,13 @@ main(int argc, char **argv)
             JITSCHED_FATAL(err);
         req = *std::move(parsed);
     }
+    // The CLI is the trace's first contact: pin the id the user gave
+    // (--trace-id beats an `--option trace-id` duplicate) or mint
+    // one, so every submitted request is followable end to end.
+    if (trace_id != 0)
+        req.traceId = trace_id;
+    else if (req.traceId == 0)
+        req.traceId = obs::mintTraceId();
 
     ServiceClient client(client_cfg);
     std::string error;

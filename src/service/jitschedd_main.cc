@@ -10,6 +10,7 @@
  * Usage:
  *   jitschedd [--address A] [--port P] [--handlers N]
  *             [--queue-depth D] [--batch B] [--discipline fifo|cached-first]
+ *             [--trace-out FILE]
  */
 
 #include <signal.h>
@@ -19,6 +20,8 @@
 #include <string>
 
 #include "obs/instruments.hh"
+#include "obs/span.hh"
+#include "obs/trace_event.hh"
 #include "service/server.hh"
 #include "support/logging.hh"
 #include "support/strutil.hh"
@@ -38,6 +41,8 @@ usage(int rc)
         "  --queue-depth D      admission queue depth (default 64)\n"
         "  --batch B            max requests per worker batch (default 16)\n"
         "  --discipline D       fifo | cached-first (default cached-first)\n"
+        "  --trace-out FILE     at shutdown, write collected request\n"
+        "                       spans as Chrome/Perfetto trace JSON\n"
         "  --help               this text\n";
     std::exit(rc);
 }
@@ -58,6 +63,7 @@ int
 main(int argc, char **argv)
 {
     ServerConfig cfg;
+    std::string trace_out;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> std::string {
@@ -93,6 +99,8 @@ main(int argc, char **argv)
             else
                 JITSCHED_FATAL("--discipline must be fifo or "
                                "cached-first, got '", d, "'");
+        } else if (arg == "--trace-out") {
+            trace_out = next();
         } else {
             std::cerr << "jitschedd: unknown option '" << arg
                       << "'\n";
@@ -138,5 +146,23 @@ main(int argc, char **argv)
               << server.connectionsAccepted() << " connections)"
               << std::endl;
     server.stop();
+
+    if (!trace_out.empty()) {
+        // Stopped first, so every in-flight request's spans landed.
+        // An idle daemon writes nothing: --trace-smoke only checks
+        // files that exist.
+        obs::SpanCollector &spans = obs::SpanCollector::global();
+        if (spans.snapshot().empty()) {
+            std::cout << "jitschedd: no spans collected; skipping "
+                      << trace_out << std::endl;
+        } else {
+            obs::TraceEventSink sink;
+            spans.exportTo(sink);
+            sink.writeFile(trace_out);
+            std::cout << "jitschedd: wrote " << sink.size()
+                      << " trace events to " << trace_out
+                      << std::endl;
+        }
+    }
     return 0;
 }

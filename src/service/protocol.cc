@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "exec/eval_cache.hh"
+#include "obs/span.hh"
 #include "support/logging.hh"
 #include "support/strutil.hh"
 #include "trace/trace_io.hh"
@@ -111,6 +112,11 @@ writeRequest(std::ostream &os, const ServiceRequest &req)
         os << "option threads " << o.astarThreads << "\n";
     if (o.deadlineMs >= 0)
         os << "option deadline-ms " << o.deadlineMs << "\n";
+    // Like threads: untraced requests stay byte-identical to what
+    // pre-tracing builds emitted.
+    if (req.traceId != 0)
+        os << "option trace-id " << obs::traceIdHex(req.traceId)
+           << "\n";
     os << "payload\n";
     writeWorkload(os, req.workload);
     os << "end\n";
@@ -201,6 +207,15 @@ applyOption(ServiceRequest &req, const std::string &key,
                              "non-negative integer, got '" + value +
                              "'");
         o.deadlineMs = *v;
+        return true;
+    }
+    if (key == "trace-id") {
+        const auto v = obs::parseTraceIdHex(value);
+        if (!v)
+            return parseFail(error, "option trace-id must be 1-16 "
+                             "hex digits and nonzero, got '" + value +
+                             "'");
+        req.traceId = *v;
         return true;
     }
     return parseFail(error, "unknown option '" + key + "'");
@@ -334,7 +349,10 @@ writeResponse(std::ostream &os, const ServiceResponse &resp,
         os << "stats cache-hits " << resp.stats.cacheHits
            << " cache-misses " << resp.stats.cacheMisses
            << " queue-ns " << resp.stats.queueNs << " solve-ns "
-           << resp.stats.solveNs << "\n";
+           << resp.stats.solveNs;
+        if (resp.stats.traceId != 0)
+            os << " trace-id " << obs::traceIdHex(resp.stats.traceId);
+        os << "\n";
     }
     os << "end\n";
 }
@@ -515,6 +533,18 @@ tryReadResponse(std::istream &is, std::string *error)
         } else if (key == "stats") {
             std::string k, val;
             while (ls >> k >> val) {
+                // trace-id is hex, not an integer — handle it before
+                // the generic numeric path.
+                if (k == "trace-id") {
+                    const auto t = obs::parseTraceIdHex(val);
+                    if (!t) {
+                        parseFail(error, "bad stats trace-id '" + val +
+                                  "'");
+                        return std::nullopt;
+                    }
+                    resp.stats.traceId = *t;
+                    continue;
+                }
                 const auto n = parseInt(val);
                 if (!n) {
                     parseFail(error, "bad stats value '" + val + "'");
@@ -561,7 +591,10 @@ makeErrorResponse(std::uint64_t id, const std::string &code,
 void
 writeStatsRequest(std::ostream &os, const StatsRequest &req)
 {
-    os << "jitsched-stats " << req.id << "\n";
+    os << "jitsched-stats " << req.id;
+    if (req.prom)
+        os << " prom";
+    os << "\n";
     os << "end\n";
 }
 
@@ -585,7 +618,7 @@ tryReadStatsRequest(std::istream &is, std::string *error)
     }
     {
         std::istringstream hs(*header);
-        std::string tag, id_tok;
+        std::string tag, id_tok, arg;
         hs >> tag >> id_tok;
         if (tag != "jitsched-stats") {
             parseFail(error, "expected 'jitsched-stats <id>', got '" +
@@ -598,6 +631,14 @@ tryReadStatsRequest(std::istream &is, std::string *error)
             return std::nullopt;
         }
         req.id = static_cast<std::uint64_t>(*id);
+        if (hs >> arg) {
+            if (arg != "prom") {
+                parseFail(error, "bad stats-request argument '" +
+                          arg + "' (only 'prom' is known)");
+                return std::nullopt;
+            }
+            req.prom = true;
+        }
     }
 
     const auto tail = nextLine(is);
@@ -615,6 +656,8 @@ writeStatsResponse(std::ostream &os, const StatsResponse &resp)
     os << "jitsched-stats-response " << resp.id << "\n";
     if (resp.ok) {
         os << "status ok\n";
+        if (resp.prom)
+            os << "format prom\n";
         os << "snapshot " << resp.lines.size() << "\n";
         for (const std::string &line : resp.lines)
             os << line << "\n";
@@ -697,6 +740,15 @@ tryReadStatsResponse(std::istream &is, std::string *error)
         } else if (key == "error") {
             constexpr std::size_t skip = sizeof("error ") - 1;
             resp.error = line->size() > skip ? line->substr(skip) : "";
+        } else if (key == "format") {
+            std::string fmt;
+            ls >> fmt;
+            if (fmt != "prom") {
+                parseFail(error, "unknown snapshot format '" + fmt +
+                          "'");
+                return std::nullopt;
+            }
+            resp.prom = true;
         } else if (key == "snapshot") {
             std::int64_t v = 0;
             if (!intField(ls, "snapshot size", &v, error))
@@ -705,19 +757,20 @@ tryReadStatsResponse(std::istream &is, std::string *error)
                 parseFail(error, "negative snapshot size");
                 return std::nullopt;
             }
-            // Snapshot lines carry registry names, which never
-            // contain '#' and never equal 'end', so the cleaning
-            // reader returns them verbatim.
+            // The N snapshot lines are counted payload, not grammar:
+            // read them raw.  Prometheus exposition has '#' comment
+            // lines the cleaning reader would swallow, desyncing the
+            // declared count.
             resp.lines.reserve(
                 std::min(static_cast<std::size_t>(v),
                          std::size_t(1) << 16));
+            std::string raw;
             for (std::int64_t i = 0; i < v; ++i) {
-                const auto snap_line = nextLine(is);
-                if (!snap_line) {
+                if (!std::getline(is, raw)) {
                     parseFail(error, "snapshot truncated");
                     return std::nullopt;
                 }
-                resp.lines.push_back(*snap_line);
+                resp.lines.push_back(raw);
             }
         } else {
             parseFail(error, "unknown stats-response directive '" +
@@ -734,17 +787,254 @@ tryReadStatsResponse(std::istream &is, std::string *error)
 }
 
 StatsResponse
-makeStatsResponse(std::uint64_t id, const std::string &snapshot_text)
+makeStatsResponse(std::uint64_t id, const std::string &snapshot_text,
+                  bool prom)
 {
     StatsResponse resp;
     resp.id = id;
     resp.ok = true;
+    resp.prom = prom;
     std::istringstream is(snapshot_text);
     std::string line;
     while (std::getline(is, line)) {
         if (!line.empty())
             resp.lines.push_back(line);
     }
+    return resp;
+}
+
+void
+writeDumpRequest(std::ostream &os, const DumpRequest &req)
+{
+    os << "jitsched-dump " << req.id << "\n";
+    os << "end\n";
+}
+
+std::string
+dumpRequestText(const DumpRequest &req)
+{
+    std::ostringstream os;
+    writeDumpRequest(os, req);
+    return os.str();
+}
+
+std::optional<DumpRequest>
+tryReadDumpRequest(std::istream &is, std::string *error)
+{
+    DumpRequest req;
+
+    const auto header = nextLine(is);
+    if (!header) {
+        parseFail(error, "empty dump-request frame");
+        return std::nullopt;
+    }
+    {
+        std::istringstream hs(*header);
+        std::string tag, id_tok;
+        hs >> tag >> id_tok;
+        if (tag != "jitsched-dump") {
+            parseFail(error, "expected 'jitsched-dump <id>', got '" +
+                      *header + "'");
+            return std::nullopt;
+        }
+        const auto id = parseInt(id_tok);
+        if (!id || *id < 0) {
+            parseFail(error, "bad dump-request id '" + id_tok + "'");
+            return std::nullopt;
+        }
+        req.id = static_cast<std::uint64_t>(*id);
+    }
+
+    const auto tail = nextLine(is);
+    if (!tail || *tail != "end") {
+        parseFail(error, "dump request carries a body (expected "
+                  "'end')");
+        return std::nullopt;
+    }
+    return req;
+}
+
+void
+writeDumpResponse(std::ostream &os, const DumpResponse &resp)
+{
+    os << "jitsched-dump-response " << resp.id << "\n";
+    if (resp.ok) {
+        os << "status ok\n";
+        os << "records " << resp.records.size() << "\n";
+        for (const obs::FlightRecord &r : resp.records)
+            os << "record " << obs::FlightRecorder::recordLine(r)
+               << "\n";
+    } else {
+        os << "status error "
+           << (resp.code.empty() ? errcode::unavailable : resp.code)
+           << "\n";
+        os << "error " << resp.error << "\n";
+    }
+    os << "end\n";
+}
+
+std::string
+dumpResponseText(const DumpResponse &resp)
+{
+    std::ostringstream os;
+    writeDumpResponse(os, resp);
+    return os.str();
+}
+
+namespace {
+
+/** Parse one `record ...` line's key/value tail. */
+bool
+parseRecordLine(std::istringstream &ls, obs::FlightRecord *out,
+                std::string *error)
+{
+    std::string k, val;
+    while (ls >> k >> val) {
+        if (k == "trace") {
+            if (val == "0") {
+                out->traceId = 0;
+                continue;
+            }
+            const auto t = obs::parseTraceIdHex(val);
+            if (!t)
+                return parseFail(error, "bad record trace id '" + val +
+                                 "'");
+            out->traceId = *t;
+        } else if (k == "policy") {
+            out->policy = val == "-" ? "" : val;
+        } else if (k == "status") {
+            out->status = val == "-" ? "" : val;
+        } else {
+            const auto n = parseInt(val);
+            if (!n)
+                return parseFail(error, "bad record value '" + val +
+                                 "' for '" + k + "'");
+            if (k == "request")
+                out->requestId = static_cast<std::uint64_t>(*n);
+            else if (k == "queue-ns")
+                out->queueNs = *n;
+            else if (k == "solve-ns")
+                out->solveNs = *n;
+            else if (k == "bytes")
+                out->bytes = static_cast<std::uint64_t>(*n);
+            else if (k == "hops")
+                out->hops = static_cast<std::uint32_t>(*n);
+            // Unknown numeric keys are ignored (forward compat).
+        }
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+std::optional<DumpResponse>
+tryReadDumpResponse(std::istream &is, std::string *error)
+{
+    DumpResponse resp;
+
+    const auto header = nextLine(is);
+    if (!header) {
+        parseFail(error, "empty dump-response frame");
+        return std::nullopt;
+    }
+    {
+        std::istringstream hs(*header);
+        std::string tag, id_tok;
+        hs >> tag >> id_tok;
+        if (tag != "jitsched-dump-response") {
+            parseFail(error,
+                      "expected 'jitsched-dump-response <id>', got '" +
+                      *header + "'");
+            return std::nullopt;
+        }
+        const auto id = parseInt(id_tok);
+        if (!id || *id < 0) {
+            parseFail(error, "bad dump-response id '" + id_tok + "'");
+            return std::nullopt;
+        }
+        resp.id = static_cast<std::uint64_t>(*id);
+    }
+
+    bool saw_status = false;
+    std::int64_t declared = -1;
+    for (;;) {
+        const auto line = nextLine(is);
+        if (!line) {
+            parseFail(error, "dump response truncated (no 'end')");
+            return std::nullopt;
+        }
+        if (*line == "end")
+            break;
+
+        std::istringstream ls(*line);
+        std::string key;
+        ls >> key;
+
+        if (key == "status") {
+            std::string st;
+            ls >> st;
+            if (st == "ok") {
+                resp.ok = true;
+            } else if (st == "error") {
+                resp.ok = false;
+                ls >> resp.code;
+                if (resp.code.empty()) {
+                    parseFail(error, "status error carries no code");
+                    return std::nullopt;
+                }
+            } else {
+                parseFail(error, "bad status '" + st + "'");
+                return std::nullopt;
+            }
+            saw_status = true;
+        } else if (key == "error") {
+            constexpr std::size_t skip = sizeof("error ") - 1;
+            resp.error = line->size() > skip ? line->substr(skip) : "";
+        } else if (key == "records") {
+            if (!intField(ls, "records size", &declared, error))
+                return std::nullopt;
+            if (declared < 0) {
+                parseFail(error, "negative records size");
+                return std::nullopt;
+            }
+            // Foreign input: cap the reserve like schedule/snapshot.
+            resp.records.reserve(
+                std::min(static_cast<std::size_t>(declared),
+                         std::size_t(1) << 16));
+        } else if (key == "record") {
+            obs::FlightRecord r;
+            if (!parseRecordLine(ls, &r, error))
+                return std::nullopt;
+            resp.records.push_back(std::move(r));
+        } else {
+            parseFail(error, "unknown dump-response directive '" +
+                      key + "'");
+            return std::nullopt;
+        }
+    }
+
+    if (!saw_status) {
+        parseFail(error, "dump response carries no status");
+        return std::nullopt;
+    }
+    if (resp.ok && declared >= 0 &&
+        static_cast<std::size_t>(declared) != resp.records.size()) {
+        parseFail(error, "dump response declared " +
+                  std::to_string(declared) + " records but carried " +
+                  std::to_string(resp.records.size()));
+        return std::nullopt;
+    }
+    return resp;
+}
+
+DumpResponse
+makeDumpResponse(std::uint64_t id,
+                 const std::vector<obs::FlightRecord> &records)
+{
+    DumpResponse resp;
+    resp.id = id;
+    resp.ok = true;
+    resp.records = records;
     return resp;
 }
 
@@ -932,6 +1222,12 @@ bool
 isPingRequestFrame(const std::string &frame)
 {
     return frameTag(frame) == "jitsched-ping";
+}
+
+bool
+isDumpRequestFrame(const std::string &frame)
+{
+    return frameTag(frame) == "jitsched-dump";
 }
 
 std::uint64_t

@@ -19,7 +19,11 @@
  *   end
  *
  * Option keys: compile-cores, model (oracle|default), jitter-sigma,
- * jitter-seed, astar-max-expansions, astar-memory-mb, deadline-ms.
+ * jitter-seed, astar-max-expansions, astar-memory-mb, deadline-ms,
+ * trace-id (1..16 hex digits, nonzero — the request's distributed
+ * trace id, minted at first contact by jitsched-cli or the router
+ * and deliberately excluded from requestFingerprint(), so tracing a
+ * request never changes cache merging or cluster affinity).
  *
  * Response frame:
  *
@@ -39,31 +43,55 @@
  *   schedule <K>                present when a schedule exists,
  *   <func> <level>              followed by K event lines
  *   stats cache-hits <h> cache-misses <m> queue-ns <q> solve-ns <s>
+ *     [trace-id <hex>]
  *   end
  *
  * Everything above the `stats` line is a pure function of the request
  * — byte-identical to a direct library call.  The `stats` line is the
- * only volatile part (cache behaviour, queueing, wall time), so
- * clients comparing results strip exactly that line.
+ * only volatile part (cache behaviour, queueing, wall time, and the
+ * echoed trace id when the request carried one), so clients
+ * comparing results strip exactly that line.
  *
  * Besides scheduling requests, a connection can scrape the daemon's
  * metrics registry (obs/metrics.hh) with a STATS frame:
  *
- *   jitsched-stats <id>
+ *   jitsched-stats <id> [prom]
  *   end
  *
  * answered by
  *
  *   jitsched-stats-response <id>
  *   status ok                   | status error <CODE>
- *   error <message>             (error frames only)
+ *   [format prom]               (prom requests only)
  *   snapshot <N>                followed by N raw snapshot lines in
  *   <type> <name> <values...>   MetricsRegistry::snapshotText() form
  *   end
  *
+ * With the `prom` argument the N snapshot lines are instead
+ * MetricsRegistry::snapshotProm() Prometheus text exposition.
+ * Because exposition comment lines start with '#', the N lines after
+ * `snapshot` are read raw (no comment stripping) — they are counted,
+ * not grammar.
+ *
  * The server answers STATS frames inline on the connection handler,
  * bypassing the admission queue — scrapes keep working while the
  * queue is shedding load, which is exactly when they matter.
+ *
+ * The in-memory flight recorder (obs/flight_recorder.hh) is scraped
+ * with a DUMP frame, also answered inline:
+ *
+ *   jitsched-dump <id>
+ *   end
+ *
+ * answered by
+ *
+ *   jitsched-dump-response <id>
+ *   status ok                   | status error <CODE>
+ *   error <message>             (error frames only)
+ *   records <N>                 followed by N record lines:
+ *   record trace <hex> request <id> policy <p> status <s>
+ *     queue-ns <q> solve-ns <n> bytes <b> hops <h>
+ *   end
  *
  * Liveness is probed with a PING frame:
  *
@@ -95,6 +123,7 @@
 #include <vector>
 
 #include "core/schedule.hh"
+#include "obs/flight_recorder.hh"
 #include "service/policy.hh"
 #include "sim/makespan.hh"
 #include "trace/workload.hh"
@@ -112,6 +141,16 @@ struct ServiceRequest
 
     /** Solver options. */
     ServiceOptions options;
+
+    /**
+     * Distributed trace id; 0 means untraced.  Carried as the
+     * optional `option trace-id <hex>` line, lives outside
+     * ServiceOptions on purpose: requestFingerprint() and
+     * ServiceOptions::operator== must never see it (tracing a
+     * request must not split the EvalCache or move it to another
+     * backend).
+     */
+    std::uint64_t traceId = 0;
 
     /** The OCSP instance to schedule. */
     Workload workload;
@@ -133,6 +172,7 @@ struct ServiceStats
     std::uint64_t cacheMisses = 0; ///< EvalCache misses this request
     std::int64_t queueNs = 0;      ///< admission -> processing start
     std::int64_t solveNs = 0;      ///< processing wall time
+    std::uint64_t traceId = 0;     ///< echoed trace id; 0 untraced
 };
 
 /** One scheduling answer. */
@@ -173,9 +213,12 @@ struct ServiceResponse
 struct StatsRequest
 {
     std::uint64_t id = 0;
+
+    /** Ask for Prometheus text exposition instead of snapshotText. */
+    bool prom = false;
 };
 
-/** A registry snapshot, one raw snapshotText() line per entry. */
+/** A registry snapshot, one raw snapshot line per entry. */
 struct StatsResponse
 {
     std::uint64_t id = 0;
@@ -187,6 +230,9 @@ struct StatsResponse
 
     /** Human-readable error message; empty on ok. */
     std::string error;
+
+    /** Lines are snapshotProm() exposition, not snapshotText(). */
+    bool prom = false;
 
     /** Snapshot lines, e.g. `counter exec.cache.hits 12`. */
     std::vector<std::string> lines;
@@ -267,9 +313,61 @@ std::string statsResponseText(const StatsResponse &resp);
 std::optional<StatsResponse>
 tryReadStatsResponse(std::istream &is, std::string *error = nullptr);
 
-/** Build an ok stats response from snapshotText() output. */
+/**
+ * Build an ok stats response from snapshotText() or (@p prom)
+ * snapshotProm() output.
+ */
 StatsResponse makeStatsResponse(std::uint64_t id,
-                                const std::string &snapshot_text);
+                                const std::string &snapshot_text,
+                                bool prom = false);
+
+/** A flight-recorder scrape: no payload, just the echoed id. */
+struct DumpRequest
+{
+    std::uint64_t id = 0;
+};
+
+/** The flight recorder's retained records, oldest first. */
+struct DumpResponse
+{
+    std::uint64_t id = 0;
+
+    bool ok = false;
+
+    /** Error code (errcode::*); empty on ok. */
+    std::string code;
+
+    /** Human-readable error message; empty on ok. */
+    std::string error;
+
+    /** Retained records (seq is not carried over the wire). */
+    std::vector<obs::FlightRecord> records;
+};
+
+/** Serialize a dump-request frame. */
+void writeDumpRequest(std::ostream &os, const DumpRequest &req);
+
+/** Dump-request frame as a string. */
+std::string dumpRequestText(const DumpRequest &req);
+
+/** Parse one dump-request frame, consuming through `end`. */
+std::optional<DumpRequest>
+tryReadDumpRequest(std::istream &is, std::string *error = nullptr);
+
+/** Serialize a dump-response frame. */
+void writeDumpResponse(std::ostream &os, const DumpResponse &resp);
+
+/** Dump-response frame as a string. */
+std::string dumpResponseText(const DumpResponse &resp);
+
+/** Parse one dump-response frame, consuming through `end`. */
+std::optional<DumpResponse>
+tryReadDumpResponse(std::istream &is, std::string *error = nullptr);
+
+/** Build an ok dump response from a recorder snapshot. */
+DumpResponse
+makeDumpResponse(std::uint64_t id,
+                 const std::vector<obs::FlightRecord> &records);
 
 /** Serialize a ping frame. */
 void writePingRequest(std::ostream &os, const PingRequest &req);
@@ -304,6 +402,9 @@ bool isStatsRequestFrame(const std::string &frame);
 /** Same routing test for `jitsched-ping` frames. */
 bool isPingRequestFrame(const std::string &frame);
 
+/** Same routing test for `jitsched-dump` frames. */
+bool isDumpRequestFrame(const std::string &frame);
+
 /**
  * True when @p raw_line (after comment/whitespace stripping) is the
  * `end` frame terminator — the framing test connection handlers use.
@@ -313,7 +414,9 @@ bool isFrameEnd(std::string_view raw_line);
 /**
  * Content fingerprint of a request: policy + options + workload.
  * Identical requests — the ones whose evaluations the cache merges —
- * have identical fingerprints.
+ * have identical fingerprints.  The trace id is deliberately NOT
+ * hashed: tracing is an observer, and an observed request must cache
+ * and route exactly like an unobserved one.
  */
 std::uint64_t requestFingerprint(const ServiceRequest &req);
 

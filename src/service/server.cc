@@ -9,7 +9,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "obs/flight_recorder.hh"
 #include "obs/instruments.hh"
+#include "obs/span.hh"
 #include "service/socket_util.hh"
 #include "support/logging.hh"
 
@@ -19,6 +21,8 @@ ServiceServer::ServiceServer(ServiceEngine &engine, ServerConfig cfg)
     : engine_(engine), cfg_(std::move(cfg)),
       queue_(engine_, cfg_.admission)
 {
+    // Any panic from here on dumps the last-N-requests ring.
+    obs::installPanicDump();
 }
 
 ServiceServer::~ServiceServer()
@@ -238,7 +242,12 @@ ServiceServer::handleConnection(int fd)
                     tryReadStatsRequest(sis, &stats_error)) {
                 sresp = makeStatsResponse(
                     sreq->id,
-                    obs::MetricsRegistry::global().snapshotText());
+                    sreq->prom
+                        ? obs::MetricsRegistry::global()
+                              .snapshotProm()
+                        : obs::MetricsRegistry::global()
+                              .snapshotText(),
+                    sreq->prom);
             } else {
                 sresp.code = errcode::invalidArgument;
                 sresp.error = stats_error;
@@ -257,22 +266,75 @@ ServiceServer::handleConnection(int fd)
             continue;
         }
 
+        // DUMP frames scrape the in-memory flight recorder, inline
+        // like STATS: the recorder exists for exactly the moments
+        // when the admission queue is the problem.
+        if (isDumpRequestFrame(frame)) {
+            std::istringstream dis(frame);
+            std::string dump_error;
+            DumpResponse dresp;
+            if (const auto dreq =
+                    tryReadDumpRequest(dis, &dump_error)) {
+                dresp = makeDumpResponse(
+                    dreq->id,
+                    obs::FlightRecorder::global().snapshot());
+            } else {
+                dresp.code = errcode::invalidArgument;
+                dresp.error = dump_error;
+            }
+            frames_.fetch_add(1, std::memory_order_relaxed);
+            JITSCHED_OBS(
+                obs::ServiceMetrics::get().framesServed.add());
+            const std::string dump_text = dumpResponseText(dresp);
+            JITSCHED_OBS(obs::ServiceMetrics::get().bytesOut.add(
+                dump_text.size()));
+            if (!writeAll(fd, dump_text))
+                return;
+            continue;
+        }
+
         std::istringstream is(frame);
         std::string parse_error;
         auto req = tryReadRequest(is, &parse_error);
 
         ServiceResponse resp;
+        std::string policy;
         if (!req) {
             // The id may not even have parsed; 0 is the documented
             // "unattributable" id.
             resp = makeErrorResponse(0, errcode::invalidArgument,
                                      parse_error);
         } else {
+            // First contact mints the trace id when the client (or
+            // router) did not — every request through the server is
+            // traceable.
+            if (req->traceId == 0)
+                req->traceId = obs::mintTraceId();
+            policy = req->policy;
             resp = queue_.submit(*std::move(req)).get();
         }
         frames_.fetch_add(1, std::memory_order_relaxed);
         JITSCHED_OBS(obs::ServiceMetrics::get().framesServed.add());
-        const std::string resp_text = responseText(resp);
+        std::string resp_text;
+        {
+            obs::ScopedSpan span(resp.stats.traceId,
+                                 "service.serialize");
+            resp_text = responseText(resp);
+        }
+        // One slot write per completed request, always on.
+        obs::FlightRecord record;
+        record.traceId = resp.stats.traceId;
+        record.requestId = resp.id;
+        record.policy = policy;
+        record.status = resp.ok ? "ok" : resp.code;
+        record.queueNs = resp.stats.queueNs;
+        record.solveNs = resp.stats.solveNs;
+        record.bytes = resp_text.size();
+        record.hops = 0;
+        obs::FlightRecorder::global().record(std::move(record));
+        obs::noteRequestLatency(
+            resp.stats.traceId,
+            resp.stats.queueNs + resp.stats.solveNs, "service");
         JITSCHED_OBS(obs::ServiceMetrics::get().bytesOut.add(
             resp_text.size()));
         if (!writeAll(fd, resp_text))

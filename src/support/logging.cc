@@ -12,6 +12,11 @@ namespace {
 
 std::atomic<bool> loggingEnabled{true};
 
+std::atomic<PanicHook> panicHook{nullptr};
+
+/** Guards against a panic inside the panic hook re-entering it. */
+thread_local bool inPanicHook = false;
+
 /**
  * The level cell, seeded from JITSCHED_LOG_LEVEL on first use.  A
  * function-local static so the environment is read exactly once, and
@@ -63,12 +68,23 @@ parseLogLevelEnv(const char *env)
                    "'info', got '", env, "'");
 }
 
+PanicHook
+setPanicHook(PanicHook hook)
+{
+    return panicHook.exchange(hook);
+}
+
 namespace detail {
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
     std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(), file, line);
+    const PanicHook hook = panicHook.load();
+    if (hook != nullptr && !inPanicHook) {
+        inPanicHook = true;
+        hook();
+    }
     std::abort();
 }
 

@@ -116,6 +116,17 @@ LogLevel logLevel();
  */
 LogLevel parseLogLevelEnv(const char *env);
 
+/**
+ * Hook invoked by panic() after the message prints and before
+ * abort() — the obs flight recorder registers its stderr dump here
+ * so a crashing process leaves its last-N-requests record behind.
+ * The hook must be async-signal-tolerant in spirit: no throwing, no
+ * panicking (a recursing hook is suppressed).  support/ cannot
+ * depend on obs/, hence the inversion.  @return the previous hook.
+ */
+using PanicHook = void (*)();
+PanicHook setPanicHook(PanicHook hook);
+
 } // namespace jitsched
 
 #endif // JITSCHED_SUPPORT_LOGGING_HH

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * The acceptance test for end-to-end distributed tracing: a
+ * 2-backend ClusterHarness with the owner killed must produce ONE
+ * merged Chrome trace that decomposes the client-visible latency into
+ * admission wait, solve, serialize and per-hop route attempts — all
+ * sharing the client's trace id — plus router flight records whose
+ * hop count exposes the failover, scrapeable over the wire with DUMP.
+ */
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/harness.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/span.hh"
+#include "obs/trace_check.hh"
+#include "obs/trace_event.hh"
+#include "service/client.hh"
+#include "service/protocol.hh"
+#include "trace/paper_examples.hh"
+
+namespace jitsched {
+namespace cluster {
+namespace {
+
+/** Same fast health knobs as the router loopback suite. */
+ClusterHarnessConfig
+fastCluster(std::size_t backends)
+{
+    ClusterHarnessConfig cfg;
+    cfg.backends = backends;
+    cfg.router.maxTries = 4;
+    cfg.router.tryTimeoutMs = 2000;
+    cfg.router.backoffBaseMs = 1;
+    cfg.router.backoffMaxMs = 5;
+    cfg.router.pool.connectTimeoutMs = 500;
+    cfg.router.pool.probeTimeoutMs = 250;
+    cfg.router.pool.probeIntervalMs = 10;
+    cfg.router.pool.health.suspectAfter = 1;
+    cfg.router.pool.health.downAfter = 2;
+    cfg.router.pool.health.probeDelayMs = 50;
+    cfg.router.pool.health.probeDelayMaxMs = 400;
+    cfg.router.pool.health.probeSuccesses = 1;
+    return cfg;
+}
+
+ServiceRequest
+makeRequest(std::uint64_t id, std::uint64_t trace_id)
+{
+    ServiceRequest req;
+    req.id = id;
+    req.policy = "iar";
+    req.traceId = trace_id;
+    req.workload = figure1Workload();
+    return req;
+}
+
+/** Spans from the global collector belonging to @p trace_id. */
+std::vector<obs::Span>
+spansOf(std::uint64_t trace_id)
+{
+    std::vector<obs::Span> out;
+    for (obs::Span &s : obs::SpanCollector::global().snapshot())
+        if (s.traceId == trace_id)
+            out.push_back(std::move(s));
+    return out;
+}
+
+std::size_t
+countNamed(const std::vector<obs::Span> &spans, const char *name)
+{
+    return static_cast<std::size_t>(std::count_if(
+        spans.begin(), spans.end(),
+        [name](const obs::Span &s) { return s.name == name; }));
+}
+
+std::string
+tagOf(const obs::Span &s, const std::string &key)
+{
+    for (const auto &[k, v] : s.tags)
+        if (k == key)
+            return v;
+    return "";
+}
+
+TEST(ClusterTrace, FailoverProducesOneMergedTraceAcrossHops)
+{
+    obs::SpanCollector::global().clear();
+    obs::FlightRecorder::global().clear();
+
+    ClusterHarness cluster(fastCluster(2));
+    std::string error;
+    ASSERT_TRUE(cluster.start(&error)) << error;
+
+    ServiceClient client;
+    ASSERT_TRUE(
+        client.connect("127.0.0.1", cluster.routerPort(), &error))
+        << error;
+
+    const std::uint64_t trace_id = 0xabcdef12ULL;
+    const ServiceRequest req = makeRequest(700, trace_id);
+
+    // Kill the fingerprint's owner so the first hop fails and the
+    // router spills to the survivor: the one request spans two
+    // backends plus the router, and the trace must still be whole.
+    const std::size_t owner =
+        cluster.router().ring().ownerOf(requestFingerprint(req));
+    cluster.killBackend(owner);
+
+    const auto raw = client.callRaw(requestText(req), &error);
+    ASSERT_TRUE(raw.has_value()) << error;
+    std::istringstream is(*raw);
+    const auto resp = tryReadResponse(is, &error);
+    ASSERT_TRUE(resp.has_value()) << error;
+    ASSERT_TRUE(resp->ok) << resp->error;
+
+    // The trace id survives the whole relay: client -> router ->
+    // surviving backend -> stats line back out.
+    EXPECT_EQ(resp->stats.traceId, trace_id);
+
+    // The harness runs router and backends in one process, so the
+    // global collector already holds the *merged* trace.
+    const std::vector<obs::Span> spans = spansOf(trace_id);
+
+    // Per-hop router spans: the dead owner costs one "retry"
+    // attempt, the survivor answers the next one.
+    const std::size_t attempts =
+        countNamed(spans, "cluster.route_attempt");
+    EXPECT_GE(attempts, 2u);
+    std::size_t retries = 0, successes = 0;
+    for (const obs::Span &s : spans) {
+        if (s.name != "cluster.route_attempt")
+            continue;
+        const std::string outcome = tagOf(s, "outcome");
+        EXPECT_FALSE(tagOf(s, "backend").empty());
+        if (outcome == "retry")
+            ++retries;
+        else if (outcome == "spill" || outcome == "ok")
+            ++successes;
+    }
+    EXPECT_GE(retries, 1u) << "the dead owner left no retry span";
+    EXPECT_EQ(successes, 1u);
+
+    // Backend-side decomposition on the same trace id.
+    EXPECT_EQ(countNamed(spans, "service.admission_wait"), 1u);
+    EXPECT_EQ(countNamed(spans, "service.solve"), 1u);
+    EXPECT_EQ(countNamed(spans, "service.serialize"), 1u);
+
+    // The merged export is a valid Chrome trace.
+    obs::TraceEventSink sink;
+    obs::SpanCollector::global().exportTo(sink);
+    std::ostringstream os;
+    sink.write(os);
+    obs::TraceCheckResult res;
+    EXPECT_TRUE(obs::checkTraceText(os.str(), &res, &error)) << error;
+    EXPECT_GE(res.slices, attempts + 3);
+
+    // The router's flight record counts both hops.
+    std::uint32_t max_hops = 0;
+    bool router_ok = false;
+    for (const obs::FlightRecord &r :
+         obs::FlightRecorder::global().snapshot()) {
+        if (r.traceId != trace_id)
+            continue;
+        max_hops = std::max(max_hops, r.hops);
+        router_ok = router_ok || (r.hops >= 2 && r.status == "ok");
+    }
+    EXPECT_GE(max_hops, 2u);
+    EXPECT_TRUE(router_ok)
+        << "no ok router record with hops >= 2 for the trace";
+
+    // And the same record is scrapeable over the wire: DUMP through
+    // the router socket.
+    const auto dump = client.dump(701, &error);
+    ASSERT_TRUE(dump.has_value()) << error;
+    ASSERT_TRUE(dump->ok) << dump->error;
+    bool dumped = false;
+    for (const obs::FlightRecord &r : dump->records)
+        dumped = dumped || (r.traceId == trace_id && r.hops >= 2);
+    EXPECT_TRUE(dumped)
+        << "DUMP did not surface the 2-hop record";
+}
+
+TEST(ClusterTrace, RouterMintsTraceIdsForUntracedRequests)
+{
+    obs::SpanCollector::global().clear();
+
+    ClusterHarness cluster(fastCluster(2));
+    std::string error;
+    ASSERT_TRUE(cluster.start(&error)) << error;
+
+    ServiceClient client;
+    ASSERT_TRUE(
+        client.connect("127.0.0.1", cluster.routerPort(), &error))
+        << error;
+
+    // Trace-unaware client: no trace-id option on the wire.
+    const ServiceRequest req = makeRequest(710, /*trace_id=*/0);
+    const auto raw = client.callRaw(requestText(req), &error);
+    ASSERT_TRUE(raw.has_value()) << error;
+    std::istringstream is(*raw);
+    const auto resp = tryReadResponse(is, &error);
+    ASSERT_TRUE(resp.has_value()) << error;
+    ASSERT_TRUE(resp->ok) << resp->error;
+
+    // The router minted an id at first contact and the backend
+    // echoed it back — the client learns its trace id from the
+    // stats line.
+    const std::uint64_t minted = resp->stats.traceId;
+    EXPECT_NE(minted, 0u);
+
+    // Both layers recorded under the minted id.
+    const std::vector<obs::Span> spans = spansOf(minted);
+    EXPECT_GE(countNamed(spans, "cluster.route_attempt"), 1u);
+    EXPECT_EQ(countNamed(spans, "service.solve"), 1u);
+}
+
+TEST(ClusterTrace, RouterAnswersPromStatsScrapes)
+{
+    ClusterHarness cluster(fastCluster(2));
+    std::string error;
+    ASSERT_TRUE(cluster.start(&error)) << error;
+
+    ServiceClient client;
+    ASSERT_TRUE(
+        client.connect("127.0.0.1", cluster.routerPort(), &error))
+        << error;
+
+    // Serve one request so the registry is warm.
+    const ServiceRequest req = makeRequest(720, 0);
+    ASSERT_TRUE(client.callRaw(requestText(req), &error).has_value())
+        << error;
+
+    const auto stats = client.stats(721, &error, /*prom=*/true);
+    ASSERT_TRUE(stats.has_value()) << error;
+    ASSERT_TRUE(stats->ok) << stats->error;
+    EXPECT_TRUE(stats->prom);
+    bool typed = false;
+    for (const std::string &line : stats->lines)
+        typed = typed || line.rfind("# TYPE jitsched_", 0) == 0;
+    EXPECT_TRUE(typed)
+        << "prom scrape carries no '# TYPE jitsched_*' lines";
+}
+
+} // anonymous namespace
+} // namespace cluster
+} // namespace jitsched

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * FlightRecorder unit tests: the striped ring, dump-line rendering,
+ * the JITSCHED_SLOW_MS parser, and a concurrency hammer
+ * (FlightRecorderConcurrency*, which the TSan job runs).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "obs/flight_recorder.hh"
+
+using namespace jitsched;
+using namespace jitsched::obs;
+
+namespace {
+
+FlightRecord
+makeRecord(std::uint64_t request_id)
+{
+    FlightRecord r;
+    r.traceId = request_id * 31 + 1;
+    r.requestId = request_id;
+    r.policy = "iar";
+    r.status = "ok";
+    r.queueNs = 10;
+    r.solveNs = 20;
+    r.bytes = 100;
+    r.hops = 0;
+    return r;
+}
+
+} // namespace
+
+TEST(FlightRecorder, SnapshotIsCompletionOrdered)
+{
+    FlightRecorder rec(64);
+    for (std::uint64_t i = 0; i < 10; ++i)
+        rec.record(makeRecord(i));
+    const auto records = rec.snapshot();
+    ASSERT_EQ(records.size(), 10u);
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(records[i].requestId, i);
+        if (i > 0) {
+            EXPECT_LT(records[i - 1].seq, records[i].seq);
+        }
+    }
+    EXPECT_EQ(rec.recorded(), 10u);
+}
+
+TEST(FlightRecorder, RingKeepsTheLastCapacityRecords)
+{
+    FlightRecorder rec(16);
+    EXPECT_EQ(rec.capacity(), 16u);
+    for (std::uint64_t i = 0; i < 100; ++i)
+        rec.record(makeRecord(i));
+    const auto records = rec.snapshot();
+    ASSERT_EQ(records.size(), 16u);
+    // The survivors are exactly the most recent 16 completions.
+    for (const FlightRecord &r : records)
+        EXPECT_GE(r.requestId, 84u);
+    EXPECT_EQ(rec.recorded(), 100u);
+
+    rec.clear();
+    EXPECT_TRUE(rec.snapshot().empty());
+    EXPECT_EQ(rec.recorded(), 0u);
+}
+
+TEST(FlightRecorder, CapacityIsRoundedUpToTheStripes)
+{
+    // A capacity below the stripe count still gives every stripe one
+    // slot; the ring never silently drops to zero slots.
+    FlightRecorder rec(1);
+    EXPECT_GE(rec.capacity(), 8u);
+}
+
+TEST(FlightRecorder, RecordLineFormat)
+{
+    FlightRecord r;
+    r.traceId = 0xdeadbeef;
+    r.requestId = 42;
+    r.policy = "astar";
+    r.status = "ok";
+    r.queueNs = 1000;
+    r.solveNs = 2000;
+    r.bytes = 512;
+    r.hops = 2;
+    EXPECT_EQ(FlightRecorder::recordLine(r),
+              "trace deadbeef request 42 policy astar status ok "
+              "queue-ns 1000 solve-ns 2000 bytes 512 hops 2");
+
+    // Untraced + empty strings render as placeholders, keeping the
+    // line a fixed sequence of key/value pairs.
+    FlightRecord bare;
+    bare.requestId = 7;
+    EXPECT_EQ(FlightRecorder::recordLine(bare),
+              "trace 0 request 7 policy - status - queue-ns 0 "
+              "solve-ns 0 bytes 0 hops 0");
+}
+
+TEST(FlightRecorder, DumpTextIsOneLinePerRecord)
+{
+    FlightRecorder rec(64);
+    rec.record(makeRecord(1));
+    rec.record(makeRecord(2));
+    const std::string dump = rec.dumpText();
+    EXPECT_NE(dump.find("request 1 "), std::string::npos);
+    EXPECT_NE(dump.find("request 2 "), std::string::npos);
+    EXPECT_EQ(std::count(dump.begin(), dump.end(), '\n'), 2);
+}
+
+TEST(SlowMsEnv, UnsetOrEmptyDisables)
+{
+    EXPECT_EQ(parseSlowMsEnv(nullptr), -1);
+    EXPECT_EQ(parseSlowMsEnv(""), -1);
+}
+
+TEST(SlowMsEnv, ParsesNonNegativeIntegers)
+{
+    EXPECT_EQ(parseSlowMsEnv("0"), 0);
+    EXPECT_EQ(parseSlowMsEnv("250"), 250);
+    EXPECT_EQ(parseSlowMsEnv(" 42 "), 42); // trimmed like the others
+}
+
+using SlowMsEnvDeathTest = ::testing::Test;
+
+TEST(SlowMsEnvDeathTest, RejectsGarbageLoudly)
+{
+    // A typo must not silently disable the slow-request log.
+    EXPECT_DEATH((void)parseSlowMsEnv("fast"), "JITSCHED_SLOW_MS");
+    EXPECT_DEATH((void)parseSlowMsEnv("-5"), "JITSCHED_SLOW_MS");
+    EXPECT_DEATH((void)parseSlowMsEnv("10ms"), "JITSCHED_SLOW_MS");
+}
+
+/** TSan target: concurrent record/snapshot must be clean. */
+TEST(FlightRecorderConcurrency, HammerRecordSnapshot)
+{
+    FlightRecorder rec(128);
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 4000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&rec, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                rec.record(makeRecord(
+                    static_cast<std::uint64_t>(t) * kPerThread + i));
+                if (i % 1024 == 0)
+                    (void)rec.snapshot();
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(rec.recorded(),
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+
+    // Every retained seq is unique and the snapshot is sorted.
+    const auto records = rec.snapshot();
+    EXPECT_EQ(records.size(), 128u);
+    std::set<std::uint64_t> seqs;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        seqs.insert(records[i].seq);
+        if (i > 0) {
+            EXPECT_LT(records[i - 1].seq, records[i].seq);
+        }
+    }
+    EXPECT_EQ(seqs.size(), records.size());
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * metricSegment sanitizer tests: hostile labels (empty, all-invalid,
+ * UTF-8, edge dots) must land in the registry's [a-z0-9_.-] grammar,
+ * and the documented lossiness — two labels mapping to one segment —
+ * must alias to the *same* instrument rather than trip the registry's
+ * re-registration check.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/instruments.hh"
+
+using namespace jitsched;
+using namespace jitsched::obs;
+
+TEST(MetricSegment, PassesCleanLabelsThrough)
+{
+    EXPECT_EQ(metricSegment("backend-0"), "backend-0");
+    EXPECT_EQ(metricSegment("127.0.0.1:8420"), "127.0.0.1_8420");
+    EXPECT_EQ(metricSegment("iar"), "iar");
+    EXPECT_EQ(metricSegment("a_b-c.d9"), "a_b-c.d9");
+}
+
+TEST(MetricSegment, LowercasesAscii)
+{
+    EXPECT_EQ(metricSegment("Backend-A"), "backend-a");
+    EXPECT_EQ(metricSegment("LOUD"), "loud");
+}
+
+TEST(MetricSegment, EmptyLabelBecomesPlaceholder)
+{
+    EXPECT_EQ(metricSegment(""), "_");
+}
+
+TEST(MetricSegment, AllInvalidCharactersCollapseToUnderscores)
+{
+    EXPECT_EQ(metricSegment("@@@"), "___");
+    EXPECT_EQ(metricSegment(" \t\n"), "___");
+    EXPECT_EQ(metricSegment("a b/c"), "a_b_c");
+}
+
+TEST(MetricSegment, Utf8BytesAreNeutralized)
+{
+    // Each non-ASCII byte maps to '_' — the output must be plain
+    // ASCII whatever the client sent as a backend label.
+    const std::string seg = metricSegment("caf\xc3\xa9");
+    EXPECT_EQ(seg, "caf__");
+    for (const char c : seg)
+        EXPECT_TRUE((c >= 'a' && c <= 'z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                    c == '-')
+            << static_cast<int>(c);
+}
+
+TEST(MetricSegment, EdgeDotsAreReplaced)
+{
+    // The segment is appended to "cluster.routed_to." — a leading or
+    // trailing dot would create an empty dotted component.
+    EXPECT_EQ(metricSegment(".host"), "_host");
+    EXPECT_EQ(metricSegment("host."), "host_");
+    EXPECT_EQ(metricSegment("."), "_");
+    EXPECT_EQ(metricSegment("mid.dot"), "mid.dot");
+}
+
+TEST(MetricSegment, CollidingLabelsAliasToTheSameInstrument)
+{
+    // "b@1" and "b#1" both sanitize to "b_1".  The documented
+    // contract is aliasing — both labels share one counter — never a
+    // fatal type/name clash in the registry.
+    ASSERT_EQ(metricSegment("b@1"), metricSegment("b#1"));
+    Counter &first = ClusterMetrics::routedToFor("b@1");
+    Counter &second = ClusterMetrics::routedToFor("b#1");
+    EXPECT_EQ(&first, &second);
+
+    const auto before = first.value();
+    second.add();
+    EXPECT_EQ(first.value(), before + 1);
+}
+
+TEST(MetricSegment, HostileLabelsProduceRegistrableNames)
+{
+    // End to end: a hostile label must produce a working histogram,
+    // not a JITSCHED_FATAL from the registry's name grammar.
+    Histogram &h = ClusterMetrics::tryNsFor("Узел-1 (primary)");
+    h.observe(1000);
+    EXPECT_GE(h.snapshot().count, 1u);
+}

@@ -194,6 +194,40 @@ TEST(MetricsConcurrency, HistogramTotalsSurviveThreadHammer)
     EXPECT_EQ(s.sum, static_cast<std::int64_t>(cycles * 19900));
 }
 
+TEST(Metrics, PrometheusExposition)
+{
+    MetricsRegistry reg;
+    Counter &c = reg.counter("prom.requests.total");
+    c.add(3);
+    Gauge &g = reg.gauge("prom.queue-depth");
+    g.set(-2);
+    Histogram &h = reg.histogram("prom.wait_ns", {10, 100});
+    h.observe(5);    // le 10
+    h.observe(50);   // le 100
+    h.observe(5000); // +Inf
+
+    // Byte-exact: names gain the jitsched_ prefix with '.'/'-'
+    // mapped to '_'; histograms emit *cumulative* le buckets plus
+    // +Inf, _sum and _count; map order keeps the output sorted.
+    EXPECT_EQ(reg.snapshotProm(),
+              "# TYPE jitsched_prom_queue_depth gauge\n"
+              "jitsched_prom_queue_depth -2\n"
+              "# TYPE jitsched_prom_requests_total counter\n"
+              "jitsched_prom_requests_total 3\n"
+              "# TYPE jitsched_prom_wait_ns histogram\n"
+              "jitsched_prom_wait_ns_bucket{le=\"10\"} 1\n"
+              "jitsched_prom_wait_ns_bucket{le=\"100\"} 2\n"
+              "jitsched_prom_wait_ns_bucket{le=\"+Inf\"} 3\n"
+              "jitsched_prom_wait_ns_sum 5055\n"
+              "jitsched_prom_wait_ns_count 3\n");
+}
+
+TEST(Metrics, PrometheusExpositionOfAnEmptyRegistryIsEmpty)
+{
+    MetricsRegistry reg;
+    EXPECT_EQ(reg.snapshotProm(), "");
+}
+
 TEST(MetricsConcurrency, RegistrationRacesResolveToOneInstrument)
 {
     MetricsRegistry reg;

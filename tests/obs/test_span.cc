@@ -1,0 +1,272 @@
+/**
+ * @file
+ * SpanCollector and trace-id unit tests: id minting/parsing, the
+ * bounded ring, Chrome export with per-trace virtual tids, and a
+ * concurrency hammer (SpanConcurrency*, which the TSan job runs).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/span.hh"
+#include "obs/trace_check.hh"
+#include "obs/trace_event.hh"
+
+using namespace jitsched;
+using namespace jitsched::obs;
+
+TEST(TraceId, MintedIdsAreNonzeroAndDistinct)
+{
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t id = mintTraceId();
+        EXPECT_NE(id, 0u);
+        seen.insert(id);
+    }
+    // splitmix64-mixed ids: collisions in 1000 draws would mean the
+    // mixing is broken, not bad luck.
+    EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(TraceId, HexRoundTrip)
+{
+    for (const std::uint64_t id :
+         {std::uint64_t{1}, std::uint64_t{0xdeadbeef},
+          std::uint64_t{0xffffffffffffffffULL}, mintTraceId()}) {
+        const std::string hex = traceIdHex(id);
+        const auto back = parseTraceIdHex(hex);
+        ASSERT_TRUE(back.has_value()) << hex;
+        EXPECT_EQ(*back, id);
+    }
+    EXPECT_EQ(traceIdHex(0), "0");
+    EXPECT_EQ(traceIdHex(0x1a2b), "1a2b");
+}
+
+TEST(TraceId, ParseAcceptsBothCasesAndLeadingZeros)
+{
+    EXPECT_EQ(parseTraceIdHex("DeadBeef"),
+              std::optional<std::uint64_t>(0xdeadbeefULL));
+    EXPECT_EQ(parseTraceIdHex("0001"),
+              std::optional<std::uint64_t>(1));
+    EXPECT_EQ(parseTraceIdHex("ffffffffffffffff"),
+              std::optional<std::uint64_t>(0xffffffffffffffffULL));
+}
+
+TEST(TraceId, ParseRejectsMalformedIds)
+{
+    EXPECT_FALSE(parseTraceIdHex("").has_value());
+    EXPECT_FALSE(parseTraceIdHex("0").has_value());   // zero = untraced
+    EXPECT_FALSE(parseTraceIdHex("0000").has_value());
+    EXPECT_FALSE(parseTraceIdHex("xyz").has_value());
+    EXPECT_FALSE(parseTraceIdHex("12g4").has_value());
+    EXPECT_FALSE(parseTraceIdHex("0x12").has_value()); // no prefix
+    EXPECT_FALSE(parseTraceIdHex(" 12").has_value());
+    EXPECT_FALSE(parseTraceIdHex("12 ").has_value());
+    EXPECT_FALSE(parseTraceIdHex("-1").has_value());
+    // 17 digits overflows the 64-bit id even if all are valid hex.
+    EXPECT_FALSE(parseTraceIdHex("11111111111111111").has_value());
+}
+
+TEST(SpanCollector, RecordsAndSnapshotsInOrder)
+{
+    SpanCollector c(8);
+    for (int i = 0; i < 5; ++i) {
+        Span s;
+        s.traceId = 7;
+        s.name = "s" + std::to_string(i);
+        s.startNs = i * 10;
+        s.durNs = 5;
+        c.record(std::move(s));
+    }
+    const auto spans = c.snapshot();
+    ASSERT_EQ(spans.size(), 5u);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(spans[i].name, "s" + std::to_string(i));
+    EXPECT_EQ(c.dropped(), 0u);
+}
+
+TEST(SpanCollector, RingOverwritesOldestFirst)
+{
+    SpanCollector c(4);
+    for (int i = 0; i < 10; ++i) {
+        Span s;
+        s.traceId = 1;
+        s.name = "s" + std::to_string(i);
+        c.record(std::move(s));
+    }
+    const auto spans = c.snapshot();
+    ASSERT_EQ(spans.size(), 4u);
+    // The last 4 of 10, oldest first.
+    EXPECT_EQ(spans[0].name, "s6");
+    EXPECT_EQ(spans[3].name, "s9");
+    EXPECT_EQ(c.dropped(), 6u);
+
+    c.clear();
+    EXPECT_TRUE(c.snapshot().empty());
+    EXPECT_EQ(c.dropped(), 0u);
+}
+
+TEST(SpanCollector, RecordBetweenSkipsUntracedAndClampsDuration)
+{
+    SpanCollector c(8);
+    const auto now = std::chrono::steady_clock::now();
+    c.recordBetween(0, "untraced", now,
+                    now + std::chrono::milliseconds(1));
+    EXPECT_TRUE(c.snapshot().empty());
+
+    // t1 < t0 (clock shuffle across threads) clamps to zero, never
+    // negative — Chrome refuses negative durations.
+    c.recordBetween(5, "backwards", now + std::chrono::seconds(1),
+                    now);
+    const auto spans = c.snapshot();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].durNs, 0);
+}
+
+TEST(SpanCollector, DisabledCollectorDropsEverything)
+{
+    SpanCollector c(8);
+    const bool was = SpanCollector::setEnabled(false);
+    Span s;
+    s.traceId = 9;
+    s.name = "dropped";
+    c.record(std::move(s));
+    ScopedSpan scoped(9, "also.dropped");
+    SpanCollector::setEnabled(was);
+    EXPECT_TRUE(c.snapshot().empty());
+}
+
+TEST(SpanCollector, ExportAssignsOneVirtualTidPerTrace)
+{
+    SpanCollector c(16);
+    // Two traces, interleaved as a worker pool would produce them.
+    for (int i = 0; i < 3; ++i) {
+        Span a;
+        a.traceId = 0xaaa;
+        a.name = "service.solve";
+        a.startNs = i * 100;
+        a.durNs = 10;
+        c.record(std::move(a));
+        Span b;
+        b.traceId = 0xbbb;
+        b.name = "service.solve";
+        b.startNs = i * 100 + 50;
+        b.durNs = 10;
+        c.record(std::move(b));
+    }
+    TraceEventSink sink;
+    c.exportTo(sink);
+
+    std::set<std::uint32_t> tids_a, tids_b;
+    bool named_a = false, named_b = false;
+    for (const TraceEvent &e : sink.events()) {
+        if (e.ph == 'M' && e.name == "thread_name") {
+            for (const auto &[k, v] : e.args) {
+                named_a = named_a || v == "trace aaa";
+                named_b = named_b || v == "trace bbb";
+            }
+            continue;
+        }
+        if (e.ph != 'X')
+            continue;
+        for (const auto &[k, v] : e.args) {
+            if (k != "trace")
+                continue;
+            if (v == "aaa")
+                tids_a.insert(e.tid);
+            else if (v == "bbb")
+                tids_b.insert(e.tid);
+        }
+        EXPECT_EQ(e.cat, "span");
+    }
+    EXPECT_TRUE(named_a);
+    EXPECT_TRUE(named_b);
+    ASSERT_EQ(tids_a.size(), 1u);
+    ASSERT_EQ(tids_b.size(), 1u);
+    EXPECT_NE(*tids_a.begin(), *tids_b.begin());
+}
+
+TEST(SpanCollector, ExportedTraceValidates)
+{
+    SpanCollector c(16);
+    // One request's shape: wait then solve-with-nested-serialize on
+    // the same trace (one virtual track).
+    c.record({0x77, "service.admission_wait", 0, 100, {}});
+    c.record({0x77, "service.solve", 100, 200, {}});
+    c.record({0x77, "service.serialize", 300, 50, {}});
+    TraceEventSink sink;
+    c.exportTo(sink);
+    std::ostringstream os;
+    sink.write(os);
+
+    TraceCheckResult res;
+    std::string error;
+    EXPECT_TRUE(checkTraceText(os.str(), &res, &error)) << error;
+    EXPECT_EQ(res.slices, 3u);
+}
+
+TEST(ScopedSpan, RecordsIntoGlobalWithTags)
+{
+    SpanCollector::global().clear();
+    {
+        ScopedSpan span(0x42, "test.scope");
+        span.tag("k", "v");
+    }
+    const auto spans = SpanCollector::global().snapshot();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].traceId, 0x42u);
+    EXPECT_EQ(spans[0].name, "test.scope");
+    ASSERT_EQ(spans[0].tags.size(), 1u);
+    EXPECT_EQ(spans[0].tags[0].first, "k");
+    EXPECT_EQ(spans[0].tags[0].second, "v");
+    EXPECT_GE(spans[0].durNs, 0);
+    SpanCollector::global().clear();
+}
+
+TEST(ScopedSpan, ZeroTraceIdIsANoOp)
+{
+    SpanCollector::global().clear();
+    {
+        ScopedSpan span(0, "never.recorded");
+        span.tag("k", "v");
+    }
+    EXPECT_TRUE(SpanCollector::global().snapshot().empty());
+}
+
+/** TSan target: concurrent record/snapshot/export must be clean. */
+TEST(SpanConcurrency, HammerRecordSnapshotExport)
+{
+    SpanCollector c(256);
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 2000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&c, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                Span s;
+                s.traceId =
+                    static_cast<std::uint64_t>(t) * 100000 + i + 1;
+                s.name = "hammer";
+                s.startNs = i;
+                s.durNs = 1;
+                c.record(std::move(s));
+                if (i % 512 == 0) {
+                    (void)c.snapshot();
+                    TraceEventSink sink;
+                    c.exportTo(sink);
+                }
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(c.snapshot().size(), 256u);
+    EXPECT_EQ(c.dropped(),
+              static_cast<std::uint64_t>(kThreads) * kPerThread - 256);
+}

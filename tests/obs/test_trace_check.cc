@@ -1,0 +1,221 @@
+/**
+ * @file
+ * jitsched-trace-check validator tests: well-formed traces pass;
+ * torn B/E pairs, cross-track confusion, and partially overlapping
+ * slices are rejected with pointed errors.  The torn-trace cases are
+ * reproducers for the failure modes the B/E machinery exists to
+ * catch — a crashed exporter, an E on the wrong thread, interleaved
+ * requests sharing a track.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/trace_check.hh"
+#include "obs/trace_event.hh"
+
+using namespace jitsched;
+using namespace jitsched::obs;
+
+namespace {
+
+/** Wrap event-array JSON in the document envelope. */
+std::string
+doc(const std::string &events)
+{
+    return "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [" +
+           events + "]}";
+}
+
+std::string
+slice(const char *name, double ts, double dur, int tid = 1)
+{
+    std::ostringstream os;
+    os << "{\"ph\": \"X\", \"pid\": 1, \"tid\": " << tid
+       << ", \"name\": \"" << name << "\", \"ts\": " << ts
+       << ", \"dur\": " << dur << "}";
+    return os.str();
+}
+
+std::string
+mark(const char *ph, const char *name, double ts, int tid = 1)
+{
+    std::ostringstream os;
+    os << "{\"ph\": \"" << ph << "\", \"pid\": 1, \"tid\": " << tid
+       << ", \"name\": \"" << name << "\", \"ts\": " << ts << "}";
+    return os.str();
+}
+
+} // namespace
+
+TEST(TraceCheck, AcceptsNestedAndDisjointSlices)
+{
+    TraceCheckResult res;
+    std::string error;
+    const std::string text =
+        doc(slice("outer", 0, 100) + ", " + slice("inner", 10, 20) +
+            ", " + slice("inner2", 40, 20) + ", " +
+            slice("later", 200, 50));
+    EXPECT_TRUE(checkTraceText(text, &res, &error)) << error;
+    EXPECT_EQ(res.events, 4u);
+    EXPECT_EQ(res.slices, 4u);
+}
+
+TEST(TraceCheck, AcceptsSharedBoundariesAndZeroDuration)
+{
+    std::string error;
+    // back-to-back (end == next start), child ending exactly at the
+    // parent's end, and a zero-duration slice at a boundary.
+    const std::string text =
+        doc(slice("a", 0, 50) + ", " + slice("b", 50, 50) + ", " +
+            slice("child", 60, 40) + ", " + slice("instant", 50, 0));
+    EXPECT_TRUE(checkTraceText(text, nullptr, &error)) << error;
+}
+
+TEST(TraceCheck, RejectsPartialOverlapOnOneTrack)
+{
+    std::string error;
+    const std::string text =
+        doc(slice("a", 0, 100) + ", " + slice("b", 50, 100));
+    EXPECT_FALSE(checkTraceText(text, nullptr, &error));
+    EXPECT_NE(error.find("partially overlaps"), std::string::npos)
+        << error;
+}
+
+TEST(TraceCheck, AllowsOverlapAcrossTracks)
+{
+    std::string error;
+    // The same intervals are fine on different tids — that is the
+    // whole point of per-trace virtual tracks.
+    const std::string text = doc(slice("a", 0, 100, /*tid=*/1) +
+                                 ", " + slice("b", 50, 100, 2));
+    EXPECT_TRUE(checkTraceText(text, nullptr, &error)) << error;
+}
+
+TEST(TraceCheck, AcceptsBalancedBeginEndPairs)
+{
+    TraceCheckResult res;
+    std::string error;
+    const std::string text =
+        doc(mark("B", "outer", 0) + ", " + mark("B", "inner", 10) +
+            ", " + mark("E", "inner", 20) + ", " +
+            mark("E", "outer", 30) + ", " + slice("x", 40, 5));
+    EXPECT_TRUE(checkTraceText(text, &res, &error)) << error;
+    EXPECT_EQ(res.events, 5u);
+    EXPECT_EQ(res.slices, 1u);
+}
+
+TEST(TraceCheck, RejectsTornTraceUnclosedBegin)
+{
+    std::string error;
+    // Reproducer: exporter died between B and E.
+    const std::string text =
+        doc(mark("B", "outer", 0) + ", " + slice("x", 10, 5));
+    EXPECT_FALSE(checkTraceText(text, nullptr, &error));
+    EXPECT_NE(error.find("torn trace"), std::string::npos) << error;
+    EXPECT_NE(error.find("outer"), std::string::npos) << error;
+}
+
+TEST(TraceCheck, RejectsEndWithoutBegin)
+{
+    std::string error;
+    const std::string text =
+        doc(mark("E", "ghost", 5) + ", " + slice("x", 10, 5));
+    EXPECT_FALSE(checkTraceText(text, nullptr, &error));
+    EXPECT_NE(error.find("no open 'B'"), std::string::npos) << error;
+}
+
+TEST(TraceCheck, RejectsMisnestedBeginEndNames)
+{
+    std::string error;
+    // Reproducer: E closes the outer span while the inner is open —
+    // the interleaving a shared mutable track produces.
+    const std::string text =
+        doc(mark("B", "outer", 0) + ", " + mark("B", "inner", 10) +
+            ", " + mark("E", "outer", 20) + ", " +
+            mark("E", "inner", 30) + ", " + slice("x", 40, 5));
+    EXPECT_FALSE(checkTraceText(text, nullptr, &error));
+    EXPECT_NE(error.find("does not match the innermost open 'B'"),
+              std::string::npos)
+        << error;
+}
+
+TEST(TraceCheck, TracksBeginEndPerTidSeparately)
+{
+    std::string error;
+    // The same B/E interleaving split across two tids is fine: each
+    // track's stack balances on its own.
+    const std::string text =
+        doc(mark("B", "outer", 0, 1) + ", " +
+            mark("B", "inner", 10, 2) + ", " +
+            mark("E", "outer", 20, 1) + ", " +
+            mark("E", "inner", 30, 2) + ", " + slice("x", 40, 5));
+    EXPECT_TRUE(checkTraceText(text, nullptr, &error)) << error;
+
+    // ...but an E on the wrong tid is an orphan, not a close.
+    const std::string torn =
+        doc(mark("B", "outer", 0, 1) + ", " +
+            mark("E", "outer", 20, 2) + ", " + slice("x", 40, 5));
+    EXPECT_FALSE(checkTraceText(torn, nullptr, &error));
+}
+
+TEST(TraceCheck, RejectsEmptyAndMalformedDocuments)
+{
+    std::string error;
+    EXPECT_FALSE(checkTraceText("", nullptr, &error));
+    EXPECT_NE(error.find("invalid JSON"), std::string::npos);
+
+    EXPECT_FALSE(checkTraceText("[1, 2]", nullptr, &error));
+    EXPECT_NE(error.find("not an object"), std::string::npos);
+
+    EXPECT_FALSE(checkTraceText("{\"a\": 1}", nullptr, &error));
+    EXPECT_NE(error.find("traceEvents"), std::string::npos);
+
+    // A slice-free trace is vacuous — the smoke scripts must not
+    // "pass" on an exporter that wrote nothing.
+    EXPECT_FALSE(checkTraceText(doc(mark("B", "a", 0) + ", " +
+                                    mark("E", "a", 1)),
+                                nullptr, &error));
+    EXPECT_NE(error.find("no 'X' slices"), std::string::npos);
+}
+
+TEST(TraceCheck, RejectsNegativeDurationAndMissingFields)
+{
+    std::string error;
+    EXPECT_FALSE(checkTraceText(
+        doc("{\"ph\": \"X\", \"pid\": 1, \"tid\": 1, \"name\": "
+            "\"a\", \"ts\": 0, \"dur\": -5}"),
+        nullptr, &error));
+    EXPECT_NE(error.find("negative 'dur'"), std::string::npos);
+
+    EXPECT_FALSE(checkTraceText(
+        doc("{\"ph\": \"X\", \"pid\": 1, \"tid\": 1, \"name\": "
+            "\"a\", \"ts\": 0}"),
+        nullptr, &error));
+    EXPECT_NE(error.find("'ts'/'dur'"), std::string::npos);
+
+    EXPECT_FALSE(checkTraceText(
+        doc("{\"ph\": \"B\", \"pid\": 1, \"tid\": 1, \"name\": "
+            "\"a\"}"),
+        nullptr, &error));
+    EXPECT_NE(error.find("numeric 'ts'"), std::string::npos);
+}
+
+TEST(TraceCheck, ValidatesRealSinkOutput)
+{
+    TraceEventSink sink;
+    sink.processName(1, "test");
+    sink.threadName(1, 1, "track");
+    sink.slice("outer", "span", 1, 1, 0, 1000);
+    sink.slice("inner", "span", 1, 1, 100, 200,
+               {{"trace", "abc"}});
+    std::ostringstream os;
+    sink.write(os);
+
+    TraceCheckResult res;
+    std::string error;
+    EXPECT_TRUE(checkTraceText(os.str(), &res, &error)) << error;
+    EXPECT_EQ(res.slices, 2u);
+    EXPECT_EQ(res.events, 4u); // 2 metadata + 2 slices
+}
