@@ -13,6 +13,11 @@
  *   bounce     a backend killed and restarted mid-run: every request
  *              must still be answered (errors stays 0) while the
  *              router ejects, spills, and re-admits
+ *   result     a repeated astar stream against cache-enabled backends
+ *   cache      (ServerConfig::resultCacheBytes): responses split into
+ *              miss path (fresh exact solves) and hit path (replayed
+ *              serialized responses) by the `result-cache` stats
+ *              marker the backends emit and the router relays
  */
 
 #include <chrono>
@@ -152,6 +157,96 @@ runScenario(cluster::ClusterHarness &cluster,
         result.readmissions +=
             cluster.router().pool().readmissions(b);
     return result;
+}
+
+/**
+ * Small instances for the result-cache scenario: astar solves these
+ * exactly in milliseconds, so the miss path is a real exact search.
+ */
+Workload
+makeAstarWorkload(std::uint64_t variant)
+{
+    SyntheticConfig cfg;
+    cfg.name = "cluster-astar-" + std::to_string(variant);
+    cfg.numFunctions = 6;
+    cfg.numCalls = 40;
+    cfg.numLevels = 3;
+    cfg.numPhases = 2;
+    cfg.seed = 4000 + variant;
+    return generateSynthetic(cfg);
+}
+
+/** The repeated astar stream, split by how each response was served. */
+struct ResultCachePhase
+{
+    std::vector<double> missMs; ///< fresh solves (result-cache absent)
+    std::vector<double> hitMs;  ///< store hits (result-cache 1)
+    std::uint64_t collapsed = 0; ///< singleflight followers (2)
+    std::uint64_t errors = 0;
+    double elapsedSec = 0.0;
+};
+
+ResultCachePhase
+runResultCachePhase(cluster::ClusterHarness &cluster)
+{
+    ResultCachePhase phase;
+    std::mutex merge_mutex;
+
+    const auto begin = Clock::now();
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (std::size_t c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            ServiceClient client;
+            std::string error;
+            if (!client.connect("127.0.0.1", cluster.routerPort(),
+                                &error))
+                JITSCHED_FATAL("connect: ", error);
+            std::vector<double> miss, hit;
+            std::uint64_t collapsed = 0, errors = 0;
+            for (std::size_t i = 0; i < kRequestsPerClient; ++i) {
+                ServiceRequest req;
+                req.id = 20'000 + c * kRequestsPerClient + i;
+                req.policy = "astar";
+                req.options.compileCores = 2;
+                // Client c alternates between its two private
+                // variants: two first-touch misses, then hits.
+                // Fingerprint-affine routing keeps each variant on
+                // one backend, so the repeats find its cache entry.
+                req.workload =
+                    makeAstarWorkload(c * 2 + (i % 2));
+                const auto t0 = Clock::now();
+                auto resp = client.call(req, &error);
+                const auto t1 = Clock::now();
+                if (!resp)
+                    JITSCHED_FATAL("call: ", error);
+                const double ms =
+                    std::chrono::duration<double, std::milli>(
+                        t1 - t0)
+                        .count();
+                if (!resp->ok)
+                    ++errors;
+                else if (resp->stats.resultCache == 1)
+                    hit.push_back(ms);
+                else if (resp->stats.resultCache == 2)
+                    ++collapsed;
+                else
+                    miss.push_back(ms);
+            }
+            std::lock_guard<std::mutex> lk(merge_mutex);
+            phase.missMs.insert(phase.missMs.end(), miss.begin(),
+                                miss.end());
+            phase.hitMs.insert(phase.hitMs.end(), hit.begin(),
+                               hit.end());
+            phase.collapsed += collapsed;
+            phase.errors += errors;
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+    phase.elapsedSec =
+        std::chrono::duration<double>(Clock::now() - begin).count();
+    return phase;
 }
 
 std::uint64_t
@@ -309,6 +404,73 @@ main()
     }
 
     j.endArray();
+
+    // --- Result cache: a repeated astar stream against two
+    // cache-enabled backends behind affinity routing.
+    ResultCachePhase cache_phase;
+    std::uint64_t rc_hits = 0, rc_misses = 0, rc_collapsed = 0,
+                  rc_insertions = 0;
+    {
+        cluster::ClusterHarnessConfig cfg =
+            clusterConfig(2, cluster::RoutingMode::Affinity);
+        cfg.backend.resultCacheBytes = std::size_t(64) << 20;
+        cluster::ClusterHarness cluster(cfg);
+        std::string error;
+        if (!cluster.start(&error))
+            JITSCHED_FATAL("cluster start: ", error);
+        cache_phase = runResultCachePhase(cluster);
+        if (cache_phase.errors != 0)
+            JITSCHED_FATAL("result-cache scenario served errors: ",
+                           cache_phase.errors);
+        for (std::size_t b = 0; b < cluster.backendCount(); ++b) {
+            const ResultCache::Counters rc =
+                cluster.backendServer(b).resultCache().counters();
+            rc_hits += rc.hits;
+            rc_misses += rc.misses;
+            rc_collapsed += rc.collapsed;
+            rc_insertions += rc.insertions;
+        }
+    }
+    LatencyRow rc_miss_row, rc_hit_row;
+    rc_miss_row.label = "astar repeated, miss path";
+    rc_miss_row.latency = summarizeLatencies(cache_phase.missMs);
+    rc_hit_row.label = "astar repeated, hit path";
+    rc_hit_row.latency = summarizeLatencies(cache_phase.hitMs);
+    rows.push_back(rc_miss_row);
+    rows.push_back(rc_hit_row);
+    const std::uint64_t rc_served = cache_phase.missMs.size() +
+                                    cache_phase.hitMs.size() +
+                                    cache_phase.collapsed;
+    const double rc_hit_rate =
+        rc_served > 0
+            ? static_cast<double>(cache_phase.hitMs.size() +
+                                  cache_phase.collapsed) /
+                  static_cast<double>(rc_served)
+            : 0.0;
+    const double rc_speedup =
+        rc_hit_row.latency.p50Ms > 0.0
+            ? rc_miss_row.latency.p50Ms / rc_hit_row.latency.p50Ms
+            : 0.0;
+
+    j.key("resultCache").beginObject();
+    j.member("policy", "astar");
+    j.member("backends", std::uint64_t(2));
+    j.member("mode", "affinity");
+    j.member("requests", rc_served);
+    j.member("hitRate", rc_hit_rate);
+    j.member("missP50Ms", rc_miss_row.latency.p50Ms);
+    j.member("missP95Ms", rc_miss_row.latency.p95Ms);
+    j.member("missP99Ms", rc_miss_row.latency.p99Ms);
+    j.member("hitP50Ms", rc_hit_row.latency.p50Ms);
+    j.member("hitP95Ms", rc_hit_row.latency.p95Ms);
+    j.member("hitP99Ms", rc_hit_row.latency.p99Ms);
+    j.member("speedupP50", rc_speedup);
+    j.member("hits", rc_hits);
+    j.member("misses", rc_misses);
+    j.member("collapsed", rc_collapsed);
+    j.member("insertions", rc_insertions);
+    j.endObject();
+
     j.key("affinityVsRoundRobin").beginObject();
     j.member("affinityHitRate", affinity_rate);
     j.member("roundRobinHitRate", rr_rate);
@@ -318,6 +480,12 @@ main()
     out << "\n";
 
     printLatencyTable("cluster latency through the router", rows);
+    std::cout << "result cache: hit rate " << rc_hit_rate << " ("
+              << cache_phase.hitMs.size() << " hits, "
+              << cache_phase.collapsed << " collapsed, "
+              << cache_phase.missMs.size()
+              << " misses), hit-path p50 speedup " << rc_speedup
+              << "x\n";
     std::cout << "affinity hit rate " << affinity_rate
               << " vs round-robin " << rr_rate << "\n";
     std::cout << "Wrote " << json_path << "\n";

@@ -12,6 +12,13 @@
  *           EvalCache answer path, which is what makes the service
  *           viable for a JIT that re-asks about recurring phases
  *   mixed   80% repeats / 20% fresh, the expected steady state
+ *
+ * A fourth phase measures the request-level result cache on a second
+ * server instance (JITSCHED_RESULT_CACHE_MB equivalent): a repeated
+ * astar stream whose responses are split into the miss path (fresh
+ * exact solves) and the hit path (serialized-response replay) by the
+ * per-request `result-cache` stats marker.  The gap between those two
+ * p50s is the cache's reason to exist.
  */
 
 #include <chrono>
@@ -108,6 +115,96 @@ runScenario(std::uint16_t port, const std::string &policy,
     return result;
 }
 
+/**
+ * Small instances for the result-cache phase: the astar policy solves
+ * these exactly in milliseconds, so the miss path is a real (but
+ * bounded) exact search rather than a capped refusal.
+ */
+Workload
+makeAstarWorkload(std::uint64_t variant)
+{
+    SyntheticConfig cfg;
+    cfg.name = "svc-astar-" + std::to_string(variant);
+    cfg.numFunctions = 6;
+    cfg.numCalls = 40;
+    cfg.numLevels = 3;
+    cfg.numPhases = 2;
+    cfg.seed = 3000 + variant;
+    return generateSynthetic(cfg);
+}
+
+/** The repeated astar stream, split by how each response was served. */
+struct ResultCachePhase
+{
+    std::vector<double> missMs; ///< fresh solves (result-cache absent)
+    std::vector<double> hitMs;  ///< store hits (result-cache 1)
+    std::uint64_t collapsed = 0; ///< singleflight followers (2)
+    std::uint64_t errors = 0;
+    double elapsedSec = 0.0;
+};
+
+ResultCachePhase
+runResultCachePhase(std::uint16_t port)
+{
+    ResultCachePhase phase;
+    std::mutex merge_mutex;
+
+    const auto begin = Clock::now();
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (std::size_t c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            ServiceClient client;
+            std::string error;
+            if (!client.connect("127.0.0.1", port, &error))
+                JITSCHED_FATAL("connect: ", error);
+            std::vector<double> miss, hit;
+            std::uint64_t collapsed = 0, errors = 0;
+            for (std::size_t i = 0; i < kRequestsPerClient; ++i) {
+                ServiceRequest req;
+                req.id = 10'000 + c * kRequestsPerClient + i;
+                req.policy = "astar";
+                req.options.compileCores = 2;
+                // Client c alternates between its two private
+                // variants: two first-touch misses, then hits — no
+                // cross-client collisions, so the miss/hit split is
+                // deterministic.
+                req.workload =
+                    makeAstarWorkload(c * 2 + (i % 2));
+                const auto t0 = Clock::now();
+                auto resp = client.call(req, &error);
+                const auto t1 = Clock::now();
+                if (!resp)
+                    JITSCHED_FATAL("call: ", error);
+                const double ms =
+                    std::chrono::duration<double, std::milli>(
+                        t1 - t0)
+                        .count();
+                if (!resp->ok)
+                    ++errors;
+                else if (resp->stats.resultCache == 1)
+                    hit.push_back(ms);
+                else if (resp->stats.resultCache == 2)
+                    ++collapsed;
+                else
+                    miss.push_back(ms);
+            }
+            std::lock_guard<std::mutex> lk(merge_mutex);
+            phase.missMs.insert(phase.missMs.end(), miss.begin(),
+                                miss.end());
+            phase.hitMs.insert(phase.hitMs.end(), hit.begin(),
+                               hit.end());
+            phase.collapsed += collapsed;
+            phase.errors += errors;
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+    phase.elapsedSec =
+        std::chrono::duration<double>(Clock::now() - begin).count();
+    return phase;
+}
+
 std::uint64_t
 pickCold(std::size_t c, std::size_t i)
 {
@@ -171,10 +268,54 @@ main()
         {"mixed (80% repeat)",
          runScenario(server.port(), "iar", pickMixed)});
 
+    // --- Result-cache phase: a second server with the request-level
+    // result cache enabled (the first one keeps it off, measuring
+    // today's default path).
+    ServiceEngine cache_engine;
+    ServerConfig cache_cfg;
+    cache_cfg.resultCacheBytes = std::size_t(64) << 20;
+    ServiceServer cache_server(cache_engine, cache_cfg);
+    if (!cache_server.start(&error))
+        JITSCHED_FATAL("cannot start cache server: ", error);
+    const ResultCachePhase cache_phase =
+        runResultCachePhase(cache_server.port());
+    if (cache_phase.errors != 0)
+        JITSCHED_FATAL("result-cache phase served errors: ",
+                       cache_phase.errors);
+
     std::vector<LatencyRow> rows;
     for (const Scenario &s : scenarios)
         rows.push_back(toRow(s.label, s.result));
+
+    LatencyRow miss_row, hit_row;
+    miss_row.label = "astar repeated, miss path";
+    miss_row.latency = summarizeLatencies(cache_phase.missMs);
+    hit_row.label = "astar repeated, hit path";
+    hit_row.latency = summarizeLatencies(cache_phase.hitMs);
+    rows.push_back(miss_row);
+    rows.push_back(hit_row);
     printLatencyTable("scheduling service latency", rows);
+
+    const auto &rc = cache_server.resultCache().counters();
+    const std::uint64_t rc_served = cache_phase.missMs.size() +
+                                    cache_phase.hitMs.size() +
+                                    cache_phase.collapsed;
+    const double rc_hit_rate =
+        rc_served > 0
+            ? static_cast<double>(cache_phase.hitMs.size() +
+                                  cache_phase.collapsed) /
+                  static_cast<double>(rc_served)
+            : 0.0;
+    const double rc_speedup =
+        hit_row.latency.p50Ms > 0.0
+            ? miss_row.latency.p50Ms / hit_row.latency.p50Ms
+            : 0.0;
+    std::cout << "result cache: hit rate " << rc_hit_rate << " ("
+              << cache_phase.hitMs.size() << " hits, "
+              << cache_phase.collapsed << " collapsed, "
+              << cache_phase.missMs.size()
+              << " misses), hit-path p50 speedup " << rc_speedup
+              << "x\n";
 
     const std::uint64_t hits = engine.cache().hits();
     const std::uint64_t misses = engine.cache().misses();
@@ -221,10 +362,28 @@ main()
     j.member("processed", server.admission().processed());
     j.member("shed", server.admission().shed());
     j.endObject();
+    j.key("resultCache").beginObject();
+    j.member("policy", "astar");
+    j.member("requests", rc_served);
+    j.member("hitRate", rc_hit_rate);
+    j.member("missP50Ms", miss_row.latency.p50Ms);
+    j.member("missP95Ms", miss_row.latency.p95Ms);
+    j.member("missP99Ms", miss_row.latency.p99Ms);
+    j.member("hitP50Ms", hit_row.latency.p50Ms);
+    j.member("hitP95Ms", hit_row.latency.p95Ms);
+    j.member("hitP99Ms", hit_row.latency.p99Ms);
+    j.member("speedupP50", rc_speedup);
+    j.member("hits", rc.hits);
+    j.member("misses", rc.misses);
+    j.member("collapsed", rc.collapsed);
+    j.member("insertions", rc.insertions);
+    j.member("evictions", rc.evictions);
+    j.endObject();
     j.endObject();
     out << "\n";
     std::cout << "Wrote " << json_path << "\n";
 
+    cache_server.stop();
     server.stop();
     return 0;
 }

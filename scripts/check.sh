@@ -34,13 +34,14 @@
 #                              # bench/expectations/obs_keys.txt
 #   scripts/check.sh --fuzz-smoke
 #                              # also run the differential fuzzer:
-#                              # ~20s of jitsched-fuzz solvers and
-#                              # ~10s of jitsched-fuzz protocol, plus
-#                              # the broken-oracle canary (a run with
-#                              # the lower-bound oracle deliberately
-#                              # inverted MUST fail — proves the
-#                              # harness can still detect a broken
-#                              # oracle)
+#                              # ~20s of jitsched-fuzz solvers, ~10s
+#                              # of jitsched-fuzz protocol and ~10s of
+#                              # jitsched-fuzz result-cache, plus the
+#                              # broken-oracle canaries (runs with the
+#                              # lower-bound / astar-par /
+#                              # result-cache oracles deliberately
+#                              # broken MUST fail — proves the harness
+#                              # can still detect a broken oracle)
 #   scripts/check.sh --asan    # also build the tree with
 #                              # -fsanitize=address,undefined in
 #                              # build-asan/ and run the `qa` and
@@ -64,6 +65,18 @@
 #                              # jitsched-trace-check, and diff the
 #                              # observed span-name set against
 #                              # bench/expectations/span_keys.txt
+#   scripts/check.sh --result-cache-smoke
+#                              # also exercise the request-level
+#                              # result cache end to end: jitschedd
+#                              # with --result-cache-mb + a snapshot
+#                              # file, the same workload twice (the
+#                              # second answer must come from the
+#                              # store, byte-identical to the fresh
+#                              # solve), `jitsched-cli snapshot`, and
+#                              # a warm restart whose first answer is
+#                              # already a hit — plus the cache-off
+#                              # default, whose wire bytes must not
+#                              # mention the cache at all
 #
 set -euo pipefail
 
@@ -77,6 +90,7 @@ run_fuzz_smoke=0
 run_asan=0
 run_cluster_smoke=0
 run_trace_smoke=0
+run_result_cache_smoke=0
 for arg in "$@"; do
     case "$arg" in
         --tsan) run_tsan=1 ;;
@@ -87,10 +101,12 @@ for arg in "$@"; do
         --asan) run_asan=1 ;;
         --cluster-smoke) run_cluster_smoke=1 ;;
         --trace-smoke) run_trace_smoke=1 ;;
+        --result-cache-smoke) run_result_cache_smoke=1 ;;
         *)
             echo "usage: scripts/check.sh [--tsan] [--bench-smoke]" \
                  "[--par-smoke] [--obs-smoke] [--fuzz-smoke]" \
-                 "[--asan] [--cluster-smoke] [--trace-smoke]" >&2
+                 "[--asan] [--cluster-smoke] [--trace-smoke]" \
+                 "[--result-cache-smoke]" >&2
             exit 2
             ;;
     esac
@@ -320,11 +336,13 @@ EOF
         fi
         echo "$port"
     }
-    ./build/bin/jitschedd --port 0 --trace-out "$tr_dir/a.json" \
-        > "$tr_dir/a.log" &
+    # The backends run with the result cache on so the probe span
+    # (service.result_cache) is part of the observed taxonomy.
+    ./build/bin/jitschedd --port 0 --result-cache-mb 16 \
+        --trace-out "$tr_dir/a.json" > "$tr_dir/a.log" &
     tr_pids+=($!)
-    ./build/bin/jitschedd --port 0 --trace-out "$tr_dir/b.json" \
-        > "$tr_dir/b.log" &
+    ./build/bin/jitschedd --port 0 --result-cache-mb 16 \
+        --trace-out "$tr_dir/b.json" > "$tr_dir/b.log" &
     tr_pids+=($!)
     port_a="$(tr_scrape_port "$tr_dir/a.log" jitschedd)"
     port_b="$(tr_scrape_port "$tr_dir/b.log" jitschedd)"
@@ -387,13 +405,183 @@ EOF
     echo "trace smoke: traces valid, DUMP ok, span names match"
 fi
 
+if [ "$run_result_cache_smoke" -eq 1 ]; then
+    echo "== Result-cache smoke (hits, snapshot, warm restart) =="
+    rc_dir="$(mktemp -d)"
+    rc_pid=""
+    cleanup_result_cache() {
+        [ -n "$rc_pid" ] && kill "$rc_pid" 2>/dev/null || true
+        [ -n "$rc_pid" ] && wait "$rc_pid" 2>/dev/null || true
+        rm -rf "$rc_dir"
+    }
+    trap cleanup_result_cache EXIT
+    # The paper's Fig. 1 instance (trace/paper_examples.hh).
+    cat > "$rc_dir/workload" <<'EOF'
+# jitsched workload trace
+workload paper-fig1
+levels 2
+func 0 f0 1 1 1 1 1
+func 1 f1 1 1 3 3 2
+func 2 f2 1 3 3 5 1
+calls 4
+0 1 2 1
+EOF
+    rc_scrape_port() { # logfile
+        local port="" i
+        for i in $(seq 1 50); do
+            port="$(sed -n \
+                's/^jitschedd listening on .*:\([0-9]*\)$/\1/p' "$1")"
+            [ -n "$port" ] && break
+            sleep 0.1
+        done
+        if [ -z "$port" ]; then
+            echo "result-cache smoke: jitschedd did not come up:" >&2
+            cat "$1" >&2
+            exit 1
+        fi
+        echo "$port"
+    }
+
+    # Cache off (the default): the wire must not mention the cache.
+    ./build/bin/jitschedd --port 0 > "$rc_dir/off.log" &
+    rc_pid=$!
+    port="$(rc_scrape_port "$rc_dir/off.log")"
+    ./build/bin/jitsched-cli --port "$port" --policy iar --id 1 \
+        --timeout-ms 10000 "$rc_dir/workload" > "$rc_dir/off.out"
+    if grep -q "result-cache" "$rc_dir/off.out"; then
+        echo "result-cache smoke: cache-off response mentions the" \
+             "result cache — the off path is no longer byte-clean" >&2
+        cat "$rc_dir/off.out" >&2
+        exit 1
+    fi
+    kill "$rc_pid" 2>/dev/null || true
+    wait "$rc_pid" 2>/dev/null || true
+    rc_pid=""
+
+    # Cache on, with a snapshot file.
+    ./build/bin/jitschedd --port 0 --result-cache-mb 16 \
+        --snapshot-file "$rc_dir/snap" > "$rc_dir/on.log" &
+    rc_pid=$!
+    port="$(rc_scrape_port "$rc_dir/on.log")"
+
+    # The same request twice: a fresh solve, then a store hit that
+    # must be byte-identical (--no-stats drops the one volatile
+    # line; the id is kept equal so the echo matches too).
+    ./build/bin/jitsched-cli --port "$port" --policy iar --id 7 \
+        --no-stats --timeout-ms 10000 "$rc_dir/workload" \
+        > "$rc_dir/fresh.out"
+    ./build/bin/jitsched-cli --port "$port" --policy iar --id 7 \
+        --no-stats --timeout-ms 10000 "$rc_dir/workload" \
+        > "$rc_dir/cached.out"
+    if ! diff -u "$rc_dir/fresh.out" "$rc_dir/cached.out"; then
+        echo "result-cache smoke: cached response diverged from the" \
+             "fresh solve" >&2
+        exit 1
+    fi
+    # With the stats line kept, the repeat must declare itself a
+    # store hit (`result-cache 1`).
+    ./build/bin/jitsched-cli --port "$port" --policy iar --id 8 \
+        --timeout-ms 10000 "$rc_dir/workload" > "$rc_dir/hit.out"
+    if ! grep -q " result-cache 1" "$rc_dir/hit.out"; then
+        echo "result-cache smoke: repeat was not served from the" \
+             "store" >&2
+        cat "$rc_dir/hit.out" >&2
+        exit 1
+    fi
+    # The daemon's own counters agree.
+    ./build/bin/jitsched-cli --port "$port" --timeout-ms 10000 \
+        stats > "$rc_dir/stats.out"
+    rc_hits="$(awk '$2 == "service.result_cache.hits" {print $3}' \
+        "$rc_dir/stats.out")"
+    if [ -z "$rc_hits" ] || [ "$rc_hits" -lt 1 ]; then
+        echo "result-cache smoke: STATS hit counter missing or" \
+             "zero (got '${rc_hits:-}')" >&2
+        cat "$rc_dir/stats.out" >&2
+        exit 1
+    fi
+
+    # Concurrent burst on a fresh key (a policy the cache has not
+    # seen): exactly one request leads the solve; every other one
+    # must be served by the cache — collapsed onto the in-flight
+    # solve or answered from the store once it lands — so exactly 7
+    # of the 8 responses carry a result-cache marker, independent of
+    # timing.
+    burst_pids=()
+    for i in 1 2 3 4 5 6 7 8; do
+        ./build/bin/jitsched-cli --port "$port" \
+            --policy lower-bound --id "$((100 + i))" \
+            --timeout-ms 10000 "$rc_dir/workload" \
+            > "$rc_dir/burst.$i.out" &
+        burst_pids+=($!)
+    done
+    for pid in "${burst_pids[@]}"; do
+        wait "$pid"
+    done
+    burst_served="$(cat "$rc_dir"/burst.*.out \
+        | grep -c " result-cache " || true)"
+    if [ "$burst_served" -ne 7 ]; then
+        echo "result-cache smoke: expected 7 of 8 burst responses" \
+             "served by the cache, got $burst_served" >&2
+        cat "$rc_dir"/burst.*.out >&2
+        exit 1
+    fi
+
+    # On-demand snapshot over the wire (the SNAPSHOT verb).
+    ./build/bin/jitsched-cli --port "$port" --timeout-ms 10000 \
+        snapshot > "$rc_dir/snapshot.out"
+    if ! grep -q "^snapshot 2 entries" "$rc_dir/snapshot.out"; then
+        echo "result-cache smoke: unexpected snapshot reply:" >&2
+        cat "$rc_dir/snapshot.out" >&2
+        exit 1
+    fi
+    if [ ! -s "$rc_dir/snap" ]; then
+        echo "result-cache smoke: snapshot file was not written" >&2
+        exit 1
+    fi
+
+    # Warm restart: a clean shutdown re-writes the snapshot; the
+    # next daemon must load it and serve its very first request from
+    # the store — still byte-identical to the original fresh solve.
+    kill "$rc_pid" 2>/dev/null || true
+    wait "$rc_pid" 2>/dev/null || true
+    rc_pid=""
+    ./build/bin/jitschedd --port 0 --result-cache-mb 16 \
+        --snapshot-file "$rc_dir/snap" > "$rc_dir/warm.log" &
+    rc_pid=$!
+    port="$(rc_scrape_port "$rc_dir/warm.log")"
+    ./build/bin/jitsched-cli --port "$port" --policy iar --id 9 \
+        --timeout-ms 10000 "$rc_dir/workload" > "$rc_dir/warm.out"
+    if ! grep -q " result-cache 1" "$rc_dir/warm.out"; then
+        echo "result-cache smoke: first request after the warm" \
+             "restart was not served from the snapshot" >&2
+        cat "$rc_dir/warm.out" "$rc_dir/warm.log" >&2
+        exit 1
+    fi
+    ./build/bin/jitsched-cli --port "$port" --policy iar --id 7 \
+        --no-stats --timeout-ms 10000 "$rc_dir/workload" \
+        > "$rc_dir/warm7.out"
+    if ! diff -u "$rc_dir/fresh.out" "$rc_dir/warm7.out"; then
+        echo "result-cache smoke: snapshot-warmed response diverged" \
+             "from the original fresh solve" >&2
+        exit 1
+    fi
+    kill "$rc_pid" 2>/dev/null || true
+    wait "$rc_pid" 2>/dev/null || true
+    rc_pid=""
+    echo "result-cache smoke: off-path clean, hits byte-identical," \
+         "snapshot + warm restart ok"
+fi
+
 if [ "$run_fuzz_smoke" -eq 1 ]; then
-    echo "== Fuzz smoke (solvers 20s + protocol 10s + canary) =="
+    echo "== Fuzz smoke (solvers 20s + protocol 10s +" \
+         "result-cache 10s + canaries) =="
     fuzz_corpus="$(mktemp -d)"
     trap 'rm -rf "$fuzz_corpus"' EXIT
     ./build/bin/jitsched-fuzz solvers --seconds 20 --seed 1 \
         --corpus-dir "$fuzz_corpus"
     ./build/bin/jitsched-fuzz protocol --seconds 10 --seed 1 \
+        --corpus-dir "$fuzz_corpus"
+    ./build/bin/jitsched-fuzz result-cache --seconds 10 --seed 1 \
         --corpus-dir "$fuzz_corpus"
     # Test the tester: with the lower-bound oracle inverted the run
     # must FAIL, fast.  A canary that passes means the fuzz loop can
@@ -414,6 +602,17 @@ if [ "$run_fuzz_smoke" -eq 1 ]; then
         echo "fuzz smoke: the broken-oracle canary PASSED — the" \
              "harness failed to detect a deliberately perturbed" \
              "astar-par cost" >&2
+        exit 1
+    fi
+    # And for the result-cache store/snapshot identity oracles: a
+    # deliberately corrupted cached body must be flagged against the
+    # fresh solve.
+    if ./build/bin/jitsched-fuzz result-cache --seconds 10 --seed 1 \
+        --break-oracle result-cache --corpus-dir "$fuzz_corpus" \
+        > /dev/null 2>&1; then
+        echo "fuzz smoke: the broken-oracle canary PASSED — the" \
+             "harness failed to detect a deliberately corrupted" \
+             "result-cache body" >&2
         exit 1
     fi
     echo "fuzz smoke: clean run + canaries fired"

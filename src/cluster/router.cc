@@ -25,6 +25,32 @@ namespace {
 
 using SteadyClock = std::chrono::steady_clock;
 
+/**
+ * True when a relayed response frame's stats line says the backend
+ * answered from its result cache (store hit or singleflight
+ * collapse).  The marker token is emitted only when nonzero, so its
+ * mere presence on the stats line is the signal; the scan is pinned
+ * to the line starting with `stats ` because error lines may carry
+ * arbitrary message text.
+ */
+[[maybe_unused]] bool
+frameServedFromCache(const std::string &frame)
+{
+    std::size_t pos = 0;
+    while (pos < frame.size()) {
+        std::size_t eol = frame.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = frame.size();
+        if (frame.compare(pos, 6, "stats ") == 0) {
+            const std::size_t hit =
+                frame.find(" result-cache ", pos);
+            return hit != std::string::npos && hit < eol;
+        }
+        pos = eol + 1;
+    }
+    return false;
+}
+
 /** Milliseconds until @p deadline, clamped at 0. */
 int
 msUntil(SteadyClock::time_point deadline)
@@ -693,6 +719,10 @@ Router::route(const ServiceRequest &req)
                 obs::ClusterMetrics::routedToFor(
                     pool_.endpoint(served_by).label())
                     .add();
+                if (frameServedFromCache(ex.frame))
+                    obs::ClusterMetrics::resultCacheHitsFor(
+                        pool_.endpoint(served_by).label())
+                        .add();
             });
             if (served_by != chain[0]) {
                 spilled_.fetch_add(1, std::memory_order_relaxed);

@@ -79,7 +79,8 @@ BatchEvaluator::evaluate(const std::vector<EvalJob> &jobs)
                           hashSimOptions(job.opts)};
 
         if (cache_ != nullptr) {
-            if (const auto cached = cache_->lookup(keys[i])) {
+            if (const auto cached = cache_->lookup(keys[i],
+                                                   counters_)) {
                 results[i] = *cached;
                 continue;
             }
@@ -125,7 +126,7 @@ BatchEvaluator::evaluateOne(const Workload &w, const Schedule &s,
     JITSCHED_OBS(obs::ExecMetrics::get().batchJobs.add());
     if (cache_ != nullptr) {
         const EvalKey key = makeEvalKey(w, s, opts);
-        if (const auto cached = cache_->lookup(key))
+        if (const auto cached = cache_->lookup(key, counters_))
             return *cached;
         const SimResult result = timedSimulate(w, s, opts);
         cache_->insert(key, result);

@@ -54,10 +54,14 @@ class BatchEvaluator
      * @param pool executor; must outlive the evaluator
      * @param cache memo table, or nullptr to evaluate everything;
      *              must outlive the evaluator when given
+     * @param counters per-caller hit/miss tally fed on every cache
+     *              probe (the service's per-request stats); may be
+     *              nullptr
      */
     explicit BatchEvaluator(ThreadPool &pool,
-                            EvalCache *cache = nullptr)
-        : pool_(pool), cache_(cache)
+                            EvalCache *cache = nullptr,
+                            EvalCounters *counters = nullptr)
+        : pool_(pool), cache_(cache), counters_(counters)
     {
     }
 
@@ -85,6 +89,7 @@ class BatchEvaluator
   private:
     ThreadPool &pool_;
     EvalCache *cache_;
+    EvalCounters *counters_;
 };
 
 } // namespace jitsched

@@ -56,6 +56,21 @@ EvalKey makeEvalKey(const Workload &w, const Schedule &s,
                     const SimOptions &opts);
 
 /**
+ * Caller-owned hit/miss tally, filled alongside the cache's own
+ * process-global counters.  The service engine hands one per request
+ * to its evaluator so a response's `stats cache-hits/-misses` counts
+ * that request's probes alone — before/after deltas of the global
+ * counters misattribute concurrent requests' probes to each other.
+ * Atomics: probes are sequential per evaluate() call, but nothing
+ * stops two evaluators sharing a tally.
+ */
+struct EvalCounters
+{
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+};
+
+/**
  * Sharded, thread-safe memo table from EvalKey to SimResult.
  */
 class EvalCache
@@ -67,10 +82,12 @@ class EvalCache
     EvalCache &operator=(const EvalCache &) = delete;
 
     /**
-     * Look up a key.  Counts one hit or one miss.
+     * Look up a key.  Counts one hit or one miss — into the global
+     * counters and, when given, into @p counters.
      * @return the cached result, or nullopt on miss.
      */
-    std::optional<SimResult> lookup(const EvalKey &key);
+    std::optional<SimResult> lookup(const EvalKey &key,
+                                    EvalCounters *counters = nullptr);
 
     /** Insert (or overwrite) the result for a key. */
     void insert(const EvalKey &key, const SimResult &result);

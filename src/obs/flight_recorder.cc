@@ -76,7 +76,8 @@ FlightRecorder::recordLine(const FlightRecord &r)
        << (r.policy.empty() ? "-" : r.policy) << " status "
        << (r.status.empty() ? "-" : r.status) << " queue-ns "
        << r.queueNs << " solve-ns " << r.solveNs << " bytes "
-       << r.bytes << " hops " << r.hops;
+       << r.bytes << " hops " << r.hops << " cached "
+       << (r.cached ? 1 : 0);
     return os.str();
 }
 

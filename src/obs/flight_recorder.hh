@@ -48,6 +48,8 @@ struct FlightRecord
     std::int64_t solveNs = 0;
     std::uint64_t bytes = 0;   ///< response frame size
     std::uint32_t hops = 0;    ///< route attempts consumed; 0 direct
+    /** Answered by the result cache (hit or singleflight collapse). */
+    bool cached = false;
 };
 
 /**
@@ -70,7 +72,7 @@ class FlightRecorder
      * One line per record, the same shape the DUMP verb carries:
      *
      *   trace <hex> request <id> policy <p> status <s>
-     *     queue-ns <q> solve-ns <n> bytes <b> hops <h>
+     *     queue-ns <q> solve-ns <n> bytes <b> hops <h> cached <0|1>
      */
     std::string dumpText() const;
 

@@ -68,6 +68,14 @@ ServiceMetrics::get()
         r.counter("service.requests.ping"),
         r.gauge("service.queue.depth"),
         r.histogram("service.queue.wait_ns", latencyNsBounds()),
+        r.counter("service.result_cache.hits"),
+        r.counter("service.result_cache.misses"),
+        r.counter("service.result_cache.collapsed"),
+        r.counter("service.result_cache.evictions"),
+        r.gauge("service.result_cache.bytes"),
+        r.gauge("service.result_cache.entries"),
+        r.counter("service.result_cache.snapshot_saves"),
+        r.counter("service.result_cache.snapshot_loads"),
     };
     return m;
 }
@@ -144,6 +152,13 @@ ClusterMetrics::routedToFor(const std::string &backend_label)
         "cluster.routed_to." + metricSegment(backend_label));
 }
 
+Counter &
+ClusterMetrics::resultCacheHitsFor(const std::string &backend_label)
+{
+    return MetricsRegistry::global().counter(
+        "cluster.result_cache_hits." + metricSegment(backend_label));
+}
+
 void
 registerClusterInstruments(
     const std::vector<std::string> &backend_labels)
@@ -152,6 +167,7 @@ registerClusterInstruments(
     for (const std::string &label : backend_labels) {
         ClusterMetrics::tryNsFor(label);
         ClusterMetrics::routedToFor(label);
+        ClusterMetrics::resultCacheHitsFor(label);
     }
 }
 

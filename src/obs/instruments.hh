@@ -96,6 +96,19 @@ struct ServiceMetrics
     Gauge &queueDepth;            ///< service.queue.depth
     Histogram &queueWaitNs;       ///< service.queue.wait_ns
 
+    // Request-level result cache (service/result_cache.hh).
+    Counter &resultCacheHits;      ///< service.result_cache.hits
+    Counter &resultCacheMisses;    ///< service.result_cache.misses
+    /** service.result_cache.collapsed (followers fed by a leader) */
+    Counter &resultCacheCollapsed;
+    Counter &resultCacheEvictions; ///< service.result_cache.evictions
+    Gauge &resultCacheBytes;       ///< service.result_cache.bytes
+    Gauge &resultCacheEntries;     ///< service.result_cache.entries
+    /** service.result_cache.snapshot_saves */
+    Counter &resultCacheSnapshotSaves;
+    /** service.result_cache.snapshot_loads */
+    Counter &resultCacheSnapshotLoads;
+
     static ServiceMetrics &get();
 
     /**
@@ -137,6 +150,15 @@ struct ClusterMetrics
     /** Per-backend routed-request counter,
      * `cluster.routed_to.<address:port>`. */
     static Counter &routedToFor(const std::string &backend_label);
+
+    /**
+     * Per-backend relayed result-cache-hit counter,
+     * `cluster.result_cache_hits.<address:port>` — how many responses
+     * this backend answered from its result cache (the router reads
+     * the relayed frame's stats line).
+     */
+    static Counter &resultCacheHitsFor(
+        const std::string &backend_label);
 };
 
 /**

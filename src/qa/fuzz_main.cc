@@ -11,6 +11,11 @@
  *   cluster    fault injection against a live in-process cluster
  *              (backends + tarpit + router): kills, hangs, mangled
  *              frames — see qa/cluster_fuzz.hh
+ *   result-cache
+ *              byte-identity differential for the request-level
+ *              result cache: published bodies and snapshot round
+ *              trips must match fresh solves exactly — see
+ *              qa/result_cache_fuzz.hh
  *   replay     re-run corpus files (*.workload / *.frame) through
  *              the oracles appropriate to their extension
  *
@@ -28,6 +33,10 @@
  *                          [--corpus-dir D]
  *   jitsched-fuzz cluster  [--seconds S] [--iterations N] [--seed K]
  *                          [--corpus-dir D]
+ *   jitsched-fuzz result-cache
+ *                          [--seconds S] [--iterations N] [--seed K]
+ *                          [--corpus-dir D]
+ *                          [--break-oracle result-cache]
  *   jitsched-fuzz replay <case-file>...
  */
 
@@ -44,6 +53,7 @@
 #include "qa/minimize.hh"
 #include "qa/oracles.hh"
 #include "qa/proto_fuzz.hh"
+#include "qa/result_cache_fuzz.hh"
 #include "support/logging.hh"
 #include "support/rng.hh"
 #include "support/strutil.hh"
@@ -57,8 +67,8 @@ namespace {
 usage(int rc)
 {
     std::cerr <<
-        "usage: jitsched-fuzz <solvers|protocol|cluster|replay> "
-        "[options]\n"
+        "usage: jitsched-fuzz "
+        "<solvers|protocol|cluster|result-cache|replay> [options]\n"
         "  --seconds S        wall-clock budget (default 10)\n"
         "  --iterations N     case budget; 0 = until time runs out\n"
         "                     (default 0)\n"
@@ -75,6 +85,10 @@ usage(int rc)
         "                     solvers: deliberately perturb the\n"
         "                     parallel A*'s reported cost; the run\n"
         "                     must FAIL (harness self-check)\n"
+        "  --break-oracle result-cache\n"
+        "                     result-cache: deliberately corrupt one\n"
+        "                     byte of the published body; the run\n"
+        "                     must FAIL (harness self-check)\n"
         "  replay <file>...   re-run corpus files; nonzero on any\n"
         "                     failure\n";
     std::exit(rc);
@@ -90,6 +104,7 @@ struct FuzzArgs
     bool noExact = false;
     bool breakLowerBound = false;
     bool breakAstarPar = false;
+    bool breakResultCache = false;
     std::vector<std::string> files;
 };
 
@@ -138,9 +153,12 @@ parseArgs(int argc, char **argv)
                 args.breakLowerBound = true;
             else if (which == "astar-par")
                 args.breakAstarPar = true;
+            else if (which == "result-cache")
+                args.breakResultCache = true;
             else
-                JITSCHED_FATAL("--break-oracle knows 'lower-bound' "
-                               "and 'astar-par', got '", which, "'");
+                JITSCHED_FATAL("--break-oracle knows 'lower-bound', "
+                               "'astar-par' and 'result-cache', "
+                               "got '", which, "'");
         } else if (!arg.empty() && arg[0] == '-') {
             std::cerr << "jitsched-fuzz: unknown option '" << arg
                       << "'\n";
@@ -401,6 +419,44 @@ runCluster(const FuzzArgs &args)
 }
 
 int
+runResultCache(const FuzzArgs &args)
+{
+    const FuzzDomain domain;
+    ResultCacheFuzzer fuzzer(args.corpusDir +
+                             "/result-cache.snapshot.tmp");
+    const Budget budget(args.seconds, args.iterations);
+    ResultCacheFuzzStats stats;
+    std::uint64_t cases = 0;
+
+    for (; budget.more(cases); ++cases) {
+        Rng rng = Rng::caseStream(args.seed, cases);
+        std::vector<Violation> violations;
+        fuzzer.runCase(rng, domain, violations, &stats,
+                       args.breakResultCache);
+        if (violations.empty())
+            continue;
+
+        std::cerr << "jitsched-fuzz: result-cache case " << cases
+                  << " (seed " << args.seed << ") FAILED:\n"
+                  << describeViolations(violations);
+        // The case is fully determined by (seed, case); replay it by
+        // bounding the iteration count.
+        std::cerr << "replay with: jitsched-fuzz result-cache --seed "
+                  << args.seed << " --iterations " << (cases + 1)
+                  << "\n";
+        return 1;
+    }
+
+    std::cout << "jitsched-fuzz result-cache: " << cases
+              << " cases clean (seed " << args.seed << ", "
+              << stats.published << " published, " << stats.storeHits
+              << " store identities, " << stats.roundTrips
+              << " snapshot round trips, " << stats.errorSkips
+              << " error skips)\n";
+    return 0;
+}
+
+int
 runReplay(const FuzzArgs &args)
 {
     if (args.files.empty())
@@ -436,6 +492,8 @@ main(int argc, char **argv)
         return runProtocol(args);
     if (args.command == "cluster")
         return runCluster(args);
+    if (args.command == "result-cache")
+        return runResultCache(args);
     if (args.command == "replay")
         return runReplay(args);
     std::cerr << "jitsched-fuzz: unknown command '" << args.command

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Differential oracle for the request-level result cache
+ * (service/result_cache.hh).
+ *
+ * The cache's contract is byte identity: a cached answer must be
+ * indistinguishable from a fresh solve except for the per-request
+ * `id` and `trace-id` fields, which live outside the stored body.
+ * Each fuzz case checks that contract end to end on a random
+ * instance:
+ *
+ *   store      a fresh solve published under its canonical key must
+ *              come back as a Hit for a second request that differs
+ *              only in id / trace-id / deadline, and the stored body
+ *              must equal the body of an *independent* fresh solve
+ *              of that second request, byte for byte
+ *   snapshot   a save → load round trip through the warm-restart
+ *              snapshot file must preserve that identity exactly
+ *
+ * The `--break-oracle result-cache` canary flips one byte of the
+ * published body; a healthy harness must flag the mismatch on the
+ * very first store check (test-the-tester, like the lower-bound and
+ * astar-par canaries).
+ */
+
+#ifndef JITSCHED_QA_RESULT_CACHE_FUZZ_HH
+#define JITSCHED_QA_RESULT_CACHE_FUZZ_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qa/fuzz_workload.hh"
+#include "qa/oracles.hh"
+#include "service/engine.hh"
+#include "support/rng.hh"
+
+namespace jitsched {
+namespace qa {
+
+/** Aggregate counters from a result-cache fuzz run. */
+struct ResultCacheFuzzStats
+{
+    std::uint64_t cases = 0;      ///< cases driven
+    std::uint64_t published = 0;  ///< ok solves published
+    std::uint64_t storeHits = 0;  ///< store-identity checks passed
+    std::uint64_t roundTrips = 0; ///< snapshot round trips checked
+    std::uint64_t errorSkips = 0; ///< non-ok solves (nothing stored)
+};
+
+/**
+ * The result-cache differential harness.  Holds one process-local
+ * ServiceEngine (fresh solves) and a scratch snapshot path; each
+ * runCase() drives one random instance through the store and
+ * snapshot oracles above.  The scratch file is overwritten per case
+ * and removed on destruction.
+ */
+class ResultCacheFuzzer
+{
+  public:
+    /** @param snapshot_path scratch file for the round-trip check */
+    explicit ResultCacheFuzzer(std::string snapshot_path);
+    ~ResultCacheFuzzer();
+
+    ResultCacheFuzzer(const ResultCacheFuzzer &) = delete;
+    ResultCacheFuzzer &operator=(const ResultCacheFuzzer &) = delete;
+
+    /**
+     * Drive one case; violations append to @p out.  With
+     * @p break_oracle the published body is perturbed by one byte —
+     * the run must then FAIL (harness self-check).
+     */
+    void runCase(Rng &rng, const FuzzDomain &domain,
+                 std::vector<Violation> &out,
+                 ResultCacheFuzzStats *stats, bool break_oracle);
+
+  private:
+    ServiceEngine engine_;
+    std::string snapshot_path_;
+};
+
+} // namespace qa
+} // namespace jitsched
+
+#endif // JITSCHED_QA_RESULT_CACHE_FUZZ_HH

@@ -145,6 +145,24 @@ ServiceClient::dump(std::uint64_t id, std::string *error)
     return resp;
 }
 
+std::optional<SnapshotResponse>
+ServiceClient::snapshot(std::uint64_t id, std::string *error)
+{
+    SnapshotRequest sreq;
+    sreq.id = id;
+    auto raw = callRaw(snapshotRequestText(sreq), error);
+    if (!raw)
+        return std::nullopt;
+    std::istringstream is(*raw);
+    std::string parse_error;
+    auto resp = tryReadSnapshotResponse(is, &parse_error);
+    if (!resp) {
+        setError(error, "bad snapshot-response frame: " + parse_error);
+        return std::nullopt;
+    }
+    return resp;
+}
+
 std::optional<ServiceResponse>
 ServiceClient::call(const ServiceRequest &req, std::string *error)
 {

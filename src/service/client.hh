@@ -96,6 +96,15 @@ class ServiceClient
                                      std::string *error = nullptr);
 
     /**
+     * Trigger a result-cache snapshot save (a `jitsched-snapshot`
+     * frame).  Transport failures return nullopt with *error set;
+     * a daemon without a cache or snapshot file answers a structured
+     * error response.
+     */
+    std::optional<SnapshotResponse>
+    snapshot(std::uint64_t id = 0, std::string *error = nullptr);
+
+    /**
      * Probe liveness with a `jitsched-ping` frame.  True only when a
      * well-formed ok pong came back within the read deadline — the
      * predicate the cluster health prober is built on.

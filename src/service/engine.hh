@@ -9,14 +9,18 @@
  * routes every static-schedule evaluation through a BatchEvaluator on
  * a shared thread pool.
  *
- * serve() is intended to be called from one thread at a time (the
- * admission worker serializes requests); the per-request cache
- * hit/miss deltas in the response stats are only meaningful under
- * that discipline.
+ * serve() builds a per-request BatchEvaluator (pool + shared cache +
+ * that request's own EvalCounters tally), so the response's
+ * cache-hits/-misses stats count exactly that request's probes even
+ * when serves overlap — before/after deltas of the shared cache's
+ * global counters would misattribute concurrent requests' probes to
+ * each other.
  */
 
 #ifndef JITSCHED_SERVICE_ENGINE_HH
 #define JITSCHED_SERVICE_ENGINE_HH
+
+#include <atomic>
 
 #include "exec/batch_eval.hh"
 #include "exec/eval_cache.hh"
@@ -38,8 +42,8 @@ class ServiceEngine
         const PolicyRegistry &registry = PolicyRegistry::builtin(),
         ThreadPool *pool = nullptr)
         : registry_(registry),
-          evaluator_(pool != nullptr ? *pool : ThreadPool::global(),
-                     &cache_)
+          pool_(pool != nullptr ? *pool : ThreadPool::global()),
+          evaluator_(pool_, &cache_)
     {
     }
 
@@ -59,13 +63,17 @@ class ServiceEngine
     BatchEvaluator &evaluator() { return evaluator_; }
 
     /** Requests served (ok or error) since construction. */
-    std::uint64_t requestsServed() const { return served_; }
+    std::uint64_t requestsServed() const
+    {
+        return served_.load(std::memory_order_relaxed);
+    }
 
   private:
     const PolicyRegistry &registry_;
+    ThreadPool &pool_;
     EvalCache cache_;
     BatchEvaluator evaluator_;
-    std::uint64_t served_ = 0;
+    std::atomic<std::uint64_t> served_{0};
 };
 
 } // namespace jitsched

@@ -14,6 +14,7 @@
  *                [<workload-file> | -]
  *   jitsched-cli stats [--host H] [--port P] [--id N] [--prom]
  *   jitsched-cli dump  [--host H] [--port P] [--id N]
+ *   jitsched-cli snapshot [--host H] [--port P] [--id N]
  *   jitsched-cli --list-policies
  *
  * Every request the CLI submits carries a trace id: minted here (the
@@ -49,6 +50,7 @@ usage(int rc)
         " [--prom]\n"
         "       jitsched-cli ping  [--host H] [--port P] [--id N]\n"
         "       jitsched-cli dump  [--host H] [--port P] [--id N]\n"
+        "       jitsched-cli snapshot [--host H] [--port P] [--id N]\n"
         "  --host H             daemon address (default 127.0.0.1)\n"
         "  --port P             daemon port (required)\n"
         "  --timeout-ms T       connect/read/write deadline; a hung\n"
@@ -77,7 +79,9 @@ usage(int rc)
         "Prometheus exposition).  The 'ping' subcommand sends one\n"
         "liveness probe and exits 0 iff an ok pong came back.  The\n"
         "'dump' subcommand scrapes the peer's in-memory flight\n"
-        "recorder: one line per remembered request.\n";
+        "recorder: one line per remembered request.  The 'snapshot'\n"
+        "subcommand asks the daemon to save its result cache to the\n"
+        "configured --snapshot-file.\n";
     std::exit(rc);
 }
 
@@ -104,6 +108,7 @@ main(int argc, char **argv)
     bool stats_mode = false;
     bool ping_mode = false;
     bool dump_mode = false;
+    bool snapshot_mode = false;
     bool prom = false;
     int timeout_ms = -1;
     std::uint64_t trace_id = 0;
@@ -162,14 +167,21 @@ main(int argc, char **argv)
         } else if (arg == "--prom") {
             prom = true;
         } else if (arg == "stats" && !stats_mode && !ping_mode &&
-                   !dump_mode && workload_path == "-") {
+                   !dump_mode && !snapshot_mode &&
+                   workload_path == "-") {
             stats_mode = true;
         } else if (arg == "ping" && !stats_mode && !ping_mode &&
-                   !dump_mode && workload_path == "-") {
+                   !dump_mode && !snapshot_mode &&
+                   workload_path == "-") {
             ping_mode = true;
         } else if (arg == "dump" && !stats_mode && !ping_mode &&
-                   !dump_mode && workload_path == "-") {
+                   !dump_mode && !snapshot_mode &&
+                   workload_path == "-") {
             dump_mode = true;
+        } else if (arg == "snapshot" && !stats_mode && !ping_mode &&
+                   !dump_mode && !snapshot_mode &&
+                   workload_path == "-") {
+            snapshot_mode = true;
         } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
             std::cerr << "jitsched-cli: unknown option '" << arg
                       << "'\n";
@@ -230,6 +242,22 @@ main(int argc, char **argv)
             JITSCHED_FATAL("dump refused: ", resp->error);
         for (const obs::FlightRecord &r : resp->records)
             std::cout << obs::FlightRecorder::recordLine(r) << "\n";
+        return 0;
+    }
+
+    if (snapshot_mode) {
+        ServiceClient client(client_cfg);
+        std::string error;
+        if (!client.connect(host, static_cast<std::uint16_t>(port),
+                            &error))
+            JITSCHED_FATAL("cannot reach jitschedd: ", error);
+        auto resp = client.snapshot(id, &error);
+        if (!resp)
+            JITSCHED_FATAL(error);
+        if (!resp->ok)
+            JITSCHED_FATAL("snapshot refused: ", resp->error);
+        std::cout << "snapshot " << resp->entries << " entries, "
+                  << resp->bytes << " bytes\n";
         return 0;
     }
 

@@ -10,6 +10,7 @@
  * Usage:
  *   jitschedd [--address A] [--port P] [--handlers N]
  *             [--queue-depth D] [--batch B] [--discipline fifo|cached-first]
+ *             [--result-cache-mb M] [--snapshot-file FILE]
  *             [--trace-out FILE]
  */
 
@@ -41,6 +42,13 @@ usage(int rc)
         "  --queue-depth D      admission queue depth (default 64)\n"
         "  --batch B            max requests per worker batch (default 16)\n"
         "  --discipline D       fifo | cached-first (default cached-first)\n"
+        "  --result-cache-mb M  request-level result cache budget in MiB;\n"
+        "                       0 disables (default: JITSCHED_RESULT_CACHE_MB,\n"
+        "                       else 0)\n"
+        "  --snapshot-file FILE warm-restart snapshot: loaded at startup,\n"
+        "                       written on clean shutdown and on the\n"
+        "                       SNAPSHOT verb (default:\n"
+        "                       JITSCHED_RESULT_CACHE_SNAPSHOT, else none)\n"
         "  --trace-out FILE     at shutdown, write collected request\n"
         "                       spans as Chrome/Perfetto trace JSON\n"
         "  --help               this text\n";
@@ -63,6 +71,13 @@ int
 main(int argc, char **argv)
 {
     ServerConfig cfg;
+    // Env defaults first; flags below override.
+    cfg.resultCacheBytes =
+        parseResultCacheMbEnv(std::getenv("JITSCHED_RESULT_CACHE_MB"))
+        << 20;
+    if (const char *snap =
+            std::getenv("JITSCHED_RESULT_CACHE_SNAPSHOT"))
+        cfg.snapshotPath = snap;
     std::string trace_out;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -99,6 +114,11 @@ main(int argc, char **argv)
             else
                 JITSCHED_FATAL("--discipline must be fifo or "
                                "cached-first, got '", d, "'");
+        } else if (arg == "--result-cache-mb") {
+            cfg.resultCacheBytes =
+                static_cast<std::size_t>(intArg(arg, next())) << 20;
+        } else if (arg == "--snapshot-file") {
+            cfg.snapshotPath = next();
         } else if (arg == "--trace-out") {
             trace_out = next();
         } else {
@@ -129,6 +149,13 @@ main(int argc, char **argv)
     // One line on stdout so scripts can scrape the ephemeral port.
     std::cout << "jitschedd listening on " << server.bindAddress()
               << ":" << server.port() << std::endl;
+    if (cfg.resultCacheBytes > 0)
+        std::cout << "result-cache: " << (cfg.resultCacheBytes >> 20)
+                  << " MiB"
+                  << (cfg.snapshotPath.empty()
+                          ? std::string()
+                          : ", snapshot " + cfg.snapshotPath)
+                  << std::endl;
     {
         const auto &pols = engine.registry().names();
         std::cout << "policies:";

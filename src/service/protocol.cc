@@ -345,16 +345,25 @@ writeResponse(std::ostream &os, const ServiceResponse &resp,
                    << "\n";
         }
     }
-    if (include_stats) {
-        os << "stats cache-hits " << resp.stats.cacheHits
-           << " cache-misses " << resp.stats.cacheMisses
-           << " queue-ns " << resp.stats.queueNs << " solve-ns "
-           << resp.stats.solveNs;
-        if (resp.stats.traceId != 0)
-            os << " trace-id " << obs::traceIdHex(resp.stats.traceId);
-        os << "\n";
-    }
+    if (include_stats)
+        writeStatsLine(os, resp.stats);
     os << "end\n";
+}
+
+void
+writeStatsLine(std::ostream &os, const ServiceStats &stats)
+{
+    os << "stats cache-hits " << stats.cacheHits << " cache-misses "
+       << stats.cacheMisses << " queue-ns " << stats.queueNs
+       << " solve-ns " << stats.solveNs;
+    // Emitted only when the result cache served the response: a
+    // cache-off daemon's frames stay byte-identical to pre-cache
+    // builds.
+    if (stats.resultCache != 0)
+        os << " result-cache " << stats.resultCache;
+    if (stats.traceId != 0)
+        os << " trace-id " << obs::traceIdHex(stats.traceId);
+    os << "\n";
 }
 
 std::string
@@ -560,6 +569,9 @@ tryReadResponse(std::istream &is, std::string *error)
                     resp.stats.queueNs = *n;
                 else if (k == "solve-ns")
                     resp.stats.solveNs = *n;
+                else if (k == "result-cache")
+                    resp.stats.resultCache =
+                        static_cast<std::uint64_t>(*n);
                 // Unknown stats keys are ignored (forward compat).
             }
         } else {
@@ -919,6 +931,8 @@ parseRecordLine(std::istringstream &ls, obs::FlightRecord *out,
                 out->bytes = static_cast<std::uint64_t>(*n);
             else if (k == "hops")
                 out->hops = static_cast<std::uint32_t>(*n);
+            else if (k == "cached")
+                out->cached = *n != 0;
             // Unknown numeric keys are ignored (forward compat).
         }
     }
@@ -1035,6 +1049,183 @@ makeDumpResponse(std::uint64_t id,
     resp.id = id;
     resp.ok = true;
     resp.records = records;
+    return resp;
+}
+
+void
+writeSnapshotRequest(std::ostream &os, const SnapshotRequest &req)
+{
+    os << "jitsched-snapshot " << req.id << "\n";
+    os << "end\n";
+}
+
+std::string
+snapshotRequestText(const SnapshotRequest &req)
+{
+    std::ostringstream os;
+    writeSnapshotRequest(os, req);
+    return os.str();
+}
+
+std::optional<SnapshotRequest>
+tryReadSnapshotRequest(std::istream &is, std::string *error)
+{
+    SnapshotRequest req;
+
+    const auto header = nextLine(is);
+    if (!header) {
+        parseFail(error, "empty snapshot-request frame");
+        return std::nullopt;
+    }
+    {
+        std::istringstream hs(*header);
+        std::string tag, id_tok;
+        hs >> tag >> id_tok;
+        if (tag != "jitsched-snapshot") {
+            parseFail(error,
+                      "expected 'jitsched-snapshot <id>', got '" +
+                      *header + "'");
+            return std::nullopt;
+        }
+        const auto id = parseInt(id_tok);
+        if (!id || *id < 0) {
+            parseFail(error, "bad snapshot-request id '" + id_tok +
+                      "'");
+            return std::nullopt;
+        }
+        req.id = static_cast<std::uint64_t>(*id);
+    }
+
+    const auto tail = nextLine(is);
+    if (!tail || *tail != "end") {
+        parseFail(error, "snapshot request carries a body (expected "
+                  "'end')");
+        return std::nullopt;
+    }
+    return req;
+}
+
+void
+writeSnapshotResponse(std::ostream &os, const SnapshotResponse &resp)
+{
+    os << "jitsched-snapshot-response " << resp.id << "\n";
+    if (resp.ok) {
+        os << "status ok\n";
+        os << "entries " << resp.entries << "\n";
+        os << "bytes " << resp.bytes << "\n";
+    } else {
+        os << "status error "
+           << (resp.code.empty() ? errcode::unavailable : resp.code)
+           << "\n";
+        os << "error " << resp.error << "\n";
+    }
+    os << "end\n";
+}
+
+std::string
+snapshotResponseText(const SnapshotResponse &resp)
+{
+    std::ostringstream os;
+    writeSnapshotResponse(os, resp);
+    return os.str();
+}
+
+std::optional<SnapshotResponse>
+tryReadSnapshotResponse(std::istream &is, std::string *error)
+{
+    SnapshotResponse resp;
+
+    const auto header = nextLine(is);
+    if (!header) {
+        parseFail(error, "empty snapshot-response frame");
+        return std::nullopt;
+    }
+    {
+        std::istringstream hs(*header);
+        std::string tag, id_tok;
+        hs >> tag >> id_tok;
+        if (tag != "jitsched-snapshot-response") {
+            parseFail(
+                error,
+                "expected 'jitsched-snapshot-response <id>', got '" +
+                *header + "'");
+            return std::nullopt;
+        }
+        const auto id = parseInt(id_tok);
+        if (!id || *id < 0) {
+            parseFail(error, "bad snapshot-response id '" + id_tok +
+                      "'");
+            return std::nullopt;
+        }
+        resp.id = static_cast<std::uint64_t>(*id);
+    }
+
+    bool saw_status = false;
+    for (;;) {
+        const auto line = nextLine(is);
+        if (!line) {
+            parseFail(error, "snapshot response truncated (no 'end')");
+            return std::nullopt;
+        }
+        if (*line == "end")
+            break;
+
+        std::istringstream ls(*line);
+        std::string key;
+        ls >> key;
+        std::int64_t v = 0;
+
+        if (key == "status") {
+            std::string st;
+            ls >> st;
+            if (st == "ok") {
+                resp.ok = true;
+            } else if (st == "error") {
+                resp.ok = false;
+                ls >> resp.code;
+                if (resp.code.empty()) {
+                    parseFail(error, "status error carries no code");
+                    return std::nullopt;
+                }
+            } else {
+                parseFail(error, "bad status '" + st + "'");
+                return std::nullopt;
+            }
+            saw_status = true;
+        } else if (key == "error") {
+            constexpr std::size_t skip = sizeof("error ") - 1;
+            resp.error = line->size() > skip ? line->substr(skip) : "";
+        } else if (key == "entries") {
+            if (!intField(ls, "entries", &v, error))
+                return std::nullopt;
+            resp.entries = static_cast<std::uint64_t>(v);
+        } else if (key == "bytes") {
+            if (!intField(ls, "bytes", &v, error))
+                return std::nullopt;
+            resp.bytes = static_cast<std::uint64_t>(v);
+        } else {
+            parseFail(error, "unknown snapshot-response directive '" +
+                      key + "'");
+            return std::nullopt;
+        }
+    }
+
+    if (!saw_status) {
+        parseFail(error, "snapshot response carries no status");
+        return std::nullopt;
+    }
+    return resp;
+}
+
+SnapshotResponse
+makeSnapshotResponse(std::uint64_t id, std::uint64_t entries,
+                     std::uint64_t bytes)
+{
+    SnapshotResponse resp;
+    resp.id = id;
+    resp.ok = true;
+    resp.entries = entries;
+    resp.bytes = bytes;
     return resp;
 }
 
@@ -1228,6 +1419,12 @@ bool
 isDumpRequestFrame(const std::string &frame)
 {
     return frameTag(frame) == "jitsched-dump";
+}
+
+bool
+isSnapshotRequestFrame(const std::string &frame)
+{
+    return frameTag(frame) == "jitsched-snapshot";
 }
 
 std::uint64_t

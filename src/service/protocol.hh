@@ -43,14 +43,18 @@
  *   schedule <K>                present when a schedule exists,
  *   <func> <level>              followed by K event lines
  *   stats cache-hits <h> cache-misses <m> queue-ns <q> solve-ns <s>
- *     [trace-id <hex>]
+ *     [result-cache <r>] [trace-id <hex>]
  *   end
  *
  * Everything above the `stats` line is a pure function of the request
  * — byte-identical to a direct library call.  The `stats` line is the
  * only volatile part (cache behaviour, queueing, wall time, and the
  * echoed trace id when the request carried one), so clients
- * comparing results strip exactly that line.
+ * comparing results strip exactly that line.  `result-cache` appears
+ * only when the response came out of the request-level result cache
+ * (1 = served from the store, 2 = collapsed onto a concurrent
+ * identical solve); a cache-off daemon never emits the token, so its
+ * frames are byte-identical to pre-cache builds.
  *
  * Besides scheduling requests, a connection can scrape the daemon's
  * metrics registry (obs/metrics.hh) with a STATS frame:
@@ -90,8 +94,28 @@
  *   error <message>             (error frames only)
  *   records <N>                 followed by N record lines:
  *   record trace <hex> request <id> policy <p> status <s>
- *     queue-ns <q> solve-ns <n> bytes <b> hops <h>
+ *     queue-ns <q> solve-ns <n> bytes <b> hops <h> cached <0|1>
  *   end
+ *
+ * The result cache (service/result_cache.hh) is snapshotted to its
+ * configured file on demand with a SNAPSHOT frame, also answered
+ * inline:
+ *
+ *   jitsched-snapshot <id>
+ *   end
+ *
+ * answered by
+ *
+ *   jitsched-snapshot-response <id>
+ *   status ok                   | status error <CODE>
+ *   error <message>             (error frames only)
+ *   entries <N>                 entries written
+ *   bytes <B>                   key+body payload bytes written
+ *   end
+ *
+ * A daemon without a result cache or snapshot path answers
+ * `status error INVALID_ARGUMENT` — the verb reports the
+ * misconfiguration instead of silently writing nothing.
  *
  * Liveness is probed with a PING frame:
  *
@@ -172,6 +196,15 @@ struct ServiceStats
     std::uint64_t cacheMisses = 0; ///< EvalCache misses this request
     std::int64_t queueNs = 0;      ///< admission -> processing start
     std::int64_t solveNs = 0;      ///< processing wall time
+
+    /**
+     * How the result cache served this response: 0 = not served from
+     * it (miss, or cache off — the token is then omitted from the
+     * wire), 1 = answered from the store, 2 = collapsed onto a
+     * concurrent identical solve (singleflight follower).
+     */
+    std::uint64_t resultCache = 0;
+
     std::uint64_t traceId = 0;     ///< echoed trace id; 0 untraced
 };
 
@@ -263,6 +296,13 @@ void writeResponse(std::ostream &os, const ServiceResponse &resp,
 /** Response frame as a string. */
 std::string responseText(const ServiceResponse &resp,
                          bool include_stats = true);
+
+/**
+ * Serialize just the volatile `stats ...` line (newline included) —
+ * what writeResponse() appends and what the result cache stitches
+ * onto a stored body to rebuild a full frame.
+ */
+void writeStatsLine(std::ostream &os, const ServiceStats &stats);
 
 /** Parse one response frame, consuming through its `end` line. */
 std::optional<ServiceResponse>
@@ -369,6 +409,58 @@ DumpResponse
 makeDumpResponse(std::uint64_t id,
                  const std::vector<obs::FlightRecord> &records);
 
+/** A result-cache snapshot trigger: no payload, just the echoed id. */
+struct SnapshotRequest
+{
+    std::uint64_t id = 0;
+};
+
+/** What the snapshot wrote. */
+struct SnapshotResponse
+{
+    std::uint64_t id = 0;
+
+    bool ok = false;
+
+    /** Error code (errcode::*); empty on ok. */
+    std::string code;
+
+    /** Human-readable error message; empty on ok. */
+    std::string error;
+
+    /** Entries written to the snapshot file. */
+    std::uint64_t entries = 0;
+
+    /** Key + body payload bytes written. */
+    std::uint64_t bytes = 0;
+};
+
+/** Serialize a snapshot-request frame. */
+void writeSnapshotRequest(std::ostream &os, const SnapshotRequest &req);
+
+/** Snapshot-request frame as a string. */
+std::string snapshotRequestText(const SnapshotRequest &req);
+
+/** Parse one snapshot-request frame, consuming through `end`. */
+std::optional<SnapshotRequest>
+tryReadSnapshotRequest(std::istream &is, std::string *error = nullptr);
+
+/** Serialize a snapshot-response frame. */
+void writeSnapshotResponse(std::ostream &os,
+                           const SnapshotResponse &resp);
+
+/** Snapshot-response frame as a string. */
+std::string snapshotResponseText(const SnapshotResponse &resp);
+
+/** Parse one snapshot-response frame, consuming through `end`. */
+std::optional<SnapshotResponse>
+tryReadSnapshotResponse(std::istream &is, std::string *error = nullptr);
+
+/** Build an ok snapshot response. */
+SnapshotResponse makeSnapshotResponse(std::uint64_t id,
+                                      std::uint64_t entries,
+                                      std::uint64_t bytes);
+
 /** Serialize a ping frame. */
 void writePingRequest(std::ostream &os, const PingRequest &req);
 
@@ -404,6 +496,9 @@ bool isPingRequestFrame(const std::string &frame);
 
 /** Same routing test for `jitsched-dump` frames. */
 bool isDumpRequestFrame(const std::string &frame);
+
+/** Same routing test for `jitsched-snapshot` frames. */
+bool isSnapshotRequestFrame(const std::string &frame);
 
 /**
  * True when @p raw_line (after comment/whitespace stripping) is the

@@ -19,7 +19,8 @@ namespace jitsched {
 
 ServiceServer::ServiceServer(ServiceEngine &engine, ServerConfig cfg)
     : engine_(engine), cfg_(std::move(cfg)),
-      queue_(engine_, cfg_.admission)
+      queue_(engine_, cfg_.admission),
+      rcache_(ResultCacheConfig{cfg_.resultCacheBytes})
 {
     // Any panic from here on dumps the last-N-requests ring.
     obs::installPanicDump();
@@ -47,6 +48,24 @@ ServiceServer::start(std::string *error)
     if (listen_fd_ < 0)
         return false;
     port_ = boundPort(listen_fd_);
+
+    // Warm restart: load the result-cache snapshot before the first
+    // connection is accepted.  Strictly validated — a corrupt,
+    // truncated, or version-skewed file is rejected wholesale and the
+    // cache starts cold (a warning, never a refusal to start: a bad
+    // snapshot must not keep a backend down).
+    if (rcache_.enabled() && !cfg_.snapshotPath.empty() &&
+        ::access(cfg_.snapshotPath.c_str(), F_OK) == 0) {
+        std::string snap_error;
+        std::size_t loaded = 0;
+        if (rcache_.loadSnapshot(cfg_.snapshotPath, &snap_error,
+                                 &loaded))
+            inform("jitschedd: result cache warmed with ", loaded,
+                   " snapshot entr", loaded == 1 ? "y" : "ies",
+                   " from ", cfg_.snapshotPath);
+        else
+            warn("jitschedd: starting cold — ", snap_error);
+    }
 
     queue_.restart();
     stopping_.store(false, std::memory_order_release);
@@ -293,17 +312,72 @@ ServiceServer::handleConnection(int fd)
             continue;
         }
 
+        // SNAPSHOT frames save the result cache to its configured
+        // file, inline like STATS/DUMP — a warm-state save must work
+        // while the admission queue is shedding.
+        if (isSnapshotRequestFrame(frame)) {
+            std::istringstream ss(frame);
+            std::string snap_parse_error;
+            SnapshotResponse snap;
+            if (const auto sreq =
+                    tryReadSnapshotRequest(ss, &snap_parse_error)) {
+                snap.id = sreq->id;
+                if (!rcache_.enabled()) {
+                    snap.code = errcode::invalidArgument;
+                    snap.error = "result cache is disabled "
+                                 "(JITSCHED_RESULT_CACHE_MB / "
+                                 "--result-cache-mb is 0)";
+                } else if (cfg_.snapshotPath.empty()) {
+                    snap.code = errcode::invalidArgument;
+                    snap.error = "no snapshot file configured "
+                                 "(--snapshot-file)";
+                } else {
+                    std::string save_error;
+                    std::size_t entries = 0;
+                    std::size_t bytes = 0;
+                    if (rcache_.saveSnapshot(cfg_.snapshotPath,
+                                             &save_error, &entries,
+                                             &bytes))
+                        snap = makeSnapshotResponse(sreq->id, entries,
+                                                    bytes);
+                    else {
+                        snap.code = errcode::unavailable;
+                        snap.error = save_error;
+                    }
+                }
+            } else {
+                snap.code = errcode::invalidArgument;
+                snap.error = snap_parse_error;
+            }
+            frames_.fetch_add(1, std::memory_order_relaxed);
+            JITSCHED_OBS(
+                obs::ServiceMetrics::get().framesServed.add());
+            const std::string snap_text = snapshotResponseText(snap);
+            JITSCHED_OBS(obs::ServiceMetrics::get().bytesOut.add(
+                snap_text.size()));
+            if (!writeAll(fd, snap_text))
+                return;
+            continue;
+        }
+
         std::istringstream is(frame);
         std::string parse_error;
         auto req = tryReadRequest(is, &parse_error);
 
         ServiceResponse resp;
         std::string policy;
+        std::string resp_text;  ///< the frame actually written
+        std::string status;     ///< flight-record status
+        ServiceStats stats;     ///< flight-record timing source
+        std::uint64_t request_id = 0;
+        bool from_cache = false; ///< hit or collapsed follower
+        bool answered = false;   ///< resp already holds the answer
         if (!req) {
             // The id may not even have parsed; 0 is the documented
             // "unattributable" id.
             resp = makeErrorResponse(0, errcode::invalidArgument,
                                      parse_error);
+            answered = true;
         } else {
             // First contact mints the trace id when the client (or
             // router) did not — every request through the server is
@@ -311,30 +385,119 @@ ServiceServer::handleConnection(int fd)
             if (req->traceId == 0)
                 req->traceId = obs::mintTraceId();
             policy = req->policy;
-            resp = queue_.submit(*std::move(req)).get();
+            request_id = req->id;
+
+            // Result-cache fast path, probed before the admission
+            // queue: a shed-under-load daemon keeps serving the
+            // answers it already knows.
+            ResultCache::Probe probe;
+            if (rcache_.enabled()) {
+                const auto c0 = std::chrono::steady_clock::now();
+                bool cached_ok = false;
+                std::string body;
+                {
+                    obs::ScopedSpan span(req->traceId,
+                                         "service.result_cache");
+                    probe = rcache_.begin(*req);
+                }
+                switch (probe.kind) {
+                case ResultCache::Probe::Kind::Hit:
+                    cached_ok = true;
+                    body = std::move(probe.body);
+                    stats.resultCache = 1;
+                    break;
+                case ResultCache::Probe::Kind::Follower: {
+                    // Collapse onto the identical in-flight solve,
+                    // honoring this waiter's own deadline.
+                    std::optional<
+                        std::chrono::steady_clock::time_point>
+                        deadline;
+                    if (req->options.deadlineMs >= 0)
+                        deadline =
+                            c0 + std::chrono::milliseconds(
+                                     req->options.deadlineMs);
+                    if (rcache_.waitFollower(probe, deadline,
+                                             &cached_ok, &body) ==
+                        ResultCache::WaitOutcome::Ready) {
+                        stats.resultCache = 2;
+                    } else {
+                        resp = makeErrorResponse(
+                            req->id, errcode::deadlineExceeded,
+                            "deadline expired while waiting on an "
+                            "identical in-flight request");
+                        resp.stats.traceId = req->traceId;
+                        answered = true;
+                    }
+                    break;
+                }
+                case ResultCache::Probe::Kind::Leader:
+                case ResultCache::Probe::Kind::Bypass:
+                    break;
+                }
+                if (stats.resultCache != 0) {
+                    from_cache = true;
+                    stats.traceId = req->traceId;
+                    stats.solveNs =
+                        std::chrono::duration_cast<
+                            std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - c0)
+                            .count();
+                    // The stored body's own status line is the
+                    // record's status: only ok results enter the
+                    // store, but a follower can be fed an error.
+                    status = "ok";
+                    if (!cached_ok) {
+                        std::istringstream bs(body);
+                        std::string kw, st;
+                        bs >> kw >> st >> status;
+                        if (status.empty())
+                            status = errcode::unavailable;
+                    }
+                    obs::ScopedSpan span(req->traceId,
+                                         "service.serialize");
+                    resp_text = cachedResponseText(req->id, body,
+                                                   stats);
+                }
+            }
+
+            if (!from_cache && !answered) {
+                resp = queue_.submit(*std::move(req)).get();
+                // The leader publishes unconditionally — even a
+                // shed/expired answer releases the followers (the
+                // admission queue answers every submit, so no flight
+                // is ever abandoned).
+                if (probe.kind == ResultCache::Probe::Kind::Leader)
+                    rcache_.publish(probe, resp.ok,
+                                    responseBodyText(resp));
+            }
         }
         frames_.fetch_add(1, std::memory_order_relaxed);
         JITSCHED_OBS(obs::ServiceMetrics::get().framesServed.add());
-        std::string resp_text;
-        {
-            obs::ScopedSpan span(resp.stats.traceId,
-                                 "service.serialize");
-            resp_text = responseText(resp);
+        if (!from_cache) {
+            {
+                obs::ScopedSpan span(resp.stats.traceId,
+                                     "service.serialize");
+                resp_text = responseText(resp);
+            }
+            stats = resp.stats;
+            status = resp.ok ? "ok" : resp.code;
+            request_id = resp.id;
         }
         // One slot write per completed request, always on.
         obs::FlightRecord record;
-        record.traceId = resp.stats.traceId;
-        record.requestId = resp.id;
+        record.traceId = stats.traceId;
+        record.requestId = request_id;
         record.policy = policy;
-        record.status = resp.ok ? "ok" : resp.code;
-        record.queueNs = resp.stats.queueNs;
-        record.solveNs = resp.stats.solveNs;
+        record.status = status;
+        record.queueNs = stats.queueNs;
+        record.solveNs = stats.solveNs;
         record.bytes = resp_text.size();
         record.hops = 0;
+        record.cached = from_cache;
         obs::FlightRecorder::global().record(std::move(record));
-        obs::noteRequestLatency(
-            resp.stats.traceId,
-            resp.stats.queueNs + resp.stats.solveNs, "service");
+        obs::noteRequestLatency(stats.traceId,
+                                stats.queueNs + stats.solveNs,
+                                "service");
         JITSCHED_OBS(obs::ServiceMetrics::get().bytesOut.add(
             resp_text.size()));
         if (!writeAll(fd, resp_text))
@@ -375,6 +538,15 @@ ServiceServer::stop()
     conn_queue_.clear();
 
     queue_.stop();
+
+    // Clean-shutdown warm-state save: handlers and the admission
+    // worker have joined, so the cache is quiescent.
+    if (rcache_.enabled() && !cfg_.snapshotPath.empty()) {
+        std::string snap_error;
+        if (!rcache_.saveSnapshot(cfg_.snapshotPath, &snap_error))
+            warn("jitschedd: result-cache snapshot not saved — ",
+                 snap_error);
+    }
 
     // Leave the object restartable: everything joined and closed,
     // port_ remembered so the next start() rebinds it.

@@ -33,6 +33,7 @@
 
 #include "service/admission.hh"
 #include "service/engine.hh"
+#include "service/result_cache.hh"
 
 namespace jitsched {
 
@@ -61,6 +62,20 @@ struct ServerConfig
 
     /** Admission-queue knobs. */
     AdmissionConfig admission;
+
+    /**
+     * Request-level result-cache budget in bytes
+     * (service/result_cache.hh); 0 disables the cache entirely —
+     * byte-for-byte today's behavior.
+     */
+    std::size_t resultCacheBytes = 0;
+
+    /**
+     * Warm-restart snapshot file: loaded (strictly validated) on
+     * start(), written on clean stop() and on the SNAPSHOT verb.
+     * Empty disables snapshots.  Only meaningful with the cache on.
+     */
+    std::string snapshotPath;
 };
 
 class ServiceServer
@@ -126,6 +141,9 @@ class ServiceServer
 
     AdmissionQueue &admission() { return queue_; }
 
+    /** The request-level result cache (disabled unless configured). */
+    ResultCache &resultCache() { return rcache_; }
+
   private:
     void acceptLoop();
     void handlerLoop();
@@ -134,6 +152,7 @@ class ServiceServer
     ServiceEngine &engine_;
     const ServerConfig cfg_;
     AdmissionQueue queue_;
+    ResultCache rcache_;
 
     int listen_fd_ = -1;
     std::uint16_t port_ = 0;

@@ -89,9 +89,11 @@ TEST(FlightRecorder, RecordLineFormat)
     r.solveNs = 2000;
     r.bytes = 512;
     r.hops = 2;
+    r.cached = true;
     EXPECT_EQ(FlightRecorder::recordLine(r),
               "trace deadbeef request 42 policy astar status ok "
-              "queue-ns 1000 solve-ns 2000 bytes 512 hops 2");
+              "queue-ns 1000 solve-ns 2000 bytes 512 hops 2 "
+              "cached 1");
 
     // Untraced + empty strings render as placeholders, keeping the
     // line a fixed sequence of key/value pairs.
@@ -99,7 +101,7 @@ TEST(FlightRecorder, RecordLineFormat)
     bare.requestId = 7;
     EXPECT_EQ(FlightRecorder::recordLine(bare),
               "trace 0 request 7 policy - status - queue-ns 0 "
-              "solve-ns 0 bytes 0 hops 0");
+              "solve-ns 0 bytes 0 hops 0 cached 0");
 }
 
 TEST(FlightRecorder, DumpTextIsOneLinePerRecord)
